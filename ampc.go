@@ -1,0 +1,195 @@
+// Package ampc is a simulator and algorithm library for the Adaptive
+// Massively Parallel Computation (AMPC) model of Behnezhad, Dhulipala,
+// Esfandiari, Łącki, Schudy and Mirrokni, "Massively Parallel Computation
+// via Remote Memory Access" (SPAA 2019, arXiv:1905.07533).
+//
+// AMPC extends the MPC model with a per-round immutable distributed data
+// store that machines may read adaptively — each query may depend on the
+// results of earlier queries in the same round — subject to the usual O(S)
+// per-machine communication budget. This package provides:
+//
+//   - the budget-enforced AMPC runtime (internal/ampc) over a sharded
+//     key-value store with contention accounting (internal/dds);
+//   - the paper's algorithms: 2-Cycle, maximal independent set,
+//     connectivity, minimum spanning forest, forest and cycle connectivity,
+//     list ranking, tree rooting with subtree/preorder properties, and
+//     2-edge connectivity via BC-labeling (internal/core);
+//   - the classic MPC baselines the paper compares against — pointer
+//     doubling, Luby's MIS, Borůvka, label propagation (internal/mpc);
+//   - graph generators and exact reference oracles (internal/graph).
+//
+// This root package is the stable facade: it re-exports the graph types,
+// generators, algorithm entry points and telemetry so applications depend
+// on a single import.
+//
+// Every algorithm takes an Options value; the zero value picks ε = 0.5,
+// seed 0 and sensible simulation defaults, and the same seed always
+// reproduces the same run bit-for-bit.
+package ampc
+
+import (
+	"ampc/internal/core"
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+// Graph is an immutable undirected simple graph in CSR form.
+type Graph = graph.Graph
+
+// WeightedGraph is a Graph with distinct int64 edge weights.
+type WeightedGraph = graph.WeightedGraph
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// WeightedEdge is an undirected weighted edge.
+type WeightedEdge = graph.WeightedEdge
+
+// RNG is the deterministic random stream used by generators.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic random stream for the given seed and
+// stream index.
+func NewRNG(seed, stream uint64) *RNG { return rng.New(seed, stream) }
+
+// Graph constructors and generators.
+var (
+	// NewGraph builds a graph from an edge list, rejecting self-loops and
+	// duplicates.
+	NewGraph = graph.NewGraph
+	// NewWeightedGraph builds a weighted graph with distinct weights.
+	NewWeightedGraph = graph.NewWeightedGraph
+	// Cycle, TwoCycles, TwoCycleInstance, Path, Star, Clique, Grid,
+	// RandomTree, RandomForest, Caterpillar, GNM, ConnectedGNM,
+	// WithRandomWeights, Union and Relabel generate synthetic workloads.
+	Cycle             = graph.Cycle
+	TwoCycles         = graph.TwoCycles
+	TwoCycleInstance  = graph.TwoCycleInstance
+	Path              = graph.Path
+	Star              = graph.Star
+	Clique            = graph.Clique
+	Grid              = graph.Grid
+	RandomTree        = graph.RandomTree
+	RandomForest      = graph.RandomForest
+	Caterpillar       = graph.Caterpillar
+	GNM               = graph.GNM
+	ConnectedGNM      = graph.ConnectedGNM
+	WithRandomWeights = graph.WithRandomWeights
+	Union             = graph.Union
+	Relabel           = graph.Relabel
+)
+
+// Edge-list text serialization ("n <count>" line, then "u v [w]" lines).
+var (
+	// ReadEdgeList and WriteEdgeList move unweighted graphs to and from
+	// the standard edge-list interchange format.
+	ReadEdgeList  = graph.ReadEdgeList
+	WriteEdgeList = graph.WriteEdgeList
+	// ReadWeightedEdgeList and WriteWeightedEdgeList do the same for
+	// weighted graphs.
+	ReadWeightedEdgeList  = graph.ReadWeightedEdgeList
+	WriteWeightedEdgeList = graph.WriteWeightedEdgeList
+)
+
+// Exact sequential oracles, useful for verification in applications.
+var (
+	// Components returns the BFS connectivity labeling.
+	Components = graph.Components
+	// KruskalMSF returns the unique minimum spanning forest.
+	KruskalMSF = graph.KruskalMSF
+	// BridgesOracle returns the bridges via Tarjan's algorithm.
+	BridgesOracle = graph.Bridges
+	// ArticulationPointsOracle returns the cut vertices.
+	ArticulationPointsOracle = graph.ArticulationPoints
+	// IsMIS reports whether a membership vector is a maximal independent set.
+	IsMIS = graph.IsMIS
+	// SameLabeling reports whether two labelings induce the same partition.
+	SameLabeling = graph.SameLabeling
+)
+
+// Options configures an AMPC run: space exponent ε, seed, and simulation
+// knobs. The zero value uses the documented defaults.
+type Options = core.Options
+
+// Telemetry reports a run's measured cost: rounds, phases, query totals,
+// per-machine maxima and DDS shard load — the quantities the paper's
+// lemmas bound.
+type Telemetry = core.Telemetry
+
+// Result types of the AMPC algorithms.
+type (
+	TwoCycleResult           = core.TwoCycleResult
+	MISResult                = core.MISResult
+	ConnectivityResult       = core.ConnectivityResult
+	MSFResult                = core.MSFResult
+	CycleConnectivityResult  = core.CycleConnectivityResult
+	ForestConnectivityResult = core.ForestConnectivityResult
+	ListRankingResult        = core.ListRankingResult
+	RootedForest             = core.RootedForest
+	TreeProps                = core.TreeProps
+	BiconnResult             = core.BiconnResult
+	MatchingResult           = core.MatchingResult
+	ColoringResult           = core.ColoringResult
+	AffinityResult           = core.AffinityResult
+)
+
+// The paper's algorithms (section numbers refer to arXiv:1905.07533).
+var (
+	// TwoCycle decides one cycle vs two in O(1/ε) rounds (§4).
+	TwoCycle = core.TwoCycle
+	// MIS computes the lexicographically-first maximal independent set
+	// under a random permutation in O(1/ε) rounds w.h.p. (§5).
+	MIS = core.MIS
+	// Connectivity labels connected components in O(log log n + 1/ε)
+	// phases w.h.p. (§6).
+	Connectivity = core.Connectivity
+	// MSF computes the minimum spanning forest in O(log log n + 1/ε)
+	// phases w.h.p. (§7).
+	MSF = core.MSF
+	// SpanningForest computes an arbitrary spanning forest (Corollary 7.2).
+	SpanningForest = core.SpanningForest
+	// CycleConnectivity labels components of disjoint cycle unions in
+	// O(1/ε) rounds (§8, Algorithm 10).
+	CycleConnectivity = core.CycleConnectivity
+	// ForestConnectivity labels components of forests in O(1/ε) rounds via
+	// Euler tours (§8, Theorem 5).
+	ForestConnectivity = core.ForestConnectivity
+	// ListRanking ranks linked lists in O(1/ε) rounds (§8.1, Theorem 6).
+	ListRanking = core.ListRanking
+	// RootForest roots forest trees via Euler tours and list ranking
+	// (§8.1, Theorem 7).
+	RootForest = core.RootForest
+	// ComputeTreeProps derives subtree sizes and preorder numbers
+	// (Lemmas 8.7, 8.8).
+	ComputeTreeProps = core.ComputeTreeProps
+	// SubtreeAggregates computes per-vertex subtree min/max via a
+	// DDS-resident RMQ (Lemma 8.9).
+	SubtreeAggregates = core.SubtreeAggregates
+	// Biconnectivity computes BC-labeling, bridges, articulation points and
+	// 2-edge-connected components (§9, Theorem 8).
+	Biconnectivity = core.Biconnectivity
+	// ShrinkTrace exposes per-iteration sizes of the Shrink procedure for
+	// the Lemma 4.1 experiments.
+	ShrinkTrace = core.ShrinkTrace
+
+	// MaximalMatching and GreedyColoring implement the paper's §10
+	// future-work problems with the §5 query-process machinery.
+	MaximalMatching = core.MaximalMatching
+	GreedyColoring  = core.GreedyColoring
+
+	// AffinityClustering implements the hierarchical clustering of Bateni
+	// et al., the DHT+MapReduce system that motivated AMPC (paper intro).
+	AffinityClustering = core.AffinityClustering
+)
+
+// Matching and coloring oracles.
+var (
+	// GreedyMatchingOracle is the sequential greedy matching.
+	GreedyMatchingOracle = graph.GreedyMatching
+	// IsMaximalMatching verifies a matching membership vector.
+	IsMaximalMatching = graph.IsMaximalMatching
+	// GreedyColoringOracle is the sequential greedy coloring.
+	GreedyColoringOracle = graph.GreedyColoring
+	// IsProperColoring verifies a coloring.
+	IsProperColoring = graph.IsProperColoring
+)

@@ -1,0 +1,289 @@
+// Integration tests through the public facade: end-to-end pipelines that
+// combine several algorithms the way an application would, plus
+// property-based tests over randomized instances.
+package ampc_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampc"
+)
+
+func TestFacadeConnectivityPipeline(t *testing.T) {
+	r := ampc.NewRNG(1, 0)
+	g := ampc.Union(ampc.ConnectedGNM(500, 1500, r), ampc.Cycle(100), ampc.Star(50))
+	g = ampc.Relabel(g, r.Perm(g.N()))
+	res, err := ampc.Connectivity(g, ampc.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ampc.SameLabeling(res.Components, ampc.Components(g)) {
+		t.Fatal("wrong labeling through facade")
+	}
+}
+
+func TestFacadeMSFThenBridges(t *testing.T) {
+	// Pipeline: build an MSF, then audit the tree — every MSF edge of a
+	// connected graph's spanning tree is a bridge of the tree itself.
+	r := ampc.NewRNG(2, 0)
+	wg := ampc.WithRandomWeights(ampc.ConnectedGNM(300, 900, r), r)
+	msf, err := ampc.MSF(wg, ampc.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treeEdges []ampc.Edge
+	for _, e := range msf.Edges {
+		treeEdges = append(treeEdges, ampc.Edge{U: e.U, V: e.V}.Canon())
+	}
+	tree, err := ampc.NewGraph(wg.N(), treeEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := ampc.Biconnectivity(tree, ampc.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(audit.Bridges) != tree.M() {
+		t.Fatalf("tree audit found %d bridges, want all %d edges", len(audit.Bridges), tree.M())
+	}
+}
+
+func TestFacadeMISAndMatchingConsistency(t *testing.T) {
+	// The MIS of a graph and the maximal matching interact: matched edges
+	// cannot have both endpoints in the MIS.
+	r := ampc.NewRNG(3, 0)
+	g := ampc.GNM(300, 900, r)
+	mis, err := ampc.MIS(g, ampc.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := ampc.MaximalMatching(g, ampc.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, in := range match.Matched {
+		if !in {
+			continue
+		}
+		edge := g.Edges()[e]
+		if mis.InMIS[edge.U] && mis.InMIS[edge.V] {
+			t.Fatalf("matched edge %v has both endpoints in the MIS (independence broken)", edge)
+		}
+	}
+}
+
+func TestFacadeColoringRespectsMIS(t *testing.T) {
+	// Color classes are independent sets; class 0 of the greedy coloring
+	// under permutation π is exactly LFMIS(g, π).
+	r := ampc.NewRNG(4, 0)
+	g := ampc.GNM(200, 500, r)
+	col, err := ampc.GreedyColoring(g, ampc.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	class0 := make([]bool, g.N())
+	for v, c := range col.Color {
+		class0[v] = c == 0
+	}
+	if !ampc.IsMIS(g, class0) {
+		t.Fatal("color class 0 is not the LFMIS")
+	}
+}
+
+func TestPropertyTwoCycleAlwaysCorrect(t *testing.T) {
+	check := func(seed uint64, sizeRaw uint8, single bool) bool {
+		n := (int(sizeRaw)%40 + 4) * 16 // 64..688, always even
+		r := ampc.NewRNG(seed, 0)
+		g := ampc.TwoCycleInstance(n, single, r)
+		res, err := ampc.TwoCycle(g, ampc.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.SingleCycle == single
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyConnectivityAlwaysMatchesBFS(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%150 + 10
+		m := int(mRaw) % (2 * n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		r := ampc.NewRNG(seed, 1)
+		g := ampc.GNM(n, m, r)
+		res, err := ampc.Connectivity(g, ampc.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return ampc.SameLabeling(res.Components, ampc.Components(g))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMSFAlwaysMatchesKruskal(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 10
+		r := ampc.NewRNG(seed, 2)
+		m := n + r.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := ampc.WithRandomWeights(ampc.GNM(n, m, r), r)
+		res, err := ampc.MSF(g, ampc.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		want := ampc.KruskalMSF(g)
+		if len(res.Edges) != len(want) {
+			return false
+		}
+		for i := range want {
+			if res.Edges[i].Weight != want[i].Weight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMISAlwaysValid(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%120 + 5
+		m := int(mRaw) % (3 * n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		r := ampc.NewRNG(seed, 3)
+		g := ampc.GNM(n, m, r)
+		res, err := ampc.MIS(g, ampc.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return ampc.IsMIS(g, res.InMIS)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyForestConnectivityAlwaysCorrect(t *testing.T) {
+	check := func(seed uint64, nRaw, tRaw uint8) bool {
+		n := int(nRaw)%200 + 2
+		trees := int(tRaw)%n + 1
+		r := ampc.NewRNG(seed, 4)
+		g := ampc.RandomForest(n, trees, r)
+		res, err := ampc.ForestConnectivity(g, ampc.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return ampc.SameLabeling(res.Components, ampc.Components(g))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBiconnectivityBridges(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 8
+		r := ampc.NewRNG(seed, 5)
+		m := n + r.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := ampc.GNM(n, m, r)
+		res, err := ampc.Biconnectivity(g, ampc.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		want := ampc.BridgesOracle(g)
+		if len(res.Bridges) != len(want) {
+			return false
+		}
+		for i := range want {
+			if res.Bridges[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyListRankingRanksArePermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		r := ampc.NewRNG(seed, 6)
+		order := r.Perm(n)
+		next := make([]int, n)
+		for i := 0; i < n-1; i++ {
+			next[order[i]] = order[i+1]
+		}
+		next[order[n-1]] = -1
+		res, err := ampc.ListRanking(next, ampc.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, rk := range res.Rank {
+			if rk < 0 || rk >= n || seen[rk] {
+				return false
+			}
+			seen[rk] = true
+		}
+		// Ranks must respect the successor relation.
+		for v, u := range next {
+			if u != -1 && res.Rank[u] != res.Rank[v]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDeterminismAcrossAlgorithms(t *testing.T) {
+	r := ampc.NewRNG(9, 0)
+	g := ampc.GNM(150, 400, r)
+	for name, run := range map[string]func(seed uint64) interface{}{
+		"connectivity": func(s uint64) interface{} {
+			res, err := ampc.Connectivity(g, ampc.Options{Seed: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Telemetry.TotalQueries
+		},
+		"mis": func(s uint64) interface{} {
+			res, err := ampc.MIS(g, ampc.Options{Seed: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Telemetry.TotalQueries
+		},
+		"matching": func(s uint64) interface{} {
+			res, err := ampc.MaximalMatching(g, ampc.Options{Seed: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Telemetry.TotalQueries
+		},
+	} {
+		if run(42) != run(42) {
+			t.Fatalf("%s: same seed gave different telemetry", name)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Command ampcrun runs one AMPC algorithm on a generated workload and
+// prints the result summary and cost telemetry.
+//
+// Usage:
+//
+//	ampcrun -algo connectivity -graph gnm -n 10000 -m 40000 -eps 0.5 -seed 1
+//	ampcrun -algo mis -graph gnm -n 5000 -m 20000
+//	ampcrun -algo msf -graph cgnm -n 5000 -m 20000
+//	ampcrun -algo twocycle -graph cycle2 -n 8192
+//	ampcrun -algo forestconn -graph forest -n 10000 -trees 20
+//	ampcrun -algo biconn -graph gnm -n 2000 -m 4000
+//	ampcrun -algo listrank -n 100000
+//
+// Graphs: gnm, cgnm (connected), cycle (one cycle), cycle2 (two cycles),
+// grid (sqrt(n) x sqrt(n)), path, star, tree, forest, clique.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"ampc"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "connectivity", "algorithm: twocycle|mis|matching|coloring|connectivity|msf|cycleconn|forestconn|listrank|biconn")
+		gkind  = flag.String("graph", "gnm", "workload: gnm|cgnm|cycle|cycle2|grid|path|star|tree|forest|clique")
+		input  = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
+		n      = flag.Int("n", 10000, "vertex count")
+		m      = flag.Int("m", 0, "edge count (default 4n for gnm/cgnm)")
+		trees  = flag.Int("trees", 10, "tree count for -graph forest")
+		eps    = flag.Float64("eps", 0.5, "space exponent: S = n^eps")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		check  = flag.Bool("check", true, "verify against the sequential oracle")
+		fault  = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
+		asJSON = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
+	)
+	flag.Parse()
+
+	opts := ampc.Options{Epsilon: *eps, Seed: *seed, FaultProb: *fault}
+	r := ampc.NewRNG(*seed, 0x7)
+	if *m == 0 {
+		*m = 4 * *n
+	}
+
+	if *algo == "listrank" {
+		runListRank(*n, opts)
+		return
+	}
+
+	var g *ampc.Graph
+	if *input != "" {
+		f, err := os.Open(*input)
+		fail(err)
+		g, err = ampc.ReadEdgeList(f)
+		f.Close()
+		fail(err)
+		*gkind = *input
+	} else {
+		g = makeGraph(*gkind, *n, *m, *trees, r)
+	}
+	fmt.Printf("workload: %s n=%d m=%d   eps=%.2f seed=%d\n", *gkind, g.N(), g.M(), *eps, *seed)
+
+	var tel ampc.Telemetry
+	switch *algo {
+	case "twocycle":
+		res, err := ampc.TwoCycle(g, opts)
+		fail(err)
+		fmt.Printf("result: single cycle = %v\n", res.SingleCycle)
+		tel = res.Telemetry
+	case "mis":
+		res, err := ampc.MIS(g, opts)
+		fail(err)
+		size := 0
+		for _, in := range res.InMIS {
+			if in {
+				size++
+			}
+		}
+		fmt.Printf("result: MIS size = %d\n", size)
+		if *check && !ampc.IsMIS(g, res.InMIS) {
+			log.Fatal("oracle check failed: not an MIS")
+		}
+		tel = res.Telemetry
+	case "matching":
+		res, err := ampc.MaximalMatching(g, opts)
+		fail(err)
+		size := 0
+		for _, in := range res.Matched {
+			if in {
+				size++
+			}
+		}
+		fmt.Printf("result: matching size = %d\n", size)
+		if *check && !ampc.IsMaximalMatching(g, res.Matched) {
+			log.Fatal("oracle check failed: not a maximal matching")
+		}
+		tel = res.Telemetry
+	case "coloring":
+		res, err := ampc.GreedyColoring(g, opts)
+		fail(err)
+		colors := 0
+		for _, c := range res.Color {
+			if c+1 > colors {
+				colors = c + 1
+			}
+		}
+		fmt.Printf("result: %d colors (Δ+1 = %d)\n", colors, g.MaxDeg()+1)
+		if *check && !ampc.IsProperColoring(g, res.Color) {
+			log.Fatal("oracle check failed: coloring not proper")
+		}
+		tel = res.Telemetry
+	case "connectivity":
+		res, err := ampc.Connectivity(g, opts)
+		fail(err)
+		fmt.Printf("result: %d components\n", countLabels(res.Components))
+		if *check && !ampc.SameLabeling(res.Components, ampc.Components(g)) {
+			log.Fatal("oracle check failed: wrong components")
+		}
+		tel = res.Telemetry
+	case "msf":
+		wg := ampc.WithRandomWeights(g, r)
+		res, err := ampc.MSF(wg, opts)
+		fail(err)
+		var total int64
+		for _, e := range res.Edges {
+			total += e.Weight
+		}
+		fmt.Printf("result: %d MSF edges, total weight %d\n", len(res.Edges), total)
+		if *check {
+			oracle := ampc.KruskalMSF(wg)
+			var want int64
+			for _, e := range oracle {
+				want += e.Weight
+			}
+			if total != want || len(res.Edges) != len(oracle) {
+				log.Fatal("oracle check failed: MSF differs from Kruskal")
+			}
+		}
+		tel = res.Telemetry
+	case "cycleconn":
+		res, err := ampc.CycleConnectivity(g, opts)
+		fail(err)
+		fmt.Printf("result: %d cycles\n", countLabels(res.Components))
+		if *check && !ampc.SameLabeling(res.Components, ampc.Components(g)) {
+			log.Fatal("oracle check failed")
+		}
+		tel = res.Telemetry
+	case "forestconn":
+		res, err := ampc.ForestConnectivity(g, opts)
+		fail(err)
+		fmt.Printf("result: %d trees\n", countLabels(res.Components))
+		if *check && !ampc.SameLabeling(res.Components, ampc.Components(g)) {
+			log.Fatal("oracle check failed")
+		}
+		tel = res.Telemetry
+	case "biconn":
+		res, err := ampc.Biconnectivity(g, opts)
+		fail(err)
+		fmt.Printf("result: %d bridges, %d articulation points, %d 2-edge components\n",
+			len(res.Bridges), len(res.ArticulationPoints), countLabels(res.TwoEdgeComponents))
+		if *check && len(res.Bridges) != len(ampc.BridgesOracle(g)) {
+			log.Fatal("oracle check failed: bridges differ")
+		}
+		tel = res.Telemetry
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		printJSON(tel)
+	} else {
+		printTelemetry(tel)
+	}
+}
+
+func printJSON(t ampc.Telemetry) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runListRank(n int, opts ampc.Options) {
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	next[n-1] = -1
+	res, err := ampc.ListRanking(next, opts)
+	fail(err)
+	fmt.Printf("workload: list n=%d\n", n)
+	fmt.Printf("result: tail rank = %d\n", res.Rank[n-1])
+	printTelemetry(res.Telemetry)
+}
+
+func makeGraph(kind string, n, m, trees int, r *ampc.RNG) *ampc.Graph {
+	switch kind {
+	case "gnm":
+		return ampc.GNM(n, m, r)
+	case "cgnm":
+		return ampc.ConnectedGNM(n, m, r)
+	case "cycle":
+		return ampc.TwoCycleInstance(n, true, r)
+	case "cycle2":
+		return ampc.TwoCycleInstance(n, false, r)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return ampc.Grid(side, side)
+	case "path":
+		return ampc.Path(n)
+	case "star":
+		return ampc.Star(n)
+	case "tree":
+		return ampc.RandomTree(n, r)
+	case "forest":
+		return ampc.RandomForest(n, trees, r)
+	case "clique":
+		return ampc.Clique(n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -graph %q\n", kind)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func countLabels(labels []int) int {
+	set := map[int]bool{}
+	for _, l := range labels {
+		set[l] = true
+	}
+	return len(set)
+}
+
+func printTelemetry(t ampc.Telemetry) {
+	fmt.Printf("\ncost (P=%d, S=%d):\n", t.P, t.S)
+	fmt.Printf("  rounds              %d\n", t.Rounds)
+	fmt.Printf("  phases              %d\n", t.Phases)
+	fmt.Printf("  total queries       %d\n", t.TotalQueries)
+	fmt.Printf("  max machine queries %d per round\n", t.MaxMachineQueries)
+	fmt.Printf("  max shard load      %d per round\n", t.MaxShardLoad)
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package ampc_test
+
+import (
+	"fmt"
+
+	"ampc"
+)
+
+// ExampleConnectivity labels the components of a small disconnected graph.
+func ExampleConnectivity() {
+	g := ampc.Union(ampc.Cycle(4), ampc.Path(3))
+	res, err := ampc.Connectivity(g, ampc.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	labels := map[int]bool{}
+	for _, c := range res.Components {
+		labels[c] = true
+	}
+	fmt.Println("components:", len(labels))
+	// Output:
+	// components: 2
+}
+
+// ExampleTwoCycle diagnoses whether a 2-regular graph is one ring or two.
+func ExampleTwoCycle() {
+	r := ampc.NewRNG(7, 0)
+	one := ampc.TwoCycleInstance(64, true, r)
+	two := ampc.TwoCycleInstance(64, false, r)
+
+	a, err := ampc.TwoCycle(one, ampc.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	b, err := ampc.TwoCycle(two, ampc.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("one ring:", a.SingleCycle)
+	fmt.Println("two rings:", !b.SingleCycle)
+	// Output:
+	// one ring: true
+	// two rings: true
+}
+
+// ExampleMSF builds the unique minimum spanning forest of a weighted graph.
+func ExampleMSF() {
+	g, err := ampc.NewWeightedGraph(4, []ampc.WeightedEdge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 1, V: 2, Weight: 2},
+		{U: 2, V: 3, Weight: 3},
+		{U: 3, V: 0, Weight: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ampc.MSF(g, ampc.Options{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	var total int64
+	for _, e := range res.Edges {
+		total += e.Weight
+	}
+	fmt.Println("edges:", len(res.Edges), "weight:", total)
+	// Output:
+	// edges: 3 weight: 6
+}
+
+// ExampleListRanking positions every element of a linked list.
+func ExampleListRanking() {
+	// The list 3 -> 0 -> 2 -> 1.
+	next := []int{2, -1, 1, 0}
+	res, err := ampc.ListRanking(next, ampc.Options{Seed: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ranks:", res.Rank)
+	// Output:
+	// ranks: [1 3 2 0]
+}

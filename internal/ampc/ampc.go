@@ -1,0 +1,293 @@
+// Package ampc implements the Adaptive Massively Parallel Computation
+// runtime of Behnezhad et al. (SPAA 2019).
+//
+// A Runtime owns a sequence of immutable distributed data stores
+// D0, D1, D2, ... (package dds). A computation proceeds in rounds: in round
+// i the caller supplies a round function which the runtime executes on P
+// virtual machines (one goroutine each). Every machine receives a Ctx whose
+// Read* methods query D_{i-1} and whose Write method appends to D_i. The
+// defining feature of the model — adaptivity — falls out naturally: Read is
+// an ordinary blocking call, so a machine's later queries may depend on the
+// results of its earlier ones within the same round.
+//
+// The runtime enforces the model's resource constraints rather than merely
+// observing them: each machine may issue at most Budget() queries and
+// Budget() writes per round, where Budget() = BudgetFactor * S and S is the
+// per-machine space. Exceeding the budget aborts the round with ErrBudget.
+// Per-machine read results are cached, so repeated queries for the same key
+// count once (assumption 4 of the paper's §2.1 contention analysis).
+//
+// The paper's parallel-slackness discussion (§2.1) justifies running many
+// virtual machines per physical core; goroutines are exactly that mechanism,
+// with the Go scheduler providing the latency hiding the paper describes.
+package ampc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ampc/internal/dds"
+	"ampc/internal/rng"
+)
+
+// ErrBudget is reported when a machine exceeds its per-round communication
+// budget. Algorithms that honour the model's O(S) bound never see it.
+var ErrBudget = errors.New("ampc: per-machine communication budget exceeded")
+
+// Config describes the simulated cluster.
+type Config struct {
+	// P is the number of virtual machines executing each round.
+	P int
+	// S is the space per machine in words; the per-round communication
+	// budget is BudgetFactor * S queries and as many writes.
+	S int
+	// BudgetFactor is the constant hidden in the model's O(S) communication
+	// bound. Zero means DefaultBudgetFactor.
+	BudgetFactor int
+	// Shards is the number of DDS machines. Zero means P, matching the
+	// paper's assumption that the DDS is handled by P machines.
+	Shards int
+	// Seed makes the whole computation deterministic.
+	Seed uint64
+	// FaultProb injects failures: before each round, every machine is
+	// independently scheduled to fail (lose its writes and restart) with
+	// this probability. The model's fault-tolerance argument (§2.1) says
+	// this must never change any output; the failure schedule is a
+	// deterministic function of the seed, so runs stay reproducible.
+	FaultProb float64
+}
+
+// DefaultBudgetFactor is the default constant multiplier on S for the
+// per-machine query and write budgets. The paper's algorithms need small
+// constants (e.g. the 2-Cycle analysis uses (1+c)E[Z] with E[Z] = n^ε).
+const DefaultBudgetFactor = 8
+
+// RoundStats records the accounting for one executed round.
+type RoundStats struct {
+	// Name labels the round for reports (e.g. "shrink-iter-3").
+	Name string
+	// Queries is the total number of DDS queries issued by all machines,
+	// counting cache hits once (they do not touch the network).
+	Queries int64
+	// Writes is the total number of pairs written to the next store.
+	Writes int64
+	// MaxMachineQueries is the largest per-machine query count, the
+	// quantity bounded by O(S) in the model.
+	MaxMachineQueries int
+	// MaxMachineWrites is the largest per-machine write count.
+	MaxMachineWrites int
+	// MaxShardLoad is the largest number of queries answered by one DDS
+	// shard this round, the quantity bounded by Lemma 2.1.
+	MaxShardLoad int64
+	// Pairs is the number of key-value pairs in the store produced by the
+	// round.
+	Pairs int
+}
+
+// Runtime executes AMPC rounds over a chain of stores.
+type Runtime struct {
+	cfg   Config
+	cur   *dds.Store // D_{i-1} for the next round
+	round int
+	stats []RoundStats
+	seedR *rng.RNG
+
+	// Static side store; see static.go.
+	static      *dds.Store
+	staticPairs []dds.KV
+	staticSalt  uint64
+
+	// failNext maps machine id -> number of times the machine should fail
+	// (have its writes dropped and be re-executed) in the next round.
+	failNext map[int]int
+	// faultR drives Config.FaultProb's background failure injection.
+	faultR *rng.RNG
+}
+
+// New creates a runtime with an empty initial store D0. Call SetInput (or
+// run a round that writes) to populate it.
+func New(cfg Config) *Runtime {
+	if cfg.P <= 0 {
+		panic("ampc: Config.P must be positive")
+	}
+	if cfg.S <= 0 {
+		panic("ampc: Config.S must be positive")
+	}
+	if cfg.BudgetFactor <= 0 {
+		cfg.BudgetFactor = DefaultBudgetFactor
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.P
+	}
+	r := &Runtime{cfg: cfg, seedR: rng.New(cfg.Seed, 0xA3)}
+	r.cur = dds.NewStore(nil, cfg.Shards, r.seedR.Uint64())
+	r.staticSalt = r.seedR.Uint64()
+	if cfg.FaultProb > 0 {
+		r.faultR = rng.New(cfg.Seed, 0xFA)
+	}
+	return r
+}
+
+// Config returns the runtime's configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Budget returns the per-machine, per-round query (and write) budget.
+func (r *Runtime) Budget() int { return r.cfg.BudgetFactor * r.cfg.S }
+
+// SetInput installs the pairs as the current store (the input D0, "stored
+// using a set of keys known to all machines"). It does not count as a round.
+func (r *Runtime) SetInput(pairs []dds.KV) {
+	r.cur = dds.NewStore(pairs, r.cfg.Shards, r.seedR.Uint64())
+}
+
+// Store returns the current store D_{i-1} (the output of the last round).
+// Callers must treat it as read-only; driver-side reads through this method
+// model the master machine and are not counted against any budget.
+func (r *Runtime) Store() *dds.Store { return r.cur }
+
+// Rounds returns the number of rounds executed so far.
+func (r *Runtime) Rounds() int { return r.round }
+
+// Stats returns per-round accounting in execution order.
+func (r *Runtime) Stats() []RoundStats { return r.stats }
+
+// TotalQueries sums queries over all executed rounds.
+func (r *Runtime) TotalQueries() int64 {
+	var t int64
+	for _, s := range r.stats {
+		t += s.Queries
+	}
+	return t
+}
+
+// MaxMachineQueries returns the largest per-machine query count over all
+// rounds.
+func (r *Runtime) MaxMachineQueries() int {
+	m := 0
+	for _, s := range r.stats {
+		if s.MaxMachineQueries > m {
+			m = s.MaxMachineQueries
+		}
+	}
+	return m
+}
+
+// MaxShardLoad returns the largest per-round shard load seen so far.
+func (r *Runtime) MaxShardLoad() int64 {
+	var m int64
+	for _, s := range r.stats {
+		if s.MaxShardLoad > m {
+			m = s.MaxShardLoad
+		}
+	}
+	return m
+}
+
+// FailMachine schedules the given machine to fail (lose its writes and be
+// restarted) the given number of times during the next executed round. The
+// model's fault-tolerance argument (§2.1) says this must not change the
+// round's output because D_{i-1} is immutable and machine randomness is a
+// deterministic function of (seed, round, machine).
+func (r *Runtime) FailMachine(machine, times int) {
+	if r.failNext == nil {
+		r.failNext = make(map[int]int)
+	}
+	r.failNext[machine] = times
+}
+
+// RoundFunc is the body of one round, executed once per machine. It must
+// not retain ctx after returning.
+type RoundFunc func(ctx *Ctx) error
+
+// Round executes f on all P machines against the current store, freezes the
+// writes into the next store, and advances the round counter. It returns
+// the first machine error (budget violations or algorithm errors).
+func (r *Runtime) Round(name string, f RoundFunc) error {
+	r.cur.ResetLoads()
+	builder := dds.NewBuilder()
+	fail := r.failNext
+	r.failNext = nil
+	if r.faultR != nil {
+		for m := 0; m < r.cfg.P; m++ {
+			if r.faultR.Bernoulli(r.cfg.FaultProb) {
+				if fail == nil {
+					fail = make(map[int]int)
+				}
+				fail[m]++
+			}
+		}
+	}
+
+	errs := make([]error, r.cfg.P)
+	queries := make([]int, r.cfg.P)
+	writes := make([]int, r.cfg.P)
+
+	var wg sync.WaitGroup
+	for m := 0; m < r.cfg.P; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			attempts := 1 + fail[m]
+			for a := 0; a < attempts; a++ {
+				ctx := &Ctx{
+					Machine: m,
+					P:       r.cfg.P,
+					S:       r.cfg.S,
+					Round:   r.round,
+					RNG:     rng.New(r.cfg.Seed, machineStream(r.round, m)),
+					reads:   r.cur,
+					static:  r.static,
+					w:       builder.Writer(m),
+					budget:  r.Budget(),
+				}
+				err := f(ctx)
+				if ctx.err != nil {
+					err = ctx.err
+				}
+				if a < attempts-1 {
+					// Simulated mid-round failure: discard everything this
+					// attempt produced and restart the machine from scratch.
+					builder.DropWriter(m)
+					continue
+				}
+				errs[m] = err
+				queries[m] = ctx.queries
+				writes[m] = ctx.writes
+			}
+		}(m)
+	}
+	wg.Wait()
+
+	for m, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ampc: round %d (%s) machine %d: %w", r.round, name, m, err)
+		}
+	}
+
+	st := RoundStats{Name: name, MaxShardLoad: r.cur.MaxShardLoad()}
+	for m := 0; m < r.cfg.P; m++ {
+		st.Queries += int64(queries[m])
+		st.Writes += int64(writes[m])
+		if queries[m] > st.MaxMachineQueries {
+			st.MaxMachineQueries = queries[m]
+		}
+		if writes[m] > st.MaxMachineWrites {
+			st.MaxMachineWrites = writes[m]
+		}
+	}
+
+	next := builder.Freeze(r.cfg.Shards, r.seedR.Uint64())
+	st.Pairs = next.Len()
+	r.stats = append(r.stats, st)
+	r.cur = next
+	r.round++
+	return nil
+}
+
+// machineStream derives the RNG stream index for (round, machine) so every
+// machine in every round draws from an independent sequence, and a restarted
+// machine re-draws exactly the same values.
+func machineStream(round, machine int) uint64 {
+	return uint64(round)<<32 | uint64(uint32(machine))
+}

@@ -1,0 +1,91 @@
+package ampc
+
+import (
+	"testing"
+
+	"ampc/internal/dds"
+)
+
+// BenchmarkRoundOverhead measures the fixed cost of executing one round
+// across P goroutine machines with no work, the floor under every
+// algorithm's per-round cost.
+func BenchmarkRoundOverhead(b *testing.B) {
+	for _, p := range []int{8, 64, 512} {
+		b.Run(benchName("P", p), func(b *testing.B) {
+			rt := New(Config{P: p, S: 100, Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Round("noop", func(*Ctx) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptiveReads measures budgeted, cached reads through a Ctx —
+// the hot path of every AMPC algorithm.
+func BenchmarkAdaptiveReads(b *testing.B) {
+	const n = 1 << 14
+	pairs := make([]dds.KV, n)
+	for i := range pairs {
+		pairs[i] = dds.KV{Key: key(int64(i), 0), Value: val(int64(i), 0)}
+	}
+	rt := New(Config{P: 1, S: n, Seed: 2})
+	rt.SetInput(pairs)
+	b.ResetTimer()
+	reads := 0
+	for reads < b.N {
+		err := rt.Round("read", func(ctx *Ctx) error {
+			for i := 0; i < n && reads < b.N; i++ {
+				if _, ok := ctx.Read(key(int64(i), 0)); !ok {
+					b.Error("missing key")
+					return nil
+				}
+				reads++
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteFreeze measures the write-then-freeze path: P machines each
+// writing a block and the builder merging into the next store.
+func BenchmarkWriteFreeze(b *testing.B) {
+	const perMachine = 256
+	rt := New(Config{P: 64, S: perMachine * 2, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := rt.Round("write", func(ctx *Ctx) error {
+			base := int64(ctx.Machine) * perMachine
+			for j := int64(0); j < perMachine; j++ {
+				ctx.Write(key(base+j, 0), val(j, 0))
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

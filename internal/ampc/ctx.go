@@ -1,0 +1,146 @@
+package ampc
+
+import (
+	"ampc/internal/dds"
+	"ampc/internal/rng"
+)
+
+// Ctx is one virtual machine's view of a round. It is created by the
+// runtime, used by exactly one goroutine, and discarded when the round ends.
+//
+// All Read* methods are adaptive: their arguments may depend on the results
+// of earlier reads in the same round. Each distinct query counts against the
+// machine's budget; repeats of an already-answered query are served from the
+// machine-local cache for free, matching the model's assumption that "each
+// worker machine queries for each key at most once" because machines have
+// space to cache results.
+type Ctx struct {
+	// Machine is this machine's id in [0, P).
+	Machine int
+	// P and S echo the runtime configuration.
+	P, S int
+	// Round is the zero-based index of the executing round.
+	Round int
+	// RNG is this machine's private random stream, a deterministic function
+	// of (seed, round, machine).
+	RNG *rng.RNG
+
+	reads  *dds.Store
+	static *dds.Store
+	w      *dds.Writer
+	budget int
+
+	queries int
+	writes  int
+	err     error
+
+	cacheGet   map[dds.Key]cachedValue
+	cacheIdx   map[indexedKey]cachedValue
+	cacheCount map[dds.Key]int
+}
+
+type cachedValue struct {
+	v  dds.Value
+	ok bool
+}
+
+type indexedKey struct {
+	k dds.Key
+	i int
+}
+
+// charge consumes one unit of query budget. It reports false (and latches
+// ErrBudget) when the budget is exhausted.
+func (c *Ctx) charge() bool {
+	if c.err != nil {
+		return false
+	}
+	if c.queries >= c.budget {
+		c.err = ErrBudget
+		return false
+	}
+	c.queries++
+	return true
+}
+
+// Err returns the first budget violation hit by this machine, if any.
+func (c *Ctx) Err() error { return c.err }
+
+// Queries returns the number of budget-charged queries so far this round.
+func (c *Ctx) Queries() int { return c.queries }
+
+// Remaining returns the unconsumed query budget.
+func (c *Ctx) Remaining() int {
+	if c.err != nil {
+		return 0
+	}
+	return c.budget - c.queries
+}
+
+// Read returns the value stored under k in the previous round's store, or
+// ok=false if the key is absent or the budget is exhausted (check Err to
+// distinguish).
+func (c *Ctx) Read(k dds.Key) (dds.Value, bool) {
+	if cv, hit := c.cacheGet[k]; hit {
+		return cv.v, cv.ok
+	}
+	if !c.charge() {
+		return dds.Value{}, false
+	}
+	v, ok := c.reads.Get(k)
+	if c.cacheGet == nil {
+		c.cacheGet = make(map[dds.Key]cachedValue)
+	}
+	c.cacheGet[k] = cachedValue{v, ok}
+	return v, ok
+}
+
+// ReadIndexed returns the i-th value stored under a duplicated key.
+func (c *Ctx) ReadIndexed(k dds.Key, i int) (dds.Value, bool) {
+	ik := indexedKey{k, i}
+	if cv, hit := c.cacheIdx[ik]; hit {
+		return cv.v, cv.ok
+	}
+	if !c.charge() {
+		return dds.Value{}, false
+	}
+	v, ok := c.reads.GetIndexed(k, i)
+	if c.cacheIdx == nil {
+		c.cacheIdx = make(map[indexedKey]cachedValue)
+	}
+	c.cacheIdx[ik] = cachedValue{v, ok}
+	return v, ok
+}
+
+// CountKey returns the number of values stored under k.
+func (c *Ctx) CountKey(k dds.Key) int {
+	if n, hit := c.cacheCount[k]; hit {
+		return n
+	}
+	if !c.charge() {
+		return 0
+	}
+	n := c.reads.Count(k)
+	if c.cacheCount == nil {
+		c.cacheCount = make(map[dds.Key]int)
+	}
+	c.cacheCount[k] = n
+	return n
+}
+
+// Write appends one pair to the next round's store. Writing beyond the
+// budget latches ErrBudget and drops the pair.
+func (c *Ctx) Write(k dds.Key, v dds.Value) {
+	if c.err != nil {
+		return
+	}
+	if c.writes >= c.budget {
+		c.err = ErrBudget
+		return
+	}
+	c.writes++
+	c.w.Write(k, v)
+}
+
+// Writes returns the number of pairs written so far this round.
+func (c *Ctx) Writes() int { return c.writes }

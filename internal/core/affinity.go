@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// DDS tag private to affinity clustering.
+const tagAffPick = graph.TagAlgoBase + 42 // (tag, v, 0) -> (picked neighbor, weight)
+
+// AffinityResult reports the outcome and cost of affinity clustering.
+type AffinityResult struct {
+	// Levels[l][v] is vertex v's cluster label after l+1 rounds of
+	// minimum-edge merging. The last level has one cluster per connected
+	// component.
+	Levels [][]int
+	// Telemetry is the measured cost.
+	Telemetry Telemetry
+}
+
+// AffinityClustering computes the affinity hierarchical clustering of
+// Bateni et al. (NeurIPS 2017) — the second system whose DHT+MapReduce
+// implementation motivated the AMPC model (see the paper's introduction).
+// Each level every cluster joins its minimum-weight incident edge
+// (Borůvka fragments); merged clusters keep the minimum inter-cluster
+// weight. Levels halve the cluster count at least, so O(log n) levels
+// complete the dendrogram; each level costs two AMPC rounds (publish +
+// pick), with the pick reading only the first entry of a weight-sorted
+// adjacency list — one adaptive read per cluster.
+func AffinityClustering(g *graph.WeightedGraph, opts Options) (AffinityResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return AffinityResult{}, err
+	}
+	n := g.N()
+	rt := opts.newRuntime(n, g.M())
+
+	gc := &contracted{adj: make(map[int][]wedge, n)}
+	for v := 0; v < n; v++ {
+		if g.Deg(v) == 0 {
+			continue
+		}
+		gc.verts = append(gc.verts, v)
+		for _, u := range g.Neighbors(v) {
+			gc.adj[v] = append(gc.adj[v], wedge{to: u, w: g.Weight(v, u)})
+		}
+		adj := gc.adj[v]
+		sort.Slice(adj, func(i, j int) bool { return adj[i].w < adj[j].w })
+	}
+	m2 := make([]int, n)
+	for v := range m2 {
+		m2[v] = v
+	}
+
+	var levels [][]int
+	maxLevels := 2*bitsLen(n) + 4
+	for level := 0; len(gc.verts) > 0 && gc.edges() > 0; level++ {
+		if level > maxLevels {
+			return AffinityResult{}, fmt.Errorf("core: affinity clustering failed to converge after %d levels", maxLevels)
+		}
+
+		if err := publishContracted(rt, gc, 5000+level); err != nil {
+			return AffinityResult{}, err
+		}
+		// Pick round: every cluster reads its single cheapest edge (the
+		// first entry of its weight-sorted list).
+		verts := gc.verts
+		err := rt.Round(fmt.Sprintf("affinity-pick-%d", level), func(ctx *ampc.Ctx) error {
+			lo, hi := ampc.BlockRange(ctx.Machine, len(verts), ctx.P)
+			for _, v := range verts[lo:hi] {
+				e, ok := ctx.Read(dds.Key{Tag: tagConnAdj, A: int64(v), B: 0})
+				if !ok {
+					return fmt.Errorf("core: cluster %d has no edges in pick round (err %v)", v, ctx.Err())
+				}
+				ctx.Write(dds.Key{Tag: tagAffPick, A: int64(v)}, dds.Value{A: e.A, B: e.B})
+			}
+			return ctx.Err()
+		})
+		if err != nil {
+			return AffinityResult{}, err
+		}
+
+		// Master: union along the picked edges (Borůvka fragments), an MPC
+		// contraction step.
+		dsu := graph.NewDSU(n)
+		for _, v := range verts {
+			p, ok := rt.Store().Get(dds.Key{Tag: tagAffPick, A: int64(v)})
+			if ok {
+				dsu.Union(v, int(p.A))
+			}
+		}
+		// Canonical fragment label: minimum member.
+		minOf := map[int]int{}
+		for _, v := range verts {
+			r := dsu.Find(v)
+			if cur, ok := minOf[r]; !ok || v < cur {
+				minOf[r] = v
+			}
+		}
+		target := make(map[int]int, len(verts))
+		for _, v := range verts {
+			target[v] = minOf[dsu.Find(v)]
+		}
+		gc = contractInto(gc, target, m2, nil)
+
+		snapshot := make([]int, n)
+		copy(snapshot, m2)
+		levels = append(levels, snapshot)
+	}
+	if len(levels) == 0 {
+		// Edgeless graph: a single trivial level of singletons.
+		snapshot := make([]int, n)
+		copy(snapshot, m2)
+		levels = append(levels, snapshot)
+	}
+	return AffinityResult{Levels: levels, Telemetry: telemetryFrom(rt, len(levels))}, nil
+}
+
+func bitsLen(n int) int {
+	l := 0
+	for n > 0 {
+		l++
+		n >>= 1
+	}
+	return l
+}
+
+// AffinityOracle is the sequential reference: identical merge rule, used by
+// the tests.
+func AffinityOracle(g *graph.WeightedGraph) [][]int {
+	n := g.N()
+	label := make([]int, n)
+	for v := range label {
+		label[v] = v
+	}
+	type cedge struct {
+		a, b int
+		w    int64
+	}
+	// Current inter-cluster edges with min weights.
+	edges := map[[2]int]int64{}
+	for _, e := range g.WeightedEdges() {
+		edges[[2]int{e.U, e.V}] = e.Weight
+	}
+	var levels [][]int
+	for len(edges) > 0 {
+		// Each cluster picks its min incident edge.
+		best := map[int]cedge{}
+		consider := func(c int, e cedge) {
+			if cur, ok := best[c]; !ok || e.w < cur.w {
+				best[c] = e
+			}
+		}
+		for k, w := range edges {
+			consider(k[0], cedge{k[0], k[1], w})
+			consider(k[1], cedge{k[0], k[1], w})
+		}
+		dsu := graph.NewDSU(n)
+		for v := 0; v < n; v++ {
+			dsu.Union(v, label[v])
+		}
+		for _, e := range best {
+			dsu.Union(e.a, e.b)
+		}
+		minOf := map[int]int{}
+		for v := 0; v < n; v++ {
+			r := dsu.Find(v)
+			if cur, ok := minOf[r]; !ok || v < cur {
+				minOf[r] = v
+			}
+		}
+		for v := 0; v < n; v++ {
+			label[v] = minOf[dsu.Find(v)]
+		}
+		next := map[[2]int]int64{}
+		for k, w := range edges {
+			a, b := label[k[0]], label[k[1]]
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if cur, ok := next[[2]int{a, b}]; !ok || w < cur {
+				next[[2]int{a, b}] = w
+			}
+		}
+		edges = next
+		snapshot := make([]int, n)
+		copy(snapshot, label)
+		levels = append(levels, snapshot)
+	}
+	if len(levels) == 0 {
+		snapshot := make([]int, n)
+		copy(snapshot, label)
+		levels = append(levels, snapshot)
+	}
+	return levels
+}

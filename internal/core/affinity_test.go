@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+func TestAffinityMatchesOracle(t *testing.T) {
+	r := rng.New(110, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.WeightedGraph
+	}{
+		{"cycle", graph.WithRandomWeights(graph.Cycle(32), r)},
+		{"gnm", graph.WithRandomWeights(graph.ConnectedGNM(120, 360, r), r)},
+		{"two-comps", graph.WithRandomWeights(graph.Union(graph.Cycle(10), graph.Grid(4, 5)), r)},
+		{"tree", graph.WithRandomWeights(graph.RandomTree(80, r), r)},
+		{"edgeless", graph.MustWeightedGraph(6, nil)},
+	} {
+		res, err := AffinityClustering(tc.g, Options{Seed: 51})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := AffinityOracle(tc.g)
+		if len(res.Levels) != len(want) {
+			t.Fatalf("%s: %d levels, oracle %d", tc.name, len(res.Levels), len(want))
+		}
+		for l := range want {
+			for v := range want[l] {
+				if res.Levels[l][v] != want[l][v] {
+					t.Fatalf("%s: level %d vertex %d: got %d, oracle %d",
+						tc.name, l, v, res.Levels[l][v], want[l][v])
+				}
+			}
+		}
+	}
+}
+
+func TestAffinityLastLevelIsComponents(t *testing.T) {
+	r := rng.New(111, 0)
+	g := graph.WithRandomWeights(graph.Union(graph.ConnectedGNM(60, 150, r), graph.Cycle(25)), r)
+	res, err := AffinityClustering(g, Options{Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Levels[len(res.Levels)-1]
+	if !graph.SameLabeling(last, graph.Components(g.Graph)) {
+		t.Fatal("final level is not the component partition")
+	}
+}
+
+func TestAffinityLevelsCoarsen(t *testing.T) {
+	r := rng.New(112, 0)
+	g := graph.WithRandomWeights(graph.ConnectedGNM(200, 600, r), r)
+	res, err := AffinityClustering(g, Options{Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for l, labels := range res.Levels {
+		distinct := map[int]bool{}
+		for _, c := range labels {
+			distinct[c] = true
+		}
+		if prev != -1 && len(distinct) > prev {
+			t.Fatalf("level %d has %d clusters, more than previous %d", l, len(distinct), prev)
+		}
+		// Each level's clusters must be refinements in reverse: vertices
+		// sharing a cluster at level l share one at level l+1.
+		if l+1 < len(res.Levels) {
+			nextLabels := res.Levels[l+1]
+			rep := map[int]int{}
+			for v, c := range labels {
+				if r2, ok := rep[c]; ok && nextLabels[v] != r2 {
+					t.Fatalf("level %d cluster %d splits at level %d", l, c, l+1)
+				}
+				rep[c] = nextLabels[v]
+			}
+		}
+		prev = len(distinct)
+	}
+}
+
+func TestAffinityClustersAreConnected(t *testing.T) {
+	r := rng.New(113, 0)
+	g := graph.WithRandomWeights(graph.ConnectedGNM(100, 300, r), r)
+	res, err := AffinityClustering(g, Options{Seed: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := graph.Components(g.Graph)
+	for l, labels := range res.Levels {
+		// Affinity clusters merge along edges, so every cluster must stay
+		// inside one connected component.
+		clusterComp := map[int]int{}
+		for v, c := range labels {
+			if cc, ok := clusterComp[c]; ok && cc != comp[v] {
+				t.Fatalf("level %d: cluster %d spans components", l, c)
+			}
+			clusterComp[c] = comp[v]
+		}
+	}
+}
+
+func TestAffinityDeterministicAndFaultTolerant(t *testing.T) {
+	r := rng.New(114, 0)
+	g := graph.WithRandomWeights(graph.ConnectedGNM(90, 250, r), r)
+	a, err := AffinityClustering(g, Options{Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AffinityClustering(g, Options{Seed: 55, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Levels) != len(b.Levels) {
+		t.Fatal("fault injection changed level count")
+	}
+	for l := range a.Levels {
+		for v := range a.Levels[l] {
+			if a.Levels[l][v] != b.Levels[l][v] {
+				t.Fatal("fault injection changed clustering")
+			}
+		}
+	}
+}

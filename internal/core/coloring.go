@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// DDS tags private to the coloring algorithm.
+const (
+	tagColorPrio   = graph.TagAlgoBase + 38 // (tag, v, 0) -> (priority rank, 0)
+	tagColorStatus = graph.TagAlgoBase + 39 // (tag, v, 0) -> (color + 1, 0)
+)
+
+// ColoringResult reports the outcome and cost of the AMPC greedy coloring
+// algorithm.
+type ColoringResult struct {
+	// Color is the proper vertex coloring: the greedy coloring under the
+	// run's random permutation, so at most MaxDeg+1 colors are used.
+	Color []int
+	// Pi is the priority permutation used; the output equals
+	// graph.GreedyColoring(g, Pi) exactly.
+	Pi []int
+	// Telemetry is the measured cost.
+	Telemetry Telemetry
+}
+
+// GreedyColoring computes a (Δ+1) vertex coloring — another §10 future-work
+// item — by evaluating the greedy coloring over a random permutation with
+// the §5 truncated query process. The recursion is the same as MIS's except
+// that a vertex needs the colors of *all* earlier neighbors (no early exit
+// on a single MIS member), after which it takes the smallest free color.
+// Settled colors persist in the DDS across iterations exactly like MIS
+// statuses, and the O(1/ε) iteration argument of Lemma 5.2 carries over.
+func GreedyColoring(g *graph.Graph, opts Options) (ColoringResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return ColoringResult{}, err
+	}
+	n := g.N()
+	if opts.BudgetFactor == 0 {
+		_, s := opts.params(n, g.M())
+		opts.BudgetFactor = ampc.DefaultBudgetFactor + (3*g.MaxDeg()+16)/s
+	}
+	rt := opts.newRuntime(n, g.M())
+	driver := opts.driverRNG(13)
+
+	pi := driver.Perm(n)
+	pairs := graph.Encode(g)
+	for v := 0; v < n; v++ {
+		pairs = append(pairs, dds.KV{
+			Key:   dds.Key{Tag: tagColorPrio, A: int64(v)},
+			Value: dds.Value{A: int64(pi[v])},
+		})
+	}
+	if err := rt.AddStatic("color-publish", pairs); err != nil {
+		return ColoringResult{}, err
+	}
+
+	color := make([]int, n)
+	for v := range color {
+		color[v] = -1
+	}
+	unsettled := n
+	maxIters := 8*shrinkIterations(opts.Epsilon) + 32
+	iters := 0
+
+	vertices := make([]int, n)
+	for v := range vertices {
+		vertices[v] = v
+	}
+
+	for unsettled > 0 {
+		if iters++; iters > maxIters {
+			return ColoringResult{}, fmt.Errorf("core: coloring failed to settle after %d iterations (%d left)", maxIters, unsettled)
+		}
+		driver.Shuffle(len(vertices), func(i, j int) { vertices[i], vertices[j] = vertices[j], vertices[i] })
+
+		err := rt.Round(fmt.Sprintf("color-iter-%d", iters), func(ctx *ampc.Ctx) error {
+			lo, hi := ampc.BlockRange(ctx.Machine, len(vertices), ctx.P)
+			q := &colorQuery{ctx: ctx, memo: make(map[int]int)}
+			for _, v := range vertices[lo:hi] {
+				if color[v] >= 0 {
+					q.writeColor(v, color[v])
+				}
+			}
+			for _, v := range vertices[lo:hi] {
+				if color[v] >= 0 {
+					continue
+				}
+				capacity := ctx.S
+				q.eval(v, &capacity)
+			}
+			return nil
+		})
+		if err != nil {
+			return ColoringResult{}, err
+		}
+
+		unsettled = 0
+		for v := 0; v < n; v++ {
+			if color[v] >= 0 {
+				continue
+			}
+			if s, ok := rt.Store().Get(dds.Key{Tag: tagColorStatus, A: int64(v)}); ok {
+				color[v] = int(s.A) - 1
+			} else {
+				unsettled++
+			}
+		}
+	}
+
+	return ColoringResult{Color: color, Pi: pi, Telemetry: telemetryFrom(rt, iters)}, nil
+}
+
+// colorQuery evaluates greedy colors through the truncated query process.
+// memo holds determined colors; -1 is never stored.
+type colorQuery struct {
+	ctx  *ampc.Ctx
+	memo map[int]int
+}
+
+func (q *colorQuery) writeColor(v, c int) {
+	q.ctx.Write(dds.Key{Tag: tagColorStatus, A: int64(v)}, dds.Value{A: int64(c) + 1})
+}
+
+// eval determines v's greedy color, returning (color, true) or (0, false)
+// when the visit capacity or machine budget ran out.
+func (q *colorQuery) eval(v int, capacity *int) (int, bool) {
+	if c, ok := q.memo[v]; ok {
+		return c, true
+	}
+	if *capacity <= 0 || q.ctx.Remaining() <= misReserve {
+		return 0, false
+	}
+	*capacity--
+
+	if s, ok := q.ctx.Read(dds.Key{Tag: tagColorStatus, A: int64(v)}); ok {
+		c := int(s.A) - 1
+		q.memo[v] = c
+		return c, true
+	}
+
+	p, ok := q.ctx.ReadStatic(dds.Key{Tag: tagColorPrio, A: int64(v)})
+	if !ok {
+		return 0, false
+	}
+	myPrio := p.A
+	d, ok := q.ctx.ReadStatic(graph.DegKey(v))
+	if !ok {
+		return 0, false
+	}
+
+	// Only earlier-priority neighbors constrain v: in the sequential greedy
+	// process, later neighbors pick their colors after v. Later neighbors
+	// are skipped before their statuses are even read.
+	var earlier []prioNbr
+	used := map[int]bool{}
+	for i := 0; i < int(d.A); i++ {
+		if q.ctx.Remaining() <= misReserve {
+			return 0, false
+		}
+		a, ok := q.ctx.ReadStatic(graph.AdjKey(v, i))
+		if !ok {
+			return 0, false
+		}
+		u := int(a.A)
+		up, ok := q.ctx.ReadStatic(dds.Key{Tag: tagColorPrio, A: int64(u)})
+		if !ok {
+			return 0, false
+		}
+		if up.A >= myPrio {
+			continue
+		}
+		if c, done := q.memo[u]; done {
+			used[c] = true
+			continue
+		}
+		if s, ok := q.ctx.Read(dds.Key{Tag: tagColorStatus, A: int64(u)}); ok {
+			c := int(s.A) - 1
+			q.memo[u] = c
+			used[c] = true
+			continue
+		}
+		earlier = append(earlier, prioNbr{u, up.A})
+	}
+
+	sort.Slice(earlier, func(i, j int) bool { return earlier[i].prio < earlier[j].prio })
+	for _, u := range earlier {
+		if _, done := q.memo[u.v]; done {
+			continue
+		}
+		c, ok := q.eval(u.v, capacity)
+		if !ok {
+			return 0, false
+		}
+		used[c] = true
+	}
+	// All earlier neighbors colored: take the smallest free color.
+	c := 0
+	for used[c] {
+		c++
+	}
+	q.memo[v] = c
+	q.writeColor(v, c)
+	return c, true
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// DDS tags private to the connectivity and MSF algorithms.
+const (
+	tagConnDeg   = graph.TagAlgoBase + 20 // (tag, v, 0) -> (degree in Gc, 0)
+	tagConnAdj   = graph.TagAlgoBase + 21 // (tag, v, i) -> (neighbor, weight)
+	tagConnFound = graph.TagAlgoBase + 22 // (tag, v, i) -> (i-th visited vertex, 0)
+	tagConnSize  = graph.TagAlgoBase + 23 // (tag, v, 0) -> (|Fv|, 1 if whole component)
+	tagConnLabel = graph.TagAlgoBase + 24 // (tag, v, 0) -> (component label, 0)
+	tagMSFEdge   = graph.TagAlgoBase + 25 // (tag, v, i) -> (weight of i-th local MSF edge, 0)
+)
+
+// ConnectivityResult reports the outcome and cost of Algorithm 7.
+type ConnectivityResult struct {
+	// Components labels each vertex with a canonical representative of its
+	// connected component.
+	Components []int
+	// Telemetry is the measured cost.
+	Telemetry Telemetry
+}
+
+// contracted is the driver-side view of the current contracted graph Gc.
+// Maintaining it (contraction bookkeeping, relabeling, deduplication) uses
+// only standard MPC primitives, which the paper accounts inside each
+// phase's O(1) rounds; the AMPC-specific work — the adaptive neighborhood
+// exploration — runs on the runtime.
+type contracted struct {
+	verts []int
+	adj   map[int][]wedge
+}
+
+type wedge struct {
+	to int
+	w  int64
+}
+
+func (c *contracted) edges() int {
+	m := 0
+	for _, a := range c.adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// Connectivity computes connected components in O(log log_{T/n} n + 1/ε)
+// phases w.h.p. (§6, Theorem 3), each phase costing two AMPC rounds. Every
+// phase each vertex explores its component via adaptive BFS until it has
+// seen d vertices (Algorithm 6, IncreaseDegrees), leaders are sampled with
+// probability ~min(1/2, ln n'/d), and every vertex contracts to a leader in
+// its explored set; the per-vertex budget d grows as the vertex count n'
+// falls, maintaining n'·d² = O(T), which keeps the per-machine query count
+// at O(S) (Lemma 6.1).
+//
+// Sparse-graph note: when m = o(n log² n) the paper preprocesses with the
+// MPC algorithm of Lemma 6.2. We instead start the main loop at
+// d = sqrt(T/n) < log n with leader probability capped at 1/2; the early
+// phases then halve the vertex count just like the preprocessing would,
+// costing the same O(log log n) extra phases (substitution recorded in
+// DESIGN.md).
+func Connectivity(g *graph.Graph, opts Options) (ConnectivityResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return ConnectivityResult{}, err
+	}
+	n := g.N()
+	rt := opts.newRuntime(n, g.M())
+	driver := opts.driverRNG(5)
+
+	// Build the initial contracted graph and the original->current map.
+	gc := &contracted{adj: make(map[int][]wedge, n)}
+	for v := 0; v < n; v++ {
+		if g.Deg(v) == 0 {
+			continue
+		}
+		gc.verts = append(gc.verts, v)
+		for _, u := range g.Neighbors(v) {
+			gc.adj[v] = append(gc.adj[v], wedge{to: u})
+		}
+	}
+	m2 := make([]int, n) // M: original vertex -> current representative
+	for v := range m2 {
+		m2[v] = v
+	}
+
+	totalSpace := float64(opts.TotalSpaceFactor * (n + g.M() + 1))
+	dCap := math.Pow(float64(n), opts.Epsilon/2)
+	phases := 0
+	maxPhases := 4*int(math.Log2(float64(n+4))) + 16
+
+	for len(gc.verts) > 0 && gc.edges() > 0 {
+		if phases++; phases > maxPhases {
+			return ConnectivityResult{}, fmt.Errorf("core: connectivity failed to converge after %d phases", maxPhases)
+		}
+
+		// Small remainder: publish and solve on a single machine, the
+		// paper's final step.
+		if 1+len(gc.verts)+2*gc.edges() <= rt.Budget()/2 {
+			if err := solveLocally(rt, gc, phases); err != nil {
+				return ConnectivityResult{}, err
+			}
+			applyLocalLabels(rt, gc, m2)
+			gc = &contracted{adj: map[int][]wedge{}}
+			break
+		}
+
+		nPrime := len(gc.verts)
+		d := int(math.Sqrt(totalSpace / float64(nPrime)))
+		if fd := float64(d); fd > dCap {
+			d = int(dCap)
+		}
+		if d < 2 {
+			d = 2
+		}
+
+		if err := publishContracted(rt, gc, phases); err != nil {
+			return ConnectivityResult{}, err
+		}
+		if err := increaseDegrees(rt, gc, d, driver, phases); err != nil {
+			return ConnectivityResult{}, err
+		}
+
+		// Leader sampling and contraction (MPC bookkeeping, master side).
+		pLead := math.Log(float64(nPrime) + 3)
+		pLead /= float64(d)
+		if pLead > 0.5 {
+			pLead = 0.5
+		}
+		leader := make(map[int]bool, nPrime)
+		for _, v := range gc.verts {
+			if driver.Bernoulli(pLead) {
+				leader[v] = true
+			}
+		}
+
+		target := make(map[int]int, nPrime)
+		for _, v := range gc.verts {
+			fv, whole := readFound(rt, v)
+			switch {
+			case leader[v]:
+				target[v] = v
+			case whole:
+				// Entire component explored: collapse it to its minimum id.
+				min := v
+				for _, x := range fv {
+					if x < min {
+						min = x
+					}
+				}
+				target[v] = min
+			default:
+				target[v] = v
+				for _, x := range fv {
+					if leader[x] {
+						target[v] = x
+						break
+					}
+				}
+			}
+		}
+		gc = contractInto(gc, target, m2, nil)
+	}
+
+	comp := make([]int, n)
+	copy(comp, m2)
+	return ConnectivityResult{Components: comp, Telemetry: telemetryFrom(rt, phases)}, nil
+}
+
+// publishContracted writes the current contracted graph to the DDS: the
+// first round of each phase. The records are flattened into one list and
+// block-partitioned across machines, so a high-degree contracted vertex
+// cannot overload a single writer (the flattening is the usual MPC
+// load-balancing shuffle).
+func publishContracted(rt *ampc.Runtime, gc *contracted, phase int) error {
+	pairs := make([]dds.KV, 0, len(gc.verts)+2*gc.edges())
+	for _, v := range gc.verts {
+		adj := gc.adj[v]
+		pairs = append(pairs, dds.KV{
+			Key:   dds.Key{Tag: tagConnDeg, A: int64(v)},
+			Value: dds.Value{A: int64(len(adj))},
+		})
+		for i, e := range adj {
+			pairs = append(pairs, dds.KV{
+				Key:   dds.Key{Tag: tagConnAdj, A: int64(v), B: int64(i)},
+				Value: dds.Value{A: int64(e.to), B: e.w},
+			})
+		}
+	}
+	return rt.Round(fmt.Sprintf("conn-publish-%d", phase), func(ctx *ampc.Ctx) error {
+		lo, hi := ampc.BlockRange(ctx.Machine, len(pairs), ctx.P)
+		for _, kv := range pairs[lo:hi] {
+			ctx.Write(kv.Key, kv.Value)
+		}
+		return ctx.Err()
+	})
+}
+
+// increaseDegrees is Algorithm 6: every vertex BFSes its component through
+// the DDS until it has visited d vertices (or exhausted the component),
+// and records the visited set. The reads are adaptive: each frontier pop
+// depends on earlier reads. Per-vertex reads are capped at ~4d²+32, the
+// O(d²) of Lemma 6.1.
+func increaseDegrees(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffler, phase int) error {
+	verts := append([]int(nil), gc.verts...)
+	driver.Shuffle(len(verts), func(i, j int) { verts[i], verts[j] = verts[j], verts[i] })
+	return rt.Round(fmt.Sprintf("conn-increase-%d", phase), func(ctx *ampc.Ctx) error {
+		lo, hi := ampc.BlockRange(ctx.Machine, len(verts), ctx.P)
+		for _, v := range verts[lo:hi] {
+			found, whole, err := bfsExplore(ctx, v, d)
+			if err != nil {
+				return err
+			}
+			w := int64(0)
+			if whole {
+				w = 1
+			}
+			ctx.Write(dds.Key{Tag: tagConnSize, A: int64(v)}, dds.Value{A: int64(len(found)), B: w})
+			for i, x := range found {
+				ctx.Write(dds.Key{Tag: tagConnFound, A: int64(v), B: int64(i)}, dds.Value{A: int64(x)})
+			}
+		}
+		return ctx.Err()
+	})
+}
+
+// bfsExplore runs the budgeted BFS from v, returning the visited vertices
+// (excluding v) and whether the whole component was exhausted.
+func bfsExplore(ctx *ampc.Ctx, v, d int) ([]int, bool, error) {
+	readCap := 2*d*d + 32
+	reads := 0
+	read := func(k dds.Key) (dds.Value, bool) {
+		reads++
+		return ctx.Read(k)
+	}
+
+	visited := map[int]bool{v: true}
+	order := []int{}
+	queue := []int{v}
+	whole := true
+	for len(queue) > 0 && len(visited) < d+1 {
+		x := queue[0]
+		queue = queue[1:]
+		deg, ok := read(dds.Key{Tag: tagConnDeg, A: int64(x)})
+		if !ok {
+			return nil, false, fmt.Errorf("core: missing degree for %d (err %v)", x, ctx.Err())
+		}
+		for i := 0; i < int(deg.A); i++ {
+			if len(visited) >= d+1 || reads >= readCap {
+				whole = false
+				break
+			}
+			a, ok := read(dds.Key{Tag: tagConnAdj, A: int64(x), B: int64(i)})
+			if !ok {
+				return nil, false, fmt.Errorf("core: missing adjacency (%d,%d) (err %v)", x, i, ctx.Err())
+			}
+			u := int(a.A)
+			if !visited[u] {
+				visited[u] = true
+				order = append(order, u)
+				queue = append(queue, u)
+			}
+		}
+		if reads >= readCap {
+			whole = false
+			break
+		}
+	}
+	if len(queue) > 0 {
+		whole = false
+	}
+	return order, whole, nil
+}
+
+// readFound returns the visited set recorded for v and whether it covered
+// v's whole component (master-side read).
+func readFound(rt *ampc.Runtime, v int) ([]int, bool) {
+	sz, ok := rt.Store().Get(dds.Key{Tag: tagConnSize, A: int64(v)})
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, 0, sz.A)
+	for i := 0; i < int(sz.A); i++ {
+		x, _ := rt.Store().Get(dds.Key{Tag: tagConnFound, A: int64(v), B: int64(i)})
+		out = append(out, int(x.A))
+	}
+	return out, sz.B == 1
+}
+
+// contractInto applies the contraction map target to gc, updating the
+// original->current map m2 and (for MSF) keeping the minimum-weight edge
+// per contracted pair. Isolated vertices drop out: their label is final.
+func contractInto(gc *contracted, target map[int]int, m2 []int, keepMinWeight map[graph.Edge]int64) *contracted {
+	// Resolve one level of chaining: a non-leader's target is a leader,
+	// which maps to itself, so a single hop suffices; the min-id target of
+	// a fully-explored component maps to itself likewise.
+	for v := range m2 {
+		if t, ok := target[m2[v]]; ok {
+			m2[v] = t
+		}
+	}
+	type pair struct{ a, b int }
+	best := make(map[pair]int64)
+	for v, adj := range gc.adj {
+		tv := target[v]
+		for _, e := range adj {
+			tu := target[e.to]
+			if tv == tu {
+				continue
+			}
+			p := pair{tv, tu}
+			if cur, ok := best[p]; !ok || e.w < cur {
+				best[p] = e.w
+			}
+		}
+	}
+	next := &contracted{adj: make(map[int][]wedge)}
+	seen := make(map[int]bool)
+	for p, w := range best {
+		next.adj[p.a] = append(next.adj[p.a], wedge{to: p.b, w: w})
+		if !seen[p.a] {
+			seen[p.a] = true
+			next.verts = append(next.verts, p.a)
+		}
+		if keepMinWeight != nil {
+			e := graph.Edge{U: p.a, V: p.b}.Canon()
+			if cur, ok := keepMinWeight[e]; !ok || w < cur {
+				keepMinWeight[e] = w
+			}
+		}
+	}
+	sort.Ints(next.verts)
+	// Keep adjacency weight-sorted (ties by id): lazy Prim in the MSF
+	// algorithm depends on reading each list cheapest-first; connectivity
+	// is order-agnostic.
+	for v := range next.adj {
+		adj := next.adj[v]
+		sort.Slice(adj, func(i, j int) bool {
+			if adj[i].w != adj[j].w {
+				return adj[i].w < adj[j].w
+			}
+			return adj[i].to < adj[j].to
+		})
+	}
+	return next
+}
+
+// solveLocally publishes the remaining graph and has machine 0 label it in
+// one round — the "fits on a single machine" final step.
+func solveLocally(rt *ampc.Runtime, gc *contracted, phase int) error {
+	if err := publishContracted(rt, gc, phase*1000); err != nil {
+		return err
+	}
+	verts := gc.verts
+	return rt.Round(fmt.Sprintf("conn-local-%d", phase), func(ctx *ampc.Ctx) error {
+		if ctx.Machine != 0 {
+			return nil
+		}
+		// Machine 0 reads the whole remainder and runs a local union-find.
+		idx := make(map[int]int, len(verts))
+		for i, v := range verts {
+			idx[v] = i
+		}
+		dsu := graph.NewDSU(len(verts))
+		for i, v := range verts {
+			deg, ok := ctx.Read(dds.Key{Tag: tagConnDeg, A: int64(v)})
+			if !ok {
+				return fmt.Errorf("core: local solve missing degree for %d (err %v)", v, ctx.Err())
+			}
+			for j := 0; j < int(deg.A); j++ {
+				a, ok := ctx.Read(dds.Key{Tag: tagConnAdj, A: int64(v), B: int64(j)})
+				if !ok {
+					return fmt.Errorf("core: local solve missing adjacency (err %v)", ctx.Err())
+				}
+				dsu.Union(i, idx[int(a.A)])
+			}
+		}
+		// Canonical label: minimum vertex id per root.
+		min := make(map[int]int)
+		for i, v := range verts {
+			r := dsu.Find(i)
+			if cur, ok := min[r]; !ok || v < cur {
+				min[r] = v
+			}
+		}
+		for i, v := range verts {
+			ctx.Write(dds.Key{Tag: tagConnLabel, A: int64(v)}, dds.Value{A: int64(min[dsu.Find(i)])})
+		}
+		return ctx.Err()
+	})
+}
+
+// applyLocalLabels folds the local-solve labels into the original->current
+// map.
+func applyLocalLabels(rt *ampc.Runtime, gc *contracted, m2 []int) {
+	label := make(map[int]int, len(gc.verts))
+	for _, v := range gc.verts {
+		l, ok := rt.Store().Get(dds.Key{Tag: tagConnLabel, A: int64(v)})
+		if ok {
+			label[v] = int(l.A)
+		}
+	}
+	for v := range m2 {
+		if l, ok := label[m2[v]]; ok {
+			m2[v] = l
+		}
+	}
+}
+
+// rngShuffler is the minimal driver-RNG interface the phase helpers need.
+type rngShuffler interface {
+	Shuffle(n int, swap func(i, j int))
+	Bernoulli(p float64) bool
+	Perm(n int) []int
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+func TestConnectivityMatchesOracle(t *testing.T) {
+	r := rng.New(50, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnm-sparse", graph.GNM(300, 350, r)},
+		{"gnm-dense", graph.GNM(200, 2000, r)},
+		{"connected", graph.ConnectedGNM(500, 2000, r)},
+		{"two-comps", graph.Union(graph.ConnectedGNM(100, 300, r), graph.ConnectedGNM(80, 200, r))},
+		{"grid", graph.Grid(15, 15)},
+		{"path", graph.Path(200)},
+		{"star", graph.Star(150)},
+		{"forest", graph.RandomForest(250, 10, r)},
+		{"empty", graph.MustGraph(40, nil)},
+		{"clique", graph.Clique(30)},
+	} {
+		res, err := Connectivity(tc.g, Options{Seed: 13})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !graph.SameLabeling(res.Components, graph.Components(tc.g)) {
+			t.Fatalf("%s: wrong component labeling", tc.name)
+		}
+	}
+}
+
+func TestConnectivitySeedSweep(t *testing.T) {
+	r := rng.New(51, 0)
+	g := graph.GNM(400, 900, r)
+	want := graph.Components(g)
+	for seed := uint64(0); seed < 6; seed++ {
+		res, err := Connectivity(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !graph.SameLabeling(res.Components, want) {
+			t.Fatalf("seed %d: wrong labeling", seed)
+		}
+	}
+}
+
+func TestConnectivityHighDiameter(t *testing.T) {
+	// The whole point vs label propagation: a path of length 4095 has
+	// diameter 4095 but the AMPC algorithm needs only O(log log n) phases.
+	g := graph.Path(4096)
+	res, err := Connectivity(g, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SameLabeling(res.Components, graph.Components(g)) {
+		t.Fatal("wrong labeling on path")
+	}
+	if res.Telemetry.Phases > 16 {
+		t.Fatalf("phases = %d on diameter-4095 input, want far below diameter", res.Telemetry.Phases)
+	}
+}
+
+func TestConnectivityPhasesDoublyLogarithmic(t *testing.T) {
+	r := rng.New(52, 0)
+	small, err := Connectivity(graph.ConnectedGNM(512, 2048, r), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Connectivity(graph.ConnectedGNM(16384, 65536, r), Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32x more vertices should cost at most a few extra phases.
+	if large.Telemetry.Phases > small.Telemetry.Phases+5 {
+		t.Fatalf("phases grew too fast: %d -> %d", small.Telemetry.Phases, large.Telemetry.Phases)
+	}
+}
+
+func TestConnectivityDeterministic(t *testing.T) {
+	r := rng.New(53, 0)
+	g := graph.GNM(300, 700, r)
+	a, err := Connectivity(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Connectivity(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Components {
+		if a.Components[v] != b.Components[v] {
+			t.Fatal("same seed, different labelings")
+		}
+	}
+	if a.Telemetry.Rounds != b.Telemetry.Rounds || a.Telemetry.TotalQueries != b.Telemetry.TotalQueries {
+		t.Fatal("same seed, different telemetry")
+	}
+}
+
+func TestConnectivityRejectsBadEpsilon(t *testing.T) {
+	if _, err := Connectivity(graph.Cycle(5), Options{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestContractedEdgesCount(t *testing.T) {
+	gc := &contracted{
+		verts: []int{0, 1, 2},
+		adj: map[int][]wedge{
+			0: {{to: 1}}, 1: {{to: 0}, {to: 2}}, 2: {{to: 1}},
+		},
+	}
+	if gc.edges() != 2 {
+		t.Fatalf("edges = %d, want 2", gc.edges())
+	}
+}
+
+func TestContractIntoMergesAndDedups(t *testing.T) {
+	// Triangle 0-1-2 with weights; contract 1 and 2 into 0's neighbor sets.
+	gc := &contracted{
+		verts: []int{0, 1, 2, 3},
+		adj: map[int][]wedge{
+			0: {{1, 5}, {2, 7}},
+			1: {{0, 5}, {3, 2}},
+			2: {{0, 7}, {3, 9}},
+			3: {{1, 2}, {2, 9}},
+		},
+	}
+	m2 := []int{0, 1, 2, 3}
+	target := map[int]int{0: 0, 1: 0, 2: 0, 3: 3}
+	kept := map[graph.Edge]int64{}
+	next := contractInto(gc, target, m2, kept)
+	// Vertices 0 (merged) and 3 remain, joined by min-weight edge 2.
+	if len(next.verts) != 2 {
+		t.Fatalf("verts = %v", next.verts)
+	}
+	if next.edges() != 1 {
+		t.Fatalf("edges = %d", next.edges())
+	}
+	if w := next.adj[0][0].w; w != 2 {
+		t.Fatalf("kept weight %d, want min 2", w)
+	}
+	if kept[graph.Edge{U: 0, V: 3}] != 2 {
+		t.Fatalf("keepMinWeight = %v", kept)
+	}
+	if m2[1] != 0 || m2[2] != 0 || m2[3] != 3 {
+		t.Fatalf("m2 = %v", m2)
+	}
+}

@@ -1,0 +1,162 @@
+// Package core implements the AMPC graph algorithms of Behnezhad et al.
+// (SPAA 2019): the 2-Cycle algorithm (§4), maximal independent set (§5),
+// connectivity (§6), minimum spanning forest (§7), forest and cycle
+// connectivity with list ranking and tree primitives (§8), and 2-edge
+// connectivity via BC-labeling (§9).
+//
+// Every algorithm runs on the ampc.Runtime: all adaptive reads — the parts
+// of the algorithms the paper highlights as relying on AMPC features — go
+// through budget-enforced DDS queries, and the returned Telemetry reports
+// the measured rounds, query totals, and load maxima that the paper's
+// lemmas bound. Steps the paper marks as implementable with standard MPC
+// primitives (sorting, duplicate removal, contraction bookkeeping) run on
+// the driver and are accounted as O(1) rounds per phase, exactly as the
+// paper counts them.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ampc/internal/ampc"
+	"ampc/internal/rng"
+)
+
+// Options configures an AMPC algorithm run.
+type Options struct {
+	// Epsilon is the space exponent: machines have S = n^Epsilon space.
+	// Must lie in (0, 1). Zero selects DefaultEpsilon.
+	Epsilon float64
+	// Seed makes the run deterministic.
+	Seed uint64
+	// BudgetFactor overrides the runtime's per-machine budget constant.
+	// Zero selects ampc.DefaultBudgetFactor.
+	BudgetFactor int
+	// TotalSpaceFactor scales the total space T = factor * (n + m). Zero
+	// selects DefaultTotalSpaceFactor. The paper allows T = O(N polylog N);
+	// connectivity and MSF benefit from slack here.
+	TotalSpaceFactor int
+	// MaxP caps the simulated machine count so tiny-S runs do not spawn
+	// millions of goroutines. Zero selects DefaultMaxP. Capping P only
+	// makes per-machine load larger, so enforced budgets stay meaningful.
+	MaxP int
+	// FaultProb injects machine failures each round with the given
+	// probability (see ampc.Config.FaultProb). Outputs must not change.
+	FaultProb float64
+}
+
+// Defaults for Options fields.
+const (
+	DefaultEpsilon          = 0.5
+	DefaultTotalSpaceFactor = 2
+	DefaultMaxP             = 512
+	// minS keeps small test instances from degenerating to S of a few
+	// words, where the model's asymptotic assumptions are meaningless.
+	minS = 64
+)
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = DefaultEpsilon
+	}
+	if o.TotalSpaceFactor == 0 {
+		o.TotalSpaceFactor = DefaultTotalSpaceFactor
+	}
+	if o.MaxP == 0 {
+		o.MaxP = DefaultMaxP
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Epsilon < 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("core: Epsilon must lie in (0,1), got %v", o.Epsilon)
+	}
+	return nil
+}
+
+// params derives the cluster shape from the instance size: space per
+// machine S = max(n^ε, minS) and machine count P = ceil(T/S) with
+// T = factor·(n+m), capped at MaxP.
+func (o Options) params(n, m int) (p, s int) {
+	s = int(math.Ceil(math.Pow(float64(n), o.Epsilon)))
+	if s < minS {
+		s = minS
+	}
+	total := o.TotalSpaceFactor * (n + m + 1)
+	p = (total + s - 1) / s
+	if p < 1 {
+		p = 1
+	}
+	if p > o.MaxP {
+		p = o.MaxP
+	}
+	return p, s
+}
+
+// newRuntime builds the AMPC runtime for an instance with n vertices and m
+// edges under the given options. When the machine count is capped at MaxP
+// (a simulation limit, not a model limit), each simulated machine stands in
+// for ceil(P_uncapped/P) model machines, so the per-machine budget scales
+// by the same factor to keep enforcement meaningful rather than spuriously
+// tight.
+func (o Options) newRuntime(n, m int) *ampc.Runtime {
+	p, s := o.params(n, m)
+	bf := o.BudgetFactor
+	if bf <= 0 {
+		bf = ampc.DefaultBudgetFactor
+	}
+	total := o.TotalSpaceFactor * (n + m + 1)
+	if uncapped := (total + s - 1) / s; uncapped > p {
+		bf *= (uncapped + p - 1) / p
+	}
+	return ampc.New(ampc.Config{
+		P:            p,
+		S:            s,
+		BudgetFactor: bf,
+		Seed:         o.Seed,
+		FaultProb:    o.FaultProb,
+	})
+}
+
+// Telemetry reports the measured cost of a run in the quantities the paper
+// bounds: rounds, total queries (Proposition 5.1, Lemma 6.1), maximum
+// per-machine queries (Lemma 4.3, Lemma 8.4), and maximum DDS shard load
+// (Lemma 2.1).
+type Telemetry struct {
+	// Rounds is the number of AMPC rounds executed, including data
+	// publication rounds.
+	Rounds int
+	// Phases counts the algorithm's outer iterations (shrink iterations,
+	// connectivity/MSF phases, MIS settle iterations).
+	Phases int
+	// TotalQueries is the number of DDS queries over all rounds.
+	TotalQueries int64
+	// MaxMachineQueries is the largest per-machine, per-round query count.
+	MaxMachineQueries int
+	// MaxShardLoad is the largest per-round, per-shard query count.
+	MaxShardLoad int64
+	// P and S echo the simulated cluster shape.
+	P, S int
+	// RoundStats is the per-round breakdown.
+	RoundStats []ampc.RoundStats
+}
+
+func telemetryFrom(rt *ampc.Runtime, phases int) Telemetry {
+	return Telemetry{
+		Rounds:            rt.Rounds(),
+		Phases:            phases,
+		TotalQueries:      rt.TotalQueries(),
+		MaxMachineQueries: rt.MaxMachineQueries(),
+		MaxShardLoad:      rt.MaxShardLoad(),
+		P:                 rt.Config().P,
+		S:                 rt.Config().S,
+		RoundStats:        rt.Stats(),
+	}
+}
+
+// driverRNG returns the deterministic random stream used for driver-side
+// choices (permutations, sampling probabilities) of an algorithm run.
+func (o Options) driverRNG(stream uint64) *rng.RNG {
+	return rng.New(o.Seed, 0xD0+stream)
+}

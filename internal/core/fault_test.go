@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+// These tests exercise the model's fault-tolerance property (§2.1) at the
+// algorithm level: because D_{i-1} is immutable within round i and machine
+// randomness is a deterministic function of (seed, round, machine), killing
+// and restarting machines mid-round must not change any algorithm output
+// or its telemetry.
+
+const faultProb = 0.25
+
+func TestTwoCycleSurvivesFaults(t *testing.T) {
+	r := rng.New(80, 0)
+	g := graph.TwoCycleInstance(2048, false, r)
+	clean, err := TwoCycle(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := TwoCycle(g, Options{Seed: 5, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.SingleCycle != faulty.SingleCycle {
+		t.Fatal("failure injection changed the 2-cycle answer")
+	}
+	if clean.Telemetry.Rounds != faulty.Telemetry.Rounds {
+		t.Fatalf("failure injection changed rounds: %d vs %d",
+			clean.Telemetry.Rounds, faulty.Telemetry.Rounds)
+	}
+}
+
+func TestConnectivitySurvivesFaults(t *testing.T) {
+	r := rng.New(81, 0)
+	g := graph.GNM(400, 1200, r)
+	clean, err := Connectivity(g, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Connectivity(g, Options{Seed: 6, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range clean.Components {
+		if clean.Components[v] != faulty.Components[v] {
+			t.Fatalf("failure injection changed label of vertex %d", v)
+		}
+	}
+}
+
+func TestMISSurvivesFaults(t *testing.T) {
+	r := rng.New(82, 0)
+	g := graph.GNM(300, 900, r)
+	clean, err := MIS(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := MIS(g, Options{Seed: 7, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range clean.InMIS {
+		if clean.InMIS[v] != faulty.InMIS[v] {
+			t.Fatalf("failure injection changed MIS membership of %d", v)
+		}
+	}
+}
+
+func TestMSFSurvivesFaults(t *testing.T) {
+	r := rng.New(83, 0)
+	g := graph.WithRandomWeights(graph.ConnectedGNM(250, 800, r), r)
+	clean, err := MSF(g, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := MSF(g, Options{Seed: 8, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Edges) != len(faulty.Edges) {
+		t.Fatal("failure injection changed MSF size")
+	}
+	for i := range clean.Edges {
+		if clean.Edges[i] != faulty.Edges[i] {
+			t.Fatalf("failure injection changed MSF edge %d", i)
+		}
+	}
+}
+
+func TestListRankingSurvivesFaults(t *testing.T) {
+	next := makeChain(3000)
+	clean, err := ListRanking(next, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := ListRanking(next, Options{Seed: 9, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range clean.Rank {
+		if clean.Rank[v] != faulty.Rank[v] {
+			t.Fatalf("failure injection changed rank of %d", v)
+		}
+	}
+}
+
+func TestForestConnectivitySurvivesFaults(t *testing.T) {
+	r := rng.New(84, 0)
+	g := graph.RandomForest(400, 6, r)
+	clean, err := ForestConnectivity(g, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := ForestConnectivity(g, Options{Seed: 10, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range clean.Components {
+		if clean.Components[v] != faulty.Components[v] {
+			t.Fatal("failure injection changed forest labeling")
+		}
+	}
+}
+
+func TestBiconnectivitySurvivesFaults(t *testing.T) {
+	r := rng.New(85, 0)
+	g := graph.ConnectedGNM(150, 300, r)
+	clean, err := Biconnectivity(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Biconnectivity(g, Options{Seed: 11, FaultProb: faultProb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Bridges) != len(faulty.Bridges) {
+		t.Fatal("failure injection changed bridges")
+	}
+	for i := range clean.Bridges {
+		if clean.Bridges[i] != faulty.Bridges[i] {
+			t.Fatal("failure injection changed bridge set")
+		}
+	}
+}

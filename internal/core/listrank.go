@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// DDS tags private to list ranking.
+const (
+	tagListNext = graph.TagAlgoBase + 8  // (tag, v, level) -> (next or -1, hop weight)
+	tagListMark = graph.TagAlgoBase + 9  // (tag, v, level) -> (1, 0) if alive at level+1
+	tagListD    = graph.TagAlgoBase + 10 // (tag, v, 0) -> (rank, 0)
+)
+
+// ListRankingResult reports the outcome and cost of Algorithm 11.
+type ListRankingResult struct {
+	// Rank[v] is the number of elements preceding v in its list (the head
+	// of each list has rank 0).
+	Rank []int
+	// Telemetry is the measured cost.
+	Telemetry Telemetry
+}
+
+// ListRanking ranks the elements of one or more disjoint linked lists in
+// O(1/ε) rounds (Algorithm 11, Theorem 6). next[v] is v's successor, or -1
+// at a tail; every element must belong to exactly one acyclic chain.
+//
+// The algorithm samples elements with probability N^{-ε/2} (heads always
+// included), contracts the runs between consecutive samples into weighted
+// hops by adaptive forward traversal, recurses until the lists are short,
+// and then unwinds: ranks flow from each level's samples to the elements
+// they absorbed, one round per level.
+func ListRanking(next []int, opts Options) (ListRankingResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return ListRankingResult{}, err
+	}
+	n := len(next)
+	if n == 0 {
+		return ListRankingResult{Rank: nil}, nil
+	}
+	heads, err := listHeads(next)
+	if err != nil {
+		return ListRankingResult{}, err
+	}
+	rt := opts.newRuntime(n, n)
+	driver := opts.driverRNG(3)
+
+	// level r state, driver side: alive elements, successor, hop weight.
+	type level struct {
+		alive  []int
+		nxt    map[int]int
+		weight map[int]int64
+	}
+	cur := level{alive: make([]int, 0, n), nxt: make(map[int]int, n), weight: make(map[int]int64, n)}
+	for v := 0; v < n; v++ {
+		cur.alive = append(cur.alive, v)
+		cur.nxt[v] = next[v]
+		if next[v] != -1 {
+			cur.weight[v] = 1
+		}
+	}
+	isHead := make(map[int]bool, len(heads))
+	for _, h := range heads {
+		isHead[h] = true
+	}
+
+	sampleP := math.Pow(float64(n), -opts.Epsilon/2)
+	maxLevels := int(math.Ceil(2*(1-opts.Epsilon)/opts.Epsilon)) + 1
+	stopAt := rt.Config().S
+
+	levels := []level{cur}
+	for r := 0; r < maxLevels && len(levels[len(levels)-1].alive) > stopAt; r++ {
+		lv := levels[len(levels)-1]
+
+		// Choose the next level's samples: heads always survive.
+		samples := make([]int, 0)
+		sampled := make(map[int]bool)
+		for _, v := range lv.alive {
+			if isHead[v] || driver.Bernoulli(sampleP) {
+				samples = append(samples, v)
+				sampled[v] = true
+			}
+		}
+
+		// Publish this level's pointers, weights, and marks (static: the
+		// unwind phase re-reads every level).
+		pairs := make([]dds.KV, 0, 2*len(lv.alive))
+		for _, v := range lv.alive {
+			pairs = append(pairs, dds.KV{
+				Key:   dds.Key{Tag: tagListNext, A: int64(v), B: int64(r)},
+				Value: dds.Value{A: int64(lv.nxt[v]), B: lv.weight[v]},
+			})
+			if sampled[v] {
+				pairs = append(pairs, dds.KV{
+					Key:   dds.Key{Tag: tagListMark, A: int64(v), B: int64(r)},
+					Value: dds.Value{A: 1},
+				})
+			}
+		}
+		if err := rt.AddStatic(fmt.Sprintf("list-publish-%d", r), pairs); err != nil {
+			return ListRankingResult{}, err
+		}
+
+		// Contract: each sample walks forward to the next sample (or the
+		// tail), summing hop weights adaptively.
+		shuffled := append([]int(nil), samples...)
+		driver.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		err := rt.Round(fmt.Sprintf("list-contract-%d", r), func(ctx *ampc.Ctx) error {
+			lo, hi := ampc.BlockRange(ctx.Machine, len(shuffled), ctx.P)
+			for _, s := range shuffled[lo:hi] {
+				end, acc, err := listWalk(ctx, s, r, true)
+				if err != nil {
+					return err
+				}
+				ctx.Write(dds.Key{Tag: tagListNext, A: int64(s), B: int64(r + 1)},
+					dds.Value{A: int64(end), B: acc})
+			}
+			return ctx.Err()
+		})
+		if err != nil {
+			return ListRankingResult{}, err
+		}
+
+		// Master: read back the contracted level.
+		nextLv := level{alive: samples, nxt: make(map[int]int, len(samples)), weight: make(map[int]int64, len(samples))}
+		for _, s := range samples {
+			v, _ := rt.Store().Get(dds.Key{Tag: tagListNext, A: int64(s), B: int64(r + 1)})
+			nextLv.nxt[s] = int(v.A)
+			if v.A != -1 {
+				nextLv.weight[s] = v.B
+			}
+		}
+		levels = append(levels, nextLv)
+	}
+
+	// Final walk: at the coarsest level, walk each list from its head and
+	// assign exact ranks to every surviving element.
+	coarsest := len(levels) - 1
+	coarsestPairs := make([]dds.KV, 0, 2*len(levels[coarsest].alive))
+	lv := levels[coarsest]
+	for _, v := range lv.alive {
+		coarsestPairs = append(coarsestPairs, dds.KV{
+			Key:   dds.Key{Tag: tagListNext, A: int64(v), B: int64(coarsest)},
+			Value: dds.Value{A: int64(lv.nxt[v]), B: lv.weight[v]},
+		})
+	}
+	if err := rt.AddStatic("list-publish-coarsest", coarsestPairs); err != nil {
+		return ListRankingResult{}, err
+	}
+	shuffledHeads := append([]int(nil), heads...)
+	driver.Shuffle(len(shuffledHeads), func(i, j int) {
+		shuffledHeads[i], shuffledHeads[j] = shuffledHeads[j], shuffledHeads[i]
+	})
+	err = rt.Round("list-final-walk", func(ctx *ampc.Ctx) error {
+		lo, hi := ampc.BlockRange(ctx.Machine, len(shuffledHeads), ctx.P)
+		for _, h := range shuffledHeads[lo:hi] {
+			d := int64(0)
+			cur := h
+			for cur != -1 {
+				ctx.Write(dds.Key{Tag: tagListD, A: int64(cur)}, dds.Value{A: d})
+				v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(cur), B: int64(coarsest)})
+				if !ok {
+					return fmt.Errorf("core: missing coarsest pointer for %d (err %v)", cur, ctx.Err())
+				}
+				d += v.B
+				cur = int(v.A)
+			}
+		}
+		return ctx.Err()
+	})
+	if err != nil {
+		return ListRankingResult{}, err
+	}
+
+	// Unwind: level by level, samples push exact ranks onto the elements
+	// they absorbed.
+	for r := coarsest - 1; r >= 0; r-- {
+		walkers := levels[r+1].alive
+		shuffledW := append([]int(nil), walkers...)
+		driver.Shuffle(len(shuffledW), func(i, j int) { shuffledW[i], shuffledW[j] = shuffledW[j], shuffledW[i] })
+		err := rt.Round(fmt.Sprintf("list-unwind-%d", r), func(ctx *ampc.Ctx) error {
+			lo, hi := ampc.BlockRange(ctx.Machine, len(shuffledW), ctx.P)
+			for _, s := range shuffledW[lo:hi] {
+				dv, ok := ctx.Read(dds.Key{Tag: tagListD, A: int64(s)})
+				if !ok {
+					return fmt.Errorf("core: missing rank for walker %d (err %v)", s, ctx.Err())
+				}
+				// Carry the walker's own rank forward, then rank the
+				// absorbed run after it.
+				ctx.Write(dds.Key{Tag: tagListD, A: int64(s)}, dds.Value{A: dv.A})
+				d := dv.A
+				cur := s
+				for {
+					v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(cur), B: int64(r)})
+					if !ok {
+						return fmt.Errorf("core: missing level-%d pointer for %d (err %v)", r, cur, ctx.Err())
+					}
+					nxt := int(v.A)
+					if nxt == -1 {
+						break
+					}
+					d += v.B
+					if _, marked := ctx.ReadStatic(dds.Key{Tag: tagListMark, A: int64(nxt), B: int64(r)}); marked {
+						break
+					}
+					ctx.Write(dds.Key{Tag: tagListD, A: int64(nxt)}, dds.Value{A: d})
+					cur = nxt
+				}
+			}
+			return ctx.Err()
+		})
+		if err != nil {
+			return ListRankingResult{}, err
+		}
+	}
+
+	// Master: read the final ranks.
+	ranks := make([]int, n)
+	for v := 0; v < n; v++ {
+		d, ok := rt.Store().Get(dds.Key{Tag: tagListD, A: int64(v)})
+		if !ok {
+			return ListRankingResult{}, fmt.Errorf("core: element %d was never ranked", v)
+		}
+		ranks[v] = int(d.A)
+	}
+	return ListRankingResult{Rank: ranks, Telemetry: telemetryFrom(rt, coarsest)}, nil
+}
+
+// listWalk walks forward from sample s along level-r pointers until the
+// next marked element or the tail, returning the stopping element (-1 for
+// tail) and the accumulated weight.
+func listWalk(ctx *ampc.Ctx, s, r int, static bool) (int, int64, error) {
+	_ = static
+	acc := int64(0)
+	cur := s
+	for {
+		v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(cur), B: int64(r)})
+		if !ok {
+			return 0, 0, fmt.Errorf("core: walk fell off the list at %d (err %v)", cur, ctx.Err())
+		}
+		nxt := int(v.A)
+		if nxt == -1 {
+			return -1, acc, nil
+		}
+		acc += v.B
+		if _, marked := ctx.ReadStatic(dds.Key{Tag: tagListMark, A: int64(nxt), B: int64(r)}); marked {
+			return nxt, acc, nil
+		}
+		cur = nxt
+	}
+}
+
+// listHeads validates that next describes disjoint acyclic chains and
+// returns the heads (elements with no predecessor).
+func listHeads(next []int) ([]int, error) {
+	n := len(next)
+	indeg := make([]int, n)
+	for v, u := range next {
+		if u == v {
+			return nil, fmt.Errorf("core: list element %d points to itself", v)
+		}
+		if u != -1 {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("core: list pointer %d -> %d out of range", v, u)
+			}
+			indeg[u]++
+			if indeg[u] > 1 {
+				return nil, fmt.Errorf("core: element %d has two predecessors", u)
+			}
+		}
+	}
+	var heads []int
+	covered := 0
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			heads = append(heads, v)
+			for cur := v; cur != -1; cur = next[cur] {
+				covered++
+				if covered > n {
+					return nil, fmt.Errorf("core: list contains a cycle")
+				}
+			}
+		}
+	}
+	if covered != n {
+		return nil, fmt.Errorf("core: list contains a cycle (%d of %d elements reachable from heads)", covered, n)
+	}
+	return heads, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"ampc/internal/rng"
+)
+
+// makeChain builds the identity list 0 -> 1 -> ... -> n-1.
+func makeChain(n int) []int {
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	if n > 0 {
+		next[n-1] = -1
+	}
+	return next
+}
+
+// makePermutedChain builds one list over [0,n) in a random vertex order and
+// returns (next, wantRank).
+func makePermutedChain(n int, r *rng.RNG) (next []int, want []int) {
+	order := r.Perm(n)
+	next = make([]int, n)
+	want = make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[order[i]] = order[i+1]
+	}
+	next[order[n-1]] = -1
+	for pos, v := range order {
+		want[v] = pos
+	}
+	return next, want
+}
+
+func TestListRankingIdentityChain(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 64, 500, 4096} {
+		res, err := ListRanking(makeChain(n), Options{Seed: uint64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for v := 0; v < n; v++ {
+			if res.Rank[v] != v {
+				t.Fatalf("n=%d: rank[%d] = %d", n, v, res.Rank[v])
+			}
+		}
+	}
+}
+
+func TestListRankingPermuted(t *testing.T) {
+	r := rng.New(11, 0)
+	for _, n := range []int{10, 100, 2000} {
+		next, want := makePermutedChain(n, r)
+		res, err := ListRanking(next, Options{Seed: uint64(n) + 7})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for v := range want {
+			if res.Rank[v] != want[v] {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, v, res.Rank[v], want[v])
+			}
+		}
+	}
+}
+
+func TestListRankingMultipleLists(t *testing.T) {
+	// Three lists: 0->1->2, 3->4, 5 alone.
+	next := []int{1, 2, -1, 4, -1, -1}
+	res, err := ListRanking(next, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 0}
+	for v := range want {
+		if res.Rank[v] != want[v] {
+			t.Fatalf("rank = %v, want %v", res.Rank, want)
+		}
+	}
+}
+
+func TestListRankingManySmallLists(t *testing.T) {
+	// 200 lists of length 5 interleaved.
+	const lists, length = 200, 5
+	n := lists * length
+	next := make([]int, n)
+	want := make([]int, n)
+	for l := 0; l < lists; l++ {
+		for i := 0; i < length; i++ {
+			v := i*lists + l // interleave so lists are scattered
+			if i < length-1 {
+				next[v] = (i+1)*lists + l
+			} else {
+				next[v] = -1
+			}
+			want[v] = i
+		}
+	}
+	res, err := ListRanking(next, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Rank[v] != want[v] {
+			t.Fatalf("rank[%d] = %d, want %d", v, res.Rank[v], want[v])
+		}
+	}
+}
+
+func TestListRankingEmpty(t *testing.T) {
+	res, err := ListRanking(nil, Options{})
+	if err != nil || res.Rank != nil {
+		t.Fatalf("empty input: %v %v", res.Rank, err)
+	}
+}
+
+func TestListRankingRejectsCycle(t *testing.T) {
+	if _, err := ListRanking([]int{1, 2, 0}, Options{}); err == nil {
+		t.Fatal("cyclic list accepted")
+	}
+	if _, err := ListRanking([]int{0}, Options{}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestListRankingRejectsSharedTail(t *testing.T) {
+	// Two pointers into the same element.
+	if _, err := ListRanking([]int{2, 2, -1}, Options{}); err == nil {
+		t.Fatal("shared successor accepted")
+	}
+}
+
+func TestListRankingRejectsOutOfRange(t *testing.T) {
+	if _, err := ListRanking([]int{5}, Options{}); err == nil {
+		t.Fatal("out-of-range pointer accepted")
+	}
+}
+
+func TestListRankingRoundsConstant(t *testing.T) {
+	small, err := ListRanking(makeChain(1024), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ListRanking(makeChain(32768), Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Telemetry.Rounds > small.Telemetry.Rounds+6 {
+		t.Fatalf("rounds grew with n: %d -> %d", small.Telemetry.Rounds, large.Telemetry.Rounds)
+	}
+}
+
+func TestListRankingDeterministic(t *testing.T) {
+	r := rng.New(12, 0)
+	next, _ := makePermutedChain(500, r)
+	a, err := ListRanking(next, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListRanking(next, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Telemetry.TotalQueries != b.Telemetry.TotalQueries || a.Telemetry.Rounds != b.Telemetry.Rounds {
+		t.Fatal("same seed produced different telemetry")
+	}
+}
+
+func TestListHeads(t *testing.T) {
+	heads, err := listHeads([]int{1, -1, 3, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heads) != 2 || heads[0] != 0 || heads[1] != 2 {
+		t.Fatalf("heads = %v", heads)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// DDS tags private to the maximal matching algorithm.
+const (
+	tagMatchEdge   = graph.TagAlgoBase + 32 // (tag, e, 0) -> (u, v) endpoints of edge e
+	tagMatchInc    = graph.TagAlgoBase + 33 // (tag, v, i) -> (edge id of v's i-th incident edge, 0)
+	tagMatchPrio   = graph.TagAlgoBase + 34 // (tag, e, 0) -> (priority rank, 0)
+	tagMatchStatus = graph.TagAlgoBase + 35 // (tag, e, 0) -> (1 matched / 0 not, 0)
+)
+
+// MatchingResult reports the outcome and cost of the AMPC maximal matching
+// algorithm.
+type MatchingResult struct {
+	// Matched is the membership vector over g.Edges(): the greedy maximal
+	// matching under the run's random edge permutation.
+	Matched []bool
+	// Pi is the edge priority permutation used; the output equals
+	// graph.GreedyMatching(g, Pi) exactly.
+	Pi []int
+	// Telemetry is the measured cost.
+	Telemetry Telemetry
+}
+
+// MaximalMatching computes a maximal matching in O(1/ε) iterations w.h.p.
+// It is the paper's §10 future-work item, solved with the §5 machinery:
+// greedy matching over a random edge permutation is the lexicographically-
+// first MIS of the line graph, so the truncated Yoshida–Nguyen–Onak query
+// process applies verbatim with "neighbors of edge e" meaning the edges
+// sharing an endpoint with e. Proposition 5.1's near-linear total work and
+// Lemma 5.2's O(1/ε) iteration bound carry over unchanged.
+func MaximalMatching(g *graph.Graph, opts Options) (MatchingResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return MatchingResult{}, err
+	}
+	m := g.M()
+	if opts.BudgetFactor == 0 {
+		_, s := opts.params(m+1, m)
+		// A line-graph neighborhood scan touches both endpoints' incident
+		// edge lists: afford 2Δ of them plus the usual c·S.
+		opts.BudgetFactor = ampc.DefaultBudgetFactor + (6*g.MaxDeg()+16)/s
+	}
+	rt := opts.newRuntime(m+1, m)
+	driver := opts.driverRNG(12)
+
+	// Publish the line-graph structure: edge endpoints, per-vertex incident
+	// edge ids, and the random edge priorities.
+	pi := driver.Perm(m)
+	pairs := make([]dds.KV, 0, 3*m+g.N())
+	incIndex := make([]int, g.N())
+	for e, edge := range g.Edges() {
+		pairs = append(pairs,
+			dds.KV{Key: dds.Key{Tag: tagMatchEdge, A: int64(e)}, Value: dds.Value{A: int64(edge.U), B: int64(edge.V)}},
+			dds.KV{Key: dds.Key{Tag: tagMatchPrio, A: int64(e)}, Value: dds.Value{A: int64(pi[e])}},
+			dds.KV{Key: dds.Key{Tag: tagMatchInc, A: int64(edge.U), B: int64(incIndex[edge.U])}, Value: dds.Value{A: int64(e)}},
+			dds.KV{Key: dds.Key{Tag: tagMatchInc, A: int64(edge.V), B: int64(incIndex[edge.V])}, Value: dds.Value{A: int64(e)}},
+		)
+		incIndex[edge.U]++
+		incIndex[edge.V]++
+	}
+	for v := 0; v < g.N(); v++ {
+		pairs = append(pairs, dds.KV{Key: graph.DegKey(v), Value: dds.Value{A: int64(g.Deg(v))}})
+	}
+	if err := rt.AddStatic("match-publish", pairs); err != nil {
+		return MatchingResult{}, err
+	}
+
+	settled := make([]int8, m)
+	unsettled := m
+	maxIters := 8*shrinkIterations(opts.Epsilon) + 32
+	iters := 0
+
+	edges := make([]int, m)
+	for e := range edges {
+		edges[e] = e
+	}
+
+	for unsettled > 0 {
+		if iters++; iters > maxIters {
+			return MatchingResult{}, fmt.Errorf("core: matching failed to settle after %d iterations (%d left)", maxIters, unsettled)
+		}
+		driver.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+		err := rt.Round(fmt.Sprintf("match-iter-%d", iters), func(ctx *ampc.Ctx) error {
+			lo, hi := ampc.BlockRange(ctx.Machine, len(edges), ctx.P)
+			q := &matchQuery{ctx: ctx, memo: make(map[int]int8)}
+			for _, e := range edges[lo:hi] {
+				if s := settled[e]; s != 0 {
+					q.writeStatus(e, s)
+				}
+			}
+			for _, e := range edges[lo:hi] {
+				if settled[e] != 0 {
+					continue
+				}
+				capacity := ctx.S
+				q.eval(e, &capacity)
+			}
+			return nil
+		})
+		if err != nil {
+			return MatchingResult{}, err
+		}
+
+		// Master: fold discoveries, then apply the removal rule (edges
+		// adjacent to a matched edge leave the graph unmatched).
+		for e := 0; e < m; e++ {
+			if settled[e] != 0 {
+				continue
+			}
+			if s, ok := rt.Store().Get(dds.Key{Tag: tagMatchStatus, A: int64(e)}); ok {
+				if s.A == 1 {
+					settled[e] = 1
+				} else {
+					settled[e] = -1
+				}
+			}
+		}
+		matchedV := make([]bool, g.N())
+		for e, edge := range g.Edges() {
+			if settled[e] == 1 {
+				matchedV[edge.U] = true
+				matchedV[edge.V] = true
+			}
+		}
+		unsettled = 0
+		for e, edge := range g.Edges() {
+			if settled[e] == 0 && (matchedV[edge.U] || matchedV[edge.V]) {
+				settled[e] = -1
+			}
+			if settled[e] == 0 {
+				unsettled++
+			}
+		}
+	}
+
+	matched := make([]bool, m)
+	for e := range matched {
+		matched[e] = settled[e] == 1
+	}
+	return MatchingResult{Matched: matched, Pi: pi, Telemetry: telemetryFrom(rt, iters)}, nil
+}
+
+// matchQuery runs the truncated query process on the line graph.
+type matchQuery struct {
+	ctx  *ampc.Ctx
+	memo map[int]int8
+}
+
+func (q *matchQuery) writeStatus(e int, s int8) {
+	val := int64(0)
+	if s == 1 {
+		val = 1
+	}
+	q.ctx.Write(dds.Key{Tag: tagMatchStatus, A: int64(e)}, dds.Value{A: val})
+}
+
+func (q *matchQuery) low() bool { return q.ctx.Remaining() <= misReserve }
+
+// eval determines whether edge e joins the greedy matching, returning +1,
+// -1, or 0 (truncated). capacity counts recursive visits.
+func (q *matchQuery) eval(e int, capacity *int) int8 {
+	if s, ok := q.memo[e]; ok {
+		return s
+	}
+	if *capacity <= 0 || q.low() {
+		return 0
+	}
+	*capacity--
+
+	if s, ok := q.ctx.Read(dds.Key{Tag: tagMatchStatus, A: int64(e)}); ok {
+		r := int8(-1)
+		if s.A == 1 {
+			r = 1
+		}
+		q.memo[e] = r
+		return r
+	}
+
+	p, ok := q.ctx.ReadStatic(dds.Key{Tag: tagMatchPrio, A: int64(e)})
+	if !ok {
+		return 0
+	}
+	myPrio := p.A
+	ends, ok := q.ctx.ReadStatic(dds.Key{Tag: tagMatchEdge, A: int64(e)})
+	if !ok {
+		return 0
+	}
+
+	// Scan the incident edges of both endpoints: a settled matched
+	// neighbor decides e immediately; settled unmatched neighbors are gone
+	// from the remaining line graph.
+	var earlier []prioNbr
+	for _, v := range [2]int64{ends.A, ends.B} {
+		if q.low() {
+			return 0
+		}
+		deg, ok := q.ctx.ReadStatic(graph.DegKey(int(v)))
+		if !ok {
+			return 0
+		}
+		for i := 0; i < int(deg.A); i++ {
+			if q.low() {
+				return 0
+			}
+			rec, ok := q.ctx.ReadStatic(dds.Key{Tag: tagMatchInc, A: v, B: int64(i)})
+			if !ok {
+				return 0
+			}
+			o := int(rec.A)
+			if o == e {
+				continue
+			}
+			if s, done := q.memo[o]; done {
+				if s == 1 {
+					q.memo[e] = -1
+					q.writeStatus(e, -1)
+					return -1
+				}
+				continue
+			}
+			if s, ok := q.ctx.Read(dds.Key{Tag: tagMatchStatus, A: int64(o)}); ok {
+				if s.A == 1 {
+					q.memo[e] = -1
+					q.writeStatus(e, -1)
+					return -1
+				}
+				q.memo[o] = -1
+				continue
+			}
+			op, ok := q.ctx.ReadStatic(dds.Key{Tag: tagMatchPrio, A: int64(o)})
+			if !ok {
+				return 0
+			}
+			if op.A < myPrio {
+				earlier = append(earlier, prioNbr{o, op.A})
+			}
+		}
+	}
+	sort.Slice(earlier, func(i, j int) bool { return earlier[i].prio < earlier[j].prio })
+
+	for _, o := range earlier {
+		switch q.eval(o.v, capacity) {
+		case 1:
+			q.memo[e] = -1
+			q.writeStatus(e, -1)
+			return -1
+		case 0:
+			return 0
+		}
+	}
+	q.memo[e] = 1
+	q.writeStatus(e, 1)
+	return 1
+}

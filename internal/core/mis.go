@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// DDS tags private to the MIS algorithm.
+const (
+	tagMISPrio   = graph.TagAlgoBase + 16 // (tag, v, 0) -> (priority rank, 0)
+	tagMISStatus = graph.TagAlgoBase + 17 // (tag, v, 0) -> (1 in MIS / 0 not, 0)
+)
+
+// MISResult reports the outcome and cost of the AMPC MIS algorithm.
+type MISResult struct {
+	// InMIS is the membership vector of the computed maximal independent
+	// set: the lexicographically-first MIS under the run's random priority
+	// permutation.
+	InMIS []bool
+	// Pi is the priority permutation used: Pi[v] is v's rank, and the
+	// output equals graph.LFMIS(g, Pi) exactly.
+	Pi []int
+	// Telemetry is the measured cost.
+	Telemetry Telemetry
+}
+
+// MIS computes a maximal independent set in O(1/ε) iterations w.h.p.
+// (§5, Theorem 2). It fixes a random permutation π and finds the
+// lexicographically-first MIS under π by running the truncated Yoshida–
+// Nguyen–Onak query process (Algorithms 3–5) for every unsettled vertex in
+// parallel each round: a vertex's machine adaptively explores the relevant
+// part of its neighborhood, recursing into lower-priority neighbors, with
+// the number of recursive visits capped by the machine's space S (the
+// paper's capacity c). Vertices whose query cost exceeds the cap stay
+// unsettled and retry in the next iteration against the statuses settled so
+// far (Lemma 5.2 bounds the iterations by O(1/ε)).
+//
+// Communication accounting: the paper counts one query per visited vertex
+// and implicitly assumes a neighbor list fits in machine space (Algorithm 5
+// sorts it locally), i.e. Δ = O(S). We charge every DDS read individually —
+// stricter — and size the budget to afford Δ reads plus the usual c·S, so
+// inputs with Δ > S still run while the per-read accounting stays visible
+// in the telemetry.
+func MIS(g *graph.Graph, opts Options) (MISResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return MISResult{}, err
+	}
+	n := g.N()
+	if opts.BudgetFactor == 0 {
+		_, s := opts.params(n, g.M())
+		opts.BudgetFactor = ampc.DefaultBudgetFactor + (3*g.MaxDeg()+16)/s
+	}
+	rt := opts.newRuntime(n, g.M())
+	driver := opts.driverRNG(4)
+
+	// Publish the graph and the priority permutation.
+	pi := driver.Perm(n)
+	pairs := graph.Encode(g)
+	for v := 0; v < n; v++ {
+		pairs = append(pairs, dds.KV{
+			Key:   dds.Key{Tag: tagMISPrio, A: int64(v)},
+			Value: dds.Value{A: int64(pi[v])},
+		})
+	}
+	if err := rt.AddStatic("mis-publish", pairs); err != nil {
+		return MISResult{}, err
+	}
+
+	settled := make([]int8, n) // 0 unknown, +1 in MIS, -1 not in MIS
+	unsettled := n
+	maxIters := 8*shrinkIterations(opts.Epsilon) + 32 // generous safety cap
+	iters := 0
+
+	vertices := make([]int, n)
+	for v := range vertices {
+		vertices[v] = v
+	}
+
+	for unsettled > 0 {
+		if iters++; iters > maxIters {
+			return MISResult{}, fmt.Errorf("core: MIS failed to settle after %d iterations (%d left)", maxIters, unsettled)
+		}
+		driver.Shuffle(len(vertices), func(i, j int) { vertices[i], vertices[j] = vertices[j], vertices[i] })
+
+		err := rt.Round(fmt.Sprintf("mis-iter-%d", iters), func(ctx *ampc.Ctx) error {
+			lo, hi := ampc.BlockRange(ctx.Machine, len(vertices), ctx.P)
+			q := &misQuery{ctx: ctx, memo: make(map[int]int8)}
+			// Carry forward settled statuses for owned vertices, then run
+			// the truncated query process for the unsettled ones.
+			for _, v := range vertices[lo:hi] {
+				if s := settled[v]; s != 0 {
+					q.writeStatus(v, s)
+				}
+			}
+			for _, v := range vertices[lo:hi] {
+				if settled[v] != 0 {
+					continue
+				}
+				capacity := ctx.S // the paper's per-vertex visit cap c
+				q.eval(v, &capacity)
+			}
+			return nil
+		})
+		if err != nil {
+			return MISResult{}, err
+		}
+
+		// Master: fold the round's discoveries back into the driver state,
+		// and apply the Algorithm 4 removal rule — neighbors of vertices
+		// that joined the MIS leave the graph as non-members (an MPC
+		// compaction step in the paper).
+		for v := 0; v < n; v++ {
+			if settled[v] != 0 {
+				continue
+			}
+			if s, ok := rt.Store().Get(dds.Key{Tag: tagMISStatus, A: int64(v)}); ok {
+				if s.A == 1 {
+					settled[v] = 1
+				} else {
+					settled[v] = -1
+				}
+			}
+		}
+		unsettled = 0
+		for v := 0; v < n; v++ {
+			if settled[v] == 1 {
+				for _, u := range g.Neighbors(v) {
+					if settled[u] == 0 {
+						settled[u] = -1
+					}
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if settled[v] == 0 {
+				unsettled++
+			}
+		}
+	}
+
+	in := make([]bool, n)
+	for v := range in {
+		in[v] = settled[v] == 1
+	}
+	return MISResult{InMIS: in, Pi: pi, Telemetry: telemetryFrom(rt, iters)}, nil
+}
+
+// misQuery runs the truncated query process (Algorithm 5) for one machine
+// within one round. memo caches fully determined vertices: f(v, π) is a
+// deterministic function of the graph and π, so locally determined values
+// are globally consistent and can be published.
+type misQuery struct {
+	ctx  *ampc.Ctx
+	memo map[int]int8
+}
+
+func (q *misQuery) writeStatus(v int, s int8) {
+	val := int64(0)
+	if s == 1 {
+		val = 1
+	}
+	q.ctx.Write(dds.Key{Tag: tagMISStatus, A: int64(v)}, dds.Value{A: val})
+}
+
+// reserve is the slack kept unspent in the machine budget so bookkeeping
+// writes never trip ErrBudget; running low is treated as truncation.
+const misReserve = 8
+
+func (q *misQuery) low() bool { return q.ctx.Remaining() <= misReserve }
+
+// eval determines f(v, π) if possible, returning +1 (in MIS), -1 (not), or
+// 0 (unknown: the visit capacity or the machine budget ran out). capacity
+// counts recursive visits, matching Algorithm 5's q.
+func (q *misQuery) eval(v int, capacity *int) int8 {
+	if s, ok := q.memo[v]; ok {
+		return s
+	}
+	if *capacity <= 0 || q.low() {
+		return 0
+	}
+	*capacity--
+
+	// Previously settled status is authoritative.
+	if s, ok := q.ctx.Read(dds.Key{Tag: tagMISStatus, A: int64(v)}); ok {
+		r := int8(-1)
+		if s.A == 1 {
+			r = 1
+		}
+		q.memo[v] = r
+		return r
+	}
+
+	p, ok := q.ctx.ReadStatic(dds.Key{Tag: tagMISPrio, A: int64(v)})
+	if !ok {
+		return 0
+	}
+	myPrio := p.A
+
+	// Scan the neighborhood: settled non-members are gone from the
+	// remaining graph; a settled member anywhere decides v immediately
+	// (MIS neighbors exclude v regardless of order).
+	d, ok := q.ctx.ReadStatic(graph.DegKey(v))
+	if !ok {
+		return 0
+	}
+	var earlier []prioNbr
+	for i := 0; i < int(d.A); i++ {
+		if q.low() {
+			return 0
+		}
+		a, ok := q.ctx.ReadStatic(graph.AdjKey(v, i))
+		if !ok {
+			return 0
+		}
+		u := int(a.A)
+		if s, done := q.memo[u]; done {
+			if s == 1 {
+				q.memo[v] = -1
+				q.writeStatus(v, -1)
+				return -1
+			}
+			if s == -1 {
+				continue
+			}
+		}
+		if s, ok := q.ctx.Read(dds.Key{Tag: tagMISStatus, A: int64(u)}); ok {
+			if s.A == 1 {
+				q.memo[v] = -1
+				q.writeStatus(v, -1)
+				return -1
+			}
+			q.memo[u] = -1
+			continue
+		}
+		up, ok := q.ctx.ReadStatic(dds.Key{Tag: tagMISPrio, A: int64(u)})
+		if !ok {
+			return 0
+		}
+		if up.A < myPrio {
+			earlier = append(earlier, prioNbr{u, up.A})
+		}
+	}
+	sort.Slice(earlier, func(i, j int) bool { return earlier[i].prio < earlier[j].prio })
+
+	for _, u := range earlier {
+		switch q.eval(u.v, capacity) {
+		case 1:
+			q.memo[v] = -1
+			q.writeStatus(v, -1)
+			return -1
+		case 0:
+			return 0 // truncated below; v stays unknown this iteration
+		}
+	}
+	q.memo[v] = 1
+	q.writeStatus(v, 1)
+	return 1
+}
+
+type prioNbr struct {
+	v    int
+	prio int64
+}

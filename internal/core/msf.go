@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// MSFResult reports the outcome and cost of Algorithm 9.
+type MSFResult struct {
+	// Edges is the minimum spanning forest as original edges, sorted by
+	// weight. Distinct weights make it unique.
+	Edges []graph.WeightedEdge
+	// Telemetry is the measured cost.
+	Telemetry Telemetry
+}
+
+// MSF computes the minimum spanning forest in O(log log_{T/n} n + 1/ε)
+// phases w.h.p. (§7, Theorem 4). Each phase every vertex grows a local
+// spanning tree with Prim's algorithm through adaptive DDS reads until it
+// holds d vertices (Algorithm 8, MSFIncreaseDegree); the tree edges are
+// committed to the MSF (they are minimum-cut edges of the contracted
+// graph), leaders are sampled, and vertices contract to leaders inside
+// their local trees. Contraction keeps the lightest edge per merged pair
+// (the cycle property discards the rest) and a weight -> original-edge map
+// recovers input edges, as the paper's mapping M does.
+func MSF(g *graph.WeightedGraph, opts Options) (MSFResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return MSFResult{}, err
+	}
+	n := g.N()
+	rt := opts.newRuntime(n, g.M())
+	driver := opts.driverRNG(6)
+
+	byWeight := make(map[int64]graph.WeightedEdge, g.M())
+	for _, e := range g.WeightedEdges() {
+		byWeight[e.Weight] = e
+	}
+
+	// Adjacency lists are kept sorted by weight: lazy Prim then reads each
+	// vertex's cheapest unread edge first and never needs a full list,
+	// which is what bounds a local tree's reads by O(d²) (Lemma 6.1's
+	// argument). The sort is a standard MPC primitive.
+	gc := &contracted{adj: make(map[int][]wedge, n)}
+	for v := 0; v < n; v++ {
+		if g.Deg(v) == 0 {
+			continue
+		}
+		gc.verts = append(gc.verts, v)
+		for _, u := range g.Neighbors(v) {
+			gc.adj[v] = append(gc.adj[v], wedge{to: u, w: g.Weight(v, u)})
+		}
+		adj := gc.adj[v]
+		sort.Slice(adj, func(i, j int) bool { return adj[i].w < adj[j].w })
+	}
+	m2 := make([]int, n)
+	for v := range m2 {
+		m2[v] = v
+	}
+
+	committed := make(map[int64]bool)
+	totalSpace := float64(opts.TotalSpaceFactor * (n + g.M() + 1))
+	dCap := math.Pow(float64(n), opts.Epsilon/2)
+	phases := 0
+	maxPhases := 4*int(math.Log2(float64(n+4))) + 16
+
+	for len(gc.verts) > 0 && gc.edges() > 0 {
+		if phases++; phases > maxPhases {
+			return MSFResult{}, fmt.Errorf("core: MSF failed to converge after %d phases", maxPhases)
+		}
+
+		if 1+len(gc.verts)+2*gc.edges() <= rt.Budget()/2 {
+			if err := msfSolveLocally(rt, gc, phases, committed); err != nil {
+				return MSFResult{}, err
+			}
+			break
+		}
+
+		nPrime := len(gc.verts)
+		d := int(math.Sqrt(totalSpace / float64(nPrime)))
+		if fd := float64(d); fd > dCap {
+			d = int(dCap)
+		}
+		if d < 2 {
+			d = 2
+		}
+
+		if err := publishContracted(rt, gc, phases); err != nil {
+			return MSFResult{}, err
+		}
+		if err := msfIncreaseDegree(rt, gc, d, driver, phases); err != nil {
+			return MSFResult{}, err
+		}
+
+		// Commit this round's local-tree edges (all are MSF edges of Gc,
+		// hence of G).
+		for _, v := range gc.verts {
+			for _, w := range readTreeWeights(rt, v) {
+				committed[w] = true
+			}
+		}
+
+		// Leader sampling and contraction within local trees.
+		pLead := math.Log(float64(nPrime) + 3)
+		pLead /= float64(d)
+		if pLead > 0.5 {
+			pLead = 0.5
+		}
+		leader := make(map[int]bool, nPrime)
+		for _, v := range gc.verts {
+			if driver.Bernoulli(pLead) {
+				leader[v] = true
+			}
+		}
+		target := make(map[int]int, nPrime)
+		for _, v := range gc.verts {
+			fv, whole := readFound(rt, v)
+			switch {
+			case leader[v]:
+				target[v] = v
+			case whole:
+				min := v
+				for _, x := range fv {
+					if x < min {
+						min = x
+					}
+				}
+				target[v] = min
+			default:
+				target[v] = v
+				for _, x := range fv {
+					if leader[x] {
+						target[v] = x
+						break
+					}
+				}
+			}
+		}
+		gc = contractInto(gc, target, m2, nil)
+	}
+
+	edges := make([]graph.WeightedEdge, 0, len(committed))
+	for w := range committed {
+		e, ok := byWeight[w]
+		if !ok {
+			return MSFResult{}, fmt.Errorf("core: committed weight %d maps to no input edge", w)
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight < edges[j].Weight })
+	return MSFResult{Edges: edges, Telemetry: telemetryFrom(rt, phases)}, nil
+}
+
+// SpanningForest computes an arbitrary spanning forest by running MSF over
+// edge-index weights (Corollary 7.2). It returns the forest edges and a
+// connectivity labeling derived from them.
+func SpanningForest(g *graph.Graph, opts Options) ([]graph.Edge, []int, Telemetry, error) {
+	wes := make([]graph.WeightedEdge, g.M())
+	for i, e := range g.Edges() {
+		wes[i] = graph.WeightedEdge{U: e.U, V: e.V, Weight: int64(i) + 1}
+	}
+	wg, err := graph.NewWeightedGraph(g.N(), wes)
+	if err != nil {
+		return nil, nil, Telemetry{}, err
+	}
+	res, err := MSF(wg, opts)
+	if err != nil {
+		return nil, nil, Telemetry{}, err
+	}
+	forest := make([]graph.Edge, len(res.Edges))
+	dsu := graph.NewDSU(g.N())
+	for i, e := range res.Edges {
+		forest[i] = graph.Edge{U: e.U, V: e.V}.Canon()
+		dsu.Union(e.U, e.V)
+	}
+	labels := make([]int, g.N())
+	min := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		r := dsu.Find(v)
+		if cur, ok := min[r]; !ok || v < cur {
+			min[r] = v
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		labels[v] = min[dsu.Find(v)]
+	}
+	return forest, labels, res.Telemetry, nil
+}
+
+// msfIncreaseDegree is Algorithm 8: every vertex grows a local Prim tree of
+// up to d vertices through adaptive reads and records both the tree members
+// (Fv) and the chosen edge weights (E(v)).
+func msfIncreaseDegree(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffler, phase int) error {
+	verts := append([]int(nil), gc.verts...)
+	driver.Shuffle(len(verts), func(i, j int) { verts[i], verts[j] = verts[j], verts[i] })
+	return rt.Round(fmt.Sprintf("msf-increase-%d", phase), func(ctx *ampc.Ctx) error {
+		lo, hi := ampc.BlockRange(ctx.Machine, len(verts), ctx.P)
+		for _, v := range verts[lo:hi] {
+			fv, tree, whole, err := primExplore(ctx, v, d)
+			if err != nil {
+				return err
+			}
+			w := int64(0)
+			if whole {
+				w = 1
+			}
+			ctx.Write(dds.Key{Tag: tagConnSize, A: int64(v)}, dds.Value{A: int64(len(fv)), B: w})
+			for i, x := range fv {
+				ctx.Write(dds.Key{Tag: tagConnFound, A: int64(v), B: int64(i)}, dds.Value{A: int64(x)})
+			}
+			for i, tw := range tree {
+				ctx.Write(dds.Key{Tag: tagMSFEdge, A: int64(v), B: int64(i)}, dds.Value{A: tw})
+			}
+		}
+		return ctx.Err()
+	})
+}
+
+// primExplore grows v's local Prim tree to at most d vertices using lazy
+// cursors over weight-sorted adjacency lists: each tree vertex exposes its
+// cheapest not-yet-consumed outgoing edge, every adjacency entry is read at
+// most once, and the total reads stay O(d²) (Lemma 6.1's argument). It
+// returns the non-v tree members, the chosen edge weights, and whether the
+// whole component was exhausted. If the read cap trips, the expansion stops
+// cleanly: all edges chosen so far were genuine minimum-cut selections and
+// remain valid MSF edges.
+func primExplore(ctx *ampc.Ctx, v, d int) ([]int, []int64, bool, error) {
+	readCap := 4*d*d + 64
+	reads := 0
+
+	type cursor struct {
+		x    int
+		deg  int
+		next int    // next unread adjacency index
+		head *wedge // cheapest known crossing edge, nil if exhausted
+	}
+	inTree := map[int]bool{v: true}
+	var members []int
+	var treeWeights []int64
+	var cursors []*cursor
+
+	// advance refreshes a cursor so head is the cheapest edge of x leaving
+	// the tree, or nil if x has none left. truncated reports a tripped
+	// read cap.
+	truncated := false
+	advance := func(c *cursor) error {
+		if c.head != nil && !inTree[c.head.to] {
+			return nil
+		}
+		c.head = nil
+		for c.next < c.deg {
+			if reads >= readCap {
+				truncated = true
+				return nil
+			}
+			a, ok := ctx.Read(dds.Key{Tag: tagConnAdj, A: int64(c.x), B: int64(c.next)})
+			if !ok {
+				return fmt.Errorf("core: missing adjacency (%d,%d) (err %v)", c.x, c.next, ctx.Err())
+			}
+			reads++
+			c.next++
+			if !inTree[int(a.A)] {
+				c.head = &wedge{to: int(a.A), w: a.B}
+				return nil
+			}
+		}
+		return nil
+	}
+	addCursor := func(x int) error {
+		if reads >= readCap {
+			truncated = true
+			return nil
+		}
+		deg, ok := ctx.Read(dds.Key{Tag: tagConnDeg, A: int64(x)})
+		if !ok {
+			return fmt.Errorf("core: missing degree for %d (err %v)", x, ctx.Err())
+		}
+		reads++
+		c := &cursor{x: x, deg: int(deg.A)}
+		cursors = append(cursors, c)
+		return advance(c)
+	}
+
+	if err := addCursor(v); err != nil {
+		return nil, nil, false, err
+	}
+	for len(inTree) < d+1 && !truncated {
+		// The cheapest head across all tree vertices is the minimum-weight
+		// edge crossing the tree cut (lists are weight-sorted).
+		var best *cursor
+		for _, c := range cursors {
+			if err := advance(c); err != nil {
+				return nil, nil, false, err
+			}
+			if truncated {
+				return members, treeWeights, false, nil
+			}
+			if c.head != nil && (best == nil || c.head.w < best.head.w) {
+				best = c
+			}
+		}
+		if best == nil {
+			return members, treeWeights, true, nil // component exhausted
+		}
+		chosen := *best.head
+		best.head = nil
+		inTree[chosen.to] = true
+		members = append(members, chosen.to)
+		treeWeights = append(treeWeights, chosen.w)
+		if err := addCursor(chosen.to); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	return members, treeWeights, false, nil
+}
+
+// readTreeWeights returns the local-tree edge weights recorded for v.
+func readTreeWeights(rt *ampc.Runtime, v int) []int64 {
+	var out []int64
+	for i := 0; ; i++ {
+		w, ok := rt.Store().Get(dds.Key{Tag: tagMSFEdge, A: int64(v), B: int64(i)})
+		if !ok {
+			return out
+		}
+		out = append(out, w.A)
+	}
+}
+
+// msfSolveLocally publishes the remainder and has machine 0 finish it with
+// a local Kruskal, writing the chosen weights for the master to commit.
+func msfSolveLocally(rt *ampc.Runtime, gc *contracted, phase int, committed map[int64]bool) error {
+	if err := publishContracted(rt, gc, phase*1000); err != nil {
+		return err
+	}
+	verts := gc.verts
+	err := rt.Round(fmt.Sprintf("msf-local-%d", phase), func(ctx *ampc.Ctx) error {
+		if ctx.Machine != 0 {
+			return nil
+		}
+		idx := make(map[int]int, len(verts))
+		for i, v := range verts {
+			idx[v] = i
+		}
+		type we struct {
+			w    int64
+			a, b int
+		}
+		var edges []we
+		for _, v := range verts {
+			deg, ok := ctx.Read(dds.Key{Tag: tagConnDeg, A: int64(v)})
+			if !ok {
+				return fmt.Errorf("core: local MSF missing degree for %d (err %v)", v, ctx.Err())
+			}
+			for j := 0; j < int(deg.A); j++ {
+				a, ok := ctx.Read(dds.Key{Tag: tagConnAdj, A: int64(v), B: int64(j)})
+				if !ok {
+					return fmt.Errorf("core: local MSF missing adjacency (err %v)", ctx.Err())
+				}
+				if v < int(a.A) {
+					edges = append(edges, we{w: a.B, a: v, b: int(a.A)})
+				}
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+		dsu := graph.NewDSU(len(verts))
+		k := 0
+		for _, e := range edges {
+			if dsu.Union(idx[e.a], idx[e.b]) {
+				ctx.Write(dds.Key{Tag: tagMSFEdge, A: -1, B: int64(k)}, dds.Value{A: e.w})
+				k++
+			}
+		}
+		return ctx.Err()
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		w, ok := rt.Store().Get(dds.Key{Tag: tagMSFEdge, A: -1, B: int64(i)})
+		if !ok {
+			break
+		}
+		committed[w.A] = true
+	}
+	return nil
+}

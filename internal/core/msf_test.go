@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+func msfWeightsEqual(t *testing.T, name string, got, want []graph.WeightedEdge) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d MSF edges, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Weight != want[i].Weight {
+			t.Fatalf("%s: edge %d weight %d, oracle %d", name, i, got[i].Weight, want[i].Weight)
+		}
+	}
+}
+
+func TestMSFMatchesKruskal(t *testing.T) {
+	r := rng.New(60, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.WeightedGraph
+	}{
+		{"cycle", graph.WithRandomWeights(graph.Cycle(64), r)},
+		{"gnm", graph.WithRandomWeights(graph.ConnectedGNM(300, 1200, r), r)},
+		{"sparse", graph.WithRandomWeights(graph.GNM(250, 300, r), r)},
+		{"forest-input", graph.WithRandomWeights(graph.RandomForest(200, 8, r), r)},
+		{"two-comps", graph.WithRandomWeights(graph.Union(graph.ConnectedGNM(80, 200, r), graph.Clique(20)), r)},
+		{"grid", graph.WithRandomWeights(graph.Grid(12, 12), r)},
+		{"dense", graph.WithRandomWeights(graph.GNM(80, 2400, r), r)},
+	} {
+		res, err := MSF(tc.g, Options{Seed: 77})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := graph.KruskalMSF(tc.g)
+		msfWeightsEqual(t, tc.name, res.Edges, want)
+	}
+}
+
+func TestMSFSeedSweep(t *testing.T) {
+	r := rng.New(61, 0)
+	g := graph.WithRandomWeights(graph.ConnectedGNM(200, 800, r), r)
+	want := graph.KruskalMSF(g)
+	for seed := uint64(0); seed < 6; seed++ {
+		res, err := MSF(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		msfWeightsEqual(t, "seed-sweep", res.Edges, want)
+	}
+}
+
+func TestMSFEmptyAndTiny(t *testing.T) {
+	res, err := MSF(graph.MustWeightedGraph(5, nil), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 0 {
+		t.Fatal("edgeless graph produced MSF edges")
+	}
+	g := graph.MustWeightedGraph(2, []graph.WeightedEdge{{U: 0, V: 1, Weight: 9}})
+	res, err = MSF(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 1 || res.Edges[0].Weight != 9 {
+		t.Fatalf("single-edge MSF = %v", res.Edges)
+	}
+}
+
+func TestMSFPhasesDoublyLogarithmic(t *testing.T) {
+	r := rng.New(62, 0)
+	small, err := MSF(graph.WithRandomWeights(graph.ConnectedGNM(512, 2048, r), r), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := MSF(graph.WithRandomWeights(graph.ConnectedGNM(8192, 32768, r), r), Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Telemetry.Phases > small.Telemetry.Phases+5 {
+		t.Fatalf("phases grew too fast: %d -> %d", small.Telemetry.Phases, large.Telemetry.Phases)
+	}
+}
+
+func TestSpanningForest(t *testing.T) {
+	r := rng.New(63, 0)
+	g := graph.GNM(300, 700, r)
+	forest, labels, _, err := SpanningForest(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forest must be acyclic, use only graph edges, and span every
+	// component.
+	f := graph.MustGraph(g.N(), forest)
+	if !graph.IsForest(f) {
+		t.Fatal("spanning forest has a cycle")
+	}
+	for _, e := range forest {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("forest edge %v not in graph", e)
+		}
+	}
+	if !graph.SameLabeling(graph.Components(f), graph.Components(g)) {
+		t.Fatal("forest does not span the components")
+	}
+	if !graph.SameLabeling(labels, graph.Components(g)) {
+		t.Fatal("returned labels wrong")
+	}
+}
+
+func TestMSFDeterministic(t *testing.T) {
+	r := rng.New(64, 0)
+	g := graph.WithRandomWeights(graph.ConnectedGNM(150, 500, r), r)
+	a, err := MSF(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MSF(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Telemetry.TotalQueries != b.Telemetry.TotalQueries {
+		t.Fatal("same seed, different query counts")
+	}
+	msfWeightsEqual(t, "determinism", a.Edges, b.Edges)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// DDS tags private to the RMQ structure.
+const (
+	tagRMQMin = graph.TagAlgoBase + 12 // (tag, level, i) -> (min over [i, i+2^level), 0)
+	tagRMQMax = graph.TagAlgoBase + 13 // (tag, level, i) -> (max over [i, i+2^level), 0)
+)
+
+// RMQ is a sparse-table range-minimum/maximum structure over an int64
+// array (Lemma 8.9). Building takes O(n log n) space — matching the
+// paper's O(n) total space up to the log factor it allows — and each query
+// takes O(1) probes, so a machine can answer a query with O(1) DDS reads
+// when the table is published to the store.
+type RMQ struct {
+	n        int
+	min, max [][]int64
+}
+
+// NewRMQ builds the sparse table over values.
+func NewRMQ(values []int64) *RMQ {
+	n := len(values)
+	r := &RMQ{n: n}
+	if n == 0 {
+		return r
+	}
+	levels := bits.Len(uint(n))
+	r.min = make([][]int64, levels)
+	r.max = make([][]int64, levels)
+	r.min[0] = append([]int64(nil), values...)
+	r.max[0] = append([]int64(nil), values...)
+	for k := 1; k < levels; k++ {
+		w := 1 << k
+		r.min[k] = make([]int64, n-w+1)
+		r.max[k] = make([]int64, n-w+1)
+		for i := 0; i+w <= n; i++ {
+			r.min[k][i] = min64(r.min[k-1][i], r.min[k-1][i+w/2])
+			r.max[k][i] = max64(r.max[k-1][i], r.max[k-1][i+w/2])
+		}
+	}
+	return r
+}
+
+// Len returns the length of the underlying array.
+func (r *RMQ) Len() int { return r.n }
+
+// Min returns the minimum over the inclusive range [l, r2].
+func (r *RMQ) Min(l, r2 int) int64 {
+	k := r.level(l, r2)
+	return min64(r.min[k][l], r.min[k][r2-(1<<k)+1])
+}
+
+// Max returns the maximum over the inclusive range [l, r2].
+func (r *RMQ) Max(l, r2 int) int64 {
+	k := r.level(l, r2)
+	return max64(r.max[k][l], r.max[k][r2-(1<<k)+1])
+}
+
+func (r *RMQ) level(l, r2 int) int {
+	if l < 0 || r2 >= r.n || l > r2 {
+		panic(fmt.Sprintf("core: RMQ range [%d,%d] out of [0,%d)", l, r2, r.n))
+	}
+	return bits.Len(uint(r2-l+1)) - 1
+}
+
+// Encode serializes both sparse tables into DDS pairs so machines can
+// answer range queries with O(1) budgeted reads (two per Min/Max). When two
+// RMQ structures over different arrays share a store, use EncodeMin and
+// EncodeMax to keep their tag spaces from colliding.
+func (r *RMQ) Encode() []dds.KV {
+	return append(r.EncodeMin(), r.EncodeMax()...)
+}
+
+// EncodeMin serializes only the minimum table.
+func (r *RMQ) EncodeMin() []dds.KV {
+	var pairs []dds.KV
+	for k := range r.min {
+		for i := range r.min[k] {
+			pairs = append(pairs, dds.KV{
+				Key:   dds.Key{Tag: tagRMQMin, A: int64(k), B: int64(i)},
+				Value: dds.Value{A: r.min[k][i]},
+			})
+		}
+	}
+	return pairs
+}
+
+// EncodeMax serializes only the maximum table.
+func (r *RMQ) EncodeMax() []dds.KV {
+	var pairs []dds.KV
+	for k := range r.max {
+		for i := range r.max[k] {
+			pairs = append(pairs, dds.KV{
+				Key:   dds.Key{Tag: tagRMQMax, A: int64(k), B: int64(i)},
+				Value: dds.Value{A: r.max[k][i]},
+			})
+		}
+	}
+	return pairs
+}
+
+// StoreReader answers RMQ queries against a store holding Encode's pairs.
+// It is used inside AMPC rounds via the static-read interface.
+type rmqReader interface {
+	ReadStatic(k dds.Key) (dds.Value, bool)
+}
+
+// RMQMinFromStore answers Min(l, r) with two static reads.
+func RMQMinFromStore(ctx rmqReader, l, r int) (int64, error) {
+	if l > r {
+		return 0, fmt.Errorf("core: RMQ range [%d,%d] inverted", l, r)
+	}
+	k := bits.Len(uint(r-l+1)) - 1
+	a, ok1 := ctx.ReadStatic(dds.Key{Tag: tagRMQMin, A: int64(k), B: int64(l)})
+	b, ok2 := ctx.ReadStatic(dds.Key{Tag: tagRMQMin, A: int64(k), B: int64(r - (1 << k) + 1)})
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("core: RMQ table missing level %d", k)
+	}
+	return min64(a.A, b.A), nil
+}
+
+// RMQMaxFromStore answers Max(l, r) with two static reads.
+func RMQMaxFromStore(ctx rmqReader, l, r int) (int64, error) {
+	if l > r {
+		return 0, fmt.Errorf("core: RMQ range [%d,%d] inverted", l, r)
+	}
+	k := bits.Len(uint(r-l+1)) - 1
+	a, ok1 := ctx.ReadStatic(dds.Key{Tag: tagRMQMax, A: int64(k), B: int64(l)})
+	b, ok2 := ctx.ReadStatic(dds.Key{Tag: tagRMQMax, A: int64(k), B: int64(r - (1 << k) + 1)})
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("core: RMQ table missing level %d", k)
+	}
+	return max64(a.A, b.A), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+// rootsForForest picks the minimum vertex of each tree as its root.
+func rootsForForest(g *graph.Graph) []int {
+	comp := graph.Components(g)
+	seen := map[int]bool{}
+	var roots []int
+	for v := 0; v < g.N(); v++ {
+		if !seen[comp[v]] {
+			seen[comp[v]] = true
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}
+
+// checkParents verifies the parent map is a valid rooting of g.
+func checkParents(t *testing.T, g *graph.Graph, rf *RootedForest, roots []int) {
+	t.Helper()
+	isRoot := map[int]bool{}
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		p := rf.Parent[v]
+		if isRoot[v] {
+			if p != v {
+				t.Fatalf("root %d has parent %d", v, p)
+			}
+			continue
+		}
+		if g.Deg(v) == 0 {
+			continue
+		}
+		if p == v {
+			t.Fatalf("non-root %d is its own parent", v)
+		}
+		if !g.HasEdge(v, p) {
+			t.Fatalf("parent edge (%d,%d) not in forest", v, p)
+		}
+	}
+	// Walking parents from every vertex must reach that vertex's root
+	// within n steps.
+	for v := 0; v < g.N(); v++ {
+		x := v
+		for i := 0; i <= g.N(); i++ {
+			if rf.Parent[x] == x {
+				break
+			}
+			x = rf.Parent[x]
+		}
+		if rf.Parent[x] != x {
+			t.Fatalf("parent chain from %d does not reach a root", v)
+		}
+		if x != rf.Root[v] {
+			t.Fatalf("parent chain from %d reached %d, Root says %d", v, x, rf.Root[v])
+		}
+	}
+}
+
+func TestRootForestPath(t *testing.T) {
+	g := graph.Path(10)
+	rf, err := RootForest(g, []int{0}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 10; v++ {
+		if rf.Parent[v] != v-1 {
+			t.Fatalf("parent[%d] = %d, want %d", v, rf.Parent[v], v-1)
+		}
+	}
+}
+
+func TestRootForestRandomTrees(t *testing.T) {
+	r := rng.New(20, 0)
+	for _, n := range []int{2, 5, 50, 300} {
+		g := graph.RandomTree(n, r)
+		roots := []int{r.Intn(n)}
+		rf, err := RootForest(g, roots, Options{Seed: uint64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkParents(t, g, rf, roots)
+	}
+}
+
+func TestRootForestMultiTree(t *testing.T) {
+	r := rng.New(21, 0)
+	g := graph.RandomForest(120, 6, r)
+	roots := rootsForForest(g)
+	rf, err := RootForest(g, roots, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParents(t, g, rf, roots)
+}
+
+func TestRootForestValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := RootForest(graph.Cycle(4), []int{0}, Options{}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, err := RootForest(g, []int{0, 3}, Options{}); err == nil {
+		t.Fatal("two roots in one tree accepted")
+	}
+	if _, err := RootForest(g, nil, Options{}); err == nil {
+		t.Fatal("rootless tree accepted")
+	}
+	if _, err := RootForest(g, []int{9}, Options{}); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+// sizeOracle computes subtree sizes by counting parent-chain membership.
+func sizeOracle(parent []int) []int {
+	n := len(parent)
+	size := make([]int, n)
+	for v := 0; v < n; v++ {
+		x := v
+		for {
+			size[x]++
+			if parent[x] == x {
+				break
+			}
+			x = parent[x]
+		}
+	}
+	return size
+}
+
+func TestTreePropsSizes(t *testing.T) {
+	r := rng.New(22, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(12)},
+		{"star", graph.Star(9)},
+		{"caterpillar", graph.Caterpillar(7, 3)},
+		{"random", graph.RandomTree(150, r)},
+		{"forest", graph.RandomForest(90, 4, r)},
+	} {
+		roots := rootsForForest(tc.g)
+		rf, err := RootForest(tc.g, roots, Options{Seed: 31})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		props, err := ComputeTreeProps(rf)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := sizeOracle(rf.Parent)
+		for v := range want {
+			if props.Size[v] != want[v] {
+				t.Fatalf("%s: size[%d] = %d, want %d", tc.name, v, props.Size[v], want[v])
+			}
+		}
+	}
+}
+
+func TestTreePropsPreorder(t *testing.T) {
+	r := rng.New(23, 0)
+	g := graph.RandomTree(200, r)
+	rf, err := RootForest(g, []int{0}, Options{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := ComputeTreeProps(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preorder numbers are a permutation of 1..n.
+	seen := make([]bool, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		p := props.Pre[v]
+		if p < 1 || p > g.N() || seen[p] {
+			t.Fatalf("preorder %d invalid or repeated at vertex %d", p, v)
+		}
+		seen[p] = true
+	}
+	// Parents precede children; subtree numbers form a contiguous block.
+	for v := 0; v < g.N(); v++ {
+		if rf.Parent[v] != v && props.Pre[rf.Parent[v]] >= props.Pre[v] {
+			t.Fatalf("parent %d not before child %d", rf.Parent[v], v)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		lo, hi := props.Pre[v], props.Pre[v]+props.Size[v]-1
+		for u := 0; u < g.N(); u++ {
+			in := inSubtree(rf.Parent, u, v)
+			numbered := props.Pre[u] >= lo && props.Pre[u] <= hi
+			if in != numbered {
+				t.Fatalf("subtree interval broken: u=%d v=%d in=%v numbered=%v", u, v, in, numbered)
+			}
+		}
+	}
+}
+
+func inSubtree(parent []int, u, v int) bool {
+	x := u
+	for {
+		if x == v {
+			return true
+		}
+		if parent[x] == x {
+			return false
+		}
+		x = parent[x]
+	}
+}
+
+func TestTreePropsSingleVertexTree(t *testing.T) {
+	g := graph.Union(graph.Path(3), graph.MustGraph(1, nil))
+	rf, err := RootForest(g, []int{0, 3}, Options{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := ComputeTreeProps(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props.Size[3] != 1 || props.Pre[3] != 1 {
+		t.Fatalf("isolated tree: size=%d pre=%d", props.Size[3], props.Pre[3])
+	}
+}
+
+func TestRMQAgainstNaive(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		r := rng.New(seed, 30)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(1000)) - 500
+		}
+		rmq := NewRMQ(vals)
+		for trial := 0; trial < 30; trial++ {
+			l := r.Intn(n)
+			rr := l + r.Intn(n-l)
+			wantMin, wantMax := vals[l], vals[l]
+			for i := l + 1; i <= rr; i++ {
+				wantMin = min64(wantMin, vals[i])
+				wantMax = max64(wantMax, vals[i])
+			}
+			if rmq.Min(l, rr) != wantMin || rmq.Max(l, rr) != wantMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMQPanicsOnBadRange(t *testing.T) {
+	rmq := NewRMQ([]int64{1, 2, 3})
+	for _, fn := range []func(){
+		func() { rmq.Min(-1, 2) },
+		func() { rmq.Min(0, 3) },
+		func() { rmq.Min(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad range accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRMQEmpty(t *testing.T) {
+	if NewRMQ(nil).Len() != 0 {
+		t.Fatal("empty RMQ has nonzero length")
+	}
+}
+
+// storeReader adapts a raw dds.Store to the rmqReader interface for tests.
+type storeReader struct{ s *dds.Store }
+
+func (r storeReader) ReadStatic(k dds.Key) (dds.Value, bool) { return r.s.Get(k) }
+
+func storeReaderFromPairs(pairs []dds.KV) rmqReader {
+	return storeReader{dds.NewStore(pairs, 4, 99)}
+}
+
+func TestRMQEncodeQueries(t *testing.T) {
+	r := rng.New(31, 0)
+	vals := make([]int64, 37)
+	for i := range vals {
+		vals[i] = int64(r.Intn(100))
+	}
+	rmq := NewRMQ(vals)
+	pairs := rmq.Encode()
+	reader := storeReaderFromPairs(pairs)
+	for trial := 0; trial < 50; trial++ {
+		l := r.Intn(len(vals))
+		rr := l + r.Intn(len(vals)-l)
+		gotMin, err := RMQMinFromStore(reader, l, rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMax, err := RMQMaxFromStore(reader, l, rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMin != rmq.Min(l, rr) || gotMax != rmq.Max(l, rr) {
+			t.Fatalf("store RMQ [%d,%d] = (%d,%d), want (%d,%d)",
+				l, rr, gotMin, gotMax, rmq.Min(l, rr), rmq.Max(l, rr))
+		}
+	}
+	if _, err := RMQMinFromStore(reader, 3, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestSubtreeAggregatesAgainstBruteForce(t *testing.T) {
+	r := rng.New(24, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"tree", graph.RandomTree(120, r)},
+		{"forest", graph.RandomForest(80, 5, r)},
+		{"path", graph.Path(30)},
+		{"star", graph.Star(25)},
+	} {
+		roots := rootsForForest(tc.g)
+		rf, err := RootForest(tc.g, roots, Options{Seed: 61})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		values := make([]int64, tc.g.N())
+		for v := range values {
+			values[v] = int64(r.Intn(2000)) - 1000
+		}
+		gotMin, gotMax, _, err := SubtreeAggregates(rf, values, Options{Seed: 62})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for v := 0; v < tc.g.N(); v++ {
+			wantMin, wantMax := values[v], values[v]
+			for u := 0; u < tc.g.N(); u++ {
+				if inSubtree(rf.Parent, u, v) {
+					wantMin = min64(wantMin, values[u])
+					wantMax = max64(wantMax, values[u])
+				}
+			}
+			if gotMin[v] != wantMin || gotMax[v] != wantMax {
+				t.Fatalf("%s: vertex %d: got (%d,%d), want (%d,%d)",
+					tc.name, v, gotMin[v], gotMax[v], wantMin, wantMax)
+			}
+		}
+	}
+}
+
+func TestSubtreeAggregatesValidation(t *testing.T) {
+	g := graph.Path(4)
+	rf, err := RootForest(g, []int{0}, Options{Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := SubtreeAggregates(rf, []int64{1, 2}, Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

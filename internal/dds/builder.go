@@ -1,0 +1,80 @@
+package dds
+
+import "sync"
+
+// Builder accumulates the key-value pairs written during a round and freezes
+// them into the next round's Store. Each machine writes through its own
+// Writer so the hot path is lock-free; Freeze merges the per-machine buffers
+// in machine-id order, which makes duplicate-key index assignment
+// deterministic for a fixed schedule of writes.
+type Builder struct {
+	mu      sync.Mutex
+	writers []*Writer
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// Writer returns a buffer for the given machine id. Writers for distinct
+// machines may be used concurrently; a single Writer is not concurrency-safe.
+func (b *Builder) Writer(machine int) *Writer {
+	w := &Writer{}
+	b.mu.Lock()
+	for len(b.writers) <= machine {
+		b.writers = append(b.writers, nil)
+	}
+	b.writers[machine] = w
+	b.mu.Unlock()
+	return w
+}
+
+// DropWriter discards any buffered writes from the given machine. The AMPC
+// runtime uses this to model machine failure: a machine that dies mid-round
+// restarts from scratch and its partial writes must not be visible.
+func (b *Builder) DropWriter(machine int) {
+	b.mu.Lock()
+	if machine < len(b.writers) {
+		b.writers[machine] = nil
+	}
+	b.mu.Unlock()
+}
+
+// Pairs returns all buffered pairs merged in machine-id order.
+func (b *Builder) Pairs() []KV {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, w := range b.writers {
+		if w != nil {
+			total += len(w.buf)
+		}
+	}
+	out := make([]KV, 0, total)
+	for _, w := range b.writers {
+		if w != nil {
+			out = append(out, w.buf...)
+		}
+	}
+	return out
+}
+
+// Freeze merges all buffered writes into an immutable Store sharded p ways
+// with the given salt.
+func (b *Builder) Freeze(p int, salt uint64) *Store {
+	return NewStore(b.Pairs(), p, salt)
+}
+
+// Writer buffers one machine's writes for the round.
+type Writer struct {
+	buf []KV
+}
+
+// Write appends one pair.
+func (w *Writer) Write(k Key, v Value) {
+	w.buf = append(w.buf, KV{k, v})
+}
+
+// Len returns the number of pairs buffered so far.
+func (w *Writer) Len() int { return len(w.buf) }

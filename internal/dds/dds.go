@@ -1,0 +1,182 @@
+// Package dds implements the distributed data store (DDS) at the heart of
+// the AMPC model of Behnezhad et al. (SPAA 2019).
+//
+// The model posits a collection of stores D0, D1, D2, ... with key-value
+// semantics. In round i machines read from D_{i-1} and write to D_i; within
+// a round the read store is immutable. Key-value pairs have constant size.
+// When k > 1 pairs share a key x, the individual values are addressed as
+// (x, 1), ..., (x, k) with arbitrary index assignment.
+//
+// This package provides:
+//
+//   - Store: a frozen, sharded, read-only snapshot (the D_{i-1} of a round),
+//   - Builder: the write side that accumulates the next round's pairs and
+//     freezes into a Store,
+//   - per-shard load accounting so the contention analysis of the paper's
+//     Lemma 2.1 can be validated empirically.
+//
+// Pairs are assigned to shards by a salted hash, modelling the paper's
+// assumption that "key-value pairs are randomly and independently assigned
+// to the machines handling the DDS". The salt is drawn per store so the
+// placement is independent of the keys an algorithm chooses to query.
+package dds
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Key identifies a constant-size key: a small tag discriminating the kind of
+// record plus two integer words. This matches the model's requirement that a
+// key consist of a constant number of words.
+type Key struct {
+	Tag  uint8
+	A, B int64
+}
+
+// Value is a constant-size value of two integer words.
+type Value struct {
+	A, B int64
+}
+
+func (k Key) String() string { return fmt.Sprintf("(%d,%d,%d)", k.Tag, k.A, k.B) }
+
+// KV is a key-value pair, used when writing batches.
+type KV struct {
+	Key   Key
+	Value Value
+}
+
+// hash mixes a key with the store's salt into a shard index. It uses the
+// SplitMix64 finalizer, which is a strong 64-bit mixer.
+func hash(k Key, salt uint64) uint64 {
+	x := salt
+	x ^= uint64(k.Tag) * 0x9e3779b97f4a7c15
+	x = mix(x)
+	x ^= uint64(k.A)
+	x = mix(x)
+	x ^= uint64(k.B)
+	return mix(x)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// shard holds the pairs that hashed to one DDS machine.
+type shard struct {
+	m    map[Key][]Value
+	load atomic.Int64 // queries answered by this shard
+}
+
+// Store is an immutable snapshot of one round's data, sharded across a fixed
+// number of DDS machines. All read methods are safe for concurrent use and
+// record per-shard load.
+type Store struct {
+	shards []*shard
+	salt   uint64
+	pairs  int
+}
+
+// NewStore builds a store over the given pairs, sharded p ways with the
+// given placement salt. Duplicate keys keep their slice order: the caller
+// controls index assignment by the order of the input slice (the model says
+// the indices 1..k are assigned arbitrarily).
+func NewStore(pairs []KV, p int, salt uint64) *Store {
+	if p <= 0 {
+		p = 1
+	}
+	s := &Store{shards: make([]*shard, p), salt: salt, pairs: len(pairs)}
+	for i := range s.shards {
+		s.shards[i] = &shard{m: make(map[Key][]Value)}
+	}
+	for _, kv := range pairs {
+		sh := s.shards[hash(kv.Key, salt)%uint64(p)]
+		sh.m[kv.Key] = append(sh.m[kv.Key], kv.Value)
+	}
+	return s
+}
+
+// shardFor returns the shard owning key k, counting one query against it.
+func (s *Store) shardFor(k Key) *shard {
+	sh := s.shards[hash(k, s.salt)%uint64(len(s.shards))]
+	sh.load.Add(1)
+	return sh
+}
+
+// Get returns the value stored under k. If several pairs share the key it
+// returns the value at index 0. The boolean reports whether the key occurs
+// at all ("querying for a key that does not occur results in an empty
+// response").
+func (s *Store) Get(k Key) (Value, bool) {
+	vs := s.shardFor(k).m[k]
+	if len(vs) == 0 {
+		return Value{}, false
+	}
+	return vs[0], true
+}
+
+// GetIndexed returns the i-th (0-based) value stored under k, for keys with
+// multiple pairs.
+func (s *Store) GetIndexed(k Key, i int) (Value, bool) {
+	vs := s.shardFor(k).m[k]
+	if i < 0 || i >= len(vs) {
+		return Value{}, false
+	}
+	return vs[i], true
+}
+
+// Count returns the number of pairs stored under k.
+func (s *Store) Count(k Key) int {
+	return len(s.shardFor(k).m[k])
+}
+
+// Len returns the total number of pairs in the store.
+func (s *Store) Len() int { return s.pairs }
+
+// Shards returns the number of DDS machines backing the store.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ShardLoads returns a copy of the per-shard query counters accumulated so
+// far. Used to validate the contention bound of Lemma 2.1.
+func (s *Store) ShardLoads() []int64 {
+	loads := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		loads[i] = sh.load.Load()
+	}
+	return loads
+}
+
+// MaxShardLoad returns the largest per-shard query count.
+func (s *Store) MaxShardLoad() int64 {
+	var max int64
+	for _, sh := range s.shards {
+		if l := sh.load.Load(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ResetLoads zeroes the per-shard counters (between rounds or experiments).
+func (s *Store) ResetLoads() {
+	for _, sh := range s.shards {
+		sh.load.Store(0)
+	}
+}
+
+// ShardSizes returns the number of pairs resident on each shard, validating
+// the storage side of the balls-in-bins placement.
+func (s *Store) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		n := 0
+		for _, vs := range sh.m {
+			n += len(vs)
+		}
+		sizes[i] = n
+	}
+	return sizes
+}

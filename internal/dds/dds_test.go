@@ -1,0 +1,286 @@
+package dds
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func kv(tag uint8, a, b, va, vb int64) KV {
+	return KV{Key{tag, a, b}, Value{va, vb}}
+}
+
+func TestGetPresent(t *testing.T) {
+	s := NewStore([]KV{kv(1, 2, 3, 10, 20)}, 4, 99)
+	v, ok := s.Get(Key{1, 2, 3})
+	if !ok {
+		t.Fatal("key not found")
+	}
+	if v != (Value{10, 20}) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestGetAbsent(t *testing.T) {
+	s := NewStore([]KV{kv(1, 2, 3, 10, 20)}, 4, 99)
+	if _, ok := s.Get(Key{1, 2, 4}); ok {
+		t.Fatal("absent key reported present")
+	}
+	if _, ok := s.Get(Key{2, 2, 3}); ok {
+		t.Fatal("absent tag reported present")
+	}
+}
+
+func TestDuplicateKeyIndexing(t *testing.T) {
+	pairs := []KV{
+		kv(1, 5, 0, 100, 0),
+		kv(1, 5, 0, 200, 0),
+		kv(1, 5, 0, 300, 0),
+	}
+	s := NewStore(pairs, 3, 7)
+	k := Key{1, 5, 0}
+	if got := s.Count(k); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	for i, want := range []int64{100, 200, 300} {
+		v, ok := s.GetIndexed(k, i)
+		if !ok || v.A != want {
+			t.Fatalf("index %d: got %v ok=%v, want A=%d", i, v, ok, want)
+		}
+	}
+	if _, ok := s.GetIndexed(k, 3); ok {
+		t.Fatal("index out of range reported present")
+	}
+	if _, ok := s.GetIndexed(k, -1); ok {
+		t.Fatal("negative index reported present")
+	}
+}
+
+func TestGetReturnsFirstOfDuplicates(t *testing.T) {
+	pairs := []KV{kv(1, 5, 0, 100, 0), kv(1, 5, 0, 200, 0)}
+	s := NewStore(pairs, 2, 7)
+	v, ok := s.Get(Key{1, 5, 0})
+	if !ok || v.A != 100 {
+		t.Fatalf("Get = %v ok=%v, want first value 100", v, ok)
+	}
+}
+
+func TestCountAbsent(t *testing.T) {
+	s := NewStore(nil, 4, 1)
+	if s.Count(Key{1, 1, 1}) != 0 {
+		t.Fatal("Count of absent key != 0")
+	}
+}
+
+func TestLenAndShards(t *testing.T) {
+	pairs := []KV{kv(1, 1, 0, 1, 0), kv(1, 2, 0, 2, 0), kv(1, 3, 0, 3, 0)}
+	s := NewStore(pairs, 5, 42)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Shards() != 5 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+}
+
+func TestZeroShardsClamped(t *testing.T) {
+	s := NewStore([]KV{kv(1, 1, 0, 1, 0)}, 0, 1)
+	if s.Shards() != 1 {
+		t.Fatalf("Shards = %d, want clamp to 1", s.Shards())
+	}
+	if _, ok := s.Get(Key{1, 1, 0}); !ok {
+		t.Fatal("lookup failed in single-shard store")
+	}
+}
+
+func TestLoadAccounting(t *testing.T) {
+	pairs := []KV{kv(1, 1, 0, 1, 0)}
+	s := NewStore(pairs, 4, 3)
+	for i := 0; i < 10; i++ {
+		s.Get(Key{1, 1, 0})
+	}
+	total := int64(0)
+	for _, l := range s.ShardLoads() {
+		total += l
+	}
+	if total != 10 {
+		t.Fatalf("total load = %d, want 10", total)
+	}
+	if s.MaxShardLoad() != 10 {
+		t.Fatalf("max load = %d, want 10 (all queries hit one key)", s.MaxShardLoad())
+	}
+	s.ResetLoads()
+	if s.MaxShardLoad() != 0 {
+		t.Fatal("ResetLoads did not zero counters")
+	}
+}
+
+func TestShardSizesSumToLen(t *testing.T) {
+	check := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		p := int(pRaw)%16 + 1
+		pairs := make([]KV, n)
+		for i := range pairs {
+			pairs[i] = kv(1, int64(i), 0, int64(i), 0)
+		}
+		s := NewStore(pairs, p, seed)
+		sum := 0
+		for _, sz := range s.ShardSizes() {
+			sum += sz
+		}
+		return sum == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardBalance(t *testing.T) {
+	// 100k distinct keys over 16 shards should be within a few percent of
+	// uniform; a gross imbalance indicates a broken hash.
+	const n, p = 100000, 16
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = kv(2, int64(i), int64(i*3), 0, 0)
+	}
+	s := NewStore(pairs, p, 12345)
+	want := n / p
+	for i, sz := range s.ShardSizes() {
+		if sz < want*8/10 || sz > want*12/10 {
+			t.Fatalf("shard %d holds %d pairs, want within 20%% of %d", i, sz, want)
+		}
+	}
+}
+
+func TestSaltChangesPlacement(t *testing.T) {
+	const n, p = 1000, 8
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = kv(1, int64(i), 0, 0, 0)
+	}
+	a := NewStore(pairs, p, 1).ShardSizes()
+	b := NewStore(pairs, p, 2).ShardSizes()
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different salts produced identical shard size vectors")
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	const n = 1000
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = kv(1, int64(i), 0, int64(i*2), 0)
+	}
+	s := NewStore(pairs, 8, 77)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				v, ok := s.Get(Key{1, int64(i), 0})
+				if !ok || v.A != int64(i*2) {
+					t.Errorf("goroutine %d: bad read for %d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, l := range s.ShardLoads() {
+		total += l
+	}
+	if total != 8*n {
+		t.Fatalf("total load = %d, want %d", total, 8*n)
+	}
+}
+
+func TestBuilderMergeOrder(t *testing.T) {
+	b := NewBuilder()
+	w2 := b.Writer(2)
+	w0 := b.Writer(0)
+	k := Key{1, 9, 0}
+	w2.Write(k, Value{200, 0})
+	w0.Write(k, Value{100, 0})
+	s := b.Freeze(4, 5)
+	// Machine 0's write must come first regardless of Writer creation order.
+	v0, _ := s.GetIndexed(k, 0)
+	v1, _ := s.GetIndexed(k, 1)
+	if v0.A != 100 || v1.A != 200 {
+		t.Fatalf("merge order wrong: got %v, %v", v0, v1)
+	}
+}
+
+func TestBuilderDropWriter(t *testing.T) {
+	b := NewBuilder()
+	w := b.Writer(1)
+	w.Write(Key{1, 1, 0}, Value{1, 0})
+	b.DropWriter(1)
+	if got := len(b.Pairs()); got != 0 {
+		t.Fatalf("pairs after drop = %d, want 0", got)
+	}
+	// A fresh writer for the same machine starts clean.
+	w = b.Writer(1)
+	w.Write(Key{1, 2, 0}, Value{2, 0})
+	if got := len(b.Pairs()); got != 1 {
+		t.Fatalf("pairs after rewrite = %d, want 1", got)
+	}
+}
+
+func TestBuilderConcurrentWriters(t *testing.T) {
+	b := NewBuilder()
+	const machines, per = 8, 100
+	var wg sync.WaitGroup
+	for m := 0; m < machines; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			w := b.Writer(m)
+			for i := 0; i < per; i++ {
+				w.Write(Key{1, int64(m), int64(i)}, Value{int64(i), 0})
+			}
+		}(m)
+	}
+	wg.Wait()
+	if got := len(b.Pairs()); got != machines*per {
+		t.Fatalf("pairs = %d, want %d", got, machines*per)
+	}
+}
+
+func TestWriterLen(t *testing.T) {
+	b := NewBuilder()
+	w := b.Writer(0)
+	if w.Len() != 0 {
+		t.Fatal("fresh writer non-empty")
+	}
+	w.Write(Key{1, 1, 1}, Value{})
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if got := (Key{1, 2, 3}).String(); got != "(1,2,3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	const n = 1 << 16
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = kv(1, int64(i), 0, int64(i), 0)
+	}
+	s := NewStore(pairs, 16, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(Key{1, int64(i & (n - 1)), 0})
+	}
+}

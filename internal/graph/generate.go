@@ -1,0 +1,334 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"ampc/internal/rng"
+)
+
+// Cycle returns a single cycle 0-1-2-...-(n-1)-0. n must be at least 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{i, (i + 1) % n}
+	}
+	return MustGraph(n, edges)
+}
+
+// TwoCycles returns a graph on n vertices consisting of two disjoint cycles
+// of n/2 vertices each. n must be even and at least 6. Together with Cycle
+// this generates the two families of the 2-Cycle problem.
+func TwoCycles(n int) *Graph {
+	if n < 6 || n%2 != 0 {
+		panic(fmt.Sprintf("graph: two-cycles needs even n >= 6, got %d", n))
+	}
+	h := n / 2
+	edges := make([]Edge, 0, n)
+	for i := 0; i < h; i++ {
+		edges = append(edges, Edge{i, (i + 1) % h})
+	}
+	for i := 0; i < h; i++ {
+		edges = append(edges, Edge{h + i, h + (i+1)%h})
+	}
+	return MustGraph(n, edges)
+}
+
+// TwoCycleInstance returns a 2-Cycle problem instance with vertex labels
+// randomly permuted: one n-cycle if single is true, otherwise two
+// n/2-cycles. Permuting hides the answer from label-structure shortcuts.
+func TwoCycleInstance(n int, single bool, r *rng.RNG) *Graph {
+	var base *Graph
+	if single {
+		base = Cycle(n)
+	} else {
+		base = TwoCycles(n)
+	}
+	return Relabel(base, r.Perm(n))
+}
+
+// Relabel returns an isomorphic copy of g with vertex i renamed to perm[i].
+func Relabel(g *Graph, perm []int) *Graph {
+	if len(perm) != g.N() {
+		panic("graph: permutation length mismatch")
+	}
+	edges := make([]Edge, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, Edge{perm[e.U], perm[e.V]})
+	}
+	return MustGraph(g.N(), edges)
+}
+
+// Path returns the path 0-1-...-(n-1).
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	return MustGraph(n, edges)
+}
+
+// Star returns a star with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{0, i})
+	}
+	return MustGraph(n, edges)
+}
+
+// Clique returns the complete graph on n vertices.
+func Clique(n int) *Graph {
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return MustGraph(n, edges)
+}
+
+// Grid returns the rows x cols grid graph, a natural high-diameter workload
+// (D = rows+cols-2) for contrasting label propagation with AMPC connectivity.
+func Grid(rows, cols int) *Graph {
+	id := func(r, c int) int { return r*cols + c }
+	var edges []Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return MustGraph(rows*cols, edges)
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices, built by
+// sampling a Prüfer-like attachment: vertex i attaches to a uniform earlier
+// vertex. (Attachment trees are not uniform over all labeled trees but give
+// the realistic long-tailed degree profile we want for tree workloads.)
+func RandomTree(n int, r *rng.RNG) *Graph {
+	if n <= 0 {
+		panic("graph: RandomTree needs n >= 1")
+	}
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{i, r.Intn(i)})
+	}
+	return MustGraph(n, edges)
+}
+
+// RandomForest returns a forest of trees random trees totalling n vertices,
+// with vertex labels permuted so component structure is hidden.
+func RandomForest(n, trees int, r *rng.RNG) *Graph {
+	if trees <= 0 || trees > n {
+		panic(fmt.Sprintf("graph: RandomForest needs 1 <= trees <= n, got trees=%d n=%d", trees, n))
+	}
+	// Split n vertices into `trees` nonempty parts.
+	sizes := make([]int, trees)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	for extra := n - trees; extra > 0; extra-- {
+		sizes[r.Intn(trees)]++
+	}
+	var edges []Edge
+	base := 0
+	for _, sz := range sizes {
+		for i := 1; i < sz; i++ {
+			edges = append(edges, Edge{base + i, base + r.Intn(i)})
+		}
+		base += sz
+	}
+	return Relabel(MustGraph(n, edges), r.Perm(n))
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs leaves attached to each spine vertex. Deep-plus-bushy trees exercise
+// Euler-tour code paths well.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine * (legs + 1)
+	var edges []Edge
+	for i := 0; i+1 < spine; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			edges = append(edges, Edge{i, next})
+			next++
+		}
+	}
+	return MustGraph(n, edges)
+}
+
+// GNM returns a uniformly random simple graph with n vertices and m distinct
+// edges (an Erdős–Rényi G(n, m) sample).
+func GNM(n, m int, r *rng.RNG) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d for n=%d", m, maxM, n))
+	}
+	seen := make(map[Edge]bool, m)
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		e := Edge{u, v}.Canon()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return MustGraph(n, edges)
+}
+
+// ConnectedGNM returns a connected random graph: a random attachment tree
+// plus m-(n-1) additional uniform edges. m must be at least n-1.
+func ConnectedGNM(n, m int, r *rng.RNG) *Graph {
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: ConnectedGNM needs m >= n-1, got n=%d m=%d", n, m))
+	}
+	seen := make(map[Edge]bool, m)
+	edges := make([]Edge, 0, m)
+	for i := 1; i < n; i++ {
+		e := Edge{i, r.Intn(i)}.Canon()
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	for len(edges) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		e := Edge{u, v}.Canon()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return MustGraph(n, edges)
+}
+
+// ChungLu returns a random graph with an approximately power-law degree
+// profile: vertex v gets expected weight proportional to (v+1)^{-1/(gamma-1)}
+// and edges are sampled by weighted endpoint choice, rejecting duplicates
+// and self-loops. gamma around 2.5 gives the long-tailed degree
+// distributions of social and web graphs, the workload class that motivated
+// the AMPC line of systems.
+func ChungLu(n, m int, gamma float64, r *rng.RNG) *Graph {
+	if gamma <= 1 {
+		panic("graph: ChungLu needs gamma > 1")
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: ChungLu m=%d exceeds max %d for n=%d", m, maxM, n))
+	}
+	// Cumulative weights for inverse-transform sampling.
+	cum := make([]float64, n+1)
+	exp := -1.0 / (gamma - 1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + math.Pow(float64(i+1), exp)
+	}
+	pick := func() int {
+		x := r.Float64() * cum[n]
+		lo, hi := 0, n
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	seen := make(map[Edge]bool, m)
+	edges := make([]Edge, 0, m)
+	attempts := 0
+	for len(edges) < m {
+		if attempts++; attempts > 200*m+1000 {
+			// Degenerate parameters (tiny n, huge m): fall back to uniform
+			// fill so the generator always terminates.
+			for u := 0; u < n && len(edges) < m; u++ {
+				for v := u + 1; v < n && len(edges) < m; v++ {
+					e := Edge{u, v}
+					if !seen[e] {
+						seen[e] = true
+						edges = append(edges, e)
+					}
+				}
+			}
+			break
+		}
+		u, v := pick(), pick()
+		if u == v {
+			continue
+		}
+		e := Edge{u, v}.Canon()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return MustGraph(n, edges)
+}
+
+// Bipartite returns a random bipartite graph with sides of size a and b and
+// m distinct edges.
+func Bipartite(a, b, m int, r *rng.RNG) *Graph {
+	if m > a*b {
+		panic(fmt.Sprintf("graph: Bipartite m=%d exceeds max %d", m, a*b))
+	}
+	seen := make(map[Edge]bool, m)
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u := r.Intn(a)
+		v := a + r.Intn(b)
+		e := Edge{u, v}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return MustGraph(a+b, edges)
+}
+
+// WithRandomWeights assigns distinct random weights to the edges of g by
+// shuffling the ranks 1..m and scaling, producing a weighted graph with a
+// unique MSF.
+func WithRandomWeights(g *Graph, r *rng.RNG) *WeightedGraph {
+	m := g.M()
+	ranks := r.Perm(m)
+	wes := make([]WeightedEdge, m)
+	for i, e := range g.Edges() {
+		wes[i] = WeightedEdge{e.U, e.V, int64(ranks[i]) + 1}
+	}
+	return MustWeightedGraph(g.N(), wes)
+}
+
+// Union returns the disjoint union of graphs, relabeling the vertices of
+// later graphs after earlier ones.
+func Union(gs ...*Graph) *Graph {
+	n := 0
+	var edges []Edge
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			edges = append(edges, Edge{e.U + n, e.V + n})
+		}
+		n += g.N()
+	}
+	return MustGraph(n, edges)
+}

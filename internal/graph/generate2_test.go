@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ampc/internal/rng"
+)
+
+func TestChungLuShape(t *testing.T) {
+	r := rng.New(200, 0)
+	g := ChungLu(2000, 8000, 2.5, r)
+	if g.N() != 2000 || g.M() != 8000 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	// Power-law skew: the top-1% vertices by degree should hold far more
+	// than 1% of the endpoints.
+	degs := make([]int, g.N())
+	for v := range degs {
+		degs[v] = g.Deg(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:20] {
+		top += d
+	}
+	if float64(top) < 0.05*float64(2*g.M()) {
+		t.Fatalf("top-1%% of vertices hold only %d of %d endpoints: no skew", top, 2*g.M())
+	}
+}
+
+func TestChungLuProperties(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%80 + 5
+		r := rng.New(seed, 1)
+		m := r.Intn(3 * n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := ChungLu(n, m, 2.3, r)
+		return g.N() == n && g.M() == m
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChungLuDegenerateFallback(t *testing.T) {
+	// Near-complete graph forces the rejection loop into the fallback.
+	r := rng.New(201, 0)
+	n := 8
+	m := n*(n-1)/2 - 1
+	g := ChungLu(n, m, 3.0, r)
+	if g.M() != m {
+		t.Fatalf("M = %d, want %d", g.M(), m)
+	}
+}
+
+func TestChungLuPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"gamma":  func() { ChungLu(10, 5, 1.0, rng.New(1, 1)) },
+		"too-m":  func() { ChungLu(4, 100, 2.5, rng.New(1, 1)) },
+		"bi-too": func() { Bipartite(2, 2, 100, rng.New(1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBipartiteIsBipartite(t *testing.T) {
+	check := func(seed uint64, aRaw, bRaw uint8) bool {
+		a := int(aRaw)%30 + 1
+		b := int(bRaw)%30 + 1
+		r := rng.New(seed, 2)
+		m := r.Intn(a*b + 1)
+		g := Bipartite(a, b, m, r)
+		if g.N() != a+b || g.M() != m {
+			return false
+		}
+		for _, e := range g.Edges() {
+			left := e.U < a
+			right := e.V >= a
+			if !left || !right {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package graph provides the graph representations, synthetic workload
+// generators, and exact sequential reference algorithms used throughout the
+// AMPC reproduction.
+//
+// The reference algorithms (BFS connectivity, Kruskal MSF, greedy
+// lexicographically-first MIS, Tarjan bridges and articulation points) are
+// the oracles the test suite compares the distributed algorithms against.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between two vertex ids.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns the edge with endpoints ordered U <= V, the canonical form
+// used for set comparisons.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Graph is an undirected graph in compressed sparse row (CSR) form. Vertices
+// are indexed 0..N-1. Self-loops and duplicate edges are rejected at build
+// time, matching the paper's preliminaries.
+type Graph struct {
+	n     int
+	offs  []int // len n+1
+	adj   []int // len 2m, neighbors sorted per vertex
+	edges []Edge
+}
+
+// NewGraph builds a CSR graph on n vertices from an edge list. It returns an
+// error for out-of-range endpoints, self-loops, or duplicate edges.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	deg := make([]int, n)
+	canon := make([]Edge, len(edges))
+	for i, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", e.U)
+		}
+		canon[i] = e.Canon()
+		deg[e.U]++
+		deg[e.V]++
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		return canon[i].V < canon[j].V
+	})
+	for i := 1; i < len(canon); i++ {
+		if canon[i] == canon[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge %v", canon[i])
+		}
+	}
+	g := &Graph{n: n, offs: make([]int, n+1), adj: make([]int, 2*len(edges)), edges: canon}
+	for v := 0; v < n; v++ {
+		g.offs[v+1] = g.offs[v] + deg[v]
+	}
+	fill := make([]int, n)
+	copy(fill, g.offs[:n])
+	for _, e := range canon {
+		g.adj[fill[e.U]] = e.V
+		fill[e.U]++
+		g.adj[fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	for v := 0; v < n; v++ {
+		sort.Ints(g.adj[g.offs[v]:g.offs[v+1]])
+	}
+	return g, nil
+}
+
+// MustGraph is NewGraph that panics on error; for tests and generators whose
+// inputs are valid by construction.
+func MustGraph(n int, edges []Edge) *Graph {
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Deg returns the degree of vertex v.
+func (g *Graph) Deg(v int) int { return g.offs[v+1] - g.offs[v] }
+
+// Neighbors returns the sorted neighbor slice of v. Callers must not modify
+// the returned slice.
+func (g *Graph) Neighbors(v int) []int { return g.adj[g.offs[v]:g.offs[v+1]] }
+
+// Neighbor returns the i-th neighbor of v.
+func (g *Graph) Neighbor(v, i int) int { return g.adj[g.offs[v]+i] }
+
+// Edges returns the canonical sorted edge list. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	ns := g.Neighbors(u)
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// MaxDeg returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDeg() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Deg(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// WeightedEdge is an undirected edge with an integer weight. The paper
+// assumes distinct weights so the MSF is unique; generators guarantee that.
+type WeightedEdge struct {
+	U, V   int
+	Weight int64
+}
+
+// Canonical returns the edge with endpoints ordered U <= V.
+func (e WeightedEdge) Canonical() WeightedEdge {
+	if e.U > e.V {
+		return WeightedEdge{e.V, e.U, e.Weight}
+	}
+	return e
+}
+
+// WeightedGraph couples a Graph with a weight per canonical edge.
+type WeightedGraph struct {
+	*Graph
+	weights map[Edge]int64
+}
+
+// NewWeightedGraph builds a weighted graph. Weights must be distinct: the
+// paper assumes distinct weights so the minimum spanning forest is unique.
+func NewWeightedGraph(n int, edges []WeightedEdge) (*WeightedGraph, error) {
+	plain := make([]Edge, len(edges))
+	weights := make(map[Edge]int64, len(edges))
+	seen := make(map[int64]bool, len(edges))
+	for i, e := range edges {
+		plain[i] = Edge{e.U, e.V}
+		if seen[e.Weight] {
+			return nil, fmt.Errorf("graph: duplicate weight %d (MSF uniqueness requires distinct weights)", e.Weight)
+		}
+		seen[e.Weight] = true
+		weights[plain[i].Canon()] = e.Weight
+	}
+	g, err := NewGraph(n, plain)
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedGraph{Graph: g, weights: weights}, nil
+}
+
+// MustWeightedGraph is NewWeightedGraph that panics on error.
+func MustWeightedGraph(n int, edges []WeightedEdge) *WeightedGraph {
+	g, err := NewWeightedGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Weight returns the weight of edge {u, v}; the edge must exist.
+func (g *WeightedGraph) Weight(u, v int) int64 {
+	w, ok := g.weights[Edge{u, v}.Canon()]
+	if !ok {
+		panic(fmt.Sprintf("graph: weight of absent edge {%d,%d}", u, v))
+	}
+	return w
+}
+
+// WeightedEdges returns the canonical edge list with weights.
+func (g *WeightedGraph) WeightedEdges() []WeightedEdge {
+	out := make([]WeightedEdge, 0, g.M())
+	for _, e := range g.Edges() {
+		out = append(out, WeightedEdge{e.U, e.V, g.weights[e]})
+	}
+	return out
+}
+
+// TotalWeight sums the weights of the given edges.
+func TotalWeight(edges []WeightedEdge) int64 {
+	var t int64
+	for _, e := range edges {
+		t += e.Weight
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text format, one record per line:
+//
+//	# comments and blank lines are ignored
+//	n <vertexCount>
+//	<u> <v>            (unweighted edge)
+//	<u> <v> <weight>   (weighted edge)
+//
+// The vertex-count line must appear before any edge. This is the common
+// interchange format of graph processing systems (SNAP, Galois, GBBS), so
+// real datasets drop in directly.
+
+// WriteEdgeList serializes g in the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteWeightedEdgeList serializes g with weights.
+func WriteWeightedEdgeList(w io.Writer, g *WeightedGraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.WeightedEdges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the edge-list format into a Graph. Weights, if
+// present, are ignored.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	n, edges, _, err := parseEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewGraph(n, edges)
+}
+
+// ReadWeightedEdgeList parses the edge-list format into a WeightedGraph;
+// every edge line must carry a weight.
+func ReadWeightedEdgeList(r io.Reader) (*WeightedGraph, error) {
+	n, edges, weights, err := parseEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(weights) != len(edges) {
+		return nil, fmt.Errorf("graph: %d of %d edges lack weights", len(edges)-len(weights), len(edges))
+	}
+	wes := make([]WeightedEdge, len(edges))
+	for i, e := range edges {
+		wes[i] = WeightedEdge{U: e.U, V: e.V, Weight: weights[i]}
+	}
+	return NewWeightedGraph(n, wes)
+}
+
+func parseEdgeList(r io.Reader) (n int, edges []Edge, weights []int64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	sawN := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if sawN {
+				return 0, nil, nil, fmt.Errorf("graph: line %d: duplicate vertex-count line", line)
+			}
+			if len(fields) != 2 {
+				return 0, nil, nil, fmt.Errorf("graph: line %d: malformed vertex-count line", line)
+			}
+			n, err = strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return 0, nil, nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[1])
+			}
+			sawN = true
+			continue
+		}
+		if !sawN {
+			return 0, nil, nil, fmt.Errorf("graph: line %d: edge before vertex-count line", line)
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return 0, nil, nil, fmt.Errorf("graph: line %d: expected 'u v [w]', got %q", line, text)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return 0, nil, nil, fmt.Errorf("graph: line %d: bad endpoints %q", line, text)
+		}
+		edges = append(edges, Edge{U: u, V: v})
+		if len(fields) == 3 {
+			w, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("graph: line %d: bad weight %q", line, fields[2])
+			}
+			weights = append(weights, w)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, nil, err
+	}
+	if !sawN {
+		return 0, nil, nil, fmt.Errorf("graph: missing vertex-count line")
+	}
+	return n, edges, weights, nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ampc/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		r := rng.New(seed, 20)
+		m := r.Intn(2*n + 1)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := GNM(n, m, r)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !h.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedEdgeListRoundTrip(t *testing.T) {
+	r := rng.New(5, 21)
+	g := WithRandomWeights(GNM(30, 60, r), r)
+	var buf bytes.Buffer
+	if err := WriteWeightedEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadWeightedEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != g.M() {
+		t.Fatalf("M = %d, want %d", h.M(), g.M())
+	}
+	for _, e := range g.WeightedEdges() {
+		if h.Weight(e.U, e.V) != e.Weight {
+			t.Fatalf("weight of (%d,%d) = %d, want %d", e.U, e.V, h.Weight(e.U, e.V), e.Weight)
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	src := `
+# a graph
+n 4
+
+0 1
+# middle comment
+1 2
+
+2 3
+`
+	g, err := ReadEdgeList(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListIgnoresWeights(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("n 3\n0 1 99\n1 2 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d", g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no-n":          "0 1\n",
+		"missing-n":     "# nothing\n",
+		"double-n":      "n 3\nn 4\n",
+		"bad-n":         "n x\n",
+		"negative-n":    "n -2\n",
+		"bad-fields":    "n 3\n0\n",
+		"bad-endpoint":  "n 3\n0 z\n",
+		"bad-weight":    "n 3\n0 1 zz\n",
+		"out-of-range":  "n 2\n0 5\n",
+		"self-loop":     "n 3\n1 1\n",
+		"duplicate":     "n 3\n0 1\n1 0\n",
+		"malformed-n":   "n 3 4\n",
+		"too-many-cols": "n 3\n0 1 2 3\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestReadWeightedEdgeListRequiresWeights(t *testing.T) {
+	if _, err := ReadWeightedEdgeList(strings.NewReader("n 3\n0 1\n")); err == nil {
+		t.Fatal("unweighted edge accepted by weighted reader")
+	}
+	if _, err := ReadWeightedEdgeList(strings.NewReader("n 3\n0 1 5\n1 2 5\n")); err == nil {
+		t.Fatal("duplicate weights accepted")
+	}
+}

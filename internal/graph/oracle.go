@@ -1,0 +1,464 @@
+package graph
+
+import "sort"
+
+// This file holds exact sequential reference algorithms. They are the
+// oracles against which the distributed AMPC and MPC implementations are
+// tested, and double as the "solve the remainder on a single machine" final
+// steps of several paper algorithms.
+
+// Components returns a connectivity labeling via BFS: comp[v] is the
+// smallest vertex id in v's connected component, so labels are canonical.
+func Components(g *Graph) []int {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int, 0, g.N())
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = s
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if comp[u] == -1 {
+					comp[u] = s
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// NumComponents returns the number of connected components.
+func NumComponents(g *Graph) int {
+	comp := Components(g)
+	n := 0
+	for v, c := range comp {
+		if c == v {
+			n++
+		}
+	}
+	return n
+}
+
+// SameLabeling reports whether two component labelings induce the same
+// partition of the vertex set (labels themselves may differ).
+func SameLabeling(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int]int)
+	bwd := make(map[int]int)
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if y, ok := bwd[b[i]]; ok && y != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+// Diameter returns the largest eccentricity over all vertices reachable
+// pairs (the longest shortest path in any component), via BFS from every
+// vertex. Exponential caution: O(n·m); intended for test-sized graphs.
+func Diameter(g *Graph) int {
+	dist := make([]int, g.N())
+	max := 0
+	for s := 0; s < g.N(); s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					if dist[u] > max {
+						max = dist[u]
+					}
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return max
+}
+
+// DSU is a union-find structure with path halving and union by size.
+type DSU struct {
+	parent []int
+	size   []int
+}
+
+// NewDSU returns a DSU over n singleton sets.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int, n), size: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y, reporting whether they were distinct.
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.size[rx] < d.size[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	d.size[rx] += d.size[ry]
+	return true
+}
+
+// KruskalMSF returns the unique minimum spanning forest of g (weights are
+// distinct by construction), as a canonical edge list sorted by weight.
+func KruskalMSF(g *WeightedGraph) []WeightedEdge {
+	edges := g.WeightedEdges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight < edges[j].Weight })
+	dsu := NewDSU(g.N())
+	var out []WeightedEdge
+	for _, e := range edges {
+		if dsu.Union(e.U, e.V) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LFMIS returns the lexicographically-first maximal independent set of g
+// under the priority order pi: vertices are processed in increasing pi and
+// greedily added when no earlier neighbor was added. pi[v] is v's priority
+// rank; len(pi) must equal g.N(). Returns a membership vector.
+func LFMIS(g *Graph, pi []int) []bool {
+	order := make([]int, g.N())
+	for v, rank := range pi {
+		order[rank] = v
+	}
+	in := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		in[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return in
+}
+
+// GreedyColoring returns the greedy vertex coloring of g under the priority
+// order pi: vertices are processed in increasing pi and each takes the
+// smallest color unused by its already-colored neighbors. Colors are
+// 0-based and at most MaxDeg(g) (the classic Δ+1 bound).
+func GreedyColoring(g *Graph, pi []int) []int {
+	order := make([]int, g.N())
+	for v, rank := range pi {
+		order[rank] = v
+	}
+	color := make([]int, g.N())
+	for i := range color {
+		color[i] = -1
+	}
+	for _, v := range order {
+		used := make(map[int]bool, g.Deg(v))
+		for _, u := range g.Neighbors(v) {
+			if color[u] >= 0 {
+				used[color[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[v] = c
+	}
+	return color
+}
+
+// IsProperColoring reports whether color assigns distinct values to every
+// pair of adjacent vertices.
+func IsProperColoring(g *Graph, color []int) bool {
+	if len(color) != g.N() {
+		return false
+	}
+	for _, e := range g.Edges() {
+		if color[e.U] == color[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyMatching returns the greedy maximal matching of g under the edge
+// priority order pi: edges are processed in increasing pi and added when
+// neither endpoint is already matched. pi[i] is the rank of the i-th
+// canonical edge; the result is a membership vector over g.Edges().
+func GreedyMatching(g *Graph, pi []int) []bool {
+	order := make([]int, g.M())
+	for e, rank := range pi {
+		order[rank] = e
+	}
+	in := make([]bool, g.M())
+	usedV := make([]bool, g.N())
+	for _, e := range order {
+		edge := g.Edges()[e]
+		if usedV[edge.U] || usedV[edge.V] {
+			continue
+		}
+		in[e] = true
+		usedV[edge.U] = true
+		usedV[edge.V] = true
+	}
+	return in
+}
+
+// IsMaximalMatching reports whether `in` is a matching of g that is maximal.
+func IsMaximalMatching(g *Graph, in []bool) bool {
+	if len(in) != g.M() {
+		return false
+	}
+	usedV := make([]bool, g.N())
+	for e, ok := range in {
+		if !ok {
+			continue
+		}
+		edge := g.Edges()[e]
+		if usedV[edge.U] || usedV[edge.V] {
+			return false // two matched edges share an endpoint
+		}
+		usedV[edge.U] = true
+		usedV[edge.V] = true
+	}
+	for e, ok := range in {
+		if ok {
+			continue
+		}
+		edge := g.Edges()[e]
+		if !usedV[edge.U] && !usedV[edge.V] {
+			return false // this edge could still be added
+		}
+	}
+	return true
+}
+
+// IsMIS reports whether `in` is an independent set that is maximal in g.
+func IsMIS(g *Graph, in []bool) bool {
+	if len(in) != g.N() {
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		hasInNeighbor := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				hasInNeighbor = true
+				if in[v] {
+					return false // not independent
+				}
+			}
+		}
+		if !in[v] && !hasInNeighbor {
+			return false // not maximal
+		}
+	}
+	return true
+}
+
+// Bridges returns the bridge edges of g in canonical order, found with an
+// iterative Tarjan low-link DFS.
+func Bridges(g *Graph) []Edge {
+	n := g.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var out []Edge
+	timer := 0
+
+	type frame struct {
+		v, parentEdge, ni int
+	}
+	// parentEdge is the adjacency index (in v's list) of the edge used to
+	// enter v; -1 at roots. Using the index rather than the parent vertex
+	// keeps parallel edges correct (we reject them anyway, but the pattern
+	// is standard).
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{s, -1, 0}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ni < g.Deg(f.v) {
+				i := f.ni
+				f.ni++
+				u := g.Neighbor(f.v, i)
+				if i == f.parentEdge {
+					continue
+				}
+				if disc[u] == -1 {
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					// Find the index of the reverse edge u->v.
+					pe := indexOf(g.Neighbors(u), f.v)
+					stack = append(stack, frame{u, pe, 0})
+				} else if low[f.v] > disc[u] {
+					low[f.v] = disc[u]
+				}
+				continue
+			}
+			// Post-visit: propagate low to parent; detect bridge.
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				if low[f.v] > disc[p.v] {
+					out = append(out, Edge{p.v, f.v}.Canon())
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+func indexOf(xs []int, x int) int {
+	i := sort.SearchInts(xs, x)
+	if i < len(xs) && xs[i] == x {
+		return i
+	}
+	return -1
+}
+
+// ArticulationPoints returns the articulation points (cut vertices) of g in
+// increasing order, via iterative Tarjan DFS.
+func ArticulationPoints(g *Graph) []int {
+	n := g.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	isAP := make([]bool, n)
+	timer := 0
+	type frame struct {
+		v, parentEdge, ni, children int
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{s, -1, 0, 0}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ni < g.Deg(f.v) {
+				i := f.ni
+				f.ni++
+				u := g.Neighbor(f.v, i)
+				if i == f.parentEdge {
+					continue
+				}
+				if disc[u] == -1 {
+					f.children++
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					pe := indexOf(g.Neighbors(u), f.v)
+					stack = append(stack, frame{u, pe, 0, 0})
+				} else if low[f.v] > disc[u] {
+					low[f.v] = disc[u]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				isRoot := len(stack) == 1
+				if !isRoot && low[f.v] >= disc[p.v] {
+					isAP[p.v] = true
+				}
+			} else if f.children >= 2 {
+				isAP[f.v] = true
+			}
+		}
+	}
+	var out []int
+	for v, ap := range isAP {
+		if ap {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TwoEdgeComponents returns the 2-edge-connected component labeling of g:
+// the connectivity labeling after deleting all bridges.
+func TwoEdgeComponents(g *Graph) []int {
+	bridges := make(map[Edge]bool)
+	for _, b := range Bridges(g) {
+		bridges[b] = true
+	}
+	var kept []Edge
+	for _, e := range g.Edges() {
+		if !bridges[e] {
+			kept = append(kept, e)
+		}
+	}
+	return Components(MustGraph(g.N(), kept))
+}
+
+// IsForest reports whether g is acyclic.
+func IsForest(g *Graph) bool {
+	dsu := NewDSU(g.N())
+	for _, e := range g.Edges() {
+		if !dsu.Union(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}

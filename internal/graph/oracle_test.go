@@ -1,0 +1,333 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ampc/internal/rng"
+)
+
+func TestComponentsCanonical(t *testing.T) {
+	g := Union(Cycle(4), Cycle(5))
+	comp := Components(g)
+	for v := 0; v < 4; v++ {
+		if comp[v] != 0 {
+			t.Fatalf("comp[%d]=%d want 0", v, comp[v])
+		}
+	}
+	for v := 4; v < 9; v++ {
+		if comp[v] != 4 {
+			t.Fatalf("comp[%d]=%d want 4", v, comp[v])
+		}
+	}
+}
+
+func TestSameLabeling(t *testing.T) {
+	a := []int{0, 0, 2, 2}
+	b := []int{7, 7, 9, 9}
+	if !SameLabeling(a, b) {
+		t.Fatal("equivalent labelings rejected")
+	}
+	c := []int{7, 7, 7, 9}
+	if SameLabeling(a, c) {
+		t.Fatal("different partitions accepted")
+	}
+	d := []int{7, 9, 7, 9}
+	if SameLabeling(a, d) {
+		t.Fatal("crossed partition accepted")
+	}
+	if SameLabeling(a, []int{1}) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestDiameterKnown(t *testing.T) {
+	if d := Diameter(Path(10)); d != 9 {
+		t.Fatalf("path diameter %d", d)
+	}
+	if d := Diameter(Cycle(10)); d != 5 {
+		t.Fatalf("cycle diameter %d", d)
+	}
+	if d := Diameter(Star(10)); d != 2 {
+		t.Fatalf("star diameter %d", d)
+	}
+}
+
+func TestDSU(t *testing.T) {
+	d := NewDSU(5)
+	if !d.Union(0, 1) || !d.Union(2, 3) {
+		t.Fatal("fresh unions reported no-op")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeated union reported merge")
+	}
+	if d.Find(0) != d.Find(1) || d.Find(2) != d.Find(3) {
+		t.Fatal("find after union inconsistent")
+	}
+	if d.Find(0) == d.Find(2) {
+		t.Fatal("separate sets merged spuriously")
+	}
+	d.Union(1, 3)
+	if d.Find(0) != d.Find(2) {
+		t.Fatal("transitive union failed")
+	}
+	if d.Find(4) != 4 {
+		t.Fatal("singleton changed root")
+	}
+}
+
+func TestKruskalOnKnownGraph(t *testing.T) {
+	// Triangle with weights 1,2,3: MSF = two cheapest edges.
+	g := MustWeightedGraph(3, []WeightedEdge{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}})
+	msf := KruskalMSF(g)
+	if len(msf) != 2 || TotalWeight(msf) != 3 {
+		t.Fatalf("msf = %v", msf)
+	}
+}
+
+func TestKruskalSpansEveryComponent(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		r := rng.New(seed, 4)
+		m := n + r.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := WithRandomWeights(GNM(n, m, r), r)
+		msf := KruskalMSF(g)
+		// MSF edge count = n - #components, and MSF must not create cycles.
+		want := n - NumComponents(g.Graph)
+		if len(msf) != want {
+			return false
+		}
+		plain := make([]Edge, len(msf))
+		for i, e := range msf {
+			plain[i] = Edge{e.U, e.V}
+		}
+		f := MustGraph(n, plain)
+		return IsForest(f) && SameLabeling(Components(f), Components(g.Graph))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFMISIsMIS(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		r := rng.New(seed, 5)
+		m := r.Intn(2*n + 1)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := GNM(n, m, r)
+		pi := r.Perm(n)
+		return IsMIS(g, LFMIS(g, pi))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFMISDeterministicInOrder(t *testing.T) {
+	// On a path 0-1-2-3 with identity priorities, LFMIS = {0, 2}.
+	g := Path(4)
+	in := LFMIS(g, []int{0, 1, 2, 3})
+	want := []bool{true, false, true, false}
+	for v := range want {
+		if in[v] != want[v] {
+			t.Fatalf("in = %v, want %v", in, want)
+		}
+	}
+	// Reversed priorities: LFMIS = {3, 1} — vertex 3 first, then 1.
+	in = LFMIS(g, []int{3, 2, 1, 0})
+	want = []bool{false, true, false, true}
+	for v := range want {
+		if in[v] != want[v] {
+			t.Fatalf("reversed: in = %v, want %v", in, want)
+		}
+	}
+}
+
+func TestIsMISRejects(t *testing.T) {
+	g := Path(3)
+	if IsMIS(g, []bool{true, true, false}) {
+		t.Fatal("dependent set accepted")
+	}
+	if IsMIS(g, []bool{true, false, false}) {
+		t.Fatal("non-maximal set accepted")
+	}
+	if IsMIS(g, []bool{true}) {
+		t.Fatal("wrong length accepted")
+	}
+	if !IsMIS(g, []bool{true, false, true}) {
+		t.Fatal("valid MIS rejected")
+	}
+}
+
+func TestBridgesKnown(t *testing.T) {
+	// Two triangles joined by a single edge: that edge is the only bridge.
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}}
+	g := MustGraph(6, edges)
+	bs := Bridges(g)
+	if len(bs) != 1 || bs[0] != (Edge{2, 3}) {
+		t.Fatalf("bridges = %v", bs)
+	}
+}
+
+func TestBridgesTreeAllEdges(t *testing.T) {
+	g := RandomTree(40, rng.New(5, 0))
+	bs := Bridges(g)
+	if len(bs) != g.M() {
+		t.Fatalf("tree has %d bridges, want all %d edges", len(bs), g.M())
+	}
+}
+
+func TestBridgesCycleNone(t *testing.T) {
+	if bs := Bridges(Cycle(17)); len(bs) != 0 {
+		t.Fatalf("cycle has bridges %v", bs)
+	}
+}
+
+// bridgesNaive recomputes bridges by deleting each edge and checking the
+// component count — the O(m·(n+m)) definition.
+func bridgesNaive(g *Graph) []Edge {
+	base := NumComponents(g)
+	var out []Edge
+	all := g.Edges()
+	for i := range all {
+		rest := make([]Edge, 0, len(all)-1)
+		rest = append(rest, all[:i]...)
+		rest = append(rest, all[i+1:]...)
+		if NumComponents(MustGraph(g.N(), rest)) > base {
+			out = append(out, all[i])
+		}
+	}
+	return out
+}
+
+func TestBridgesAgainstNaive(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		r := rng.New(seed, 6)
+		m := r.Intn(2 * n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := GNM(n, m, r)
+		got := Bridges(g)
+		want := bridgesNaive(g)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// articulationNaive deletes each vertex and checks the component count among
+// remaining vertices.
+func articulationNaive(g *Graph) []int {
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		var rest []Edge
+		for _, e := range g.Edges() {
+			if e.U != v && e.V != v {
+				rest = append(rest, e)
+			}
+		}
+		sub := MustGraph(g.N(), rest)
+		comp := Components(sub)
+		// Count components among vertices != v that are non-isolated in g.
+		before := map[int]bool{}
+		for u := 0; u < g.N(); u++ {
+			if u != v && g.Deg(u) > 0 {
+				before[Components(g)[u]] = true
+			}
+		}
+		after := map[int]bool{}
+		for u := 0; u < g.N(); u++ {
+			if u != v && g.Deg(u) > 0 {
+				after[comp[u]] = true
+			}
+		}
+		// v is an articulation point if removing it increases the number of
+		// components among the other vertices (ignore the label of v itself).
+		if len(after) > len(before) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestArticulationPointsAgainstNaive(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%15 + 3
+		r := rng.New(seed, 7)
+		m := r.Intn(2 * n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := GNM(n, m, r)
+		got := ArticulationPoints(g)
+		want := articulationNaive(g)
+		if len(got) != len(want) {
+			return false
+		}
+		sort.Ints(got)
+		sort.Ints(want)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArticulationKnown(t *testing.T) {
+	// Path 0-1-2: vertex 1 is the unique articulation point.
+	aps := ArticulationPoints(Path(3))
+	if len(aps) != 1 || aps[0] != 1 {
+		t.Fatalf("aps = %v", aps)
+	}
+	if aps := ArticulationPoints(Cycle(5)); len(aps) != 0 {
+		t.Fatalf("cycle aps = %v", aps)
+	}
+}
+
+func TestTwoEdgeComponents(t *testing.T) {
+	// Two triangles joined by a bridge: each triangle is a 2-edge component.
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}}
+	g := MustGraph(6, edges)
+	comp := TwoEdgeComponents(g)
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("first triangle split")
+	}
+	if comp[3] != comp[4] || comp[4] != comp[5] {
+		t.Fatal("second triangle split")
+	}
+	if comp[0] == comp[3] {
+		t.Fatal("bridge endpoints share a 2-edge component")
+	}
+}
+
+func TestIsForest(t *testing.T) {
+	if !IsForest(Path(5)) || !IsForest(RandomForest(20, 4, rng.New(1, 1))) {
+		t.Fatal("forest rejected")
+	}
+	if IsForest(Cycle(5)) {
+		t.Fatal("cycle accepted as forest")
+	}
+}

@@ -1,0 +1,128 @@
+package mpc
+
+import (
+	"ampc/internal/graph"
+)
+
+// ConnectivityResult reports the outcome and cost of an MPC connectivity
+// baseline.
+type ConnectivityResult struct {
+	// Components labels each vertex with the minimum vertex id of its
+	// connected component.
+	Components []int
+	// Rounds is the number of MPC communication rounds used.
+	Rounds int
+	// Messages is the total message volume.
+	Messages int64
+}
+
+// LabelPropagation computes connected components by iterated minimum-label
+// exchange: every vertex repeatedly adopts the smallest label in its closed
+// neighborhood. The minimum label of a component spreads one hop per round,
+// so the algorithm needs Θ(D) rounds on diameter-D graphs — the behaviour
+// Figure 1's "O(log D · ...)" MPC column degrades to for the simple
+// baseline, and the gap AMPC closes.
+//
+// Termination adds one quiet round in which no label changes.
+func LabelPropagation(g *graph.Graph, p int) ConnectivityResult {
+	n := g.N()
+	rt := New(p, n)
+	comp := make([]int, n)
+	for v := range comp {
+		comp[v] = v
+	}
+
+	for {
+		changedPer := make([]bool, rt.P())
+		next := make([]int, n)
+		copy(next, comp)
+		rt.Round(func(m int, inbox []Message, mb *Mailbox) {
+			// Apply labels received last round, then send current labels.
+			lo, hi := rt.VertexRange(m)
+			for _, msg := range inbox {
+				if int(msg.B) < next[msg.Dst] {
+					next[msg.Dst] = int(msg.B)
+					changedPer[m] = true
+				}
+			}
+			for v := lo; v < hi; v++ {
+				for _, u := range g.Neighbors(v) {
+					mb.Send(Message{Dst: u, B: int64(next[v])})
+				}
+			}
+		})
+		comp = next
+		changed := false
+		for _, c := range changedPer {
+			changed = changed || c
+		}
+		if !changed && rt.Rounds() > 1 {
+			break
+		}
+	}
+	return ConnectivityResult{Components: comp, Rounds: rt.Rounds(), Messages: rt.TotalMessages()}
+}
+
+// ListRankingResult reports the outcome and cost of MPC list ranking.
+type ListRankingResult struct {
+	// Rank[v] is the distance from v to the list tail.
+	Rank []int
+	// Rounds is the number of MPC communication rounds used.
+	Rounds int
+	// Messages is the total message volume.
+	Messages int64
+}
+
+// PointerDoublingListRank ranks a linked list with the classic pointer-
+// jumping algorithm: rank[v] += rank[next[v]]; next[v] = next[next[v]].
+// Each doubling step costs two MPC rounds (request, reply) plus an apply
+// barrier; the step count is ceil(log2 n) — the Θ(log n) MPC baseline that
+// AMPC list ranking (O(1/ε) rounds) is measured against.
+//
+// next[v] = -1 marks the tail. The input must be a single list covering all
+// of next's indices.
+func PointerDoublingListRank(next []int, p int) ListRankingResult {
+	n := len(next)
+	rt := New(p, n)
+	rank := make([]int, n)
+	nxt := make([]int, n)
+	for v := range next {
+		nxt[v] = next[v]
+		if next[v] != -1 {
+			rank[v] = 1
+		}
+	}
+
+	for step := 1; step < n; step *= 2 {
+		type reply struct {
+			v, nextNext, rankNext int
+		}
+		rt.Round(func(m int, _ []Message, mb *Mailbox) {
+			lo, hi := rt.VertexRange(m)
+			for v := lo; v < hi; v++ {
+				if nxt[v] != -1 {
+					mb.Send(Message{Dst: nxt[v], A: int64(v)})
+				}
+			}
+		})
+		rt.Round(func(m int, inbox []Message, mb *Mailbox) {
+			for _, req := range inbox {
+				t := req.Dst
+				mb.Send(Message{Dst: int(req.A), A: int64(nxt[t]), B: int64(rank[t])})
+			}
+		})
+		replies := make([][]reply, rt.P())
+		rt.Round(func(m int, inbox []Message, _ *Mailbox) {
+			for _, msg := range inbox {
+				replies[m] = append(replies[m], reply{msg.Dst, int(msg.A), int(msg.B)})
+			}
+		})
+		for _, rs := range replies {
+			for _, rp := range rs {
+				rank[rp.v] += rp.rankNext
+				nxt[rp.v] = rp.nextNext
+			}
+		}
+	}
+	return ListRankingResult{Rank: rank, Rounds: rt.Rounds(), Messages: rt.TotalMessages()}
+}

@@ -1,0 +1,110 @@
+package mpc
+
+import (
+	"ampc/internal/graph"
+)
+
+// HashToMin computes connected components with the Hash-to-Min algorithm of
+// Rastogi et al. (the technique behind the MapReduce connected-components
+// systems that inspired the AMPC model [Kiveris et al. 2014]): every vertex
+// maintains a cluster set C(v), initially its closed neighborhood; each
+// round it sends C(v) to the minimum member and {min} to every member, then
+// replaces C(v) with the union of what it received. Minimum labels spread
+// by doubling along shortest paths, so the algorithm needs O(log n) rounds
+// — better than label propagation's Θ(D) on high-diameter graphs, but still
+// growing with n where AMPC connectivity is O(log log n).
+//
+// Message volume is super-linear in the worst case (cluster sets travel
+// whole); this baseline is about round counts, which is what Figure 1
+// compares.
+func HashToMin(g *graph.Graph, p int) ConnectivityResult {
+	n := g.N()
+	rt := New(p, n)
+
+	cluster := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		cluster[v] = map[int]bool{v: true}
+		for _, u := range g.Neighbors(v) {
+			cluster[v][u] = true
+		}
+	}
+
+	for {
+		next := make([]map[int]bool, n)
+		changedPer := make([]bool, rt.P())
+		first := rt.Rounds() == 0
+		rt.Round(func(m int, inbox []Message, mb *Mailbox) {
+			lo, hi := rt.VertexRange(m)
+			// Apply last round's messages first (Hash-to-Min replaces C(v)
+			// with the union of received sets). A = member being delivered.
+			// The first round has no inbox: it sends from the initial
+			// closed neighborhoods.
+			for _, msg := range inbox {
+				if next[msg.Dst] == nil {
+					next[msg.Dst] = map[int]bool{}
+				}
+				next[msg.Dst][int(msg.A)] = true
+			}
+			for v := lo; v < hi; v++ {
+				if first {
+					next[v] = cluster[v]
+				}
+				if next[v] == nil {
+					next[v] = map[int]bool{v: true}
+				}
+				// Compare to the current cluster to detect quiescence.
+				if len(next[v]) != len(cluster[v]) {
+					changedPer[m] = true
+				} else {
+					for x := range next[v] {
+						if !cluster[v][x] {
+							changedPer[m] = true
+							break
+						}
+					}
+				}
+				// Send the merged cluster to its minimum and the minimum to
+				// every member.
+				min := v
+				for x := range next[v] {
+					if x < min {
+						min = x
+					}
+				}
+				for x := range next[v] {
+					if x != min {
+						mb.Send(Message{Dst: min, A: int64(x)})
+					}
+					mb.Send(Message{Dst: x, A: int64(min)})
+				}
+			}
+		})
+		// Commit: the merge used during the round becomes the new state.
+		for v := 0; v < n; v++ {
+			if next[v] != nil {
+				cluster[v] = next[v]
+			}
+		}
+		changed := false
+		for _, c := range changedPer {
+			changed = changed || c
+		}
+		if !changed && rt.Rounds() > 1 {
+			break
+		}
+	}
+
+	comp := make([]int, n)
+	for v := 0; v < n; v++ {
+		min := v
+		for x := range cluster[v] {
+			if x < min {
+				min = x
+			}
+		}
+		comp[v] = min
+	}
+	// Hash-to-Min converges with every non-minimum vertex knowing its
+	// component minimum (it keeps receiving {min}); take the min seen.
+	return ConnectivityResult{Components: comp, Rounds: rt.Rounds(), Messages: rt.TotalMessages()}
+}

@@ -1,0 +1,50 @@
+package mpc
+
+import (
+	"testing"
+
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+func TestHashToMinComponents(t *testing.T) {
+	r := rng.New(30, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnm", graph.GNM(80, 120, r)},
+		{"path", graph.Path(64)},
+		{"grid", graph.Grid(8, 8)},
+		{"forest", graph.RandomForest(100, 9, r)},
+		{"empty", graph.MustGraph(12, nil)},
+		{"two-comps", graph.Union(graph.Cycle(20), graph.Clique(8))},
+	} {
+		res := HashToMin(tc.g, 4)
+		if !graph.SameLabeling(res.Components, graph.Components(tc.g)) {
+			t.Fatalf("%s: wrong components", tc.name)
+		}
+	}
+}
+
+func TestHashToMinBeatsLabelPropOnPaths(t *testing.T) {
+	// Hash-to-Min doubles reach per round: O(log n) rounds on a path where
+	// label propagation needs Θ(n).
+	g := graph.Path(512)
+	htm := HashToMin(g, 4)
+	lp := LabelPropagation(g, 4)
+	if htm.Rounds >= lp.Rounds/4 {
+		t.Fatalf("hash-to-min %d rounds vs label-prop %d: expected a large gap", htm.Rounds, lp.Rounds)
+	}
+	if htm.Rounds > 40 {
+		t.Fatalf("hash-to-min used %d rounds on path-512, want O(log n)", htm.Rounds)
+	}
+}
+
+func TestHashToMinRoundsGrowSlowly(t *testing.T) {
+	small := HashToMin(graph.Path(128), 4)
+	large := HashToMin(graph.Path(1024), 4)
+	if large.Rounds > small.Rounds+8 {
+		t.Fatalf("rounds grew faster than logarithmic: %d -> %d", small.Rounds, large.Rounds)
+	}
+}

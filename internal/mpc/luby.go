@@ -1,0 +1,148 @@
+package mpc
+
+import (
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+// MISResult reports the outcome and cost of the MPC MIS baseline.
+type MISResult struct {
+	// InMIS is the membership vector of the computed maximal independent set.
+	InMIS []bool
+	// Rounds is the number of MPC communication rounds used.
+	Rounds int
+	// Iterations is the number of Luby iterations (each costs four rounds).
+	Iterations int
+	// Messages is the total message volume.
+	Messages int64
+}
+
+// LubyMIS computes a maximal independent set with Luby's random-priority
+// algorithm, the classic O(log n)-round MPC/PRAM baseline for Figure 1's
+// MIS row (the best known MPC bound is Õ(√log n) [Ghaffari–Uitto]; Luby is
+// the standard implementable baseline and shares the "grows with n" shape
+// that AMPC's O(1) algorithm beats).
+//
+// Each iteration costs four MPC rounds:
+//  1. every live vertex draws a random priority and sends it to its live
+//     neighbors;
+//  2. local minima join the MIS and announce it to their neighbors;
+//  3. the announced neighbors die and tell their own neighbors to forget
+//     them;
+//  4. the forget notifications are applied (a synchronization barrier with
+//     no sends).
+func LubyMIS(g *graph.Graph, p int, r *rng.RNG) MISResult {
+	n := g.N()
+	rt := New(p, n)
+
+	alive := make([]bool, n)
+	inMIS := make([]bool, n)
+	liveNeighbors := make([]map[int]bool, n)
+	liveCount := n
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		liveNeighbors[v] = make(map[int]bool, g.Deg(v))
+		for _, u := range g.Neighbors(v) {
+			liveNeighbors[v][u] = true
+		}
+	}
+
+	// Per-machine RNG streams derived once so rounds stay deterministic.
+	machineRNG := make([]*rng.RNG, rt.P())
+	for m := range machineRNG {
+		machineRNG[m] = r.Split()
+	}
+
+	iterations := 0
+	for liveCount > 0 {
+		iterations++
+		prio := make([]int64, n)
+
+		// Round 1: draw and exchange priorities among live vertices.
+		rt.Round(func(m int, _ []Message, mb *Mailbox) {
+			lo, hi := rt.VertexRange(m)
+			mr := machineRNG[m]
+			for v := lo; v < hi; v++ {
+				if !alive[v] {
+					continue
+				}
+				prio[v] = mr.Int63()
+				for u := range liveNeighbors[v] {
+					mb.Send(Message{Dst: u, A: int64(v), B: prio[v]})
+				}
+			}
+		})
+
+		// Round 2: local minima join the MIS and announce membership.
+		// Isolated live vertices (no live neighbors) join unconditionally.
+		joined := make([]bool, n)
+		rt.Round(func(m int, inbox []Message, mb *Mailbox) {
+			lo, hi := rt.VertexRange(m)
+			minNbr := make(map[int]int64)
+			for _, msg := range inbox {
+				if cur, ok := minNbr[msg.Dst]; !ok || msg.B < cur {
+					minNbr[msg.Dst] = msg.B
+				}
+			}
+			for v := lo; v < hi; v++ {
+				if !alive[v] {
+					continue
+				}
+				best, has := minNbr[v]
+				if !has || prio[v] < best {
+					joined[v] = true
+					for u := range liveNeighbors[v] {
+						mb.Send(Message{Dst: u, A: int64(v)})
+					}
+				}
+			}
+		})
+
+		// Round 3: neighbors of winners die and notify their own neighbors.
+		died := make([]bool, n)
+		rt.Round(func(m int, inbox []Message, mb *Mailbox) {
+			lo, hi := rt.VertexRange(m)
+			killed := make(map[int]bool)
+			for _, msg := range inbox {
+				killed[msg.Dst] = true
+			}
+			for v := lo; v < hi; v++ {
+				if !alive[v] || joined[v] || !killed[v] {
+					continue
+				}
+				died[v] = true
+				for u := range liveNeighbors[v] {
+					mb.Send(Message{Dst: u, A: int64(v)})
+				}
+			}
+		})
+
+		// Apply deaths; drain the forget notifications with a zero-send
+		// round folded into the next iteration's round 1 inbox. We process
+		// them here directly because the runtime delivered them already.
+		rt.Round(func(m int, inbox []Message, _ *Mailbox) {
+			for _, msg := range inbox {
+				delete(liveNeighbors[msg.Dst], int(msg.A))
+			}
+		})
+
+		for v := 0; v < n; v++ {
+			if joined[v] {
+				inMIS[v] = true
+				alive[v] = false
+				liveCount--
+			}
+			if died[v] {
+				alive[v] = false
+				liveCount--
+			}
+		}
+	}
+
+	return MISResult{
+		InMIS:      inMIS,
+		Rounds:     rt.Rounds(),
+		Iterations: iterations,
+		Messages:   rt.TotalMessages(),
+	}
+}

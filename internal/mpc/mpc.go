@@ -1,0 +1,119 @@
+// Package mpc implements a Massively Parallel Computation simulator and the
+// classic MPC baseline algorithms that the paper's Figure 1 compares AMPC
+// against.
+//
+// The MPC model (Karloff–Suri–Vassilvitskii / Beame–Koutris–Suciu / Goodrich
+// et al.) proceeds in synchronous rounds: machines perform local computation
+// and exchange messages, with per-machine communication bounded by the local
+// space S. Crucially — and unlike AMPC — a machine cannot react to remote
+// data within a round: everything it learns arrives at the round boundary.
+// That restriction is exactly why the baselines below need Θ(log n) or Θ(D)
+// rounds where the AMPC algorithms need O(1) or O(log log n).
+//
+// Machines own contiguous blocks of vertex ids. Messages are vertex-
+// addressed; the runtime routes them to the owning machine and tallies
+// per-machine communication, so round counts and message volumes are
+// measured under the same accounting style as the AMPC runtime.
+package mpc
+
+import (
+	"sync"
+
+	"ampc/internal/ampc"
+)
+
+// Message is a constant-size message, mirroring the constant-size key-value
+// pairs of the AMPC DDS so the two models' communication is comparable.
+type Message struct {
+	// Dst is the vertex (not machine) the message is addressed to.
+	Dst int
+	// A, B, C are the payload words.
+	A, B, C int64
+}
+
+// Runtime simulates an MPC cluster of P machines over n vertex ids.
+type Runtime struct {
+	p, n    int
+	inboxes [][]Message // per machine, delivered at the round boundary
+	rounds  int
+
+	totalMessages      int64
+	maxMachineMessages int
+}
+
+// New creates a runtime with p machines owning blocks of the n vertices.
+func New(p, n int) *Runtime {
+	if p <= 0 {
+		panic("mpc: P must be positive")
+	}
+	return &Runtime{p: p, n: n, inboxes: make([][]Message, p)}
+}
+
+// P returns the machine count.
+func (r *Runtime) P() int { return r.p }
+
+// Rounds returns the number of communication rounds executed.
+func (r *Runtime) Rounds() int { return r.rounds }
+
+// TotalMessages returns the total number of messages sent over all rounds.
+func (r *Runtime) TotalMessages() int64 { return r.totalMessages }
+
+// MaxMachineMessages returns the largest per-machine, per-round count of
+// sent plus received messages, the quantity the MPC model bounds by O(S).
+func (r *Runtime) MaxMachineMessages() int { return r.maxMachineMessages }
+
+// Owner returns the machine owning vertex v.
+func (r *Runtime) Owner(v int) int { return ampc.BlockOwner(v, r.n, r.p) }
+
+// VertexRange returns the vertices owned by machine m.
+func (r *Runtime) VertexRange(m int) (lo, hi int) { return ampc.BlockRange(m, r.n, r.p) }
+
+// Mailbox gives a machine's round function the means to send messages.
+// Sends are buffered and delivered at the next round boundary.
+type Mailbox struct {
+	out []Message
+}
+
+// Send queues a message to the owner of msg.Dst for delivery next round.
+func (mb *Mailbox) Send(msg Message) {
+	mb.out = append(mb.out, msg)
+}
+
+// RoundFunc is one machine's work in a round: consume the inbox, send
+// messages for the next round.
+type RoundFunc func(machine int, inbox []Message, mb *Mailbox)
+
+// Round executes one synchronous MPC round.
+func (r *Runtime) Round(f RoundFunc) {
+	outs := make([][]Message, r.p)
+	var wg sync.WaitGroup
+	for m := 0; m < r.p; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			mb := &Mailbox{}
+			f(m, r.inboxes[m], mb)
+			outs[m] = mb.out
+		}(m)
+	}
+	wg.Wait()
+
+	next := make([][]Message, r.p)
+	perMachine := make([]int, r.p)
+	for m, out := range outs {
+		perMachine[m] += len(out)
+		for _, msg := range out {
+			dst := r.Owner(msg.Dst)
+			next[dst] = append(next[dst], msg)
+			r.totalMessages++
+		}
+	}
+	for m := range next {
+		perMachine[m] += len(next[m])
+		if perMachine[m] > r.maxMachineMessages {
+			r.maxMachineMessages = perMachine[m]
+		}
+	}
+	r.inboxes = next
+	r.rounds++
+}

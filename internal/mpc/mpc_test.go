@@ -1,0 +1,265 @@
+package mpc
+
+import (
+	"testing"
+
+	"ampc/internal/graph"
+	"ampc/internal/rng"
+)
+
+func TestRuntimeRouting(t *testing.T) {
+	rt := New(4, 16)
+	// Every vertex sends its id to vertex (id+1) mod 16.
+	rt.Round(func(m int, _ []Message, mb *Mailbox) {
+		lo, hi := rt.VertexRange(m)
+		for v := lo; v < hi; v++ {
+			mb.Send(Message{Dst: (v + 1) % 16, A: int64(v)})
+		}
+	})
+	received := make([]int64, 16)
+	rt.Round(func(m int, inbox []Message, _ *Mailbox) {
+		for _, msg := range inbox {
+			received[msg.Dst] = msg.A
+		}
+	})
+	for v := 0; v < 16; v++ {
+		want := int64((v + 15) % 16)
+		if received[v] != want {
+			t.Fatalf("vertex %d received %d, want %d", v, received[v], want)
+		}
+	}
+	if rt.Rounds() != 2 {
+		t.Fatalf("Rounds = %d", rt.Rounds())
+	}
+	if rt.TotalMessages() != 16 {
+		t.Fatalf("TotalMessages = %d", rt.TotalMessages())
+	}
+	if rt.MaxMachineMessages() < 4 {
+		t.Fatalf("MaxMachineMessages = %d", rt.MaxMachineMessages())
+	}
+}
+
+func TestRuntimePanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 4) did not panic")
+		}
+	}()
+	New(0, 4)
+}
+
+func TestOwnerConsistentWithRange(t *testing.T) {
+	rt := New(5, 23)
+	for v := 0; v < 23; v++ {
+		m := rt.Owner(v)
+		lo, hi := rt.VertexRange(m)
+		if v < lo || v >= hi {
+			t.Fatalf("vertex %d: owner %d range [%d,%d)", v, m, lo, hi)
+		}
+	}
+}
+
+func TestTwoCycleDistinguishes(t *testing.T) {
+	r := rng.New(1, 0)
+	for _, n := range []int{8, 32, 100, 256} {
+		for _, single := range []bool{true, false} {
+			g := graph.TwoCycleInstance(n, single, r)
+			res, err := TwoCycle(g, 4, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SingleCycle != single {
+				t.Fatalf("n=%d single=%v: got %v", n, single, res.SingleCycle)
+			}
+		}
+	}
+}
+
+func TestTwoCycleRejectsNonRegular(t *testing.T) {
+	if _, err := TwoCycle(graph.Path(5), 2, rng.New(1, 0)); err == nil {
+		t.Fatal("path accepted as 2-cycle instance")
+	}
+}
+
+func TestTwoCycleRoundsGrowLogarithmically(t *testing.T) {
+	r := rng.New(2, 0)
+	r64, err := TwoCycle(graph.TwoCycleInstance(64, true, r), 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4096, err := TwoCycle(graph.TwoCycleInstance(4096, true, r), 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4096.Rounds <= r64.Rounds {
+		t.Fatalf("rounds did not grow with n: %d (n=64) vs %d (n=4096)", r64.Rounds, r4096.Rounds)
+	}
+	// Doubling steps scale with log2: 64x larger n adds ~6 steps of 3 rounds.
+	if r4096.Rounds > r64.Rounds+3*8 {
+		t.Fatalf("rounds grew faster than logarithmic: %d vs %d", r64.Rounds, r4096.Rounds)
+	}
+}
+
+func TestLubyMISValid(t *testing.T) {
+	r := rng.New(3, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle", graph.Cycle(20)},
+		{"clique", graph.Clique(8)},
+		{"star", graph.Star(10)},
+		{"gnm", graph.GNM(60, 150, r)},
+		{"sparse", graph.GNM(40, 10, r)},
+	} {
+		res := LubyMIS(tc.g, 4, r)
+		if !graph.IsMIS(tc.g, res.InMIS) {
+			t.Fatalf("%s: Luby output is not an MIS", tc.name)
+		}
+		if res.Rounds != 4*res.Iterations {
+			t.Fatalf("%s: rounds=%d != 4*iterations=%d", tc.name, res.Rounds, res.Iterations)
+		}
+	}
+}
+
+func TestLubyMISIsolatedVertices(t *testing.T) {
+	// A graph with no edges: every vertex joins in the first iteration.
+	g := graph.MustGraph(7, nil)
+	res := LubyMIS(g, 2, rng.New(4, 0))
+	for v, in := range res.InMIS {
+		if !in {
+			t.Fatalf("isolated vertex %d not in MIS", v)
+		}
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+func TestLubyCliqueOneWinner(t *testing.T) {
+	res := LubyMIS(graph.Clique(12), 3, rng.New(5, 0))
+	count := 0
+	for _, in := range res.InMIS {
+		if in {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("clique MIS size = %d, want 1", count)
+	}
+}
+
+func TestBoruvkaMatchesKruskal(t *testing.T) {
+	r := rng.New(6, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.WeightedGraph
+	}{
+		{"cycle", graph.WithRandomWeights(graph.Cycle(16), r)},
+		{"gnm", graph.WithRandomWeights(graph.ConnectedGNM(50, 120, r), r)},
+		{"forest-input", graph.WithRandomWeights(graph.RandomForest(40, 5, r), r)},
+		{"two-comps", graph.WithRandomWeights(graph.Union(graph.Cycle(10), graph.Clique(6)), r)},
+	} {
+		res := BoruvkaMSF(tc.g, 4)
+		want := graph.KruskalMSF(tc.g)
+		if len(res.Edges) != len(want) {
+			t.Fatalf("%s: %d MSF edges, want %d", tc.name, len(res.Edges), len(want))
+		}
+		if graph.TotalWeight(res.Edges) != graph.TotalWeight(want) {
+			t.Fatalf("%s: MSF weight %d, want %d", tc.name, graph.TotalWeight(res.Edges), graph.TotalWeight(want))
+		}
+	}
+}
+
+func TestBoruvkaPhasesLogarithmic(t *testing.T) {
+	r := rng.New(7, 0)
+	g := graph.WithRandomWeights(graph.Cycle(1024), r)
+	res := BoruvkaMSF(g, 8)
+	// A cycle halves its component count per phase: ~log2(1024)=10 phases
+	// plus termination slack.
+	if res.Phases < 5 || res.Phases > 14 {
+		t.Fatalf("phases = %d, want ~log2(1024)", res.Phases)
+	}
+}
+
+func TestLabelPropagationComponents(t *testing.T) {
+	r := rng.New(8, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnm", graph.GNM(50, 60, r)},
+		{"forest", graph.RandomForest(60, 7, r)},
+		{"grid", graph.Grid(6, 8)},
+		{"empty", graph.MustGraph(10, nil)},
+	} {
+		res := LabelPropagation(tc.g, 4)
+		if !graph.SameLabeling(res.Components, graph.Components(tc.g)) {
+			t.Fatalf("%s: wrong components", tc.name)
+		}
+	}
+}
+
+func TestLabelPropagationRoundsTrackDiameter(t *testing.T) {
+	shallow := LabelPropagation(graph.Star(256), 4)
+	deep := LabelPropagation(graph.Path(256), 4)
+	if deep.Rounds <= shallow.Rounds {
+		t.Fatalf("path rounds (%d) should exceed star rounds (%d)", deep.Rounds, shallow.Rounds)
+	}
+	if deep.Rounds < 128 {
+		t.Fatalf("path-256 rounds = %d, want ~diameter", deep.Rounds)
+	}
+}
+
+func TestPointerDoublingListRank(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 1000} {
+		next := make([]int, n)
+		for i := 0; i < n-1; i++ {
+			next[i] = i + 1
+		}
+		next[n-1] = -1
+		res := PointerDoublingListRank(next, 4)
+		for v := 0; v < n; v++ {
+			if res.Rank[v] != n-1-v {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, v, res.Rank[v], n-1-v)
+			}
+		}
+	}
+}
+
+func TestPointerDoublingPermutedList(t *testing.T) {
+	// Build a list in permuted vertex order and check ranks.
+	r := rng.New(9, 0)
+	const n = 64
+	order := r.Perm(n)
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[order[i]] = order[i+1]
+	}
+	next[order[n-1]] = -1
+	res := PointerDoublingListRank(next, 4)
+	for pos, v := range order {
+		if res.Rank[v] != n-1-pos {
+			t.Fatalf("rank[%d] = %d, want %d", v, res.Rank[v], n-1-pos)
+		}
+	}
+}
+
+func TestListRankRoundsLogarithmic(t *testing.T) {
+	mk := func(n int) []int {
+		next := make([]int, n)
+		for i := 0; i < n-1; i++ {
+			next[i] = i + 1
+		}
+		next[n-1] = -1
+		return next
+	}
+	small := PointerDoublingListRank(mk(64), 4)
+	large := PointerDoublingListRank(mk(4096), 4)
+	if large.Rounds <= small.Rounds {
+		t.Fatal("list-rank rounds did not grow with n")
+	}
+	if large.Rounds > small.Rounds*3 {
+		t.Fatalf("list-rank rounds grew super-logarithmically: %d vs %d", small.Rounds, large.Rounds)
+	}
+}

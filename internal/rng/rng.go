@@ -1,0 +1,133 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for the AMPC simulator.
+//
+// Every (seed, stream) pair yields an independent sequence, which lets the
+// runtime hand each virtual machine in each round its own generator: parallel
+// execution order then has no effect on the random choices an algorithm
+// makes, so whole runs are reproducible from a single root seed.
+//
+// The generator is xoshiro256** seeded through SplitMix64, the seeding
+// scheme recommended by the xoshiro authors. Both are public-domain
+// algorithms reimplemented here so the module stays dependency-free.
+package rng
+
+import "math/bits"
+
+// RNG is a single pseudo-random stream. It is not safe for concurrent use;
+// give each goroutine its own stream via Split or New.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitMix64 advances x and returns the next SplitMix64 output. It is used
+// only to expand seeds into full generator state.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator for the given seed and stream index. Distinct
+// (seed, stream) pairs produce statistically independent sequences.
+func New(seed, stream uint64) *RNG {
+	// Mix the stream into the seed with a distinct odd constant so streams
+	// land far apart in SplitMix64's sequence space.
+	x := seed ^ (stream * 0xd1342543de82ef95)
+	r := &RNG{}
+	r.s0 = splitMix64(&x)
+	r.s1 = splitMix64(&x)
+	r.s2 = splitMix64(&x)
+	r.s3 = splitMix64(&x)
+	// xoshiro256** requires nonzero state; SplitMix64 output is zero for at
+	// most one of the four draws, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new independent generator from r without disturbing the
+// statistical properties of either stream.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64(), r.Uint64())
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a uniformly random non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Uint64n returns a uniformly random uint64 in [0, n) using Lemire's
+// nearly-divisionless method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function,
+// matching the contract of math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
