@@ -1,5 +1,7 @@
 // Command ampcrun runs one AMPC algorithm on a generated workload and
-// prints the result summary and cost telemetry.
+// prints the result summary and cost telemetry. All dispatch goes through
+// the ampc registry: -algo accepts any name listed by -list, and new
+// algorithms registered with ampc.Register appear here with no changes.
 //
 // Usage:
 //
@@ -10,196 +12,206 @@
 //	ampcrun -algo forestconn -graph forest -n 10000 -trees 20
 //	ampcrun -algo biconn -graph gnm -n 2000 -m 4000
 //	ampcrun -algo listrank -n 100000
+//	ampcrun -list
 //
 // Graphs: gnm, cgnm (connected), cycle (one cycle), cycle2 (two cycles),
 // grid (sqrt(n) x sqrt(n)), path, star, tree, forest, clique.
+//
+// -stream prints every round's statistics as it completes; -bench emits
+// one machine-readable JSON line per run for perf trajectories; -timeout
+// aborts the run through context cancellation.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"time"
 
 	"ampc"
 )
 
 func main() {
 	var (
-		algo   = flag.String("algo", "connectivity", "algorithm: twocycle|mis|matching|coloring|connectivity|msf|cycleconn|forestconn|listrank|biconn")
-		gkind  = flag.String("graph", "gnm", "workload: gnm|cgnm|cycle|cycle2|grid|path|star|tree|forest|clique")
-		input  = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
-		n      = flag.Int("n", 10000, "vertex count")
-		m      = flag.Int("m", 0, "edge count (default 4n for gnm/cgnm)")
-		trees  = flag.Int("trees", 10, "tree count for -graph forest")
-		eps    = flag.Float64("eps", 0.5, "space exponent: S = n^eps")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		check  = flag.Bool("check", true, "verify against the sequential oracle")
-		fault  = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
-		asJSON = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
+		algo    = flag.String("algo", "connectivity", "algorithm name from the registry (see -list)")
+		list    = flag.Bool("list", false, "list registered algorithms and exit")
+		gkind   = flag.String("graph", "gnm", "workload: gnm|cgnm|cycle|cycle2|grid|path|star|tree|forest|clique")
+		input   = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
+		n       = flag.Int("n", 10000, "vertex count")
+		m       = flag.Int("m", 0, "edge count (default 4n for gnm/cgnm)")
+		trees   = flag.Int("trees", 10, "tree count for -graph forest")
+		eps     = flag.Float64("eps", 0.5, "space exponent: S = n^eps")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		check   = flag.Bool("check", true, "verify against the sequential oracle")
+		fault   = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
+		asJSON  = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
+		bench   = flag.Bool("bench", false, "emit one machine-readable JSON line (algo, n, m, rounds, queries, wall time)")
+		stream  = flag.Bool("stream", false, "print each round's stats as it completes")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	opts := ampc.Options{Epsilon: *eps, Seed: *seed, FaultProb: *fault}
-	r := ampc.NewRNG(*seed, 0x7)
+	if *list {
+		for _, name := range ampc.Algorithms() {
+			spec, _ := ampc.Lookup(name)
+			fmt.Printf("%-16s [%s] %s\n", name, spec.Input, spec.Description)
+		}
+		return
+	}
+
+	spec, ok := ampc.Lookup(*algo)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -algo %q; registered: %v\n", *algo, ampc.Algorithms())
+		os.Exit(2)
+	}
 	if *m == 0 {
 		*m = 4 * *n
 	}
 
-	if *algo == "listrank" {
-		runListRank(*n, opts)
+	eng := ampc.NewEngine(ampc.EngineOptions{
+		Defaults: ampc.Options{Epsilon: *eps, Seed: *seed, FaultProb: *fault},
+		Observer: roundPrinter(*stream),
+	})
+	// Under -bench the oracle check runs outside the timed window (below),
+	// so wall_ms measures the algorithm alone.
+	job := ampc.Job{Algo: *algo, Check: *check && !*bench}
+
+	r := ampc.NewRNG(*seed, 0x7)
+	var workload string
+	var wn, wm int
+	switch spec.Input {
+	case ampc.InputList:
+		next := make([]int, *n)
+		for i := 0; i < *n-1; i++ {
+			next[i] = i + 1
+		}
+		if *n > 0 {
+			next[*n-1] = -1
+		}
+		job.Next = next
+		workload, wn, wm = "list", *n, 0
+	case ampc.InputGraph:
+		g := loadOrMakeGraph(*input, gkind, *n, *m, *trees, r)
+		job.Graph = g
+		workload, wn, wm = *gkind, g.N(), g.M()
+	case ampc.InputWeightedGraph:
+		g := loadOrMakeGraph(*input, gkind, *n, *m, *trees, r)
+		wg := ampc.WithRandomWeights(g, r)
+		job.Weighted = wg
+		workload, wn, wm = *gkind, wg.N(), wg.M()
+	}
+	if !*bench {
+		fmt.Printf("workload: %s n=%d m=%d   eps=%.2f seed=%d\n", workload, wn, wm, *eps, *seed)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := eng.Run(ctx, job)
+	wall := time.Since(start)
+	fail(err)
+
+	if *bench {
+		checkStatus := ampc.CheckSkipped
+		if *check && spec.Check != nil {
+			if cerr := spec.Check(job, res); cerr != nil {
+				log.Fatalf("oracle check failed: %v", cerr)
+			}
+			checkStatus = ampc.CheckPassed
+		}
+		printBenchLine(res, workload, wn, wm, *eps, *seed, wall, checkStatus)
 		return
 	}
-
-	var g *ampc.Graph
-	if *input != "" {
-		f, err := os.Open(*input)
-		fail(err)
-		g, err = ampc.ReadEdgeList(f)
-		f.Close()
-		fail(err)
-		*gkind = *input
-	} else {
-		g = makeGraph(*gkind, *n, *m, *trees, r)
+	fmt.Printf("result: %s\n", res.Summary)
+	if res.Check == ampc.CheckPassed {
+		fmt.Println("oracle check passed")
 	}
-	fmt.Printf("workload: %s n=%d m=%d   eps=%.2f seed=%d\n", *gkind, g.N(), g.M(), *eps, *seed)
-
-	var tel ampc.Telemetry
-	switch *algo {
-	case "twocycle":
-		res, err := ampc.TwoCycle(g, opts)
-		fail(err)
-		fmt.Printf("result: single cycle = %v\n", res.SingleCycle)
-		tel = res.Telemetry
-	case "mis":
-		res, err := ampc.MIS(g, opts)
-		fail(err)
-		size := 0
-		for _, in := range res.InMIS {
-			if in {
-				size++
-			}
-		}
-		fmt.Printf("result: MIS size = %d\n", size)
-		if *check && !ampc.IsMIS(g, res.InMIS) {
-			log.Fatal("oracle check failed: not an MIS")
-		}
-		tel = res.Telemetry
-	case "matching":
-		res, err := ampc.MaximalMatching(g, opts)
-		fail(err)
-		size := 0
-		for _, in := range res.Matched {
-			if in {
-				size++
-			}
-		}
-		fmt.Printf("result: matching size = %d\n", size)
-		if *check && !ampc.IsMaximalMatching(g, res.Matched) {
-			log.Fatal("oracle check failed: not a maximal matching")
-		}
-		tel = res.Telemetry
-	case "coloring":
-		res, err := ampc.GreedyColoring(g, opts)
-		fail(err)
-		colors := 0
-		for _, c := range res.Color {
-			if c+1 > colors {
-				colors = c + 1
-			}
-		}
-		fmt.Printf("result: %d colors (Δ+1 = %d)\n", colors, g.MaxDeg()+1)
-		if *check && !ampc.IsProperColoring(g, res.Color) {
-			log.Fatal("oracle check failed: coloring not proper")
-		}
-		tel = res.Telemetry
-	case "connectivity":
-		res, err := ampc.Connectivity(g, opts)
-		fail(err)
-		fmt.Printf("result: %d components\n", countLabels(res.Components))
-		if *check && !ampc.SameLabeling(res.Components, ampc.Components(g)) {
-			log.Fatal("oracle check failed: wrong components")
-		}
-		tel = res.Telemetry
-	case "msf":
-		wg := ampc.WithRandomWeights(g, r)
-		res, err := ampc.MSF(wg, opts)
-		fail(err)
-		var total int64
-		for _, e := range res.Edges {
-			total += e.Weight
-		}
-		fmt.Printf("result: %d MSF edges, total weight %d\n", len(res.Edges), total)
-		if *check {
-			oracle := ampc.KruskalMSF(wg)
-			var want int64
-			for _, e := range oracle {
-				want += e.Weight
-			}
-			if total != want || len(res.Edges) != len(oracle) {
-				log.Fatal("oracle check failed: MSF differs from Kruskal")
-			}
-		}
-		tel = res.Telemetry
-	case "cycleconn":
-		res, err := ampc.CycleConnectivity(g, opts)
-		fail(err)
-		fmt.Printf("result: %d cycles\n", countLabels(res.Components))
-		if *check && !ampc.SameLabeling(res.Components, ampc.Components(g)) {
-			log.Fatal("oracle check failed")
-		}
-		tel = res.Telemetry
-	case "forestconn":
-		res, err := ampc.ForestConnectivity(g, opts)
-		fail(err)
-		fmt.Printf("result: %d trees\n", countLabels(res.Components))
-		if *check && !ampc.SameLabeling(res.Components, ampc.Components(g)) {
-			log.Fatal("oracle check failed")
-		}
-		tel = res.Telemetry
-	case "biconn":
-		res, err := ampc.Biconnectivity(g, opts)
-		fail(err)
-		fmt.Printf("result: %d bridges, %d articulation points, %d 2-edge components\n",
-			len(res.Bridges), len(res.ArticulationPoints), countLabels(res.TwoEdgeComponents))
-		if *check && len(res.Bridges) != len(ampc.BridgesOracle(g)) {
-			log.Fatal("oracle check failed: bridges differ")
-		}
-		tel = res.Telemetry
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	if *asJSON {
-		printJSON(tel)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(res.Telemetry))
 	} else {
-		printTelemetry(tel)
+		printTelemetry(res.Telemetry, wall)
 	}
 }
 
-func printJSON(t ampc.Telemetry) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(t); err != nil {
-		log.Fatal(err)
+// roundPrinter returns a streaming observer, or nil when -stream is off.
+// Rounds go to stderr so stdout stays parseable under -json and -bench.
+func roundPrinter(enabled bool) ampc.TelemetryObserver {
+	if !enabled {
+		return nil
+	}
+	return func(ev ampc.RoundEvent) {
+		fmt.Fprintf(os.Stderr, "round %-24s queries=%-8d writes=%-8d maxMachine=%-6d maxShard=%-6d pairs=%d\n",
+			ev.Round.Name, ev.Round.Queries, ev.Round.Writes,
+			ev.Round.MaxMachineQueries, ev.Round.MaxShardLoad, ev.Round.Pairs)
 	}
 }
 
-func runListRank(n int, opts ampc.Options) {
-	next := make([]int, n)
-	for i := 0; i < n-1; i++ {
-		next[i] = i + 1
+// benchLine is the stable machine-readable record emitted by -bench, one
+// JSON object per line, for recording perf trajectories across commits.
+type benchLine struct {
+	Algo              string  `json:"algo"`
+	Workload          string  `json:"workload"`
+	N                 int     `json:"n"`
+	M                 int     `json:"m"`
+	Epsilon           float64 `json:"eps"`
+	Seed              uint64  `json:"seed"`
+	Rounds            int     `json:"rounds"`
+	Phases            int     `json:"phases"`
+	TotalQueries      int64   `json:"queries"`
+	MaxMachineQueries int     `json:"max_machine_queries"`
+	MaxShardLoad      int64   `json:"max_shard_load"`
+	P                 int     `json:"p"`
+	S                 int     `json:"s"`
+	WallMS            float64 `json:"wall_ms"`
+	Check             string  `json:"check"`
+}
+
+func printBenchLine(res *ampc.Result, workload string, n, m int, eps float64, seed uint64, wall time.Duration, check ampc.CheckStatus) {
+	t := res.Telemetry
+	line := benchLine{
+		Algo:              res.Algo,
+		Workload:          workload,
+		N:                 n,
+		M:                 m,
+		Epsilon:           eps,
+		Seed:              seed,
+		Rounds:            t.Rounds,
+		Phases:            t.Phases,
+		TotalQueries:      t.TotalQueries,
+		MaxMachineQueries: t.MaxMachineQueries,
+		MaxShardLoad:      t.MaxShardLoad,
+		P:                 t.P,
+		S:                 t.S,
+		WallMS:            float64(wall.Microseconds()) / 1000,
+		Check:             check.String(),
 	}
-	next[n-1] = -1
-	res, err := ampc.ListRanking(next, opts)
+	out, err := json.Marshal(line)
 	fail(err)
-	fmt.Printf("workload: list n=%d\n", n)
-	fmt.Printf("result: tail rank = %d\n", res.Rank[n-1])
-	printTelemetry(res.Telemetry)
+	fmt.Println(string(out))
+}
+
+func loadOrMakeGraph(input string, gkind *string, n, m, trees int, r *ampc.RNG) *ampc.Graph {
+	if input != "" {
+		f, err := os.Open(input)
+		fail(err)
+		defer f.Close()
+		g, err := ampc.ReadEdgeList(f)
+		fail(err)
+		*gkind = input
+		return g
+	}
+	return makeGraph(*gkind, n, m, trees, r)
 }
 
 func makeGraph(kind string, n, m, trees int, r *ampc.RNG) *ampc.Graph {
@@ -232,21 +244,14 @@ func makeGraph(kind string, n, m, trees int, r *ampc.RNG) *ampc.Graph {
 	}
 }
 
-func countLabels(labels []int) int {
-	set := map[int]bool{}
-	for _, l := range labels {
-		set[l] = true
-	}
-	return len(set)
-}
-
-func printTelemetry(t ampc.Telemetry) {
+func printTelemetry(t ampc.Telemetry, wall time.Duration) {
 	fmt.Printf("\ncost (P=%d, S=%d):\n", t.P, t.S)
 	fmt.Printf("  rounds              %d\n", t.Rounds)
 	fmt.Printf("  phases              %d\n", t.Phases)
 	fmt.Printf("  total queries       %d\n", t.TotalQueries)
 	fmt.Printf("  max machine queries %d per round\n", t.MaxMachineQueries)
 	fmt.Printf("  max shard load      %d per round\n", t.MaxShardLoad)
+	fmt.Printf("  wall time           %v\n", wall.Round(time.Microsecond))
 }
 
 func fail(err error) {

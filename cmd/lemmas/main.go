@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,14 @@ import (
 	"ampc/internal/rng"
 )
 
+// run dispatches one experiment through the shared Engine and returns its
+// telemetry; every lemma sweep below uses the registry path.
+func run(eng *ampc.Engine, job ampc.Job) ampc.Telemetry {
+	res, err := eng.Run(context.Background(), job)
+	fail(err)
+	return res.Telemetry
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "smaller sweep for smoke testing")
 	flag.Parse()
@@ -30,6 +39,7 @@ func main() {
 	if *quick {
 		sizes = []int{1 << 9, 1 << 11}
 	}
+	eng := ampc.NewEngine(ampc.EngineOptions{})
 
 	fmt.Println("== Lemma 4.1: Shrink contraction factor ==")
 	fmt.Println("sampling probability n^{-delta/2} should shrink cycles by ~n^{delta/2} per iteration")
@@ -55,9 +65,7 @@ func main() {
 	for _, n := range sizes {
 		r := rng.New(uint64(n), 9)
 		g := graph.TwoCycleInstance(n, true, r)
-		res, err := ampc.TwoCycle(g, ampc.Options{Seed: uint64(n)})
-		fail(err)
-		t := res.Telemetry
+		t := run(eng, ampc.Job{Algo: "twocycle", Graph: g, Opts: &ampc.Options{Seed: uint64(n)}})
 		fmt.Printf("%10d %8d %10s %12d %12d %14.2f\n",
 			n, t.S, "enforced", t.MaxMachineQueries, t.MaxShardLoad, float64(t.MaxShardLoad)/float64(t.S))
 	}
@@ -69,20 +77,18 @@ func main() {
 	for _, n := range sizes {
 		r := rng.New(uint64(n), 10)
 		g := graph.GNM(n, 4*n, r)
-		res, err := ampc.MIS(g, ampc.Options{Seed: uint64(n)})
-		fail(err)
-		ratio := float64(res.Telemetry.TotalQueries) / float64(g.N()+g.M())
-		fmt.Printf("%10d %10d %14d %16.2f\n", n, g.M(), res.Telemetry.TotalQueries, ratio)
+		t := run(eng, ampc.Job{Algo: "mis", Graph: g, Check: true, Opts: &ampc.Options{Seed: uint64(n)}})
+		ratio := float64(t.TotalQueries) / float64(g.N()+g.M())
+		fmt.Printf("%10d %10d %14d %16.2f\n", n, g.M(), t.TotalQueries, ratio)
 	}
 
 	fmt.Println("\n== Lemma 8.2: pi-search cost on cycles ==")
 	fmt.Println("expected queries per vertex O(log k); the per-vertex average should track log2(n)")
 	fmt.Printf("%10s %14s %18s %10s\n", "n", "queries", "queries/vertex", "log2(n)")
 	for _, n := range sizes {
-		res, err := ampc.CycleConnectivity(graph.Cycle(n), ampc.Options{Seed: uint64(n)})
-		fail(err)
-		perV := float64(res.Telemetry.TotalQueries) / float64(n)
-		fmt.Printf("%10d %14d %18.2f %10.1f\n", n, res.Telemetry.TotalQueries, perV, math.Log2(float64(n)))
+		t := run(eng, ampc.Job{Algo: "cycleconn", Graph: graph.Cycle(n), Opts: &ampc.Options{Seed: uint64(n)}})
+		perV := float64(t.TotalQueries) / float64(n)
+		fmt.Printf("%10d %14d %18.2f %10.1f\n", n, t.TotalQueries, perV, math.Log2(float64(n)))
 	}
 
 	fmt.Println("\n== Theorem 6: list-ranking rounds vs n ==")
@@ -93,9 +99,8 @@ func main() {
 			next[i] = i + 1
 		}
 		next[n-1] = -1
-		res, err := ampc.ListRanking(next, ampc.Options{Seed: uint64(n)})
-		fail(err)
-		fmt.Printf("%10d %12d\n", n, res.Telemetry.Rounds)
+		t := run(eng, ampc.Job{Algo: "listrank", Next: next, Opts: &ampc.Options{Seed: uint64(n)}})
+		fmt.Printf("%10d %12d\n", n, t.Rounds)
 	}
 }
 

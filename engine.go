@@ -1,0 +1,236 @@
+package ampc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	ampcrt "ampc/internal/ampc"
+)
+
+// RoundStats is the per-round accounting record streamed by observers and
+// collected in Telemetry.RoundStats.
+type RoundStats = ampcrt.RoundStats
+
+// ErrInvalidJob is reported by Engine.Run when a Job is malformed: the
+// named algorithm's input field is unset, or the job carries no algorithm
+// name at all.
+var ErrInvalidJob = errors.New("ampc: invalid job")
+
+// ErrCheckFailed is reported by Engine.Run when Job.Check was set and the
+// algorithm's sequential oracle rejected the output. The Result is still
+// returned alongside the error, with Result.Check set to CheckFailed.
+var ErrCheckFailed = errors.New("ampc: oracle check failed")
+
+// Job names an algorithm and carries its input.
+//
+// Exactly one input field must be populated, matching the registered
+// algorithm's InputKind: Graph for graph algorithms, Weighted for weighted
+// ones (msf, affinity), Next for list ranking.
+type Job struct {
+	// Algo is the registry name of the algorithm to run (see Algorithms).
+	Algo string
+	// Graph is the input for InputGraph algorithms.
+	Graph *Graph
+	// Weighted is the input for InputWeightedGraph algorithms.
+	Weighted *WeightedGraph
+	// Next is the linked-list successor vector for InputList algorithms:
+	// Next[v] is v's successor, -1 at a tail.
+	Next []int
+	// Opts, when non-nil, replaces the Engine's default Options for this
+	// job only.
+	Opts *Options
+	// Check verifies the output against the algorithm's sequential oracle
+	// after the run; a mismatch makes Engine.Run return ErrCheckFailed.
+	Check bool
+}
+
+// CheckStatus reports whether a Result was verified against the
+// algorithm's sequential oracle.
+type CheckStatus int
+
+const (
+	// CheckSkipped means no oracle ran (Job.Check unset, or the algorithm
+	// registered none).
+	CheckSkipped CheckStatus = iota
+	// CheckPassed means the oracle confirmed the output.
+	CheckPassed
+	// CheckFailed means the oracle rejected the output.
+	CheckFailed
+)
+
+// String names the status for logs.
+func (s CheckStatus) String() string {
+	switch s {
+	case CheckSkipped:
+		return "skipped"
+	case CheckPassed:
+		return "passed"
+	case CheckFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("CheckStatus(%d)", int(s))
+	}
+}
+
+// Result is the uniform output of Engine.Run.
+type Result struct {
+	// Algo echoes the job's algorithm name.
+	Algo string
+	// JobID is the Engine-assigned identifier of this run, matching the
+	// JobID of the RoundEvents it streamed.
+	JobID uint64
+	// Labels is the algorithm's canonical per-element integer output when
+	// it has one — component labels, colors, list ranks — nil otherwise.
+	Labels []int
+	// Payload is the algorithm-specific result struct (e.g. MISResult,
+	// BiconnResult), always populated.
+	Payload any
+	// Summary is a one-line human-readable description of the outcome.
+	Summary string
+	// Check reports oracle verification status.
+	Check CheckStatus
+	// Telemetry is the measured cost of the run.
+	Telemetry Telemetry
+}
+
+// RoundEvent is delivered to a TelemetryObserver every time a round of a
+// running job completes.
+type RoundEvent struct {
+	// JobID identifies the Engine.Run invocation the round belongs to,
+	// distinguishing interleaved events from concurrent jobs.
+	JobID uint64
+	// Algo is the job's algorithm name.
+	Algo string
+	// Round is the completed round's statistics.
+	Round RoundStats
+}
+
+// TelemetryObserver receives RoundEvents as rounds complete, while the job
+// is still running. It is called synchronously from the job's goroutine
+// and may be called concurrently from different jobs, so it must be safe
+// for concurrent use; slow observers slow the runs they observe.
+type TelemetryObserver func(RoundEvent)
+
+// EngineOptions configures NewEngine.
+type EngineOptions struct {
+	// Defaults are the Options applied to every job that does not carry
+	// its own (see Job.Opts). The zero value selects the documented
+	// algorithm defaults.
+	Defaults Options
+	// MaxConcurrent caps how many jobs the Engine runs simultaneously;
+	// further Run calls block (respecting their context) until a slot
+	// frees. Zero selects GOMAXPROCS; negative means unlimited.
+	MaxConcurrent int
+	// Observer, when non-nil, streams every running job's per-round
+	// statistics as RoundEvents.
+	Observer TelemetryObserver
+}
+
+// Engine is a configured, reusable handle that executes registered
+// algorithms. It is safe for concurrent use: many goroutines may call Run
+// on one Engine, subject to the MaxConcurrent limit.
+type Engine struct {
+	defaults Options
+	observer TelemetryObserver
+	sem      chan struct{}
+	nextID   atomic.Uint64
+}
+
+// NewEngine returns an Engine with the given configuration.
+func NewEngine(opts EngineOptions) *Engine {
+	e := &Engine{defaults: opts.Defaults, observer: opts.Observer}
+	limit := opts.MaxConcurrent
+	if limit == 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > 0 {
+		e.sem = make(chan struct{}, limit)
+	}
+	return e
+}
+
+// Run executes the job's algorithm through the registry and returns its
+// uniform Result. The context cancels the run: between AMPC rounds the
+// runtime observes ctx and aborts, so Run returns promptly with ctx's
+// error after cancellation or timeout. When Job.Check is set and the
+// algorithm registered an oracle, the output is verified and a mismatch
+// returns the Result together with an error wrapping ErrCheckFailed.
+func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
+	if job.Algo == "" {
+		return nil, fmt.Errorf("%w: no algorithm name", ErrInvalidJob)
+	}
+	spec, ok := Lookup(job.Algo)
+	if !ok {
+		return nil, unknownAlgorithmError(job.Algo)
+	}
+	if err := checkInput(spec, job); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if e.sem != nil {
+		select {
+		case e.sem <- struct{}{}:
+			defer func() { <-e.sem }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	opts := e.defaults
+	if job.Opts != nil {
+		opts = *job.Opts
+	}
+	id := e.nextID.Add(1)
+	if e.observer != nil {
+		inner := opts.Observer
+		obs, algo := e.observer, job.Algo
+		opts.Observer = func(s RoundStats) {
+			if inner != nil {
+				inner(s)
+			}
+			obs(RoundEvent{JobID: id, Algo: algo, Round: s})
+		}
+	}
+
+	res, err := spec.Run(ctx, job, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ampc: job %q: %w", job.Algo, err)
+	}
+	res.Algo = job.Algo
+	res.JobID = id
+
+	if job.Check && spec.Check != nil {
+		if cerr := spec.Check(job, res); cerr != nil {
+			res.Check = CheckFailed
+			return res, fmt.Errorf("%w: %s: %v", ErrCheckFailed, job.Algo, cerr)
+		}
+		res.Check = CheckPassed
+	}
+	return res, nil
+}
+
+// checkInput rejects jobs whose input field does not match the
+// algorithm's declared InputKind.
+func checkInput(spec AlgorithmSpec, job Job) error {
+	switch spec.Input {
+	case InputGraph:
+		if job.Graph == nil {
+			return fmt.Errorf("%w: %q needs Job.Graph", ErrInvalidJob, spec.Name)
+		}
+	case InputWeightedGraph:
+		if job.Weighted == nil {
+			return fmt.Errorf("%w: %q needs Job.Weighted", ErrInvalidJob, spec.Name)
+		}
+	case InputList:
+		if job.Next == nil {
+			return fmt.Errorf("%w: %q needs Job.Next", ErrInvalidJob, spec.Name)
+		}
+	}
+	return nil
+}

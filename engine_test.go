@@ -1,0 +1,275 @@
+package ampc_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ampc"
+)
+
+// registryJob builds a small valid input for each registered algorithm, so
+// the round-trip test can run every name through Engine.Run. Structured
+// inputs (cycles, forests) get matching workloads; everything else gets a
+// small random graph.
+func registryJob(t *testing.T, name string, spec ampc.AlgorithmSpec) ampc.Job {
+	t.Helper()
+	r := ampc.NewRNG(42, 0)
+	job := ampc.Job{Algo: name, Check: true}
+	switch name {
+	case "twocycle":
+		job.Graph = ampc.TwoCycleInstance(128, false, r)
+	case "cycleconn":
+		job.Graph = ampc.Union(ampc.Cycle(64), ampc.Cycle(80))
+	case "forestconn":
+		job.Graph = ampc.RandomForest(200, 5, r)
+	default:
+		switch spec.Input {
+		case ampc.InputGraph:
+			job.Graph = ampc.GNM(150, 450, r)
+		case ampc.InputWeightedGraph:
+			job.Weighted = ampc.WithRandomWeights(ampc.ConnectedGNM(150, 450, r), r)
+		case ampc.InputList:
+			next := make([]int, 300)
+			for i := range next {
+				next[i] = i + 1
+			}
+			next[len(next)-1] = -1
+			job.Next = next
+		}
+	}
+	return job
+}
+
+// TestRegistryRoundTrip runs every registered algorithm through Engine.Run
+// with oracle checks on, and requires the registry to cover the paper's
+// algorithm suite (the acceptance bar is >= 10 names).
+func TestRegistryRoundTrip(t *testing.T) {
+	names := ampc.Algorithms()
+	if len(names) < 10 {
+		t.Fatalf("only %d registered algorithms: %v", len(names), names)
+	}
+	eng := ampc.NewEngine(ampc.EngineOptions{Defaults: ampc.Options{Seed: 7}})
+	for _, name := range names {
+		spec, ok := ampc.Lookup(name)
+		if !ok {
+			t.Fatalf("Algorithms lists %q but Lookup misses it", name)
+		}
+		res, err := eng.Run(context.Background(), registryJob(t, name, spec))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Algo != name {
+			t.Errorf("%s: result echoes algo %q", name, res.Algo)
+		}
+		if res.Payload == nil {
+			t.Errorf("%s: nil payload", name)
+		}
+		if res.Summary == "" {
+			t.Errorf("%s: empty summary", name)
+		}
+		if spec.Check != nil && res.Check != ampc.CheckPassed {
+			t.Errorf("%s: check status %v, want passed", name, res.Check)
+		}
+		if res.Telemetry.Rounds == 0 {
+			t.Errorf("%s: telemetry reports zero rounds", name)
+		}
+	}
+}
+
+// TestEngineCanceledContext verifies the acceptance criterion: Run with an
+// already-canceled context returns promptly with context.Canceled.
+func TestEngineCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := ampc.NewEngine(ampc.EngineOptions{})
+	r := ampc.NewRNG(1, 0)
+	start := time.Now()
+	_, err := eng.Run(ctx, ampc.Job{Algo: "connectivity", Graph: ampc.GNM(5000, 20000, r)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("canceled run took %v", elapsed)
+	}
+}
+
+// cancelMidPhase runs the given job on a large instance and cancels the
+// context as soon as the first round completes, so cancellation lands
+// mid-run deterministically; the run must abort with context.Canceled.
+func cancelMidPhase(t *testing.T, job ampc.Job) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	var events int64
+	var mu sync.Mutex
+	eng := ampc.NewEngine(ampc.EngineOptions{
+		Observer: func(ev ampc.RoundEvent) {
+			mu.Lock()
+			events++
+			mu.Unlock()
+			once.Do(cancel)
+		},
+	})
+	start := time.Now()
+	_, err := eng.Run(ctx, job)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to land", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events == 0 {
+		t.Fatal("no rounds observed before cancellation")
+	}
+}
+
+func TestConnectivityCancellationMidPhase(t *testing.T) {
+	r := ampc.NewRNG(3, 0)
+	cancelMidPhase(t, ampc.Job{Algo: "connectivity", Graph: ampc.GNM(20000, 80000, r)})
+}
+
+func TestMISCancellationMidPhase(t *testing.T) {
+	r := ampc.NewRNG(4, 0)
+	cancelMidPhase(t, ampc.Job{Algo: "mis", Graph: ampc.GNM(20000, 80000, r)})
+}
+
+// TestEngineConcurrentRuns exercises one Engine from many goroutines under
+// the concurrency limit; run with -race this doubles as the data-race
+// check. Identical seeds must yield identical labelings regardless of
+// interleaving.
+func TestEngineConcurrentRuns(t *testing.T) {
+	r := ampc.NewRNG(9, 0)
+	g := ampc.GNM(400, 1200, r)
+	eng := ampc.NewEngine(ampc.EngineOptions{
+		Defaults:      ampc.Options{Seed: 11},
+		MaxConcurrent: 2,
+	})
+	want, err := eng.Run(context.Background(), ampc.Job{Algo: "connectivity", Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			algo := "connectivity"
+			if i%2 == 1 {
+				algo = "mis"
+			}
+			res, err := eng.Run(context.Background(), ampc.Job{Algo: algo, Graph: g, Check: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if algo == "connectivity" {
+				for v, l := range res.Labels {
+					if l != want.Labels[v] {
+						errs[i] = errors.New("nondeterministic labeling under concurrency")
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestEngineObserverStreams checks that the observer sees the same rounds
+// the final telemetry reports, tagged with a consistent job identity.
+func TestEngineObserverStreams(t *testing.T) {
+	var mu sync.Mutex
+	var events []ampc.RoundEvent
+	eng := ampc.NewEngine(ampc.EngineOptions{
+		Defaults: ampc.Options{Seed: 5},
+		Observer: func(ev ampc.RoundEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	r := ampc.NewRNG(5, 0)
+	res, err := eng.Run(context.Background(), ampc.Job{Algo: "connectivity", Graph: ampc.GNM(500, 2000, r)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != res.Telemetry.Rounds {
+		t.Fatalf("observer saw %d rounds, telemetry reports %d", len(events), res.Telemetry.Rounds)
+	}
+	for i, ev := range events {
+		if ev.JobID != res.JobID {
+			t.Fatalf("event %d has JobID %d, result %d", i, ev.JobID, res.JobID)
+		}
+		if ev.Algo != "connectivity" {
+			t.Fatalf("event %d has algo %q", i, ev.Algo)
+		}
+		if ev.Round.Name != res.Telemetry.RoundStats[i].Name {
+			t.Fatalf("event %d is round %q, telemetry has %q", i, ev.Round.Name, res.Telemetry.RoundStats[i].Name)
+		}
+	}
+}
+
+// TestEngineJobErrors covers the registry's failure modes: unknown names,
+// missing inputs, and invalid options surfaced as ErrInvalidOptions.
+func TestEngineJobErrors(t *testing.T) {
+	eng := ampc.NewEngine(ampc.EngineOptions{})
+	ctx := context.Background()
+	r := ampc.NewRNG(2, 0)
+	g := ampc.GNM(50, 100, r)
+
+	if _, err := eng.Run(ctx, ampc.Job{Algo: "nope", Graph: g}); !errors.Is(err, ampc.ErrUnknownAlgorithm) {
+		t.Errorf("unknown algo: err = %v", err)
+	} else if !strings.Contains(err.Error(), "connectivity") {
+		t.Errorf("unknown-algo error does not list registered names: %v", err)
+	}
+	if _, err := eng.Run(ctx, ampc.Job{Algo: "connectivity"}); !errors.Is(err, ampc.ErrInvalidJob) {
+		t.Errorf("missing graph: err = %v", err)
+	}
+	if _, err := eng.Run(ctx, ampc.Job{}); !errors.Is(err, ampc.ErrInvalidJob) {
+		t.Errorf("empty job: err = %v", err)
+	}
+	if _, err := eng.Run(ctx, ampc.Job{Algo: "msf", Graph: g}); !errors.Is(err, ampc.ErrInvalidJob) {
+		t.Errorf("msf without weighted graph: err = %v", err)
+	}
+	bad := ampc.Options{Epsilon: 1.5}
+	if _, err := eng.Run(ctx, ampc.Job{Algo: "connectivity", Graph: g, Opts: &bad}); !errors.Is(err, ampc.ErrInvalidOptions) {
+		t.Errorf("epsilon 1.5: err = %v", err)
+	}
+	neg := ampc.Options{Epsilon: -0.2}
+	if _, err := eng.Run(ctx, ampc.Job{Algo: "connectivity", Graph: g, Opts: &neg}); !errors.Is(err, ampc.ErrInvalidOptions) {
+		t.Errorf("epsilon -0.2: err = %v", err)
+	}
+}
+
+// TestPerJobOptionOverride checks Job.Opts replaces the Engine defaults.
+func TestPerJobOptionOverride(t *testing.T) {
+	eng := ampc.NewEngine(ampc.EngineOptions{Defaults: ampc.Options{Seed: 1, Epsilon: 0.5}})
+	r := ampc.NewRNG(8, 0)
+	g := ampc.GNM(2000, 6000, r)
+	override := ampc.Options{Seed: 1, Epsilon: 0.9}
+	res, err := eng.Run(context.Background(), ampc.Job{Algo: "connectivity", Graph: g, Opts: &override})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epsilon 0.9 gives S = n^0.9, far above the default's n^0.5.
+	if res.Telemetry.S <= 64 {
+		t.Fatalf("override ignored: S = %d", res.Telemetry.S)
+	}
+}

@@ -1,10 +1,49 @@
 package ampc_test
 
 import (
+	"context"
 	"fmt"
 
 	"ampc"
 )
+
+// ExampleEngine_Run executes a registered algorithm by name through the
+// Engine: the uniform path with cancellation, per-job option overrides,
+// streaming telemetry, and oracle verification.
+func ExampleEngine_Run() {
+	eng := ampc.NewEngine(ampc.EngineOptions{Defaults: ampc.Options{Seed: 1}})
+	g := ampc.Union(ampc.Cycle(4), ampc.Path(3))
+	res, err := eng.Run(context.Background(), ampc.Job{
+		Algo:  "connectivity",
+		Graph: g,
+		Check: true, // verify against the BFS oracle
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Summary)
+	fmt.Println("check:", res.Check)
+	// Output:
+	// 2 components
+	// check: passed
+}
+
+// ExampleEngine_Run_streaming watches a run's rounds complete in real time
+// through the Engine's TelemetryObserver.
+func ExampleEngine_Run_streaming() {
+	rounds := 0
+	eng := ampc.NewEngine(ampc.EngineOptions{
+		Defaults: ampc.Options{Seed: 2},
+		Observer: func(ev ampc.RoundEvent) { rounds++ },
+	})
+	res, err := eng.Run(context.Background(), ampc.Job{Algo: "twocycle", Graph: ampc.Cycle(64)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("streamed every round:", rounds == res.Telemetry.Rounds)
+	// Output:
+	// streamed every round: true
+}
 
 // ExampleConnectivity labels the components of a small disconnected graph.
 func ExampleConnectivity() {

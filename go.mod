@@ -1,0 +1,3 @@
+module ampc
+
+go 1.22

@@ -23,6 +23,7 @@
 package ampc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,6 +57,10 @@ type Config struct {
 	// this must never change any output; the failure schedule is a
 	// deterministic function of the seed, so runs stay reproducible.
 	FaultProb float64
+	// Observer, when non-nil, receives every round's statistics as soon as
+	// the round completes, before the next round starts. It is called
+	// synchronously from the driver goroutine; slow observers slow the run.
+	Observer func(RoundStats)
 }
 
 // DefaultBudgetFactor is the default constant multiplier on S for the
@@ -103,6 +108,10 @@ type Runtime struct {
 	failNext map[int]int
 	// faultR drives Config.FaultProb's background failure injection.
 	faultR *rng.RNG
+
+	// ctx, when non-nil, aborts the computation between rounds: Round
+	// returns ctx.Err() without executing once the context is done.
+	ctx context.Context
 }
 
 // New creates a runtime with an empty initial store D0. Call SetInput (or
@@ -131,6 +140,12 @@ func New(cfg Config) *Runtime {
 
 // Config returns the runtime's configuration.
 func (r *Runtime) Config() Config { return r.cfg }
+
+// SetContext binds a cancellation context to the runtime. Rounds started
+// after the context is done fail immediately with ctx.Err(), so a long
+// computation aborts at the next round boundary — rounds themselves are
+// budget-bounded and therefore short.
+func (r *Runtime) SetContext(ctx context.Context) { r.ctx = ctx }
 
 // Budget returns the per-machine, per-round query (and write) budget.
 func (r *Runtime) Budget() int { return r.cfg.BudgetFactor * r.cfg.S }
@@ -204,6 +219,11 @@ type RoundFunc func(ctx *Ctx) error
 // writes into the next store, and advances the round counter. It returns
 // the first machine error (budget violations or algorithm errors).
 func (r *Runtime) Round(name string, f RoundFunc) error {
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	r.cur.ResetLoads()
 	builder := dds.NewBuilder()
 	fail := r.failNext
@@ -282,6 +302,9 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 	r.stats = append(r.stats, st)
 	r.cur = next
 	r.round++
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(st)
+	}
 	return nil
 }
 

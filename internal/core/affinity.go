@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,13 +32,13 @@ type AffinityResult struct {
 // complete the dendrogram; each level costs two AMPC rounds (publish +
 // pick), with the pick reading only the first entry of a weight-sorted
 // adjacency list — one adaptive read per cluster.
-func AffinityClustering(g *graph.WeightedGraph, opts Options) (AffinityResult, error) {
+func AffinityClustering(ctx context.Context, g *graph.WeightedGraph, opts Options) (AffinityResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return AffinityResult{}, err
 	}
 	n := g.N()
-	rt := opts.newRuntime(n, g.M())
+	rt := opts.newRuntime(ctx, n, g.M())
 
 	gc := &contracted{adj: make(map[int][]wedge, n)}
 	for v := 0; v < n; v++ {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -19,7 +20,7 @@ func TestAffinityMatchesOracle(t *testing.T) {
 		{"tree", graph.WithRandomWeights(graph.RandomTree(80, r), r)},
 		{"edgeless", graph.MustWeightedGraph(6, nil)},
 	} {
-		res, err := AffinityClustering(tc.g, Options{Seed: 51})
+		res, err := AffinityClustering(context.Background(), tc.g, Options{Seed: 51})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -41,7 +42,7 @@ func TestAffinityMatchesOracle(t *testing.T) {
 func TestAffinityLastLevelIsComponents(t *testing.T) {
 	r := rng.New(111, 0)
 	g := graph.WithRandomWeights(graph.Union(graph.ConnectedGNM(60, 150, r), graph.Cycle(25)), r)
-	res, err := AffinityClustering(g, Options{Seed: 52})
+	res, err := AffinityClustering(context.Background(), g, Options{Seed: 52})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestAffinityLastLevelIsComponents(t *testing.T) {
 func TestAffinityLevelsCoarsen(t *testing.T) {
 	r := rng.New(112, 0)
 	g := graph.WithRandomWeights(graph.ConnectedGNM(200, 600, r), r)
-	res, err := AffinityClustering(g, Options{Seed: 53})
+	res, err := AffinityClustering(context.Background(), g, Options{Seed: 53})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestAffinityLevelsCoarsen(t *testing.T) {
 func TestAffinityClustersAreConnected(t *testing.T) {
 	r := rng.New(113, 0)
 	g := graph.WithRandomWeights(graph.ConnectedGNM(100, 300, r), r)
-	res, err := AffinityClustering(g, Options{Seed: 54})
+	res, err := AffinityClustering(context.Background(), g, Options{Seed: 54})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +108,11 @@ func TestAffinityClustersAreConnected(t *testing.T) {
 func TestAffinityDeterministicAndFaultTolerant(t *testing.T) {
 	r := rng.New(114, 0)
 	g := graph.WithRandomWeights(graph.ConnectedGNM(90, 250, r), r)
-	a, err := AffinityClustering(g, Options{Seed: 55})
+	a, err := AffinityClustering(context.Background(), g, Options{Seed: 55})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := AffinityClustering(g, Options{Seed: 55, FaultProb: faultProb})
+	b, err := AffinityClustering(context.Background(), g, Options{Seed: 55, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}

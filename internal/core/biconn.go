@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"ampc/internal/ampc"
@@ -51,7 +52,8 @@ type BiconnResult struct {
 //
 // Bridges are singleton blocks; a non-root vertex is an articulation point
 // iff it heads a block; the root iff it heads at least two.
-func Biconnectivity(g *graph.Graph, opts Options) (BiconnResult, error) {
+func Biconnectivity(ctx context.Context, g *graph.Graph, opts Options) (BiconnResult, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return BiconnResult{}, err
@@ -60,7 +62,7 @@ func Biconnectivity(g *graph.Graph, opts Options) (BiconnResult, error) {
 	agg := Telemetry{}
 
 	// Step 1: spanning forest.
-	forestEdges, compLabels, tel, err := SpanningForest(g, opts)
+	forestEdges, compLabels, tel, err := SpanningForest(ctx, g, opts)
 	if err != nil {
 		return BiconnResult{}, err
 	}
@@ -76,7 +78,7 @@ func Biconnectivity(g *graph.Graph, opts Options) (BiconnResult, error) {
 			roots = append(roots, compLabels[v])
 		}
 	}
-	rf, err := RootForest(forest, roots, opts)
+	rf, err := RootForest(ctx, forest, roots, opts)
 	if err != nil {
 		return BiconnResult{}, err
 	}
@@ -118,7 +120,7 @@ func Biconnectivity(g *graph.Graph, opts Options) (BiconnResult, error) {
 		lowVals[gPre[v]-1] = lo
 		highVals[gPre[v]-1] = hi
 	}
-	low, high, tel2, err := subtreeExtremes(g, lowVals, highVals, gPre, props, opts)
+	low, high, tel2, err := subtreeExtremes(ctx, g, lowVals, highVals, gPre, props, opts)
 	if err != nil {
 		return BiconnResult{}, err
 	}
@@ -162,7 +164,7 @@ func Biconnectivity(g *graph.Graph, opts Options) (BiconnResult, error) {
 
 	// Step 5: connectivity over the auxiliary graph.
 	auxGraph := graph.MustGraph(n, aux)
-	conn, err := Connectivity(auxGraph, opts)
+	conn, err := Connectivity(ctx, auxGraph, opts)
 	if err != nil {
 		return BiconnResult{}, err
 	}
@@ -219,7 +221,7 @@ func Biconnectivity(g *graph.Graph, opts Options) (BiconnResult, error) {
 			kept = append(kept, e)
 		}
 	}
-	tec, err := Connectivity(graph.MustGraph(n, kept), opts)
+	tec, err := Connectivity(ctx, graph.MustGraph(n, kept), opts)
 	if err != nil {
 		return BiconnResult{}, err
 	}
@@ -238,7 +240,7 @@ func Biconnectivity(g *graph.Graph, opts Options) (BiconnResult, error) {
 // minima (and the High analogue) with an AMPC round: the sparse table is
 // published to the DDS and every machine answers its vertices' interval
 // queries in O(1) adaptive reads each.
-func subtreeExtremes(g *graph.Graph, lowVals, highVals []int64, gPre []int, props *TreeProps, opts Options) ([]int64, []int64, Telemetry, error) {
+func subtreeExtremes(cctx context.Context, g *graph.Graph, lowVals, highVals []int64, gPre []int, props *TreeProps, opts Options) ([]int64, []int64, Telemetry, error) {
 	n := g.N()
 	// The sparse table occupies Θ(n log n) words; the model allows total
 	// space O(N polylog N) (§2), so this stage's runtime is provisioned
@@ -248,7 +250,7 @@ func subtreeExtremes(g *graph.Graph, lowVals, highVals []int64, gPre []int, prop
 		logN++
 	}
 	opts.TotalSpaceFactor *= logN
-	rt := opts.newRuntime(n, g.M())
+	rt := opts.newRuntime(cctx, n, g.M())
 	if n == 0 {
 		return nil, nil, telemetryFrom(rt, 0), nil
 	}

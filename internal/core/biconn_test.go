@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestBiconnectivityKnownShapes(t *testing.T) {
 		{"clique", graph.Clique(9)},
 		{"grid", graph.Grid(5, 6)},
 	} {
-		res, err := Biconnectivity(tc.g, Options{Seed: 7})
+		res, err := Biconnectivity(context.Background(), tc.g, Options{Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -76,7 +77,7 @@ func TestBiconnectivityRandomGraphs(t *testing.T) {
 			m = max
 		}
 		g := graph.GNM(n, m, r)
-		res, err := Biconnectivity(g, Options{Seed: uint64(trial)})
+		res, err := Biconnectivity(context.Background(), g, Options{Seed: uint64(trial)})
 		if err != nil {
 			t.Fatalf("trial %d (n=%d m=%d): %v", trial, n, m, err)
 		}
@@ -87,7 +88,7 @@ func TestBiconnectivityRandomGraphs(t *testing.T) {
 func TestBiconnectivityDisconnected(t *testing.T) {
 	r := rng.New(72, 0)
 	g := graph.Union(twoTrianglesBridge(), graph.Path(5), graph.Cycle(7), graph.MustGraph(3, nil))
-	res, err := Biconnectivity(g, Options{Seed: 9})
+	res, err := Biconnectivity(context.Background(), g, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestBiconnectivityBridgeChain(t *testing.T) {
 	}
 	edges = append(edges, graph.Edge{U: 2, V: 5}, graph.Edge{U: 7, V: 10})
 	g := graph.MustGraph(15, edges)
-	res, err := Biconnectivity(g, Options{Seed: 11})
+	res, err := Biconnectivity(context.Background(), g, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestBiconnectivityBridgeChain(t *testing.T) {
 
 func TestBiconnectivityBlockLabelGroupsTreeEdges(t *testing.T) {
 	g := twoTrianglesBridge()
-	res, err := Biconnectivity(g, Options{Seed: 13})
+	res, err := Biconnectivity(context.Background(), g, Options{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,7 +36,8 @@ type ColoringResult struct {
 // on a single MIS member), after which it takes the smallest free color.
 // Settled colors persist in the DDS across iterations exactly like MIS
 // statuses, and the O(1/ε) iteration argument of Lemma 5.2 carries over.
-func GreedyColoring(g *graph.Graph, opts Options) (ColoringResult, error) {
+func GreedyColoring(ctx context.Context, g *graph.Graph, opts Options) (ColoringResult, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return ColoringResult{}, err
@@ -45,7 +47,7 @@ func GreedyColoring(g *graph.Graph, opts Options) (ColoringResult, error) {
 		_, s := opts.params(n, g.M())
 		opts.BudgetFactor = ampc.DefaultBudgetFactor + (3*g.MaxDeg()+16)/s
 	}
-	rt := opts.newRuntime(n, g.M())
+	rt := opts.newRuntime(ctx, n, g.M())
 	driver := opts.driverRNG(13)
 
 	pi := driver.Perm(n)
@@ -74,6 +76,9 @@ func GreedyColoring(g *graph.Graph, opts Options) (ColoringResult, error) {
 	}
 
 	for unsettled > 0 {
+		if err := ctx.Err(); err != nil {
+			return ColoringResult{}, err
+		}
 		if iters++; iters > maxIters {
 			return ColoringResult{}, fmt.Errorf("core: coloring failed to settle after %d iterations (%d left)", maxIters, unsettled)
 		}

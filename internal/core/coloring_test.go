@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -22,7 +23,7 @@ func TestGreedyColoringMatchesOracle(t *testing.T) {
 		{"grid", graph.Grid(9, 9)},
 		{"empty", graph.MustGraph(8, nil)},
 	} {
-		res, err := GreedyColoring(tc.g, Options{Seed: 41})
+		res, err := GreedyColoring(context.Background(), tc.g, Options{Seed: 41})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -41,7 +42,7 @@ func TestGreedyColoringMatchesOracle(t *testing.T) {
 func TestGreedyColoringDeltaPlusOne(t *testing.T) {
 	r := rng.New(101, 0)
 	g := graph.GNM(300, 900, r)
-	res, err := GreedyColoring(g, Options{Seed: 5})
+	res, err := GreedyColoring(context.Background(), g, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestGreedyColoringDeltaPlusOne(t *testing.T) {
 
 func TestGreedyColoringCliqueUsesAllColors(t *testing.T) {
 	g := graph.Clique(7)
-	res, err := GreedyColoring(g, Options{Seed: 6})
+	res, err := GreedyColoring(context.Background(), g, Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestGreedyColoringCliqueUsesAllColors(t *testing.T) {
 func TestGreedyColoringIterationsSmall(t *testing.T) {
 	r := rng.New(102, 0)
 	g := graph.GNM(1000, 4000, r)
-	res, err := GreedyColoring(g, Options{Seed: 7})
+	res, err := GreedyColoring(context.Background(), g, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +87,11 @@ func TestGreedyColoringIterationsSmall(t *testing.T) {
 func TestGreedyColoringSurvivesFaults(t *testing.T) {
 	r := rng.New(103, 0)
 	g := graph.GNM(150, 400, r)
-	clean, err := GreedyColoring(g, Options{Seed: 8})
+	clean, err := GreedyColoring(context.Background(), g, Options{Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := GreedyColoring(g, Options{Seed: 8, FaultProb: faultProb})
+	faulty, err := GreedyColoring(context.Background(), g, Options{Seed: 8, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}

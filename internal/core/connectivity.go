@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -67,13 +68,14 @@ func (c *contracted) edges() int {
 // phases then halve the vertex count just like the preprocessing would,
 // costing the same O(log log n) extra phases (substitution recorded in
 // DESIGN.md).
-func Connectivity(g *graph.Graph, opts Options) (ConnectivityResult, error) {
+func Connectivity(ctx context.Context, g *graph.Graph, opts Options) (ConnectivityResult, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return ConnectivityResult{}, err
 	}
 	n := g.N()
-	rt := opts.newRuntime(n, g.M())
+	rt := opts.newRuntime(ctx, n, g.M())
 	driver := opts.driverRNG(5)
 
 	// Build the initial contracted graph and the original->current map.
@@ -98,6 +100,9 @@ func Connectivity(g *graph.Graph, opts Options) (ConnectivityResult, error) {
 	maxPhases := 4*int(math.Log2(float64(n+4))) + 16
 
 	for len(gc.verts) > 0 && gc.edges() > 0 {
+		if err := ctx.Err(); err != nil {
+			return ConnectivityResult{}, err
+		}
 		if phases++; phases > maxPhases {
 			return ConnectivityResult{}, fmt.Errorf("core: connectivity failed to converge after %d phases", maxPhases)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -24,7 +25,7 @@ func TestConnectivityMatchesOracle(t *testing.T) {
 		{"empty", graph.MustGraph(40, nil)},
 		{"clique", graph.Clique(30)},
 	} {
-		res, err := Connectivity(tc.g, Options{Seed: 13})
+		res, err := Connectivity(context.Background(), tc.g, Options{Seed: 13})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -39,7 +40,7 @@ func TestConnectivitySeedSweep(t *testing.T) {
 	g := graph.GNM(400, 900, r)
 	want := graph.Components(g)
 	for seed := uint64(0); seed < 6; seed++ {
-		res, err := Connectivity(g, Options{Seed: seed})
+		res, err := Connectivity(context.Background(), g, Options{Seed: seed})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -53,7 +54,7 @@ func TestConnectivityHighDiameter(t *testing.T) {
 	// The whole point vs label propagation: a path of length 4095 has
 	// diameter 4095 but the AMPC algorithm needs only O(log log n) phases.
 	g := graph.Path(4096)
-	res, err := Connectivity(g, Options{Seed: 21})
+	res, err := Connectivity(context.Background(), g, Options{Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestConnectivityHighDiameter(t *testing.T) {
 
 func TestConnectivityPhasesDoublyLogarithmic(t *testing.T) {
 	r := rng.New(52, 0)
-	small, err := Connectivity(graph.ConnectedGNM(512, 2048, r), Options{Seed: 1})
+	small, err := Connectivity(context.Background(), graph.ConnectedGNM(512, 2048, r), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := Connectivity(graph.ConnectedGNM(16384, 65536, r), Options{Seed: 2})
+	large, err := Connectivity(context.Background(), graph.ConnectedGNM(16384, 65536, r), Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestConnectivityPhasesDoublyLogarithmic(t *testing.T) {
 func TestConnectivityDeterministic(t *testing.T) {
 	r := rng.New(53, 0)
 	g := graph.GNM(300, 700, r)
-	a, err := Connectivity(g, Options{Seed: 9})
+	a, err := Connectivity(context.Background(), g, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Connectivity(g, Options{Seed: 9})
+	b, err := Connectivity(context.Background(), g, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestConnectivityDeterministic(t *testing.T) {
 }
 
 func TestConnectivityRejectsBadEpsilon(t *testing.T) {
-	if _, err := Connectivity(graph.Cycle(5), Options{Epsilon: -1}); err == nil {
+	if _, err := Connectivity(context.Background(), graph.Cycle(5), Options{Epsilon: -1}); err == nil {
 		t.Fatal("negative epsilon accepted")
 	}
 }

@@ -15,12 +15,20 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"ampc/internal/ampc"
 	"ampc/internal/rng"
 )
+
+// ErrInvalidOptions reports an Options value that violates its documented
+// contract. Every error returned by validation wraps it, so callers — the
+// root facade's Engine in particular — can test with
+// errors.Is(err, ErrInvalidOptions).
+var ErrInvalidOptions = errors.New("core: invalid options")
 
 // Options configures an AMPC algorithm run.
 type Options struct {
@@ -42,7 +50,14 @@ type Options struct {
 	MaxP int
 	// FaultProb injects machine failures each round with the given
 	// probability (see ampc.Config.FaultProb). Outputs must not change.
+	// Must lie in [0, 1).
 	FaultProb float64
+	// Observer, when non-nil, receives every AMPC round's statistics as
+	// soon as the round completes, letting callers stream telemetry while
+	// a run is still in flight. It is invoked synchronously from the
+	// algorithm's goroutine and must not retain the RoundStats slice
+	// internals across calls.
+	Observer func(ampc.RoundStats)
 }
 
 // Defaults for Options fields.
@@ -68,9 +83,29 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validate enforces the documented contracts, coherently with withDefaults:
+// for every defaultable knob (Epsilon, BudgetFactor, TotalSpaceFactor,
+// MaxP) the zero value means "select the default" and is accepted, while
+// values outside the documented range — Epsilon outside (0,1), negative
+// factors, FaultProb outside [0,1) — are rejected with an error wrapping
+// ErrInvalidOptions. It therefore gives the same verdict whether called
+// before or after withDefaults.
 func (o Options) validate() error {
-	if o.Epsilon < 0 || o.Epsilon >= 1 {
-		return fmt.Errorf("core: Epsilon must lie in (0,1), got %v", o.Epsilon)
+	if o.Epsilon != 0 && (o.Epsilon <= 0 || o.Epsilon >= 1) {
+		return fmt.Errorf("%w: Epsilon must lie in (0,1) (0 selects the default %v), got %v",
+			ErrInvalidOptions, DefaultEpsilon, o.Epsilon)
+	}
+	if o.BudgetFactor < 0 {
+		return fmt.Errorf("%w: BudgetFactor must be non-negative, got %d", ErrInvalidOptions, o.BudgetFactor)
+	}
+	if o.TotalSpaceFactor < 0 {
+		return fmt.Errorf("%w: TotalSpaceFactor must be non-negative, got %d", ErrInvalidOptions, o.TotalSpaceFactor)
+	}
+	if o.MaxP < 0 {
+		return fmt.Errorf("%w: MaxP must be non-negative, got %d", ErrInvalidOptions, o.MaxP)
+	}
+	if o.FaultProb < 0 || o.FaultProb >= 1 {
+		return fmt.Errorf("%w: FaultProb must lie in [0,1), got %v", ErrInvalidOptions, o.FaultProb)
 	}
 	return nil
 }
@@ -100,7 +135,7 @@ func (o Options) params(n, m int) (p, s int) {
 // for ceil(P_uncapped/P) model machines, so the per-machine budget scales
 // by the same factor to keep enforcement meaningful rather than spuriously
 // tight.
-func (o Options) newRuntime(n, m int) *ampc.Runtime {
+func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 	p, s := o.params(n, m)
 	bf := o.BudgetFactor
 	if bf <= 0 {
@@ -110,13 +145,18 @@ func (o Options) newRuntime(n, m int) *ampc.Runtime {
 	if uncapped := (total + s - 1) / s; uncapped > p {
 		bf *= (uncapped + p - 1) / p
 	}
-	return ampc.New(ampc.Config{
+	rt := ampc.New(ampc.Config{
 		P:            p,
 		S:            s,
 		BudgetFactor: bf,
 		Seed:         o.Seed,
 		FaultProb:    o.FaultProb,
+		Observer:     o.Observer,
 	})
+	if ctx != nil {
+		rt.SetContext(ctx)
+	}
+	return rt
 }
 
 // Telemetry reports the measured cost of a run in the quantities the paper
@@ -159,4 +199,13 @@ func telemetryFrom(rt *ampc.Runtime, phases int) Telemetry {
 // choices (permutations, sampling probabilities) of an algorithm run.
 func (o Options) driverRNG(stream uint64) *rng.RNG {
 	return rng.New(o.Seed, 0xD0+stream)
+}
+
+// orBackground normalizes a nil context so entry points can check ctx.Err()
+// in their driver loops without guarding; passing nil means "never cancel".
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,7 +28,7 @@ type CycleConnectivityResult struct {
 // in expectation, Lemma 8.2). Chasing those pointers yields the cycle
 // minimum, and contracted vertices recover their label through the parent
 // records left by Shrink.
-func CycleConnectivity(g *graph.Graph, opts Options) (CycleConnectivityResult, error) {
+func CycleConnectivity(ctx context.Context, g *graph.Graph, opts Options) (CycleConnectivityResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return CycleConnectivityResult{}, err
@@ -36,7 +37,7 @@ func CycleConnectivity(g *graph.Graph, opts Options) (CycleConnectivityResult, e
 	if err != nil {
 		return CycleConnectivityResult{}, err
 	}
-	rt := opts.newRuntime(g.N(), g.M())
+	rt := opts.newRuntime(ctx, g.N(), g.M())
 	driver := opts.driverRNG(1)
 
 	labels, phases, err := cycleConnLabels(rt, cg, g.N(), opts, driver)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -9,7 +10,7 @@ import (
 
 func TestCycleConnectivitySingle(t *testing.T) {
 	g := graph.Cycle(100)
-	res, err := CycleConnectivity(g, Options{Seed: 1})
+	res, err := CycleConnectivity(context.Background(), g, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestCycleConnectivityManyCycles(t *testing.T) {
 		graph.Cycle(200), graph.Cycle(500), graph.Cycle(1000),
 	)
 	g = graph.Relabel(g, r.Perm(g.N()))
-	res, err := CycleConnectivity(g, Options{Seed: 3})
+	res, err := CycleConnectivity(context.Background(), g, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestCycleConnectivitySeedSweep(t *testing.T) {
 		r := rng.New(seed, 10)
 		g := graph.Union(graph.Cycle(64), graph.Cycle(128), graph.Cycle(37))
 		g = graph.Relabel(g, r.Perm(g.N()))
-		res, err := CycleConnectivity(g, Options{Seed: seed})
+		res, err := CycleConnectivity(context.Background(), g, Options{Seed: seed})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -51,18 +52,18 @@ func TestCycleConnectivitySeedSweep(t *testing.T) {
 }
 
 func TestCycleConnectivityRejectsNonCycle(t *testing.T) {
-	if _, err := CycleConnectivity(graph.Star(5), Options{}); err == nil {
+	if _, err := CycleConnectivity(context.Background(), graph.Star(5), Options{}); err == nil {
 		t.Fatal("star accepted")
 	}
 }
 
 func TestCycleConnectivityRoundsConstant(t *testing.T) {
 	r := rng.New(4, 0)
-	small, err := CycleConnectivity(graph.TwoCycleInstance(512, true, r), Options{Seed: 5})
+	small, err := CycleConnectivity(context.Background(), graph.TwoCycleInstance(512, true, r), Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := CycleConnectivity(graph.TwoCycleInstance(32768, true, r), Options{Seed: 6})
+	large, err := CycleConnectivity(context.Background(), graph.TwoCycleInstance(32768, true, r), Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestForestConnectivityTrees(t *testing.T) {
 		{"caterpillar", graph.Caterpillar(20, 4)},
 		{"single-edge-trees", graph.RandomForest(50, 25, r)},
 	} {
-		res, err := ForestConnectivity(tc.g, Options{Seed: 7})
+		res, err := ForestConnectivity(context.Background(), tc.g, Options{Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -97,7 +98,7 @@ func TestForestConnectivityTrees(t *testing.T) {
 func TestForestConnectivityIsolatedVertices(t *testing.T) {
 	// Forest with edges only among first 10 vertices; 5 isolated ones.
 	g := graph.Union(graph.Path(10), graph.MustGraph(5, nil))
-	res, err := ForestConnectivity(g, Options{Seed: 8})
+	res, err := ForestConnectivity(context.Background(), g, Options{Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestForestConnectivityIsolatedVertices(t *testing.T) {
 
 func TestForestConnectivityEmptyGraph(t *testing.T) {
 	g := graph.MustGraph(7, nil)
-	res, err := ForestConnectivity(g, Options{Seed: 9})
+	res, err := ForestConnectivity(context.Background(), g, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestForestConnectivityEmptyGraph(t *testing.T) {
 }
 
 func TestForestConnectivityRejectsCyclic(t *testing.T) {
-	if _, err := ForestConnectivity(graph.Cycle(5), Options{}); err == nil {
+	if _, err := ForestConnectivity(context.Background(), graph.Cycle(5), Options{}); err == nil {
 		t.Fatal("cycle accepted as forest")
 	}
 }

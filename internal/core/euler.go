@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ampc/internal/graph"
@@ -28,7 +29,7 @@ type RootedForest struct {
 // tree is broken at the root into a list, list ranking positions every
 // dart, and each vertex's parent is the tail of the earliest dart entering
 // it.
-func RootForest(g *graph.Graph, roots []int, opts Options) (*RootedForest, error) {
+func RootForest(ctx context.Context, g *graph.Graph, roots []int, opts Options) (*RootedForest, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -70,7 +71,7 @@ func RootForest(g *graph.Graph, roots []int, opts Options) (*RootedForest, error
 		next[et.pred[start]] = -1
 	}
 
-	lr, err := ListRanking(next, opts)
+	lr, err := ListRanking(ctx, next, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -18,11 +19,11 @@ const faultProb = 0.25
 func TestTwoCycleSurvivesFaults(t *testing.T) {
 	r := rng.New(80, 0)
 	g := graph.TwoCycleInstance(2048, false, r)
-	clean, err := TwoCycle(g, Options{Seed: 5})
+	clean, err := TwoCycle(context.Background(), g, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := TwoCycle(g, Options{Seed: 5, FaultProb: faultProb})
+	faulty, err := TwoCycle(context.Background(), g, Options{Seed: 5, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +39,11 @@ func TestTwoCycleSurvivesFaults(t *testing.T) {
 func TestConnectivitySurvivesFaults(t *testing.T) {
 	r := rng.New(81, 0)
 	g := graph.GNM(400, 1200, r)
-	clean, err := Connectivity(g, Options{Seed: 6})
+	clean, err := Connectivity(context.Background(), g, Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := Connectivity(g, Options{Seed: 6, FaultProb: faultProb})
+	faulty, err := Connectivity(context.Background(), g, Options{Seed: 6, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +57,11 @@ func TestConnectivitySurvivesFaults(t *testing.T) {
 func TestMISSurvivesFaults(t *testing.T) {
 	r := rng.New(82, 0)
 	g := graph.GNM(300, 900, r)
-	clean, err := MIS(g, Options{Seed: 7})
+	clean, err := MIS(context.Background(), g, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := MIS(g, Options{Seed: 7, FaultProb: faultProb})
+	faulty, err := MIS(context.Background(), g, Options{Seed: 7, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestMISSurvivesFaults(t *testing.T) {
 func TestMSFSurvivesFaults(t *testing.T) {
 	r := rng.New(83, 0)
 	g := graph.WithRandomWeights(graph.ConnectedGNM(250, 800, r), r)
-	clean, err := MSF(g, Options{Seed: 8})
+	clean, err := MSF(context.Background(), g, Options{Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := MSF(g, Options{Seed: 8, FaultProb: faultProb})
+	faulty, err := MSF(context.Background(), g, Options{Seed: 8, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestMSFSurvivesFaults(t *testing.T) {
 
 func TestListRankingSurvivesFaults(t *testing.T) {
 	next := makeChain(3000)
-	clean, err := ListRanking(next, Options{Seed: 9})
+	clean, err := ListRanking(context.Background(), next, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := ListRanking(next, Options{Seed: 9, FaultProb: faultProb})
+	faulty, err := ListRanking(context.Background(), next, Options{Seed: 9, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +113,11 @@ func TestListRankingSurvivesFaults(t *testing.T) {
 func TestForestConnectivitySurvivesFaults(t *testing.T) {
 	r := rng.New(84, 0)
 	g := graph.RandomForest(400, 6, r)
-	clean, err := ForestConnectivity(g, Options{Seed: 10})
+	clean, err := ForestConnectivity(context.Background(), g, Options{Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := ForestConnectivity(g, Options{Seed: 10, FaultProb: faultProb})
+	faulty, err := ForestConnectivity(context.Background(), g, Options{Seed: 10, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +131,11 @@ func TestForestConnectivitySurvivesFaults(t *testing.T) {
 func TestBiconnectivitySurvivesFaults(t *testing.T) {
 	r := rng.New(85, 0)
 	g := graph.ConnectedGNM(150, 300, r)
-	clean, err := Biconnectivity(g, Options{Seed: 11})
+	clean, err := Biconnectivity(context.Background(), g, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := Biconnectivity(g, Options{Seed: 11, FaultProb: faultProb})
+	faulty, err := Biconnectivity(context.Background(), g, Options{Seed: 11, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,7 +23,7 @@ type ForestConnectivityResult struct {
 // Euler tour (the Tarjan–Vishkin construction, implementable in O(1) MPC
 // rounds, Lemma 8.6), and the resulting collection of disjoint cycles is
 // solved with CycleConnectivity.
-func ForestConnectivity(g *graph.Graph, opts Options) (ForestConnectivityResult, error) {
+func ForestConnectivity(ctx context.Context, g *graph.Graph, opts Options) (ForestConnectivityResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return ForestConnectivityResult{}, err
@@ -32,7 +33,7 @@ func ForestConnectivity(g *graph.Graph, opts Options) (ForestConnectivityResult,
 	}
 
 	et := eulerTours(g)
-	rt := opts.newRuntime(2*g.M()+1, 2*g.M())
+	rt := opts.newRuntime(ctx, 2*g.M()+1, 2*g.M())
 	driver := opts.driverRNG(2)
 
 	comp := make([]int, g.N())

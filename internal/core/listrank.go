@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,7 +35,7 @@ type ListRankingResult struct {
 // hops by adaptive forward traversal, recurses until the lists are short,
 // and then unwinds: ranks flow from each level's samples to the elements
 // they absorbed, one round per level.
-func ListRanking(next []int, opts Options) (ListRankingResult, error) {
+func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return ListRankingResult{}, err
@@ -47,7 +48,7 @@ func ListRanking(next []int, opts Options) (ListRankingResult, error) {
 	if err != nil {
 		return ListRankingResult{}, err
 	}
-	rt := opts.newRuntime(n, n)
+	rt := opts.newRuntime(ctx, n, n)
 	driver := opts.driverRNG(3)
 
 	// level r state, driver side: alive elements, successor, hop weight.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/rng"
@@ -36,7 +37,7 @@ func makePermutedChain(n int, r *rng.RNG) (next []int, want []int) {
 
 func TestListRankingIdentityChain(t *testing.T) {
 	for _, n := range []int{1, 2, 5, 64, 500, 4096} {
-		res, err := ListRanking(makeChain(n), Options{Seed: uint64(n)})
+		res, err := ListRanking(context.Background(), makeChain(n), Options{Seed: uint64(n)})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -52,7 +53,7 @@ func TestListRankingPermuted(t *testing.T) {
 	r := rng.New(11, 0)
 	for _, n := range []int{10, 100, 2000} {
 		next, want := makePermutedChain(n, r)
-		res, err := ListRanking(next, Options{Seed: uint64(n) + 7})
+		res, err := ListRanking(context.Background(), next, Options{Seed: uint64(n) + 7})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -67,7 +68,7 @@ func TestListRankingPermuted(t *testing.T) {
 func TestListRankingMultipleLists(t *testing.T) {
 	// Three lists: 0->1->2, 3->4, 5 alone.
 	next := []int{1, 2, -1, 4, -1, -1}
-	res, err := ListRanking(next, Options{Seed: 3})
+	res, err := ListRanking(context.Background(), next, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestListRankingManySmallLists(t *testing.T) {
 			want[v] = i
 		}
 	}
-	res, err := ListRanking(next, Options{Seed: 4})
+	res, err := ListRanking(context.Background(), next, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,40 +109,40 @@ func TestListRankingManySmallLists(t *testing.T) {
 }
 
 func TestListRankingEmpty(t *testing.T) {
-	res, err := ListRanking(nil, Options{})
+	res, err := ListRanking(context.Background(), nil, Options{})
 	if err != nil || res.Rank != nil {
 		t.Fatalf("empty input: %v %v", res.Rank, err)
 	}
 }
 
 func TestListRankingRejectsCycle(t *testing.T) {
-	if _, err := ListRanking([]int{1, 2, 0}, Options{}); err == nil {
+	if _, err := ListRanking(context.Background(), []int{1, 2, 0}, Options{}); err == nil {
 		t.Fatal("cyclic list accepted")
 	}
-	if _, err := ListRanking([]int{0}, Options{}); err == nil {
+	if _, err := ListRanking(context.Background(), []int{0}, Options{}); err == nil {
 		t.Fatal("self-loop accepted")
 	}
 }
 
 func TestListRankingRejectsSharedTail(t *testing.T) {
 	// Two pointers into the same element.
-	if _, err := ListRanking([]int{2, 2, -1}, Options{}); err == nil {
+	if _, err := ListRanking(context.Background(), []int{2, 2, -1}, Options{}); err == nil {
 		t.Fatal("shared successor accepted")
 	}
 }
 
 func TestListRankingRejectsOutOfRange(t *testing.T) {
-	if _, err := ListRanking([]int{5}, Options{}); err == nil {
+	if _, err := ListRanking(context.Background(), []int{5}, Options{}); err == nil {
 		t.Fatal("out-of-range pointer accepted")
 	}
 }
 
 func TestListRankingRoundsConstant(t *testing.T) {
-	small, err := ListRanking(makeChain(1024), Options{Seed: 5})
+	small, err := ListRanking(context.Background(), makeChain(1024), Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := ListRanking(makeChain(32768), Options{Seed: 6})
+	large, err := ListRanking(context.Background(), makeChain(32768), Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +154,11 @@ func TestListRankingRoundsConstant(t *testing.T) {
 func TestListRankingDeterministic(t *testing.T) {
 	r := rng.New(12, 0)
 	next, _ := makePermutedChain(500, r)
-	a, err := ListRanking(next, Options{Seed: 42})
+	a, err := ListRanking(context.Background(), next, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ListRanking(next, Options{Seed: 42})
+	b, err := ListRanking(context.Background(), next, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,7 +38,8 @@ type MatchingResult struct {
 // process applies verbatim with "neighbors of edge e" meaning the edges
 // sharing an endpoint with e. Proposition 5.1's near-linear total work and
 // Lemma 5.2's O(1/ε) iteration bound carry over unchanged.
-func MaximalMatching(g *graph.Graph, opts Options) (MatchingResult, error) {
+func MaximalMatching(ctx context.Context, g *graph.Graph, opts Options) (MatchingResult, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return MatchingResult{}, err
@@ -49,7 +51,7 @@ func MaximalMatching(g *graph.Graph, opts Options) (MatchingResult, error) {
 		// edge lists: afford 2Δ of them plus the usual c·S.
 		opts.BudgetFactor = ampc.DefaultBudgetFactor + (6*g.MaxDeg()+16)/s
 	}
-	rt := opts.newRuntime(m+1, m)
+	rt := opts.newRuntime(ctx, m+1, m)
 	driver := opts.driverRNG(12)
 
 	// Publish the line-graph structure: edge endpoints, per-vertex incident
@@ -85,6 +87,9 @@ func MaximalMatching(g *graph.Graph, opts Options) (MatchingResult, error) {
 	}
 
 	for unsettled > 0 {
+		if err := ctx.Err(); err != nil {
+			return MatchingResult{}, err
+		}
 		if iters++; iters > maxIters {
 			return MatchingResult{}, fmt.Errorf("core: matching failed to settle after %d iterations (%d left)", maxIters, unsettled)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -22,7 +23,7 @@ func TestMaximalMatchingMatchesGreedyOracle(t *testing.T) {
 		{"empty", graph.MustGraph(10, nil)},
 		{"forest", graph.RandomForest(120, 6, r)},
 	} {
-		res, err := MaximalMatching(tc.g, Options{Seed: 31})
+		res, err := MaximalMatching(context.Background(), tc.g, Options{Seed: 31})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -42,7 +43,7 @@ func TestMaximalMatchingSeedSweep(t *testing.T) {
 	r := rng.New(91, 0)
 	g := graph.GNM(200, 600, r)
 	for seed := uint64(0); seed < 6; seed++ {
-		res, err := MaximalMatching(g, Options{Seed: seed})
+		res, err := MaximalMatching(context.Background(), g, Options{Seed: seed})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -55,7 +56,7 @@ func TestMaximalMatchingSeedSweep(t *testing.T) {
 func TestMaximalMatchingIterationsSmall(t *testing.T) {
 	r := rng.New(92, 0)
 	g := graph.GNM(1500, 6000, r)
-	res, err := MaximalMatching(g, Options{Seed: 3})
+	res, err := MaximalMatching(context.Background(), g, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestMaximalMatchingIterationsSmall(t *testing.T) {
 func TestMaximalMatchingSurvivesFaults(t *testing.T) {
 	r := rng.New(93, 0)
 	g := graph.GNM(200, 500, r)
-	clean, err := MaximalMatching(g, Options{Seed: 4})
+	clean, err := MaximalMatching(context.Background(), g, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty, err := MaximalMatching(g, Options{Seed: 4, FaultProb: faultProb})
+	faulty, err := MaximalMatching(context.Background(), g, Options{Seed: 4, FaultProb: faultProb})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,7 +46,8 @@ type MISResult struct {
 // stricter — and size the budget to afford Δ reads plus the usual c·S, so
 // inputs with Δ > S still run while the per-read accounting stays visible
 // in the telemetry.
-func MIS(g *graph.Graph, opts Options) (MISResult, error) {
+func MIS(ctx context.Context, g *graph.Graph, opts Options) (MISResult, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return MISResult{}, err
@@ -55,7 +57,7 @@ func MIS(g *graph.Graph, opts Options) (MISResult, error) {
 		_, s := opts.params(n, g.M())
 		opts.BudgetFactor = ampc.DefaultBudgetFactor + (3*g.MaxDeg()+16)/s
 	}
-	rt := opts.newRuntime(n, g.M())
+	rt := opts.newRuntime(ctx, n, g.M())
 	driver := opts.driverRNG(4)
 
 	// Publish the graph and the priority permutation.
@@ -82,6 +84,9 @@ func MIS(g *graph.Graph, opts Options) (MISResult, error) {
 	}
 
 	for unsettled > 0 {
+		if err := ctx.Err(); err != nil {
+			return MISResult{}, err
+		}
 		if iters++; iters > maxIters {
 			return MISResult{}, fmt.Errorf("core: MIS failed to settle after %d iterations (%d left)", maxIters, unsettled)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -23,7 +24,7 @@ func TestMISMatchesLFMISOracle(t *testing.T) {
 		{"empty", graph.MustGraph(25, nil)},
 		{"grid", graph.Grid(12, 12)},
 	} {
-		res, err := MIS(tc.g, Options{Seed: 17})
+		res, err := MIS(context.Background(), tc.g, Options{Seed: 17})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -43,7 +44,7 @@ func TestMISSeedSweep(t *testing.T) {
 	r := rng.New(41, 0)
 	g := graph.GNM(150, 400, r)
 	for seed := uint64(0); seed < 6; seed++ {
-		res, err := MIS(g, Options{Seed: seed})
+		res, err := MIS(context.Background(), g, Options{Seed: seed})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -58,7 +59,7 @@ func TestMISIterationsSmall(t *testing.T) {
 	// iteration count should be a small constant, far below log n.
 	r := rng.New(42, 0)
 	g := graph.GNM(2000, 8000, r)
-	res, err := MIS(g, Options{Seed: 5})
+	res, err := MIS(context.Background(), g, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestMISTotalQueriesNearLinear(t *testing.T) {
 	// reject anything superlinear.
 	r := rng.New(43, 0)
 	g := graph.GNM(1500, 6000, r)
-	res, err := MIS(g, Options{Seed: 11})
+	res, err := MIS(context.Background(), g, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +87,11 @@ func TestMISTotalQueriesNearLinear(t *testing.T) {
 func TestMISDeterministic(t *testing.T) {
 	r := rng.New(44, 0)
 	g := graph.GNM(120, 300, r)
-	a, err := MIS(g, Options{Seed: 3})
+	a, err := MIS(context.Background(), g, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MIS(g, Options{Seed: 3})
+	b, err := MIS(context.Background(), g, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestMISDeterministic(t *testing.T) {
 }
 
 func TestMISRejectsBadEpsilon(t *testing.T) {
-	if _, err := MIS(graph.Cycle(5), Options{Epsilon: 2}); err == nil {
+	if _, err := MIS(context.Background(), graph.Cycle(5), Options{Epsilon: 2}); err == nil {
 		t.Fatal("epsilon 2 accepted")
 	}
 }
@@ -114,7 +115,7 @@ func TestMISHighDegreeVertex(t *testing.T) {
 	// A star center has degree n-1; its neighborhood read is capacity-
 	// truncated in iteration 1 when S is small, exercising the retry path.
 	g := graph.Star(400)
-	res, err := MIS(g, Options{Seed: 7, Epsilon: 0.4})
+	res, err := MIS(context.Background(), g, Options{Seed: 7, Epsilon: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -28,13 +29,14 @@ type MSFResult struct {
 // their local trees. Contraction keeps the lightest edge per merged pair
 // (the cycle property discards the rest) and a weight -> original-edge map
 // recovers input edges, as the paper's mapping M does.
-func MSF(g *graph.WeightedGraph, opts Options) (MSFResult, error) {
+func MSF(ctx context.Context, g *graph.WeightedGraph, opts Options) (MSFResult, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return MSFResult{}, err
 	}
 	n := g.N()
-	rt := opts.newRuntime(n, g.M())
+	rt := opts.newRuntime(ctx, n, g.M())
 	driver := opts.driverRNG(6)
 
 	byWeight := make(map[int64]graph.WeightedEdge, g.M())
@@ -70,6 +72,9 @@ func MSF(g *graph.WeightedGraph, opts Options) (MSFResult, error) {
 	maxPhases := 4*int(math.Log2(float64(n+4))) + 16
 
 	for len(gc.verts) > 0 && gc.edges() > 0 {
+		if err := ctx.Err(); err != nil {
+			return MSFResult{}, err
+		}
 		if phases++; phases > maxPhases {
 			return MSFResult{}, fmt.Errorf("core: MSF failed to converge after %d phases", maxPhases)
 		}
@@ -159,7 +164,7 @@ func MSF(g *graph.WeightedGraph, opts Options) (MSFResult, error) {
 // SpanningForest computes an arbitrary spanning forest by running MSF over
 // edge-index weights (Corollary 7.2). It returns the forest edges and a
 // connectivity labeling derived from them.
-func SpanningForest(g *graph.Graph, opts Options) ([]graph.Edge, []int, Telemetry, error) {
+func SpanningForest(ctx context.Context, g *graph.Graph, opts Options) ([]graph.Edge, []int, Telemetry, error) {
 	wes := make([]graph.WeightedEdge, g.M())
 	for i, e := range g.Edges() {
 		wes[i] = graph.WeightedEdge{U: e.U, V: e.V, Weight: int64(i) + 1}
@@ -168,7 +173,7 @@ func SpanningForest(g *graph.Graph, opts Options) ([]graph.Edge, []int, Telemetr
 	if err != nil {
 		return nil, nil, Telemetry{}, err
 	}
-	res, err := MSF(wg, opts)
+	res, err := MSF(ctx, wg, opts)
 	if err != nil {
 		return nil, nil, Telemetry{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -33,7 +34,7 @@ func TestMSFMatchesKruskal(t *testing.T) {
 		{"grid", graph.WithRandomWeights(graph.Grid(12, 12), r)},
 		{"dense", graph.WithRandomWeights(graph.GNM(80, 2400, r), r)},
 	} {
-		res, err := MSF(tc.g, Options{Seed: 77})
+		res, err := MSF(context.Background(), tc.g, Options{Seed: 77})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -47,7 +48,7 @@ func TestMSFSeedSweep(t *testing.T) {
 	g := graph.WithRandomWeights(graph.ConnectedGNM(200, 800, r), r)
 	want := graph.KruskalMSF(g)
 	for seed := uint64(0); seed < 6; seed++ {
-		res, err := MSF(g, Options{Seed: seed})
+		res, err := MSF(context.Background(), g, Options{Seed: seed})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -56,7 +57,7 @@ func TestMSFSeedSweep(t *testing.T) {
 }
 
 func TestMSFEmptyAndTiny(t *testing.T) {
-	res, err := MSF(graph.MustWeightedGraph(5, nil), Options{Seed: 1})
+	res, err := MSF(context.Background(), graph.MustWeightedGraph(5, nil), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestMSFEmptyAndTiny(t *testing.T) {
 		t.Fatal("edgeless graph produced MSF edges")
 	}
 	g := graph.MustWeightedGraph(2, []graph.WeightedEdge{{U: 0, V: 1, Weight: 9}})
-	res, err = MSF(g, Options{Seed: 2})
+	res, err = MSF(context.Background(), g, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +76,11 @@ func TestMSFEmptyAndTiny(t *testing.T) {
 
 func TestMSFPhasesDoublyLogarithmic(t *testing.T) {
 	r := rng.New(62, 0)
-	small, err := MSF(graph.WithRandomWeights(graph.ConnectedGNM(512, 2048, r), r), Options{Seed: 3})
+	small, err := MSF(context.Background(), graph.WithRandomWeights(graph.ConnectedGNM(512, 2048, r), r), Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := MSF(graph.WithRandomWeights(graph.ConnectedGNM(8192, 32768, r), r), Options{Seed: 4})
+	large, err := MSF(context.Background(), graph.WithRandomWeights(graph.ConnectedGNM(8192, 32768, r), r), Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestMSFPhasesDoublyLogarithmic(t *testing.T) {
 func TestSpanningForest(t *testing.T) {
 	r := rng.New(63, 0)
 	g := graph.GNM(300, 700, r)
-	forest, labels, _, err := SpanningForest(g, Options{Seed: 5})
+	forest, labels, _, err := SpanningForest(context.Background(), g, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func TestSpanningForest(t *testing.T) {
 func TestMSFDeterministic(t *testing.T) {
 	r := rng.New(64, 0)
 	g := graph.WithRandomWeights(graph.ConnectedGNM(150, 500, r), r)
-	a, err := MSF(g, Options{Seed: 11})
+	a, err := MSF(context.Background(), g, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MSF(g, Options{Seed: 11})
+	b, err := MSF(context.Background(), g, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

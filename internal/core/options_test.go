@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -63,7 +64,7 @@ func TestNewRuntimeBudgetScalesWithCap(t *testing.T) {
 	// When P is capped, the per-machine budget must scale so each simulated
 	// machine can stand in for several model machines.
 	big := Options{Epsilon: 0.3, MaxP: 8}.withDefaults()
-	rt := big.newRuntime(100_000, 400_000)
+	rt := big.newRuntime(context.Background(), 100_000, 400_000)
 	_, s := big.params(100_000, 400_000)
 	uncapped := (big.TotalSpaceFactor*(100_000+400_000+1) + s - 1) / s
 	scale := (uncapped + 7) / 8

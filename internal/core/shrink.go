@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,7 +27,7 @@ const (
 // returns the alive vertex count after each iteration, for empirical
 // validation of Lemma 4.1 (each iteration shrinks Ω(n^ε)-size cycles by a
 // factor of n^{δ/2} w.h.p.).
-func ShrinkTrace(g *graph.Graph, delta float64, iterations int, opts Options) ([]int, Telemetry, error) {
+func ShrinkTrace(ctx context.Context, g *graph.Graph, delta float64, iterations int, opts Options) ([]int, Telemetry, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, Telemetry{}, err
@@ -35,7 +36,7 @@ func ShrinkTrace(g *graph.Graph, delta float64, iterations int, opts Options) ([
 	if err != nil {
 		return nil, Telemetry{}, err
 	}
-	rt := opts.newRuntime(g.N(), g.M())
+	rt := opts.newRuntime(ctx, g.N(), g.M())
 	driver := opts.driverRNG(0x51)
 
 	sizes := []int{cg.size()}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Tree-property algorithms over a rooted forest (§8.1): subtree sizes
 // (Lemma 8.7) and preorder numbering (Lemma 8.8), both derived from
@@ -108,7 +111,7 @@ func ComputeTreeProps(rf *RootedForest) (*TreeProps, error) {
 // contiguous interval, a sparse table over the interval array is published
 // to the DDS, and one AMPC round answers every vertex's two range queries
 // in O(1) budgeted reads each.
-func SubtreeAggregates(rf *RootedForest, values []int64, opts Options) (min, max []int64, tel Telemetry, err error) {
+func SubtreeAggregates(ctx context.Context, rf *RootedForest, values []int64, opts Options) (min, max []int64, tel Telemetry, err error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, nil, Telemetry{}, err
@@ -140,7 +143,7 @@ func SubtreeAggregates(rf *RootedForest, values []int64, opts Options) (min, max
 	}
 
 	g := rf.Tour.g
-	min, max, tel, err = subtreeExtremes(g, arr, arr, gPre, props, opts)
+	min, max, tel, err = subtreeExtremes(ctx, g, arr, arr, gPre, props, opts)
 	return min, max, tel, err
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -69,7 +70,7 @@ func checkParents(t *testing.T, g *graph.Graph, rf *RootedForest, roots []int) {
 
 func TestRootForestPath(t *testing.T) {
 	g := graph.Path(10)
-	rf, err := RootForest(g, []int{0}, Options{Seed: 1})
+	rf, err := RootForest(context.Background(), g, []int{0}, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRootForestRandomTrees(t *testing.T) {
 	for _, n := range []int{2, 5, 50, 300} {
 		g := graph.RandomTree(n, r)
 		roots := []int{r.Intn(n)}
-		rf, err := RootForest(g, roots, Options{Seed: uint64(n)})
+		rf, err := RootForest(context.Background(), g, roots, Options{Seed: uint64(n)})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -97,7 +98,7 @@ func TestRootForestMultiTree(t *testing.T) {
 	r := rng.New(21, 0)
 	g := graph.RandomForest(120, 6, r)
 	roots := rootsForForest(g)
-	rf, err := RootForest(g, roots, Options{Seed: 9})
+	rf, err := RootForest(context.Background(), g, roots, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,16 +107,16 @@ func TestRootForestMultiTree(t *testing.T) {
 
 func TestRootForestValidation(t *testing.T) {
 	g := graph.Path(4)
-	if _, err := RootForest(graph.Cycle(4), []int{0}, Options{}); err == nil {
+	if _, err := RootForest(context.Background(), graph.Cycle(4), []int{0}, Options{}); err == nil {
 		t.Fatal("cycle accepted")
 	}
-	if _, err := RootForest(g, []int{0, 3}, Options{}); err == nil {
+	if _, err := RootForest(context.Background(), g, []int{0, 3}, Options{}); err == nil {
 		t.Fatal("two roots in one tree accepted")
 	}
-	if _, err := RootForest(g, nil, Options{}); err == nil {
+	if _, err := RootForest(context.Background(), g, nil, Options{}); err == nil {
 		t.Fatal("rootless tree accepted")
 	}
-	if _, err := RootForest(g, []int{9}, Options{}); err == nil {
+	if _, err := RootForest(context.Background(), g, []int{9}, Options{}); err == nil {
 		t.Fatal("out-of-range root accepted")
 	}
 }
@@ -150,7 +151,7 @@ func TestTreePropsSizes(t *testing.T) {
 		{"forest", graph.RandomForest(90, 4, r)},
 	} {
 		roots := rootsForForest(tc.g)
-		rf, err := RootForest(tc.g, roots, Options{Seed: 31})
+		rf, err := RootForest(context.Background(), tc.g, roots, Options{Seed: 31})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -170,7 +171,7 @@ func TestTreePropsSizes(t *testing.T) {
 func TestTreePropsPreorder(t *testing.T) {
 	r := rng.New(23, 0)
 	g := graph.RandomTree(200, r)
-	rf, err := RootForest(g, []int{0}, Options{Seed: 32})
+	rf, err := RootForest(context.Background(), g, []int{0}, Options{Seed: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func inSubtree(parent []int, u, v int) bool {
 
 func TestTreePropsSingleVertexTree(t *testing.T) {
 	g := graph.Union(graph.Path(3), graph.MustGraph(1, nil))
-	rf, err := RootForest(g, []int{0, 3}, Options{Seed: 33})
+	rf, err := RootForest(context.Background(), g, []int{0, 3}, Options{Seed: 33})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestSubtreeAggregatesAgainstBruteForce(t *testing.T) {
 		{"star", graph.Star(25)},
 	} {
 		roots := rootsForForest(tc.g)
-		rf, err := RootForest(tc.g, roots, Options{Seed: 61})
+		rf, err := RootForest(context.Background(), tc.g, roots, Options{Seed: 61})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -344,7 +345,7 @@ func TestSubtreeAggregatesAgainstBruteForce(t *testing.T) {
 		for v := range values {
 			values[v] = int64(r.Intn(2000)) - 1000
 		}
-		gotMin, gotMax, _, err := SubtreeAggregates(rf, values, Options{Seed: 62})
+		gotMin, gotMax, _, err := SubtreeAggregates(context.Background(), rf, values, Options{Seed: 62})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -366,11 +367,11 @@ func TestSubtreeAggregatesAgainstBruteForce(t *testing.T) {
 
 func TestSubtreeAggregatesValidation(t *testing.T) {
 	g := graph.Path(4)
-	rf, err := RootForest(g, []int{0}, Options{Seed: 63})
+	rf, err := RootForest(context.Background(), g, []int{0}, Options{Seed: 63})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := SubtreeAggregates(rf, []int64{1, 2}, Options{}); err == nil {
+	if _, _, _, err := SubtreeAggregates(context.Background(), rf, []int64{1, 2}, Options{}); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 }

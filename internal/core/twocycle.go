@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"ampc/internal/graph"
@@ -19,7 +20,7 @@ type TwoCycleResult struct {
 // O(n^ε)-size instance on a single machine. Round complexity is O(1/ε)
 // w.h.p. — constant for fixed ε — which is the paper's refutation of the
 // 2-Cycle conjecture inside AMPC.
-func TwoCycle(g *graph.Graph, opts Options) (TwoCycleResult, error) {
+func TwoCycle(ctx context.Context, g *graph.Graph, opts Options) (TwoCycleResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return TwoCycleResult{}, err
@@ -29,7 +30,7 @@ func TwoCycle(g *graph.Graph, opts Options) (TwoCycleResult, error) {
 		return TwoCycleResult{}, err
 	}
 	n := g.N()
-	rt := opts.newRuntime(n, g.M())
+	rt := opts.newRuntime(ctx, n, g.M())
 	driver := opts.driverRNG(0)
 
 	t := shrinkIterations(opts.Epsilon)

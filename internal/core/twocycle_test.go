@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ampc/internal/graph"
@@ -12,7 +13,7 @@ func TestTwoCycleDistinguishes(t *testing.T) {
 	for _, n := range []int{64, 256, 1000, 4096} {
 		for _, single := range []bool{true, false} {
 			g := graph.TwoCycleInstance(n, single, r)
-			res, err := TwoCycle(g, Options{Seed: uint64(n)})
+			res, err := TwoCycle(context.Background(), g, Options{Seed: uint64(n)})
 			if err != nil {
 				t.Fatalf("n=%d single=%v: %v", n, single, err)
 			}
@@ -24,16 +25,16 @@ func TestTwoCycleDistinguishes(t *testing.T) {
 }
 
 func TestTwoCycleRejectsNonRegular(t *testing.T) {
-	if _, err := TwoCycle(graph.Path(5), Options{}); err == nil {
+	if _, err := TwoCycle(context.Background(), graph.Path(5), Options{}); err == nil {
 		t.Fatal("path accepted")
 	}
 }
 
 func TestTwoCycleRejectsBadEpsilon(t *testing.T) {
-	if _, err := TwoCycle(graph.Cycle(8), Options{Epsilon: 1.5}); err == nil {
+	if _, err := TwoCycle(context.Background(), graph.Cycle(8), Options{Epsilon: 1.5}); err == nil {
 		t.Fatal("epsilon 1.5 accepted")
 	}
-	if _, err := TwoCycle(graph.Cycle(8), Options{Epsilon: -0.1}); err == nil {
+	if _, err := TwoCycle(context.Background(), graph.Cycle(8), Options{Epsilon: -0.1}); err == nil {
 		t.Fatal("negative epsilon accepted")
 	}
 }
@@ -44,11 +45,11 @@ func TestTwoCycleRoundsConstantInN(t *testing.T) {
 	// so growth between sizes 16x apart must stay within one extra shrink
 	// iteration once n is past the warm-up regime.
 	r := rng.New(2, 0)
-	small, err := TwoCycle(graph.TwoCycleInstance(4096, true, r), Options{Seed: 1})
+	small, err := TwoCycle(context.Background(), graph.TwoCycleInstance(4096, true, r), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := TwoCycle(graph.TwoCycleInstance(65536, true, r), Options{Seed: 2})
+	large, err := TwoCycle(context.Background(), graph.TwoCycleInstance(65536, true, r), Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestTwoCycleRoundsConstantInN(t *testing.T) {
 func TestTwoCycleDeterministic(t *testing.T) {
 	r := rng.New(3, 0)
 	g := graph.TwoCycleInstance(512, false, r)
-	a, err := TwoCycle(g, Options{Seed: 99})
+	a, err := TwoCycle(context.Background(), g, Options{Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := TwoCycle(g, Options{Seed: 99})
+	b, err := TwoCycle(context.Background(), g, Options{Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +87,11 @@ func TestTwoCycleEpsilonSweep(t *testing.T) {
 	// slackness trade-off).
 	r := rng.New(4, 0)
 	g := graph.TwoCycleInstance(2048, true, r)
-	coarse, err := TwoCycle(g, Options{Seed: 5, Epsilon: 0.7})
+	coarse, err := TwoCycle(context.Background(), g, Options{Seed: 5, Epsilon: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, err := TwoCycle(g, Options{Seed: 5, Epsilon: 0.3})
+	fine, err := TwoCycle(context.Background(), g, Options{Seed: 5, Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestTwoCycleQueriesPerMachineBounded(t *testing.T) {
 	// Lemma 4.3: per-machine communication is O(n^ε) per round. The budget
 	// enforces c·S; verify we stay within it and used a nontrivial amount.
 	r := rng.New(5, 0)
-	res, err := TwoCycle(graph.TwoCycleInstance(4096, false, r), Options{Seed: 6})
+	res, err := TwoCycle(context.Background(), graph.TwoCycleInstance(4096, false, r), Options{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestShrinkIterationsMonotone(t *testing.T) {
 }
 
 func TestShrinkTraceSizesDecrease(t *testing.T) {
-	sizes, tel, err := ShrinkTrace(graph.Cycle(4096), 0.5, 2, Options{Seed: 77})
+	sizes, tel, err := ShrinkTrace(context.Background(), graph.Cycle(4096), 0.5, 2, Options{Seed: 77})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,10 +177,10 @@ func TestShrinkTraceSizesDecrease(t *testing.T) {
 	if tel.Rounds == 0 || tel.TotalQueries == 0 {
 		t.Fatal("telemetry empty")
 	}
-	if _, _, err := ShrinkTrace(graph.Cycle(64), 0.5, 1, Options{Epsilon: 5}); err == nil {
+	if _, _, err := ShrinkTrace(context.Background(), graph.Cycle(64), 0.5, 1, Options{Epsilon: 5}); err == nil {
 		t.Fatal("bad epsilon accepted")
 	}
-	if _, _, err := ShrinkTrace(graph.Star(5), 0.5, 1, Options{}); err == nil {
+	if _, _, err := ShrinkTrace(context.Background(), graph.Star(5), 0.5, 1, Options{}); err == nil {
 		t.Fatal("non-2-regular input accepted")
 	}
 }

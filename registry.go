@@ -1,0 +1,113 @@
+package ampc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrUnknownAlgorithm is reported by Engine.Run when a Job names an
+// algorithm that was never registered. The returned error wraps it and
+// lists the registered names.
+var ErrUnknownAlgorithm = errors.New("ampc: unknown algorithm")
+
+// InputKind declares which Job field a registered algorithm consumes.
+type InputKind int
+
+const (
+	// InputGraph algorithms read Job.Graph.
+	InputGraph InputKind = iota
+	// InputWeightedGraph algorithms read Job.Weighted.
+	InputWeightedGraph
+	// InputList algorithms read Job.Next (linked-list successor vector).
+	InputList
+)
+
+// String names the kind for error messages and CLI help.
+func (k InputKind) String() string {
+	switch k {
+	case InputGraph:
+		return "graph"
+	case InputWeightedGraph:
+		return "weighted graph"
+	case InputList:
+		return "list"
+	default:
+		return fmt.Sprintf("InputKind(%d)", int(k))
+	}
+}
+
+// AlgorithmSpec describes one registered algorithm: how to run it and,
+// optionally, how to verify its output against a sequential oracle.
+// External packages may register their own algorithms; the paper's
+// algorithms are registered by this package at init time.
+type AlgorithmSpec struct {
+	// Name is the registry key, e.g. "connectivity". Lowercase by
+	// convention; must be unique.
+	Name string
+	// Description is a one-line human-readable summary shown by CLI help.
+	Description string
+	// Input declares which Job field the algorithm consumes; Engine.Run
+	// rejects jobs whose corresponding field is unset.
+	Input InputKind
+	// Run executes the algorithm. It must honour ctx cancellation and
+	// return a Result whose Telemetry reflects the full run.
+	Run func(ctx context.Context, job Job, opts Options) (*Result, error)
+	// Check verifies res against a sequential oracle, returning a non-nil
+	// error describing the mismatch if verification fails. Nil means the
+	// algorithm has no oracle; Engine.Run then reports CheckSkipped.
+	Check func(job Job, res *Result) error
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]AlgorithmSpec{}
+)
+
+// Register adds an algorithm to the global registry. It panics on an empty
+// name, a nil Run function, or a duplicate registration — all programmer
+// errors at package init time.
+func Register(spec AlgorithmSpec) {
+	if spec.Name == "" {
+		panic("ampc: Register with empty name")
+	}
+	if spec.Run == nil {
+		panic("ampc: Register " + spec.Name + " with nil Run")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[spec.Name]; dup {
+		panic("ampc: Register called twice for " + spec.Name)
+	}
+	registry[spec.Name] = spec
+}
+
+// Algorithms returns the registered algorithm names in sorted order.
+func Algorithms() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (AlgorithmSpec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	spec, ok := registry[name]
+	return spec, ok
+}
+
+// unknownAlgorithmError builds the ErrUnknownAlgorithm-wrapping error
+// listing what is available.
+func unknownAlgorithmError(name string) error {
+	return fmt.Errorf("%w: %q (registered: %s)",
+		ErrUnknownAlgorithm, name, strings.Join(Algorithms(), ", "))
+}
