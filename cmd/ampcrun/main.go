@@ -18,8 +18,10 @@
 // grid (sqrt(n) x sqrt(n)), path, star, tree, forest, clique.
 //
 // -stream prints every round's statistics as it completes; -bench emits
-// one machine-readable JSON line per run for perf trajectories; -timeout
-// aborts the run through context cancellation.
+// one machine-readable JSON line per run for perf trajectories, and
+// -bench-out appends that line to a trajectory file (see BENCH_*.json);
+// -workers sets the runtime's worker-pool size (outputs never depend on
+// it); -timeout aborts the run through context cancellation.
 package main
 
 import (
@@ -37,23 +39,28 @@ import (
 
 func main() {
 	var (
-		algo    = flag.String("algo", "connectivity", "algorithm name from the registry (see -list)")
-		list    = flag.Bool("list", false, "list registered algorithms and exit")
-		gkind   = flag.String("graph", "gnm", "workload: gnm|cgnm|cycle|cycle2|grid|path|star|tree|forest|clique")
-		input   = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
-		n       = flag.Int("n", 10000, "vertex count")
-		m       = flag.Int("m", 0, "edge count (default 4n for gnm/cgnm)")
-		trees   = flag.Int("trees", 10, "tree count for -graph forest")
-		eps     = flag.Float64("eps", 0.5, "space exponent: S = n^eps")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		check   = flag.Bool("check", true, "verify against the sequential oracle")
-		fault   = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
-		asJSON  = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
-		bench   = flag.Bool("bench", false, "emit one machine-readable JSON line (algo, n, m, rounds, queries, wall time)")
-		stream  = flag.Bool("stream", false, "print each round's stats as it completes")
-		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		algo     = flag.String("algo", "connectivity", "algorithm name from the registry (see -list)")
+		list     = flag.Bool("list", false, "list registered algorithms and exit")
+		gkind    = flag.String("graph", "gnm", "workload: gnm|cgnm|cycle|cycle2|grid|path|star|tree|forest|clique")
+		input    = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
+		n        = flag.Int("n", 10000, "vertex count")
+		m        = flag.Int("m", 0, "edge count (default 4n for gnm/cgnm)")
+		trees    = flag.Int("trees", 10, "tree count for -graph forest")
+		eps      = flag.Float64("eps", 0.5, "space exponent: S = n^eps")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		check    = flag.Bool("check", true, "verify against the sequential oracle")
+		fault    = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
+		workers  = flag.Int("workers", 0, "OS worker goroutines per round (0 = GOMAXPROCS); outputs are identical for any value")
+		asJSON   = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
+		bench    = flag.Bool("bench", false, "emit one machine-readable JSON line (algo, n, m, rounds, queries, wall time)")
+		benchOut = flag.String("bench-out", "", "append the -bench JSON line to this trajectory file (implies -bench)")
+		stream   = flag.Bool("stream", false, "print each round's stats as it completes")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
+	if *benchOut != "" {
+		*bench = true
+	}
 
 	if *list {
 		for _, name := range ampc.Algorithms() {
@@ -73,7 +80,7 @@ func main() {
 	}
 
 	eng := ampc.NewEngine(ampc.EngineOptions{
-		Defaults: ampc.Options{Epsilon: *eps, Seed: *seed, FaultProb: *fault},
+		Defaults: ampc.Options{Epsilon: *eps, Seed: *seed, FaultProb: *fault, Workers: *workers},
 		Observer: roundPrinter(*stream),
 	})
 	// Under -bench the oracle check runs outside the timed window (below),
@@ -128,7 +135,7 @@ func main() {
 			}
 			checkStatus = ampc.CheckPassed
 		}
-		printBenchLine(res, workload, wn, wm, *eps, *seed, wall, checkStatus)
+		printBenchLine(res, workload, wn, wm, *eps, *seed, wall, checkStatus, *benchOut)
 		return
 	}
 	fmt.Printf("result: %s\n", res.Summary)
@@ -174,10 +181,12 @@ type benchLine struct {
 	P                 int     `json:"p"`
 	S                 int     `json:"s"`
 	WallMS            float64 `json:"wall_ms"`
+	ExecMS            float64 `json:"exec_ms"`
+	FreezeMS          float64 `json:"freeze_ms"`
 	Check             string  `json:"check"`
 }
 
-func printBenchLine(res *ampc.Result, workload string, n, m int, eps float64, seed uint64, wall time.Duration, check ampc.CheckStatus) {
+func printBenchLine(res *ampc.Result, workload string, n, m int, eps float64, seed uint64, wall time.Duration, check ampc.CheckStatus, benchOut string) {
 	t := res.Telemetry
 	line := benchLine{
 		Algo:              res.Algo,
@@ -194,11 +203,20 @@ func printBenchLine(res *ampc.Result, workload string, n, m int, eps float64, se
 		P:                 t.P,
 		S:                 t.S,
 		WallMS:            float64(wall.Microseconds()) / 1000,
+		ExecMS:            float64(t.ExecuteTime.Microseconds()) / 1000,
+		FreezeMS:          float64(t.FreezeTime.Microseconds()) / 1000,
 		Check:             check.String(),
 	}
 	out, err := json.Marshal(line)
 	fail(err)
 	fmt.Println(string(out))
+	if benchOut != "" {
+		f, err := os.OpenFile(benchOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		fail(err)
+		_, err = f.Write(append(out, '\n'))
+		fail(err)
+		fail(f.Close())
+	}
 }
 
 func loadOrMakeGraph(input string, gkind *string, n, m, trees int, r *ampc.RNG) *ampc.Graph {
@@ -251,6 +269,8 @@ func printTelemetry(t ampc.Telemetry, wall time.Duration) {
 	fmt.Printf("  total queries       %d\n", t.TotalQueries)
 	fmt.Printf("  max machine queries %d per round\n", t.MaxMachineQueries)
 	fmt.Printf("  max shard load      %d per round\n", t.MaxShardLoad)
+	fmt.Printf("  execute time        %v\n", t.ExecuteTime.Round(time.Microsecond))
+	fmt.Printf("  freeze time         %v\n", t.FreezeTime.Round(time.Microsecond))
 	fmt.Printf("  wall time           %v\n", wall.Round(time.Microsecond))
 }
 

@@ -26,7 +26,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ampc/internal/dds"
 	"ampc/internal/rng"
@@ -49,6 +52,13 @@ type Config struct {
 	// Shards is the number of DDS machines. Zero means P, matching the
 	// paper's assumption that the DDS is handled by P machines.
 	Shards int
+	// Workers is the number of long-lived OS worker goroutines that the P
+	// virtual machines are striped over each round. Zero means GOMAXPROCS.
+	// The paper's parallel-slackness argument (§2.1) runs many virtual
+	// machines per physical processor; the pool is that multiplexing, and
+	// the worker count never affects any output — machine randomness and
+	// write merge order depend only on (Seed, round, machine).
+	Workers int
 	// Seed makes the whole computation deterministic.
 	Seed uint64
 	// FaultProb injects failures: before each round, every machine is
@@ -88,6 +98,12 @@ type RoundStats struct {
 	// Pairs is the number of key-value pairs in the store produced by the
 	// round.
 	Pairs int
+	// Execute is the wall-clock time of the execute phase: all machines
+	// running the round function, including their DDS reads.
+	Execute time.Duration
+	// Freeze is the wall-clock time of the freeze phase: merging the
+	// machines' writes into the next round's immutable store.
+	Freeze time.Duration
 }
 
 // Runtime executes AMPC rounds over a chain of stores.
@@ -97,6 +113,19 @@ type Runtime struct {
 	round int
 	stats []RoundStats
 	seedR *rng.RNG
+
+	// Execution engine: a pool of long-lived workers (started at the first
+	// round), a builder reused across rounds, pooled Ctx objects whose cache
+	// maps survive between machines, and per-machine stat slices owned by
+	// the runtime.
+	workers  int
+	pool     *workerPool
+	poolOnce sync.Once
+	builder  *dds.Builder
+	ctxPool  sync.Pool
+	errs     []error
+	queries  []int
+	writes   []int
 
 	// Static side store; see static.go.
 	static      *dds.Store
@@ -129,13 +158,47 @@ func New(cfg Config) *Runtime {
 	if cfg.Shards <= 0 {
 		cfg.Shards = cfg.P
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	r := &Runtime{cfg: cfg, seedR: rng.New(cfg.Seed, 0xA3)}
+	r.workers = cfg.Workers
+	if r.workers > cfg.P {
+		r.workers = cfg.P
+	}
+	r.builder = dds.NewBuilder(cfg.P)
+	r.ctxPool.New = func() any { return &Ctx{} }
+	r.errs = make([]error, cfg.P)
+	r.queries = make([]int, cfg.P)
+	r.writes = make([]int, cfg.P)
 	r.cur = dds.NewStore(nil, cfg.Shards, r.seedR.Uint64())
 	r.staticSalt = r.seedR.Uint64()
 	if cfg.FaultProb > 0 {
 		r.faultR = rng.New(cfg.Seed, 0xFA)
 	}
 	return r
+}
+
+// ensurePool starts the worker pool on first use. The workers reference only
+// the pool, so an unclosed Runtime is still collectable: a finalizer shuts
+// the pool down when the Runtime is garbage.
+func (r *Runtime) ensurePool() *workerPool {
+	r.poolOnce.Do(func() {
+		r.pool = newWorkerPool(r.workers)
+		runtime.SetFinalizer(r, func(rt *Runtime) { rt.pool.close() })
+	})
+	return r.pool
+}
+
+// Close releases the runtime's worker pool. It is optional — an abandoned
+// Runtime's workers are reclaimed by a finalizer — but deterministic for
+// callers that create many runtimes. Rounds must not be executed after
+// Close.
+func (r *Runtime) Close() {
+	if r.pool != nil {
+		runtime.SetFinalizer(r, nil)
+		r.pool.close()
+	}
 }
 
 // Config returns the runtime's configuration.
@@ -218,6 +281,13 @@ type RoundFunc func(ctx *Ctx) error
 // Round executes f on all P machines against the current store, freezes the
 // writes into the next store, and advances the round counter. It returns
 // the first machine error (budget violations or algorithm errors).
+//
+// The P virtual machines are striped over the runtime's worker pool: each of
+// the Workers long-lived goroutines claims machine ids from a shared counter
+// and runs them to completion, reusing one pooled Ctx (cache maps, RNG)
+// per worker. Machine outputs are independent of the striping — writes merge
+// in machine-id order and randomness is keyed by (seed, round, machine) — so
+// any Workers value produces bit-identical stores.
 func (r *Runtime) Round(name string, f RoundFunc) error {
 	if r.ctx != nil {
 		if err := r.ctx.Err(); err != nil {
@@ -225,7 +295,7 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		}
 	}
 	r.cur.ResetLoads()
-	builder := dds.NewBuilder()
+	r.builder.Reset()
 	fail := r.failNext
 	r.failNext = nil
 	if r.faultR != nil {
@@ -239,73 +309,73 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		}
 	}
 
-	errs := make([]error, r.cfg.P)
-	queries := make([]int, r.cfg.P)
-	writes := make([]int, r.cfg.P)
-
-	var wg sync.WaitGroup
-	for m := 0; m < r.cfg.P; m++ {
-		wg.Add(1)
-		go func(m int) {
-			defer wg.Done()
-			attempts := 1 + fail[m]
-			for a := 0; a < attempts; a++ {
-				ctx := &Ctx{
-					Machine: m,
-					P:       r.cfg.P,
-					S:       r.cfg.S,
-					Round:   r.round,
-					RNG:     rng.New(r.cfg.Seed, machineStream(r.round, m)),
-					reads:   r.cur,
-					static:  r.static,
-					w:       builder.Writer(m),
-					budget:  r.Budget(),
-				}
-				err := f(ctx)
-				if ctx.err != nil {
-					err = ctx.err
-				}
-				if a < attempts-1 {
-					// Simulated mid-round failure: discard everything this
-					// attempt produced and restart the machine from scratch.
-					builder.DropWriter(m)
-					continue
-				}
-				errs[m] = err
-				queries[m] = ctx.queries
-				writes[m] = ctx.writes
+	execStart := time.Now()
+	var next atomic.Int64
+	r.ensurePool().run(r.workers, func() {
+		c := r.ctxPool.Get().(*Ctx)
+		for {
+			m := int(next.Add(1)) - 1
+			if m >= r.cfg.P {
+				break
 			}
-		}(m)
-	}
-	wg.Wait()
+			r.runMachine(c, m, f, 1+fail[m])
+		}
+		// Drop store and writer references so a pooled Ctx never pins the
+		// retiring round's store for an extra round.
+		c.reads, c.static, c.w = nil, nil, nil
+		r.ctxPool.Put(c)
+	})
+	execTime := time.Since(execStart)
 
-	for m, err := range errs {
+	for m, err := range r.errs {
 		if err != nil {
 			return fmt.Errorf("ampc: round %d (%s) machine %d: %w", r.round, name, m, err)
 		}
 	}
 
-	st := RoundStats{Name: name, MaxShardLoad: r.cur.MaxShardLoad()}
+	st := RoundStats{Name: name, MaxShardLoad: r.cur.MaxShardLoad(), Execute: execTime}
 	for m := 0; m < r.cfg.P; m++ {
-		st.Queries += int64(queries[m])
-		st.Writes += int64(writes[m])
-		if queries[m] > st.MaxMachineQueries {
-			st.MaxMachineQueries = queries[m]
+		st.Queries += int64(r.queries[m])
+		st.Writes += int64(r.writes[m])
+		if r.queries[m] > st.MaxMachineQueries {
+			st.MaxMachineQueries = r.queries[m]
 		}
-		if writes[m] > st.MaxMachineWrites {
-			st.MaxMachineWrites = writes[m]
+		if r.writes[m] > st.MaxMachineWrites {
+			st.MaxMachineWrites = r.writes[m]
 		}
 	}
 
-	next := builder.Freeze(r.cfg.Shards, r.seedR.Uint64())
-	st.Pairs = next.Len()
+	freezeStart := time.Now()
+	nextStore := r.builder.Freeze(r.cfg.Shards, r.seedR.Uint64())
+	st.Freeze = time.Since(freezeStart)
+	st.Pairs = nextStore.Len()
 	r.stats = append(r.stats, st)
-	r.cur = next
+	r.cur = nextStore
 	r.round++
 	if r.cfg.Observer != nil {
 		r.cfg.Observer(st)
 	}
 	return nil
+}
+
+// runMachine executes machine m's attempts for the current round on the
+// pooled Ctx c, recording the final attempt's error and accounting.
+func (r *Runtime) runMachine(c *Ctx, m int, f RoundFunc, attempts int) {
+	for a := 0; a < attempts; a++ {
+		// reset discards the previous attempt's buffered writes (fetching a
+		// machine's Writer truncates it), so a simulated mid-round failure
+		// restarts the machine from scratch with nothing visible.
+		c.reset(r, m)
+		err := f(c)
+		if c.err != nil {
+			err = c.err
+		}
+		if a == attempts-1 {
+			r.errs[m] = err
+			r.queries[m] = c.queries
+			r.writes[m] = c.writes
+		}
+	}
 }
 
 // machineStream derives the RNG stream index for (round, machine) so every

@@ -1,0 +1,201 @@
+package ampc
+
+import (
+	"errors"
+	"testing"
+
+	"ampc/internal/dds"
+)
+
+func TestReadManyMatchesRead(t *testing.T) {
+	rt := New(cfg(1, 100))
+	rt.SetInput([]dds.KV{pair(0, 10), pair(1, 11), pair(3, 13)})
+	err := rt.Round("batch", func(ctx *Ctx) error {
+		keys := []dds.Key{key(0, 0), key(1, 0), key(2, 0), key(3, 0), key(0, 0)}
+		out := ctx.ReadMany(keys, nil)
+		want := []ValueOK{
+			{Value: val(10, 0), OK: true},
+			{Value: val(11, 0), OK: true},
+			{},
+			{Value: val(13, 0), OK: true},
+			{Value: val(10, 0), OK: true},
+		}
+		if len(out) != len(want) {
+			t.Fatalf("len = %d", len(out))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Errorf("out[%d] = %+v, want %+v", i, out[i], want[i])
+			}
+		}
+		// 4 distinct keys charged; the duplicate and any repeat are free.
+		if ctx.Queries() != 4 {
+			t.Errorf("Queries = %d, want 4", ctx.Queries())
+		}
+		ctx.ReadMany(keys, out[:0])
+		if ctx.Queries() != 4 {
+			t.Errorf("Queries after repeat = %d, want 4", ctx.Queries())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadManyBudgetExhaustion(t *testing.T) {
+	rt := New(Config{P: 1, S: 2, BudgetFactor: 1, Seed: 1})
+	rt.SetInput([]dds.KV{pair(0, 1), pair(1, 2), pair(2, 3)})
+	err := rt.Round("overspend", func(ctx *Ctx) error {
+		out := ctx.ReadMany([]dds.Key{key(0, 0), key(1, 0), key(2, 0)}, nil)
+		if !out[0].OK || !out[1].OK {
+			t.Error("reads within budget failed")
+		}
+		if out[2].OK {
+			t.Error("read beyond budget succeeded")
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestReadIndexedManyMatchesReadIndexed(t *testing.T) {
+	k := key(5, 0)
+	input := []dds.KV{
+		{Key: k, Value: val(10, 0)},
+		{Key: k, Value: val(20, 0)},
+		{Key: k, Value: val(30, 0)},
+	}
+	rt := New(cfg(1, 100))
+	rt.SetInput(input)
+	err := rt.Round("dup", func(ctx *Ctx) error {
+		out := ctx.ReadIndexedMany(k, 4, nil)
+		for i, want := range []int64{10, 20, 30} {
+			if !out[i].OK || out[i].Value.A != want {
+				t.Errorf("index %d = %+v, want A=%d", i, out[i], want)
+			}
+		}
+		if out[3].OK {
+			t.Error("index beyond count reported present")
+		}
+		if ctx.Queries() != 4 {
+			t.Errorf("Queries = %d, want 4", ctx.Queries())
+		}
+		// Repeats are cache hits, whichever API fetched them first.
+		if v, ok := ctx.ReadIndexed(k, 1); !ok || v.A != 20 {
+			t.Errorf("ReadIndexed after batch = %v ok=%v", v, ok)
+		}
+		if ctx.Queries() != 4 {
+			t.Errorf("Queries after cached repeat = %d, want 4", ctx.Queries())
+		}
+		// A second batch over warmed cache must agree.
+		out = ctx.ReadIndexedMany(k, 3, out[:0])
+		for i, want := range []int64{10, 20, 30} {
+			if !out[i].OK || out[i].Value.A != want {
+				t.Errorf("cached index %d = %+v, want A=%d", i, out[i], want)
+			}
+		}
+		if ctx.Queries() != 4 {
+			t.Errorf("Queries after cached batch = %d, want 4", ctx.Queries())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadStaticManyMatchesReadStatic(t *testing.T) {
+	rt := New(cfg(2, 100))
+	if err := rt.AddStatic("s", []dds.KV{pair(1, 11), pair(2, 22)}); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Round("read", func(ctx *Ctx) error {
+		out := ctx.ReadStaticMany([]dds.Key{key(1, 0), key(9, 0), key(2, 0)}, nil)
+		if !out[0].OK || out[0].Value.A != 11 || out[1].OK || !out[2].OK || out[2].Value.A != 22 {
+			t.Errorf("static batch = %+v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPooledExecutorReuse runs many rounds with more machines than workers
+// and checks per-round accounting stays exact — the pooled Ctx reset must
+// not leak caches, budgets or RNG state between machines or rounds.
+func TestPooledExecutorReuse(t *testing.T) {
+	const p, rounds = 32, 6
+	rt := New(Config{P: p, S: 50, Seed: 9, Workers: 3})
+	rt.SetInput([]dds.KV{pair(0, 1)})
+	for i := 0; i < rounds; i++ {
+		err := rt.Round("r", func(ctx *Ctx) error {
+			if _, ok := ctx.Read(key(0, 0)); i == 0 && !ok {
+				t.Error("input read failed")
+			}
+			ctx.Read(key(int64(ctx.Machine), 7)) // distinct absent key per machine
+			ctx.Write(key(0, 0), val(1, 0))      // keep the key alive for the next round
+			ctx.Write(key(int64(ctx.Machine), int64(i)), val(int64(i), 0))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := rt.Stats()[i]
+		if st.Queries != 2*p {
+			t.Fatalf("round %d: Queries = %d, want %d", i, st.Queries, 2*p)
+		}
+		if st.MaxMachineQueries != 2 {
+			t.Fatalf("round %d: MaxMachineQueries = %d, want 2", i, st.MaxMachineQueries)
+		}
+		if st.Writes != 2*p || st.Pairs != 2*p {
+			t.Fatalf("round %d: Writes = %d Pairs = %d, want %d", i, st.Writes, st.Pairs, 2*p)
+		}
+		if st.Execute < 0 || st.Freeze < 0 {
+			t.Fatalf("round %d: negative phase timings %v %v", i, st.Execute, st.Freeze)
+		}
+	}
+	rt.Close()
+}
+
+// TestWorkerCountInvariance re-runs the fault-injection determinism check
+// across worker counts at the runtime level.
+func TestWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []int64 {
+		rt := New(Config{P: 16, S: 200, Seed: 31, Workers: workers, FaultProb: 0.4})
+		rt.SetInput([]dds.KV{pair(0, 5)})
+		for round := 0; round < 4; round++ {
+			err := rt.Round("work", func(ctx *Ctx) error {
+				v, _ := ctx.Read(key(0, 0))
+				r := int64(ctx.RNG.Intn(1000))
+				ctx.Write(key(0, 0), val(v.A+1, 0))
+				ctx.Write(key(100+int64(ctx.Machine), int64(round)), val(r, 0))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make([]int64, 16)
+		for m := range out {
+			v, ok := rt.Store().Get(key(100+int64(m), 3))
+			if !ok {
+				t.Fatalf("machine %d output missing", m)
+			}
+			out[m] = v.A
+		}
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for m := range base {
+			if got[m] != base[m] {
+				t.Fatalf("workers=%d: machine %d output %d, want %d", w, m, got[m], base[m])
+			}
+		}
+	}
+}

@@ -5,8 +5,11 @@ import (
 	"ampc/internal/rng"
 )
 
-// Ctx is one virtual machine's view of a round. It is created by the
-// runtime, used by exactly one goroutine, and discarded when the round ends.
+// Ctx is one virtual machine's view of a round. It is owned by the runtime,
+// used by exactly one goroutine at a time, and recycled: each pooled worker
+// resets one Ctx per machine it executes, so cache maps and scratch buffers
+// keep their capacity across machines and rounds instead of being
+// reallocated P times per round.
 //
 // All Read* methods are adaptive: their arguments may depend on the results
 // of earlier reads in the same round. Each distinct query counts against the
@@ -37,6 +40,8 @@ type Ctx struct {
 	cacheGet   map[dds.Key]cachedValue
 	cacheIdx   map[indexedKey]cachedValue
 	cacheCount map[dds.Key]int
+
+	scratch []dds.Value // staging buffer for batched store reads
 }
 
 type cachedValue struct {
@@ -47,6 +52,53 @@ type cachedValue struct {
 type indexedKey struct {
 	k dds.Key
 	i int
+}
+
+// ValueOK is one result of a batched read: the value and whether the queried
+// (key, index) was present.
+type ValueOK struct {
+	Value dds.Value
+	OK    bool
+}
+
+// resetMapThreshold bounds the cost of recycling a Ctx: clearing a map
+// sweeps its whole bucket array, so after an unusually read-heavy machine it
+// is cheaper to drop the map and let the next machine grow a fresh one.
+const resetMapThreshold = 1 << 12
+
+// reset prepares the pooled Ctx to run machine m of the runtime's current
+// round (also called between the attempts of a failure-injected machine, so
+// a restarted machine re-runs from scratch with identical randomness).
+func (c *Ctx) reset(r *Runtime, m int) {
+	c.Machine = m
+	c.P = r.cfg.P
+	c.S = r.cfg.S
+	c.Round = r.round
+	if c.RNG == nil {
+		c.RNG = rng.New(r.cfg.Seed, machineStream(r.round, m))
+	} else {
+		c.RNG.Reseed(r.cfg.Seed, machineStream(r.round, m))
+	}
+	c.reads = r.cur
+	c.static = r.static
+	c.w = r.builder.Writer(m)
+	c.budget = r.Budget()
+	c.queries, c.writes, c.err = 0, 0, nil
+	if len(c.cacheGet) > resetMapThreshold {
+		c.cacheGet = nil
+	} else {
+		clear(c.cacheGet)
+	}
+	if len(c.cacheIdx) > resetMapThreshold {
+		c.cacheIdx = nil
+	} else {
+		clear(c.cacheIdx)
+	}
+	if len(c.cacheCount) > resetMapThreshold {
+		c.cacheCount = nil
+	} else {
+		clear(c.cacheCount)
+	}
 }
 
 // charge consumes one unit of query budget. It reports false (and latches
@@ -126,6 +178,63 @@ func (c *Ctx) CountKey(k dds.Key) int {
 	}
 	c.cacheCount[k] = n
 	return n
+}
+
+// ReadMany performs a batched adaptive read: it appends one ValueOK per key
+// to dst (pass nil for a fresh slice) and returns the extended slice. The
+// semantics are exactly Read in a loop — budget charged once per distinct
+// key, already-cached keys free, OK = false past budget exhaustion (check
+// Err). The batch form exists so callers express "these keys together";
+// today only the indexed variant exploits that with a single store probe,
+// and store-level batching of plain gets is a ROADMAP follow-on.
+func (c *Ctx) ReadMany(keys []dds.Key, dst []ValueOK) []ValueOK {
+	for _, k := range keys {
+		v, ok := c.Read(k)
+		dst = append(dst, ValueOK{v, ok})
+	}
+	return dst
+}
+
+// ReadIndexedMany reads the first n indexed values of a duplicated key in
+// one batch, appending them to dst. When none of the indices is cached —
+// the common case for inbox-style drains — the store is probed once for the
+// whole range instead of n times. Each uncached index is charged against
+// the budget like a ReadIndexed call.
+func (c *Ctx) ReadIndexedMany(k dds.Key, n int, dst []ValueOK) []ValueOK {
+	if n <= 0 {
+		return dst
+	}
+	if len(c.cacheIdx) > 0 {
+		// Conservative fallback: any cached indexed read (for any key)
+		// disables the single-probe path, because charging a cached index
+		// twice would violate the count-once budget rule and checking this
+		// key's n indices individually costs what the fast path saves.
+		// Machines that drain inboxes batch-first never pay this.
+		for i := 0; i < n; i++ {
+			v, ok := c.ReadIndexed(k, i)
+			dst = append(dst, ValueOK{v, ok})
+		}
+		return dst
+	}
+	charged := 0
+	for charged < n && c.charge() {
+		charged++
+	}
+	c.scratch = c.reads.GetRange(k, 0, charged, c.scratch[:0])
+	if charged > 0 && c.cacheIdx == nil {
+		c.cacheIdx = make(map[indexedKey]cachedValue)
+	}
+	for i := 0; i < n; i++ {
+		var r ValueOK
+		if i < charged {
+			if i < len(c.scratch) {
+				r = ValueOK{c.scratch[i], true}
+			}
+			c.cacheIdx[indexedKey{k, i}] = cachedValue{r.Value, r.OK}
+		}
+		dst = append(dst, r)
+	}
+	return dst
 }
 
 // Write appends one pair to the next round's store. Writing beyond the

@@ -1,0 +1,51 @@
+package ampc
+
+import "sync"
+
+// workerPool is a set of long-lived goroutines that execute the machines of
+// every round. Spawning P goroutines per round — the previous design — put
+// goroutine creation and scheduler churn on the floor of every algorithm's
+// per-round cost; the pool starts Config.Workers goroutines once and stripes
+// the P virtual machines over them round after round.
+//
+// The workers reference only the pool, never the Runtime, so an abandoned
+// Runtime stays collectable: its finalizer closes the pool and the workers
+// exit. Call Runtime.Close for deterministic shutdown.
+type workerPool struct {
+	jobs chan func()
+	stop sync.Once
+}
+
+// newWorkerPool starts n worker goroutines.
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan func())}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+				f = nil // drop the job's references between rounds
+			}
+		}()
+	}
+	return p
+}
+
+// run hands f to n workers and blocks until all n invocations return. n must
+// not exceed the pool size, or run would wait on workers that never free.
+func (p *workerPool) run(n int, f func()) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	job := func() {
+		defer wg.Done()
+		f()
+	}
+	for i := 0; i < n; i++ {
+		p.jobs <- job
+	}
+	wg.Wait()
+}
+
+// close releases the workers. Idempotent; run must not be called afterwards.
+func (p *workerPool) close() {
+	p.stop.Do(func() { close(p.jobs) })
+}

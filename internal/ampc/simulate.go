@@ -48,13 +48,15 @@ func (r *Runtime) MPCRound(name string, f MPCRoundFunc) error {
 		me := int64(ctx.Machine)
 		inboxKey := dds.Key{Tag: tagSimMsg, A: me}
 		k := ctx.CountKey(inboxKey)
+		// Drain the inbox in one batched read: a single probe of the owning
+		// shard serves all k messages instead of k separate dispatches.
+		vs := ctx.ReadIndexedMany(inboxKey, k, nil)
 		inbox := make([]SimMessage, 0, k)
-		for i := 0; i < k; i++ {
-			v, ok := ctx.ReadIndexed(inboxKey, i)
-			if !ok {
+		for i, v := range vs {
+			if !v.OK {
 				return fmt.Errorf("ampc: simulated inbox truncated at %d/%d (err %v)", i, k, ctx.Err())
 			}
-			inbox = append(inbox, SimMessage{Dst: ctx.Machine, A: v.A, B: v.B})
+			inbox = append(inbox, SimMessage{Dst: ctx.Machine, A: v.Value.A, B: v.Value.B})
 		}
 		f(ctx.Machine, inbox, func(msg SimMessage) {
 			ctx.Write(dds.Key{Tag: tagSimMsg, A: int64(msg.Dst)}, dds.Value{A: msg.A, B: msg.B})

@@ -60,6 +60,16 @@ func (c *Ctx) ReadStatic(k dds.Key) (dds.Value, bool) {
 	return v, ok
 }
 
+// ReadStaticMany is the static-store counterpart of ReadMany: one ValueOK
+// per key appended to dst, budget charged per distinct uncached key.
+func (c *Ctx) ReadStaticMany(keys []dds.Key, dst []ValueOK) []ValueOK {
+	for _, k := range keys {
+		v, ok := c.ReadStatic(k)
+		dst = append(dst, ValueOK{v, ok})
+	}
+	return dst
+}
+
 // ReadStaticIndexed returns the i-th value under a duplicated static key.
 func (c *Ctx) ReadStaticIndexed(k dds.Key, i int) (dds.Value, bool) {
 	ik := indexedKey{staticKey(k), i}

@@ -39,6 +39,7 @@ func AffinityClustering(ctx context.Context, g *graph.WeightedGraph, opts Option
 	}
 	n := g.N()
 	rt := opts.newRuntime(ctx, n, g.M())
+	defer rt.Close()
 
 	gc := &contracted{adj: make(map[int][]wedge, n)}
 	for v := 0; v < n; v++ {

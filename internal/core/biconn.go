@@ -251,6 +251,7 @@ func subtreeExtremes(cctx context.Context, g *graph.Graph, lowVals, highVals []i
 	}
 	opts.TotalSpaceFactor *= logN
 	rt := opts.newRuntime(cctx, n, g.M())
+	defer rt.Close()
 	if n == 0 {
 		return nil, nil, telemetryFrom(rt, 0), nil
 	}

@@ -48,6 +48,7 @@ func GreedyColoring(ctx context.Context, g *graph.Graph, opts Options) (Coloring
 		opts.BudgetFactor = ampc.DefaultBudgetFactor + (3*g.MaxDeg()+16)/s
 	}
 	rt := opts.newRuntime(ctx, n, g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(13)
 
 	pi := driver.Perm(n)

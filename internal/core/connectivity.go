@@ -76,6 +76,7 @@ func Connectivity(ctx context.Context, g *graph.Graph, opts Options) (Connectivi
 	}
 	n := g.N()
 	rt := opts.newRuntime(ctx, n, g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(5)
 
 	// Build the initial contracted graph and the original->current map.
@@ -238,43 +239,79 @@ func increaseDegrees(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffler
 }
 
 // bfsExplore runs the budgeted BFS from v, returning the visited vertices
-// (excluding v) and whether the whole component was exhausted.
+// (excluding v) and whether the whole component was exhausted. Adjacency
+// lists are pulled through the batched ReadMany API in blocks bounded by
+// the per-vertex read cap — the O(d²) of Lemma 6.1, which counts every key
+// — and by the remaining exploration capacity, so a block never charges
+// more than the sequential probe order could still have needed.
 func bfsExplore(ctx *ampc.Ctx, v, d int) ([]int, bool, error) {
+	const block = 64
 	readCap := 2*d*d + 32
 	reads := 0
-	read := func(k dds.Key) (dds.Value, bool) {
-		reads++
-		return ctx.Read(k)
-	}
 
 	visited := map[int]bool{v: true}
 	order := []int{}
 	queue := []int{v}
 	whole := true
+	var keys []dds.Key
+	var vals []ampc.ValueOK
 	for len(queue) > 0 && len(visited) < d+1 {
 		x := queue[0]
 		queue = queue[1:]
-		deg, ok := read(dds.Key{Tag: tagConnDeg, A: int64(x)})
+		if reads >= readCap {
+			whole = false
+			break
+		}
+		reads++
+		deg, ok := ctx.Read(dds.Key{Tag: tagConnDeg, A: int64(x)})
 		if !ok {
 			return nil, false, fmt.Errorf("core: missing degree for %d (err %v)", x, ctx.Err())
 		}
-		for i := 0; i < int(deg.A); i++ {
+		n := int(deg.A)
+		for i := 0; i < n && whole; {
 			if len(visited) >= d+1 || reads >= readCap {
 				whole = false
 				break
 			}
-			a, ok := read(dds.Key{Tag: tagConnAdj, A: int64(x), B: int64(i)})
-			if !ok {
-				return nil, false, fmt.Errorf("core: missing adjacency (%d,%d) (err %v)", x, i, ctx.Err())
+			batch := n - i
+			if batch > block {
+				batch = block
 			}
-			u := int(a.A)
-			if !visited[u] {
-				visited[u] = true
-				order = append(order, u)
-				queue = append(queue, u)
+			if rem := readCap - reads; batch > rem {
+				batch = rem
 			}
+			// Each unvisited entry grows the visited set, so the remaining
+			// capacity bounds how many entries can still be useful.
+			if room := d + 1 - len(visited); batch > room {
+				batch = room
+			}
+			keys = keys[:0]
+			for t := 0; t < batch; t++ {
+				keys = append(keys, dds.Key{Tag: tagConnAdj, A: int64(x), B: int64(i + t)})
+			}
+			vals = ctx.ReadMany(keys, vals[:0])
+			reads += batch
+			for t, a := range vals {
+				if !a.OK {
+					return nil, false, fmt.Errorf("core: missing adjacency (%d,%d) (err %v)", x, i+t, ctx.Err())
+				}
+				// An entry encountered while the visited set is already full
+				// may be a vertex we will never explore: the exploration is
+				// no longer provably whole.
+				if len(visited) >= d+1 {
+					whole = false
+					break
+				}
+				u := int(a.Value.A)
+				if !visited[u] {
+					visited[u] = true
+					order = append(order, u)
+					queue = append(queue, u)
+				}
+			}
+			i += batch
 		}
-		if reads >= readCap {
+		if !whole || reads >= readCap {
 			whole = false
 			break
 		}
@@ -358,6 +395,33 @@ func contractInto(gc *contracted, target map[int]int, m2 []int, keepMinWeight ma
 	return next
 }
 
+// readAdjacency streams vertex v's n adjacency records through the batched
+// read API in blocks, invoking f for every (index, value) in order.
+func readAdjacency(ctx *ampc.Ctx, v, n int, f func(i int, a dds.Value) error) error {
+	const block = 128
+	var keys [block]dds.Key
+	var vals []ampc.ValueOK
+	for i := 0; i < n; i += block {
+		b := n - i
+		if b > block {
+			b = block
+		}
+		for t := 0; t < b; t++ {
+			keys[t] = dds.Key{Tag: tagConnAdj, A: int64(v), B: int64(i + t)}
+		}
+		vals = ctx.ReadMany(keys[:b], vals[:0])
+		for t, a := range vals {
+			if !a.OK {
+				return fmt.Errorf("core: missing adjacency (%d,%d) (err %v)", v, i+t, ctx.Err())
+			}
+			if err := f(i+t, a.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // solveLocally publishes the remaining graph and has machine 0 label it in
 // one round — the "fits on a single machine" final step.
 func solveLocally(rt *ampc.Runtime, gc *contracted, phase int) error {
@@ -380,12 +444,12 @@ func solveLocally(rt *ampc.Runtime, gc *contracted, phase int) error {
 			if !ok {
 				return fmt.Errorf("core: local solve missing degree for %d (err %v)", v, ctx.Err())
 			}
-			for j := 0; j < int(deg.A); j++ {
-				a, ok := ctx.Read(dds.Key{Tag: tagConnAdj, A: int64(v), B: int64(j)})
-				if !ok {
-					return fmt.Errorf("core: local solve missing adjacency (err %v)", ctx.Err())
-				}
+			err := readAdjacency(ctx, v, int(deg.A), func(_ int, a dds.Value) error {
 				dsu.Union(i, idx[int(a.A)])
+				return nil
+			})
+			if err != nil {
+				return err
 			}
 		}
 		// Canonical label: minimum vertex id per root.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"ampc/internal/ampc"
 	"ampc/internal/rng"
@@ -48,6 +49,11 @@ type Options struct {
 	// millions of goroutines. Zero selects DefaultMaxP. Capping P only
 	// makes per-machine load larger, so enforced budgets stay meaningful.
 	MaxP int
+	// Workers is the number of long-lived OS worker goroutines the P
+	// virtual machines are striped over each round (see
+	// ampc.Config.Workers). Zero selects GOMAXPROCS. Outputs are identical
+	// for every Workers value; vary it only for performance.
+	Workers int
 	// FaultProb injects machine failures each round with the given
 	// probability (see ampc.Config.FaultProb). Outputs must not change.
 	// Must lie in [0, 1).
@@ -104,6 +110,9 @@ func (o Options) validate() error {
 	if o.MaxP < 0 {
 		return fmt.Errorf("%w: MaxP must be non-negative, got %d", ErrInvalidOptions, o.MaxP)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers must be non-negative, got %d", ErrInvalidOptions, o.Workers)
+	}
 	if o.FaultProb < 0 || o.FaultProb >= 1 {
 		return fmt.Errorf("%w: FaultProb must lie in [0,1), got %v", ErrInvalidOptions, o.FaultProb)
 	}
@@ -149,6 +158,7 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 		P:            p,
 		S:            s,
 		BudgetFactor: bf,
+		Workers:      o.Workers,
 		Seed:         o.Seed,
 		FaultProb:    o.FaultProb,
 		Observer:     o.Observer,
@@ -178,12 +188,18 @@ type Telemetry struct {
 	MaxShardLoad int64
 	// P and S echo the simulated cluster shape.
 	P, S int
+	// ExecuteTime is the wall-clock time spent executing round functions
+	// (machines running, including their DDS reads), summed over rounds.
+	ExecuteTime time.Duration
+	// FreezeTime is the wall-clock time spent freezing writes into the next
+	// round's store, summed over rounds.
+	FreezeTime time.Duration
 	// RoundStats is the per-round breakdown.
 	RoundStats []ampc.RoundStats
 }
 
 func telemetryFrom(rt *ampc.Runtime, phases int) Telemetry {
-	return Telemetry{
+	t := Telemetry{
 		Rounds:            rt.Rounds(),
 		Phases:            phases,
 		TotalQueries:      rt.TotalQueries(),
@@ -193,6 +209,11 @@ func telemetryFrom(rt *ampc.Runtime, phases int) Telemetry {
 		S:                 rt.Config().S,
 		RoundStats:        rt.Stats(),
 	}
+	for _, st := range t.RoundStats {
+		t.ExecuteTime += st.Execute
+		t.FreezeTime += st.Freeze
+	}
+	return t
 }
 
 // driverRNG returns the deterministic random stream used for driver-side

@@ -38,6 +38,7 @@ func CycleConnectivity(ctx context.Context, g *graph.Graph, opts Options) (Cycle
 		return CycleConnectivityResult{}, err
 	}
 	rt := opts.newRuntime(ctx, g.N(), g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(1)
 
 	labels, phases, err := cycleConnLabels(rt, cg, g.N(), opts, driver)

@@ -34,6 +34,7 @@ func ForestConnectivity(ctx context.Context, g *graph.Graph, opts Options) (Fore
 
 	et := eulerTours(g)
 	rt := opts.newRuntime(ctx, 2*g.M()+1, 2*g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(2)
 
 	comp := make([]int, g.N())

@@ -49,6 +49,7 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 		return ListRankingResult{}, err
 	}
 	rt := opts.newRuntime(ctx, n, n)
+	defer rt.Close()
 	driver := opts.driverRNG(3)
 
 	// level r state, driver side: alive elements, successor, hop weight.
@@ -114,7 +115,7 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 		err := rt.Round(fmt.Sprintf("list-contract-%d", r), func(ctx *ampc.Ctx) error {
 			lo, hi := ampc.BlockRange(ctx.Machine, len(shuffled), ctx.P)
 			for _, s := range shuffled[lo:hi] {
-				end, acc, err := listWalk(ctx, s, r, true)
+				end, acc, err := listWalk(ctx, s, r)
 				if err != nil {
 					return err
 				}
@@ -186,31 +187,40 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 		driver.Shuffle(len(shuffledW), func(i, j int) { shuffledW[i], shuffledW[j] = shuffledW[j], shuffledW[i] })
 		err := rt.Round(fmt.Sprintf("list-unwind-%d", r), func(ctx *ampc.Ctx) error {
 			lo, hi := ampc.BlockRange(ctx.Machine, len(shuffledW), ctx.P)
+			var pair [2]dds.Key
+			var res []ampc.ValueOK
 			for _, s := range shuffledW[lo:hi] {
 				dv, ok := ctx.Read(dds.Key{Tag: tagListD, A: int64(s)})
 				if !ok {
 					return fmt.Errorf("core: missing rank for walker %d (err %v)", s, ctx.Err())
 				}
 				// Carry the walker's own rank forward, then rank the
-				// absorbed run after it.
+				// absorbed run after it. As in listWalk, each hop batches the
+				// next element's mark with its successor (the next hop's
+				// pointer), wasting one read at the final hop.
 				ctx.Write(dds.Key{Tag: tagListD, A: int64(s)}, dds.Value{A: dv.A})
 				d := dv.A
-				cur := s
+				v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(s), B: int64(r)})
+				if !ok {
+					return fmt.Errorf("core: missing level-%d pointer for %d (err %v)", r, s, ctx.Err())
+				}
 				for {
-					v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(cur), B: int64(r)})
-					if !ok {
-						return fmt.Errorf("core: missing level-%d pointer for %d (err %v)", r, cur, ctx.Err())
-					}
 					nxt := int(v.A)
 					if nxt == -1 {
 						break
 					}
 					d += v.B
-					if _, marked := ctx.ReadStatic(dds.Key{Tag: tagListMark, A: int64(nxt), B: int64(r)}); marked {
+					pair[0] = dds.Key{Tag: tagListMark, A: int64(nxt), B: int64(r)}
+					pair[1] = dds.Key{Tag: tagListNext, A: int64(nxt), B: int64(r)}
+					res = ctx.ReadStaticMany(pair[:], res[:0])
+					if res[0].OK {
 						break
 					}
 					ctx.Write(dds.Key{Tag: tagListD, A: int64(nxt)}, dds.Value{A: d})
-					cur = nxt
+					if !res[1].OK {
+						return fmt.Errorf("core: missing level-%d pointer for %d (err %v)", r, nxt, ctx.Err())
+					}
+					v = res[1].Value
 				}
 			}
 			return ctx.Err()
@@ -234,25 +244,34 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 
 // listWalk walks forward from sample s along level-r pointers until the
 // next marked element or the tail, returning the stopping element (-1 for
-// tail) and the accumulated weight.
-func listWalk(ctx *ampc.Ctx, s, r int, static bool) (int, int64, error) {
-	_ = static
+// tail) and the accumulated weight. Each pointer jump fetches the next
+// element's mark and successor together in one batched static read: the
+// successor doubles as the prefetch for the following hop, at the cost of
+// one unused read at the hop that ends the walk.
+func listWalk(ctx *ampc.Ctx, s, r int) (int, int64, error) {
 	acc := int64(0)
-	cur := s
+	v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(s), B: int64(r)})
+	if !ok {
+		return 0, 0, fmt.Errorf("core: walk fell off the list at %d (err %v)", s, ctx.Err())
+	}
+	var pair [2]dds.Key
+	var res []ampc.ValueOK
 	for {
-		v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(cur), B: int64(r)})
-		if !ok {
-			return 0, 0, fmt.Errorf("core: walk fell off the list at %d (err %v)", cur, ctx.Err())
-		}
 		nxt := int(v.A)
 		if nxt == -1 {
 			return -1, acc, nil
 		}
 		acc += v.B
-		if _, marked := ctx.ReadStatic(dds.Key{Tag: tagListMark, A: int64(nxt), B: int64(r)}); marked {
+		pair[0] = dds.Key{Tag: tagListMark, A: int64(nxt), B: int64(r)}
+		pair[1] = dds.Key{Tag: tagListNext, A: int64(nxt), B: int64(r)}
+		res = ctx.ReadStaticMany(pair[:], res[:0])
+		if res[0].OK {
 			return nxt, acc, nil
 		}
-		cur = nxt
+		if !res[1].OK {
+			return 0, 0, fmt.Errorf("core: walk fell off the list at %d (err %v)", nxt, ctx.Err())
+		}
+		v = res[1].Value
 	}
 }
 

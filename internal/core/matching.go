@@ -52,6 +52,7 @@ func MaximalMatching(ctx context.Context, g *graph.Graph, opts Options) (Matchin
 		opts.BudgetFactor = ampc.DefaultBudgetFactor + (6*g.MaxDeg()+16)/s
 	}
 	rt := opts.newRuntime(ctx, m+1, m)
+	defer rt.Close()
 	driver := opts.driverRNG(12)
 
 	// Publish the line-graph structure: edge endpoints, per-vertex incident

@@ -58,6 +58,7 @@ func MIS(ctx context.Context, g *graph.Graph, opts Options) (MISResult, error) {
 		opts.BudgetFactor = ampc.DefaultBudgetFactor + (3*g.MaxDeg()+16)/s
 	}
 	rt := opts.newRuntime(ctx, n, g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(4)
 
 	// Publish the graph and the priority permutation.

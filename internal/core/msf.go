@@ -37,6 +37,7 @@ func MSF(ctx context.Context, g *graph.WeightedGraph, opts Options) (MSFResult, 
 	}
 	n := g.N()
 	rt := opts.newRuntime(ctx, n, g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(6)
 
 	byWeight := make(map[int64]graph.WeightedEdge, g.M())
@@ -235,46 +236,72 @@ func msfIncreaseDegree(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffl
 // cleanly: all edges chosen so far were genuine minimum-cut selections and
 // remain valid MSF edges.
 func primExplore(ctx *ampc.Ctx, v, d int) ([]int, []int64, bool, error) {
+	const block = 8
 	readCap := 4*d*d + 64
 	reads := 0
 
 	type cursor struct {
-		x    int
-		deg  int
-		next int    // next unread adjacency index
-		head *wedge // cheapest known crossing edge, nil if exhausted
+		x       int
+		deg     int
+		next    int     // next unread adjacency index
+		head    *wedge  // cheapest known crossing edge, nil if exhausted
+		pending []wedge // read-ahead entries not yet consumed, in weight order
 	}
 	inTree := map[int]bool{v: true}
 	var members []int
 	var treeWeights []int64
 	var cursors []*cursor
+	var keys []dds.Key
+	var vals []ampc.ValueOK
 
 	// advance refreshes a cursor so head is the cheapest edge of x leaving
-	// the tree, or nil if x has none left. truncated reports a tripped
-	// read cap.
+	// the tree, or nil if x has none left. The adjacency list is pulled in
+	// small batched blocks; unconsumed entries wait in pending, so every
+	// entry is still read (and budget-charged) at most once. truncated
+	// reports a tripped read cap.
 	truncated := false
 	advance := func(c *cursor) error {
 		if c.head != nil && !inTree[c.head.to] {
 			return nil
 		}
 		c.head = nil
-		for c.next < c.deg {
+		for {
+			for len(c.pending) > 0 {
+				e := c.pending[0]
+				c.pending = c.pending[1:]
+				if !inTree[e.to] {
+					c.head = &wedge{to: e.to, w: e.w}
+					return nil
+				}
+			}
+			if c.next >= c.deg {
+				return nil
+			}
 			if reads >= readCap {
 				truncated = true
 				return nil
 			}
-			a, ok := ctx.Read(dds.Key{Tag: tagConnAdj, A: int64(c.x), B: int64(c.next)})
-			if !ok {
-				return fmt.Errorf("core: missing adjacency (%d,%d) (err %v)", c.x, c.next, ctx.Err())
+			batch := c.deg - c.next
+			if batch > block {
+				batch = block
 			}
-			reads++
-			c.next++
-			if !inTree[int(a.A)] {
-				c.head = &wedge{to: int(a.A), w: a.B}
-				return nil
+			if rem := readCap - reads; batch > rem {
+				batch = rem
 			}
+			keys = keys[:0]
+			for t := 0; t < batch; t++ {
+				keys = append(keys, dds.Key{Tag: tagConnAdj, A: int64(c.x), B: int64(c.next + t)})
+			}
+			vals = ctx.ReadMany(keys, vals[:0])
+			for t, a := range vals {
+				if !a.OK {
+					return fmt.Errorf("core: missing adjacency (%d,%d) (err %v)", c.x, c.next+t, ctx.Err())
+				}
+				c.pending = append(c.pending, wedge{to: int(a.Value.A), w: a.Value.B})
+			}
+			reads += batch
+			c.next += batch
 		}
-		return nil
 	}
 	addCursor := func(x int) error {
 		if reads >= readCap {
@@ -361,14 +388,14 @@ func msfSolveLocally(rt *ampc.Runtime, gc *contracted, phase int, committed map[
 			if !ok {
 				return fmt.Errorf("core: local MSF missing degree for %d (err %v)", v, ctx.Err())
 			}
-			for j := 0; j < int(deg.A); j++ {
-				a, ok := ctx.Read(dds.Key{Tag: tagConnAdj, A: int64(v), B: int64(j)})
-				if !ok {
-					return fmt.Errorf("core: local MSF missing adjacency (err %v)", ctx.Err())
-				}
+			err := readAdjacency(ctx, v, int(deg.A), func(_ int, a dds.Value) error {
 				if v < int(a.A) {
 					edges = append(edges, we{w: a.B, a: v, b: int(a.A)})
 				}
+				return nil
+			})
+			if err != nil {
+				return err
 			}
 		}
 		sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })

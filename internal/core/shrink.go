@@ -37,6 +37,7 @@ func ShrinkTrace(ctx context.Context, g *graph.Graph, delta float64, iterations 
 		return nil, Telemetry{}, err
 	}
 	rt := opts.newRuntime(ctx, g.N(), g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(0x51)
 
 	sizes := []int{cg.size()}

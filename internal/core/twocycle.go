@@ -31,6 +31,7 @@ func TwoCycle(ctx context.Context, g *graph.Graph, opts Options) (TwoCycleResult
 	}
 	n := g.N()
 	rt := opts.newRuntime(ctx, n, g.M())
+	defer rt.Close()
 	driver := opts.driverRNG(0)
 
 	t := shrinkIterations(opts.Epsilon)

@@ -1,32 +1,67 @@
 package dds
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Builder accumulates the key-value pairs written during a round and freezes
 // them into the next round's Store. Each machine writes through its own
 // Writer so the hot path is lock-free; Freeze merges the per-machine buffers
 // in machine-id order, which makes duplicate-key index assignment
 // deterministic for a fixed schedule of writes.
+//
+// Writers are pre-sized at NewBuilder time: the runtime knows the machine
+// count up front, so Writer(m) for m < p is a plain indexed lookup with no
+// lock and no allocation, and a builder can be Reset and reused across
+// rounds, keeping each machine's buffer capacity warm.
 type Builder struct {
-	mu      sync.Mutex
 	writers []*Writer
+
+	// mu guards extras, the overflow path for machine ids at or beyond the
+	// pre-sized count (only exercised by callers that under-declared p).
+	mu     sync.Mutex
+	extras map[int]*Writer
 }
 
-// NewBuilder returns an empty builder.
-func NewBuilder() *Builder {
-	return &Builder{}
-}
-
-// Writer returns a buffer for the given machine id. Writers for distinct
-// machines may be used concurrently; a single Writer is not concurrency-safe.
-func (b *Builder) Writer(machine int) *Writer {
-	w := &Writer{}
-	b.mu.Lock()
-	for len(b.writers) <= machine {
-		b.writers = append(b.writers, nil)
+// NewBuilder returns a builder pre-sized for p machines. Writer(m) for
+// m in [0, p) never locks or allocates.
+func NewBuilder(p int) *Builder {
+	if p < 0 {
+		p = 0
 	}
-	b.writers[machine] = w
-	b.mu.Unlock()
+	backing := make([]Writer, p)
+	ws := make([]*Writer, p)
+	for i := range ws {
+		ws[i] = &backing[i]
+	}
+	return &Builder{writers: ws}
+}
+
+// Writer returns an empty buffer for the given machine id. Writers for
+// distinct machines may be used concurrently; a single Writer is not
+// concurrency-safe. Requesting a machine's writer discards anything it
+// previously buffered (a restarted machine starts from scratch).
+func (b *Builder) Writer(machine int) *Writer {
+	if machine < 0 {
+		panic("dds: negative machine id")
+	}
+	if machine < len(b.writers) {
+		w := b.writers[machine]
+		w.buf = w.buf[:0]
+		return w
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.extras == nil {
+		b.extras = make(map[int]*Writer)
+	}
+	w := b.extras[machine]
+	if w == nil {
+		w = &Writer{}
+		b.extras[machine] = w
+	}
+	w.buf = w.buf[:0]
 	return w
 }
 
@@ -34,36 +69,93 @@ func (b *Builder) Writer(machine int) *Writer {
 // runtime uses this to model machine failure: a machine that dies mid-round
 // restarts from scratch and its partial writes must not be visible.
 func (b *Builder) DropWriter(machine int) {
+	if machine >= 0 && machine < len(b.writers) {
+		b.writers[machine].buf = b.writers[machine].buf[:0]
+		return
+	}
 	b.mu.Lock()
-	if machine < len(b.writers) {
-		b.writers[machine] = nil
+	if w := b.extras[machine]; w != nil {
+		w.buf = w.buf[:0]
 	}
 	b.mu.Unlock()
 }
 
-// Pairs returns all buffered pairs merged in machine-id order.
-func (b *Builder) Pairs() []KV {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	total := 0
+// Reset empties every writer, keeping buffer capacities, so the builder can
+// be reused for the next round.
+func (b *Builder) Reset() {
 	for _, w := range b.writers {
-		if w != nil {
-			total += len(w.buf)
+		w.buf = w.buf[:0]
+	}
+	b.mu.Lock()
+	for _, w := range b.extras {
+		w.buf = w.buf[:0]
+	}
+	b.mu.Unlock()
+}
+
+// buffers returns the per-machine buffers in machine-id order (pre-sized
+// writers first, then any overflow machines sorted by id; overflow ids are
+// always >= the pre-sized count).
+func (b *Builder) buffers() [][]KV {
+	bufs := make([][]KV, 0, len(b.writers)+len(b.extras))
+	for _, w := range b.writers {
+		if len(w.buf) > 0 {
+			bufs = append(bufs, w.buf)
 		}
 	}
-	out := make([]KV, 0, total)
-	for _, w := range b.writers {
-		if w != nil {
-			out = append(out, w.buf...)
+	b.mu.Lock()
+	if len(b.extras) > 0 {
+		ids := make([]int, 0, len(b.extras))
+		for id := range b.extras {
+			ids = append(ids, id)
 		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if w := b.extras[id]; len(w.buf) > 0 {
+				bufs = append(bufs, w.buf)
+			}
+		}
+	}
+	b.mu.Unlock()
+	return bufs
+}
+
+// Pairs returns all buffered pairs merged in machine-id order.
+func (b *Builder) Pairs() []KV {
+	bufs := b.buffers()
+	total := 0
+	for _, buf := range bufs {
+		total += len(buf)
+	}
+	out := make([]KV, 0, total)
+	for _, buf := range bufs {
+		out = append(out, buf...)
 	}
 	return out
 }
 
+// Len returns the total number of buffered pairs.
+func (b *Builder) Len() int {
+	n := 0
+	for _, buf := range b.buffers() {
+		n += len(buf)
+	}
+	return n
+}
+
 // Freeze merges all buffered writes into an immutable Store sharded p ways
-// with the given salt.
+// with the given salt. The partition and per-shard index builds run in
+// parallel for large rounds; the resulting store — including duplicate-key
+// index order — is identical to a sequential machine-id-order merge
+// regardless of parallelism. The builder's buffers are copied, so the
+// builder may be Reset and reused immediately.
 func (b *Builder) Freeze(p int, salt uint64) *Store {
-	return NewStore(b.Pairs(), p, salt)
+	bufs := b.buffers()
+	total := 0
+	for _, buf := range bufs {
+		total += len(buf)
+	}
+	return buildStore(bufs, p, salt, buildWorkers(total))
 }
 
 // Writer buffers one machine's writes for the round.

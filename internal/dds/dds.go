@@ -19,10 +19,23 @@
 // assumption that "key-value pairs are randomly and independently assigned
 // to the machines handling the DDS". The salt is drawn per store so the
 // placement is independent of the keys an algorithm chooses to query.
+//
+// Storage engine: each shard is a flat open-addressing hash index rather
+// than a Go map. A slot holds the key, the first value inline (the common
+// single-value case costs one probe and no indirection), and — for
+// duplicated keys — an offset into a per-shard overflow slab holding values
+// 1..k-1 contiguously. Stores are built by a counting partition pass that
+// scatters pairs into contiguous per-shard regions, then the shards build
+// concurrently. The pipeline is deterministic for any worker count: pairs
+// land in their shard region in input order, so duplicate-key index
+// assignment is byte-identical to a sequential machine-id-order merge — the
+// property the runtime's fault-tolerance argument depends on.
 package dds
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -65,17 +78,58 @@ func mix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// shard holds the pairs that hashed to one DDS machine.
+// slot is one entry of a shard's open-addressing index. count == 0 marks an
+// empty slot. The first value is stored inline; values 1..count-1 of a
+// duplicated key live at slab[off : off+count-1].
+type slot struct {
+	key   Key
+	first Value
+	count int32
+	off   int32
+	fill  int32 // build-time cursor; equals count once frozen
+}
+
+// shard holds the pairs that hashed to one DDS machine as a flat index.
 type shard struct {
-	m    map[Key][]Value
-	load atomic.Int64 // queries answered by this shard
+	slots []slot
+	mask  uint64
+	slab  []Value
+	size  int          // pairs resident on this shard
+	load  atomic.Int64 // queries answered by this shard
+}
+
+// find returns the slot holding k, or nil. The table is at most half full,
+// so linear probing terminates at an empty slot.
+func (sh *shard) find(k Key, h uint64) *slot {
+	if len(sh.slots) == 0 {
+		return nil
+	}
+	i := (h >> 32) & sh.mask
+	for {
+		sl := &sh.slots[i]
+		if sl.count == 0 {
+			return nil
+		}
+		if sl.key == k {
+			return sl
+		}
+		i = (i + 1) & sh.mask
+	}
+}
+
+// value returns the i-th (0-based) value of a slot.
+func (sh *shard) value(sl *slot, i int) Value {
+	if i == 0 {
+		return sl.first
+	}
+	return sh.slab[int(sl.off)+i-1]
 }
 
 // Store is an immutable snapshot of one round's data, sharded across a fixed
 // number of DDS machines. All read methods are safe for concurrent use and
 // record per-shard load.
 type Store struct {
-	shards []*shard
+	shards []shard
 	salt   uint64
 	pairs  int
 }
@@ -83,27 +137,234 @@ type Store struct {
 // NewStore builds a store over the given pairs, sharded p ways with the
 // given placement salt. Duplicate keys keep their slice order: the caller
 // controls index assignment by the order of the input slice (the model says
-// the indices 1..k are assigned arbitrarily).
+// the indices 1..k are assigned arbitrarily). The input slice is not
+// retained. Large inputs build in parallel; the result is identical for any
+// level of parallelism.
 func NewStore(pairs []KV, p int, salt uint64) *Store {
+	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)))
+}
+
+// buildWorkers picks the build parallelism for an input size: small builds
+// stay sequential so per-round overhead does not grow goroutines.
+func buildWorkers(pairs int) int {
+	if pairs < 4096 {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// buildStore partitions the concatenation of bufs into contiguous per-shard
+// regions (counting pass, prefix sums, scatter pass) and then builds every
+// shard's flat index. All three passes parallelize over `workers` goroutines;
+// the scatter preserves input order within each shard, so the store is
+// independent of the worker count.
+func buildStore(bufs [][]KV, p int, salt uint64, workers int) *Store {
 	if p <= 0 {
 		p = 1
 	}
-	s := &Store{shards: make([]*shard, p), salt: salt, pairs: len(pairs)}
-	for i := range s.shards {
-		s.shards[i] = &shard{m: make(map[Key][]Value)}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
 	}
-	for _, kv := range pairs {
-		sh := s.shards[hash(kv.Key, salt)%uint64(p)]
-		sh.m[kv.Key] = append(sh.m[kv.Key], kv.Value)
+	s := &Store{shards: make([]shard, p), salt: salt, pairs: total}
+	if total == 0 {
+		return s
 	}
+
+	// Group the buffers into about `workers` contiguous chunks of roughly
+	// equal pair count; each chunk is one unit of partition work. Buffers
+	// bigger than a chunk are split by index so a single huge input still
+	// spreads.
+	chunks := splitChunks(bufs, workers, total)
+
+	// Counting pass: per-chunk, per-shard pair counts.
+	counts := make([]int64, len(chunks)*p)
+	parallelDo(len(chunks), workers, func(c int) {
+		row := counts[c*p : (c+1)*p]
+		for _, seg := range chunks[c] {
+			for _, kv := range seg {
+				row[hash(kv.Key, salt)%uint64(p)]++
+			}
+		}
+	})
+
+	// Prefix sums: shard region starts, then per-chunk write cursors laid
+	// out so chunk order (= input order) is preserved inside every region.
+	starts := make([]int64, p+1)
+	for sh := 0; sh < p; sh++ {
+		starts[sh+1] = starts[sh]
+		for c := range chunks {
+			starts[sh+1] += counts[c*p+sh]
+		}
+	}
+	cursors := make([]int64, len(chunks)*p)
+	for sh := 0; sh < p; sh++ {
+		pos := starts[sh]
+		for c := range chunks {
+			cursors[c*p+sh] = pos
+			pos += counts[c*p+sh]
+		}
+	}
+
+	// Scatter pass: pairs land in their shard region in input order, with
+	// their full hash alongside so shard builds never rehash.
+	scratch := make([]KV, total)
+	hs := make([]uint64, total)
+	parallelDo(len(chunks), workers, func(c int) {
+		cur := cursors[c*p : (c+1)*p]
+		for _, seg := range chunks[c] {
+			for _, kv := range seg {
+				h := hash(kv.Key, salt)
+				pos := cur[h%uint64(p)]
+				cur[h%uint64(p)] = pos + 1
+				scratch[pos] = kv
+				hs[pos] = h
+			}
+		}
+	})
+
+	// Index build: shards are independent; slotIdx is a shared scratch that
+	// each shard slices to its own region.
+	slotIdx := make([]int32, total)
+	parallelDo(p, workers, func(sh int) {
+		lo, hi := starts[sh], starts[sh+1]
+		s.shards[sh].build(scratch[lo:hi], hs[lo:hi], slotIdx[lo:hi])
+	})
 	return s
 }
 
-// shardFor returns the shard owning key k, counting one query against it.
-func (s *Store) shardFor(k Key) *shard {
-	sh := s.shards[hash(k, s.salt)%uint64(len(s.shards))]
-	sh.load.Add(1)
-	return sh
+// chunk is one unit of partition work: an ordered run of buffer segments.
+type chunk [][]KV
+
+// splitChunks groups the buffer list into about `workers` contiguous chunks
+// of roughly total/workers pairs each, splitting oversized buffers by index.
+// Concatenating the chunks in order reproduces the concatenation of bufs
+// exactly, so partitioning is order-preserving for any worker count.
+func splitChunks(bufs [][]KV, workers, total int) []chunk {
+	target := (total + workers - 1) / workers
+	if target < 1024 {
+		target = 1024
+	}
+	var chunks []chunk
+	var cur chunk
+	curSize := 0
+	for _, b := range bufs {
+		for len(b) > 0 {
+			if curSize >= target {
+				chunks = append(chunks, cur)
+				cur, curSize = nil, 0
+			}
+			n := len(b)
+			if room := target - curSize; n > room {
+				n = room
+			}
+			cur = append(cur, b[:n])
+			curSize += n
+			b = b[n:]
+		}
+	}
+	if curSize > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// parallelDo runs f(0..n-1), striping the indices over up to `workers`
+// goroutines. workers <= 1 runs inline.
+func parallelDo(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// build constructs the shard's flat index over its ordered pairs. hs holds
+// the precomputed hash of each pair; slotIdx is caller-provided scratch of
+// the same length. Two passes: the first inserts keys and counts duplicates,
+// the second places values — first value inline, the rest appended to the
+// overflow slab in input order, which is exactly the sequential merge order.
+func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32) {
+	sh.size = len(pairs)
+	if len(pairs) == 0 {
+		return
+	}
+	cap := 1
+	for cap < 2*len(pairs) {
+		cap <<= 1
+	}
+	sh.slots = make([]slot, cap)
+	sh.mask = uint64(cap - 1)
+	for i, kv := range pairs {
+		j := (hs[i] >> 32) & sh.mask
+		for {
+			sl := &sh.slots[j]
+			if sl.count == 0 {
+				sl.key = kv.Key
+				sl.count = 1
+				slotIdx[i] = int32(j)
+				break
+			}
+			if sl.key == kv.Key {
+				sl.count++
+				slotIdx[i] = int32(j)
+				break
+			}
+			j = (j + 1) & sh.mask
+		}
+	}
+	overflow := int32(0)
+	for j := range sh.slots {
+		if sh.slots[j].count > 1 {
+			sh.slots[j].off = overflow
+			overflow += sh.slots[j].count - 1
+		}
+	}
+	if overflow > 0 {
+		sh.slab = make([]Value, overflow)
+	}
+	for i, kv := range pairs {
+		sl := &sh.slots[slotIdx[i]]
+		if sl.fill == 0 {
+			sl.first = kv.Value
+		} else {
+			sh.slab[sl.off+sl.fill-1] = kv.Value
+		}
+		sl.fill++
+	}
+}
+
+// shardFor returns the shard owning key k and its hash, counting n queries
+// against it.
+func (s *Store) shardFor(k Key, n int64) (*shard, uint64) {
+	h := hash(k, s.salt)
+	sh := &s.shards[h%uint64(len(s.shards))]
+	sh.load.Add(n)
+	return sh, h
 }
 
 // Get returns the value stored under k. If several pairs share the key it
@@ -111,26 +372,59 @@ func (s *Store) shardFor(k Key) *shard {
 // at all ("querying for a key that does not occur results in an empty
 // response").
 func (s *Store) Get(k Key) (Value, bool) {
-	vs := s.shardFor(k).m[k]
-	if len(vs) == 0 {
+	sh, h := s.shardFor(k, 1)
+	sl := sh.find(k, h)
+	if sl == nil {
 		return Value{}, false
 	}
-	return vs[0], true
+	return sl.first, true
 }
 
 // GetIndexed returns the i-th (0-based) value stored under k, for keys with
 // multiple pairs.
 func (s *Store) GetIndexed(k Key, i int) (Value, bool) {
-	vs := s.shardFor(k).m[k]
-	if i < 0 || i >= len(vs) {
+	sh, h := s.shardFor(k, 1)
+	sl := sh.find(k, h)
+	if sl == nil || i < 0 || i >= int(sl.count) {
 		return Value{}, false
 	}
-	return vs[i], true
+	return sh.value(sl, i), true
+}
+
+// GetRange appends the values stored under k at indices [lo, hi) to dst and
+// returns the extended slice; indices at or beyond the key's count are
+// skipped. The key is probed once but the shard is charged hi-lo queries —
+// a batched read moves the same hi-lo records off the shard, so Lemma 2.1
+// contention accounting is unchanged.
+func (s *Store) GetRange(k Key, lo, hi int, dst []Value) []Value {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return dst
+	}
+	sh, h := s.shardFor(k, int64(hi-lo))
+	sl := sh.find(k, h)
+	if sl == nil {
+		return dst
+	}
+	if hi > int(sl.count) {
+		hi = int(sl.count)
+	}
+	for i := lo; i < hi; i++ {
+		dst = append(dst, sh.value(sl, i))
+	}
+	return dst
 }
 
 // Count returns the number of pairs stored under k.
 func (s *Store) Count(k Key) int {
-	return len(s.shardFor(k).m[k])
+	sh, h := s.shardFor(k, 1)
+	sl := sh.find(k, h)
+	if sl == nil {
+		return 0
+	}
+	return int(sl.count)
 }
 
 // Len returns the total number of pairs in the store.
@@ -143,8 +437,8 @@ func (s *Store) Shards() int { return len(s.shards) }
 // far. Used to validate the contention bound of Lemma 2.1.
 func (s *Store) ShardLoads() []int64 {
 	loads := make([]int64, len(s.shards))
-	for i, sh := range s.shards {
-		loads[i] = sh.load.Load()
+	for i := range s.shards {
+		loads[i] = s.shards[i].load.Load()
 	}
 	return loads
 }
@@ -152,8 +446,8 @@ func (s *Store) ShardLoads() []int64 {
 // MaxShardLoad returns the largest per-shard query count.
 func (s *Store) MaxShardLoad() int64 {
 	var max int64
-	for _, sh := range s.shards {
-		if l := sh.load.Load(); l > max {
+	for i := range s.shards {
+		if l := s.shards[i].load.Load(); l > max {
 			max = l
 		}
 	}
@@ -162,8 +456,8 @@ func (s *Store) MaxShardLoad() int64 {
 
 // ResetLoads zeroes the per-shard counters (between rounds or experiments).
 func (s *Store) ResetLoads() {
-	for _, sh := range s.shards {
-		sh.load.Store(0)
+	for i := range s.shards {
+		s.shards[i].load.Store(0)
 	}
 }
 
@@ -171,12 +465,8 @@ func (s *Store) ResetLoads() {
 // the storage side of the balls-in-bins placement.
 func (s *Store) ShardSizes() []int {
 	sizes := make([]int, len(s.shards))
-	for i, sh := range s.shards {
-		n := 0
-		for _, vs := range sh.m {
-			n += len(vs)
-		}
-		sizes[i] = n
+	for i := range s.shards {
+		sizes[i] = s.shards[i].size
 	}
 	return sizes
 }

@@ -1,0 +1,181 @@
+package dds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPairs generates n pairs whose keys are drawn from a space of
+// roughly n/dup distinct keys, so duplicate-key chains are long and the
+// overflow slab is exercised hard. Values encode the write position, making
+// index-order mismatches visible.
+func randomPairs(r *rand.Rand, n, dup int) []KV {
+	keySpace := n/dup + 1
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = KV{
+			Key:   Key{Tag: uint8(r.Intn(3) + 1), A: int64(r.Intn(keySpace)), B: int64(r.Intn(4))},
+			Value: Value{A: int64(i), B: int64(r.Intn(1 << 30))},
+		}
+	}
+	return pairs
+}
+
+// reference is the model answer: a plain map of value slices in input order,
+// the structure the flat index replaced.
+func reference(pairs []KV) map[Key][]Value {
+	m := make(map[Key][]Value)
+	for _, kv := range pairs {
+		m[kv.Key] = append(m[kv.Key], kv.Value)
+	}
+	return m
+}
+
+// checkAgainstReference asserts that s answers Get, GetIndexed, GetRange and
+// Count exactly like the reference map, including for keys that are absent.
+func checkAgainstReference(t *testing.T, s *Store, ref map[Key][]Value, probeAbsent []Key) {
+	t.Helper()
+	for k, vs := range ref {
+		if got := s.Count(k); got != len(vs) {
+			t.Fatalf("Count(%v) = %d, want %d", k, got, len(vs))
+		}
+		v, ok := s.Get(k)
+		if !ok || v != vs[0] {
+			t.Fatalf("Get(%v) = %v ok=%v, want %v", k, v, ok, vs[0])
+		}
+		for i, want := range vs {
+			v, ok := s.GetIndexed(k, i)
+			if !ok || v != want {
+				t.Fatalf("GetIndexed(%v, %d) = %v ok=%v, want %v", k, i, v, ok, want)
+			}
+		}
+		if _, ok := s.GetIndexed(k, len(vs)); ok {
+			t.Fatalf("GetIndexed(%v, %d) beyond count reported present", k, len(vs))
+		}
+		if got := s.GetRange(k, 0, len(vs), nil); len(got) != len(vs) {
+			t.Fatalf("GetRange(%v) returned %d values, want %d", k, len(got), len(vs))
+		} else {
+			for i := range got {
+				if got[i] != vs[i] {
+					t.Fatalf("GetRange(%v)[%d] = %v, want %v", k, i, got[i], vs[i])
+				}
+			}
+		}
+	}
+	for _, k := range probeAbsent {
+		if _, ok := ref[k]; ok {
+			continue
+		}
+		if _, got := s.Get(k); got {
+			t.Fatalf("absent key %v reported present", k)
+		}
+		if got := s.Count(k); got != 0 {
+			t.Fatalf("Count of absent key %v = %d", k, got)
+		}
+	}
+}
+
+// TestFlatStoreMatchesReference is the property test for the flat index:
+// random pair sets with heavy duplicate keys must answer every read exactly
+// like a map[Key][]Value built in the same order.
+func TestFlatStoreMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(3000) + 1
+		dup := []int{1, 3, 16, 200}[trial%4]
+		p := r.Intn(16) + 1
+		pairs := randomPairs(r, n, dup)
+		ref := reference(pairs)
+		s := NewStore(pairs, p, r.Uint64())
+		absent := make([]Key, 50)
+		for i := range absent {
+			absent[i] = Key{Tag: 9, A: int64(r.Intn(n + 1)), B: int64(r.Intn(8))}
+		}
+		checkAgainstReference(t, s, ref, absent)
+		sum := 0
+		for _, sz := range s.ShardSizes() {
+			sum += sz
+		}
+		if sum != n || s.Len() != n {
+			t.Fatalf("trial %d: sizes sum %d, Len %d, want %d", trial, sum, s.Len(), n)
+		}
+	}
+}
+
+// TestParallelFreezeMatchesSequential asserts that the parallel build path
+// is byte-identical to the sequential one for a fixed seed: same shard
+// sizes, same duplicate-key index assignment, same answers.
+func TestParallelFreezeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := r.Intn(20000) + 5000
+		pairs := randomPairs(r, n, 25)
+		p := r.Intn(32) + 1
+		salt := r.Uint64()
+		seq := buildStore([][]KV{pairs}, p, salt, 1)
+		for _, workers := range []int{2, 3, 8} {
+			par := buildStore([][]KV{pairs}, p, salt, workers)
+			compareStores(t, seq, par)
+		}
+	}
+}
+
+// TestBuilderParallelFreezeMatchesSequential covers the Builder path: many
+// machines write interleaved duplicate keys, and Freeze (parallel for large
+// rounds) must agree with a sequential machine-id-order merge.
+func TestBuilderParallelFreezeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	const machines = 64
+	b := NewBuilder(machines)
+	for m := 0; m < machines; m++ {
+		w := b.Writer(m)
+		for i := 0; i < 150; i++ {
+			k := Key{Tag: 1, A: int64(r.Intn(400))}
+			w.Write(k, Value{A: int64(m), B: int64(i)})
+		}
+	}
+	const p, salt = 16, 99
+	par := b.Freeze(p, salt)
+	seq := buildStore([][]KV{b.Pairs()}, p, salt, 1)
+	compareStores(t, seq, par)
+
+	// ShardSizes and duplicate order must also match the historic
+	// sequential NewStore over the merged pairs.
+	ref := reference(b.Pairs())
+	checkAgainstReference(t, par, ref, nil)
+}
+
+// compareStores asserts two stores hold identical contents: shard sizes and
+// every key's full indexed value sequence.
+func compareStores(t *testing.T, a, b *Store) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("Len %d vs %d", a.Len(), b.Len())
+	}
+	as, bs := a.ShardSizes(), b.ShardSizes()
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("shard %d size %d vs %d", i, as[i], bs[i])
+		}
+	}
+	// Walk every slot of a and demand identical indexed reads from b.
+	for si := range a.shards {
+		sh := &a.shards[si]
+		for j := range sh.slots {
+			sl := &sh.slots[j]
+			if sl.count == 0 {
+				continue
+			}
+			if got := b.Count(sl.key); got != int(sl.count) {
+				t.Fatalf("key %v count %d vs %d", sl.key, sl.count, got)
+			}
+			for i := 0; i < int(sl.count); i++ {
+				want := sh.value(sl, i)
+				got, ok := b.GetIndexed(sl.key, i)
+				if !ok || got != want {
+					t.Fatalf("key %v index %d: %v vs %v (ok=%v)", sl.key, i, want, got, ok)
+				}
+			}
+		}
+	}
+}

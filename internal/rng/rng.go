@@ -32,10 +32,19 @@ func splitMix64(x *uint64) uint64 {
 // New returns a generator for the given seed and stream index. Distinct
 // (seed, stream) pairs produce statistically independent sequences.
 func New(seed, stream uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed, stream)
+	return r
+}
+
+// Reseed re-initializes r in place for the given (seed, stream) pair,
+// producing the same sequence as New(seed, stream) without allocating. The
+// AMPC runtime uses it to recycle one generator per pooled worker across
+// machines and rounds.
+func (r *RNG) Reseed(seed, stream uint64) {
 	// Mix the stream into the seed with a distinct odd constant so streams
 	// land far apart in SplitMix64's sequence space.
 	x := seed ^ (stream * 0xd1342543de82ef95)
-	r := &RNG{}
 	r.s0 = splitMix64(&x)
 	r.s1 = splitMix64(&x)
 	r.s2 = splitMix64(&x)
@@ -45,7 +54,6 @@ func New(seed, stream uint64) *RNG {
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s0 = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split derives a new independent generator from r without disturbing the
