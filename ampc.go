@@ -127,6 +127,14 @@ var (
 // knobs. The zero value uses the documented defaults.
 type Options = core.Options
 
+// Store backend names for Options.Backend: BackendMem keeps each round's
+// frozen store in process, BackendFile serializes it to mmap'd shard files
+// (see Options.StoreDir). Outputs are byte-identical for every backend.
+const (
+	BackendMem  = core.BackendMem
+	BackendFile = core.BackendFile
+)
+
 // ErrInvalidOptions is wrapped by every error an algorithm returns for an
 // Options value violating its documented contract; test with
 // errors.Is(err, ampc.ErrInvalidOptions).

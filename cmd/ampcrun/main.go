@@ -21,7 +21,10 @@
 // one machine-readable JSON line per run for perf trajectories, and
 // -bench-out appends that line to a trajectory file (see BENCH_*.json);
 // -workers sets the runtime's worker-pool size (outputs never depend on
-// it); -timeout aborts the run through context cancellation.
+// it); -backend selects where each round's frozen store lives (mem keeps it
+// in process, file serializes it to mmap'd shard files under -store-dir;
+// outputs are identical either way); -timeout aborts the run through
+// context cancellation.
 package main
 
 import (
@@ -51,6 +54,8 @@ func main() {
 		check    = flag.Bool("check", true, "verify against the sequential oracle")
 		fault    = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
 		workers  = flag.Int("workers", 0, "OS worker goroutines per round (0 = GOMAXPROCS); outputs are identical for any value")
+		backend  = flag.String("backend", "mem", "store backend: mem (in-process) or file (mmap'd shard files); outputs are identical")
+		storeDir = flag.String("store-dir", "", "directory for -backend=file shard files (default: a temp dir removed after the run)")
 		asJSON   = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
 		bench    = flag.Bool("bench", false, "emit one machine-readable JSON line (algo, n, m, rounds, queries, wall time)")
 		benchOut = flag.String("bench-out", "", "append the -bench JSON line to this trajectory file (implies -bench)")
@@ -80,7 +85,10 @@ func main() {
 	}
 
 	eng := ampc.NewEngine(ampc.EngineOptions{
-		Defaults: ampc.Options{Epsilon: *eps, Seed: *seed, FaultProb: *fault, Workers: *workers},
+		Defaults: ampc.Options{
+			Epsilon: *eps, Seed: *seed, FaultProb: *fault, Workers: *workers,
+			Backend: *backend, StoreDir: *storeDir,
+		},
 		Observer: roundPrinter(*stream),
 	})
 	// Under -bench the oracle check runs outside the timed window (below),
@@ -135,7 +143,7 @@ func main() {
 			}
 			checkStatus = ampc.CheckPassed
 		}
-		printBenchLine(res, workload, wn, wm, *eps, *seed, wall, checkStatus, *benchOut)
+		printBenchLine(res, *backend, workload, wn, wm, *eps, *seed, wall, checkStatus, *benchOut)
 		return
 	}
 	fmt.Printf("result: %s\n", res.Summary)
@@ -168,6 +176,7 @@ func roundPrinter(enabled bool) ampc.TelemetryObserver {
 // JSON object per line, for recording perf trajectories across commits.
 type benchLine struct {
 	Algo              string  `json:"algo"`
+	Backend           string  `json:"backend,omitempty"`
 	Workload          string  `json:"workload"`
 	N                 int     `json:"n"`
 	M                 int     `json:"m"`
@@ -186,10 +195,11 @@ type benchLine struct {
 	Check             string  `json:"check"`
 }
 
-func printBenchLine(res *ampc.Result, workload string, n, m int, eps float64, seed uint64, wall time.Duration, check ampc.CheckStatus, benchOut string) {
+func printBenchLine(res *ampc.Result, backend, workload string, n, m int, eps float64, seed uint64, wall time.Duration, check ampc.CheckStatus, benchOut string) {
 	t := res.Telemetry
 	line := benchLine{
 		Algo:              res.Algo,
+		Backend:           backend,
 		Workload:          workload,
 		N:                 n,
 		M:                 m,

@@ -1,0 +1,291 @@
+// Command benchgate is the engine-level perf regression gate from the
+// ROADMAP: it replays the workload lines of a committed bench trajectory
+// (BENCH_PR*.json, written by ampcrun -bench-out) through the Engine and
+// fails — exit status 1 — when a workload's execute or freeze phase
+// regresses beyond the allowed factor over its baseline.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_PR2.json
+//	benchgate -baseline BENCH_PR2.json -factor 1.25 -floor-ms 40 -reps 3
+//	benchgate -baseline BENCH_PR2.json -out BENCH_PR3.json -backends mem,file
+//
+// Only the baseline's in-memory-backend lines gate (a file-backend line has
+// no predecessor to regress against); -backends adds report-only runs on
+// the other backends, and -out appends every measured line to a new
+// trajectory file in the same format ampcrun emits, so the gate's output
+// becomes the next PR's committed baseline.
+//
+// Each workload runs -reps times and the minimum exec/freeze times compare
+// against factor*baseline + floor; the floor absorbs scheduler noise on
+// small absolute numbers (CI machines are shared), the factor catches real
+// regressions on the big ones.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"ampc"
+)
+
+// benchLine mirrors the JSON schema of ampcrun -bench lines. Lines with a
+// "record" field (meta, gobench) are carried through -out untouched but do
+// not gate.
+type benchLine struct {
+	Algo              string  `json:"algo"`
+	Backend           string  `json:"backend,omitempty"`
+	Workload          string  `json:"workload"`
+	N                 int     `json:"n"`
+	M                 int     `json:"m"`
+	Epsilon           float64 `json:"eps"`
+	Seed              uint64  `json:"seed"`
+	Rounds            int     `json:"rounds"`
+	Phases            int     `json:"phases"`
+	TotalQueries      int64   `json:"queries"`
+	MaxMachineQueries int     `json:"max_machine_queries"`
+	MaxShardLoad      int64   `json:"max_shard_load"`
+	P                 int     `json:"p"`
+	S                 int     `json:"s"`
+	WallMS            float64 `json:"wall_ms"`
+	ExecMS            float64 `json:"exec_ms"`
+	FreezeMS          float64 `json:"freeze_ms"`
+	Check             string  `json:"check"`
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed trajectory file to gate against (required)")
+		factor   = flag.Float64("factor", 1.25, "fail when exec or freeze exceeds factor*baseline+floor")
+		floorMS  = flag.Float64("floor-ms", 40, "absolute slack in ms added to every bound (absorbs scheduler noise)")
+		reps     = flag.Int("reps", 3, "runs per workload; the minimum times gate")
+		out      = flag.String("out", "", "append every measured bench line to this trajectory file")
+		backends = flag.String("backends", "mem,file", "comma-separated backends to measure (only mem gates)")
+	)
+	flag.Parse()
+	if *baseline == "" {
+		log.Fatal("benchgate: -baseline is required")
+	}
+
+	lines, err := readBaseline(*baseline)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	if len(lines) == 0 {
+		log.Fatalf("benchgate: %s holds no gateable workload lines", *baseline)
+	}
+
+	var outF *os.File
+	if *out != "" {
+		outF, err = os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("benchgate: %v", err)
+		}
+		defer outF.Close()
+	}
+
+	failed := 0
+	for _, base := range lines {
+		for _, backend := range strings.Split(*backends, ",") {
+			backend = strings.TrimSpace(backend)
+			if backend == "" {
+				continue
+			}
+			got, err := measure(base, backend, *reps)
+			if errors.Is(err, errUnknownWorkload) {
+				// A future ampcrun may record workload kinds this gate does
+				// not know how to regenerate; that must not fail every
+				// subsequent CI run, only surface loudly.
+				fmt.Printf("%-14s %-5s n=%-7d SKIPPED: %v\n", base.Algo, backend, base.N, err)
+				continue
+			}
+			if err != nil {
+				log.Fatalf("benchgate: %s/%s: %v", base.Algo, backend, err)
+			}
+			if outF != nil {
+				enc, err := json.Marshal(got)
+				if err != nil {
+					log.Fatalf("benchgate: %v", err)
+				}
+				if _, err := outF.Write(append(enc, '\n')); err != nil {
+					log.Fatalf("benchgate: %v", err)
+				}
+			}
+			gates := backend == "mem" && baseBackend(base) == "mem"
+			verdict := "report-only"
+			if gates {
+				execBound := *factor*base.ExecMS + *floorMS
+				freezeBound := *factor*base.FreezeMS + *floorMS
+				switch {
+				case got.ExecMS > execBound:
+					verdict = fmt.Sprintf("FAIL exec %.1fms > %.1fms", got.ExecMS, execBound)
+					failed++
+				case got.FreezeMS > freezeBound:
+					verdict = fmt.Sprintf("FAIL freeze %.1fms > %.1fms", got.FreezeMS, freezeBound)
+					failed++
+				default:
+					verdict = "ok"
+				}
+			}
+			fmt.Printf("%-14s %-5s n=%-7d exec %8.1fms (base %8.1f)  freeze %8.1fms (base %8.1f)  %s\n",
+				base.Algo, backend, base.N, got.ExecMS, base.ExecMS, got.FreezeMS, base.FreezeMS, verdict)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d workload(s) regressed beyond %.0f%%+%.0fms\n", failed, (*factor-1)*100, *floorMS)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all workloads within bounds")
+}
+
+// baseBackend normalizes the baseline's backend field: lines written before
+// the field existed are in-memory.
+func baseBackend(l benchLine) string {
+	if l.Backend == "" {
+		return "mem"
+	}
+	return l.Backend
+}
+
+// readBaseline extracts the gateable workload lines from a trajectory file,
+// skipping meta/gobench records and non-mem lines.
+func readBaseline(path string) ([]benchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []benchLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var record struct {
+			Record string `json:"record"`
+		}
+		if err := json.Unmarshal([]byte(text), &record); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if record.Record != "" {
+			continue
+		}
+		var l benchLine
+		if err := json.Unmarshal([]byte(text), &l); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if l.Algo != "" && baseBackend(l) == "mem" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, sc.Err()
+}
+
+// measure runs the baseline line's workload on the given backend reps times
+// and returns the line with the minimum exec/freeze/wall observed — the
+// same measurement ampcrun -bench takes, with the oracle check outside the
+// timed window.
+func measure(base benchLine, backend string, reps int) (benchLine, error) {
+	spec, ok := ampc.Lookup(base.Algo)
+	if !ok {
+		return benchLine{}, fmt.Errorf("unknown algorithm %q", base.Algo)
+	}
+	job := ampc.Job{Algo: base.Algo}
+	r := ampc.NewRNG(base.Seed, 0x7)
+	switch spec.Input {
+	case ampc.InputList:
+		next := make([]int, base.N)
+		for i := 0; i < base.N-1; i++ {
+			next[i] = i + 1
+		}
+		if base.N > 0 {
+			next[base.N-1] = -1
+		}
+		job.Next = next
+	case ampc.InputGraph:
+		g, err := makeGraph(base.Workload, base.N, base.M, r)
+		if err != nil {
+			return benchLine{}, err
+		}
+		job.Graph = g
+	case ampc.InputWeightedGraph:
+		g, err := makeGraph(base.Workload, base.N, base.M, r)
+		if err != nil {
+			return benchLine{}, err
+		}
+		job.Weighted = ampc.WithRandomWeights(g, r)
+	}
+
+	eng := ampc.NewEngine(ampc.EngineOptions{
+		Defaults: ampc.Options{Epsilon: base.Epsilon, Seed: base.Seed, Backend: backend},
+	})
+	got := base
+	got.Backend = backend
+	got.WallMS, got.ExecMS, got.FreezeMS = math.Inf(1), math.Inf(1), math.Inf(1)
+	if reps < 1 {
+		reps = 1
+	}
+	var last *ampc.Result
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		res, err := eng.Run(context.Background(), job)
+		wall := time.Since(start)
+		if err != nil {
+			return benchLine{}, err
+		}
+		last = res
+		t := res.Telemetry
+		got.WallMS = math.Min(got.WallMS, float64(wall.Microseconds())/1000)
+		got.ExecMS = math.Min(got.ExecMS, float64(t.ExecuteTime.Microseconds())/1000)
+		got.FreezeMS = math.Min(got.FreezeMS, float64(t.FreezeTime.Microseconds())/1000)
+		got.Rounds, got.Phases = t.Rounds, t.Phases
+		got.TotalQueries, got.MaxMachineQueries = t.TotalQueries, t.MaxMachineQueries
+		got.MaxShardLoad, got.P, got.S = t.MaxShardLoad, t.P, t.S
+	}
+	got.Check = ampc.CheckSkipped.String()
+	if spec.Check != nil {
+		if err := spec.Check(job, last); err != nil {
+			return benchLine{}, fmt.Errorf("oracle check failed: %w", err)
+		}
+		got.Check = ampc.CheckPassed.String()
+	}
+	return got, nil
+}
+
+// errUnknownWorkload marks a baseline workload kind this gate cannot
+// regenerate; such lines are skipped with a warning rather than failing CI.
+var errUnknownWorkload = fmt.Errorf("workload kind not regenerable")
+
+func makeGraph(kind string, n, m int, r *ampc.RNG) (*ampc.Graph, error) {
+	switch kind {
+	case "gnm":
+		return ampc.GNM(n, m, r), nil
+	case "cgnm":
+		return ampc.ConnectedGNM(n, m, r), nil
+	case "cycle":
+		return ampc.TwoCycleInstance(n, true, r), nil
+	case "cycle2":
+		return ampc.TwoCycleInstance(n, false, r), nil
+	case "path":
+		return ampc.Path(n), nil
+	case "star":
+		return ampc.Star(n), nil
+	case "tree":
+		return ampc.RandomTree(n, r), nil
+	case "clique":
+		return ampc.Clique(n), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", errUnknownWorkload, kind)
+	}
+}

@@ -67,6 +67,12 @@ type Config struct {
 	// this must never change any output; the failure schedule is a
 	// deterministic function of the seed, so runs stay reproducible.
 	FaultProb float64
+	// Backend publishes each round's frozen store as the StoreBackend the
+	// next round reads: nil (or dds.MemPublisher) keeps stores in process,
+	// dds.NewFilePublisher serializes them to mmap'd shard files. Outputs
+	// are byte-identical for every backend; only the physical home of
+	// D_{i-1} changes.
+	Backend dds.Publisher
 	// Observer, when non-nil, receives every round's statistics as soon as
 	// the round completes, before the next round starts. It is called
 	// synchronously from the driver goroutine; slow observers slow the run.
@@ -109,10 +115,18 @@ type RoundStats struct {
 // Runtime executes AMPC rounds over a chain of stores.
 type Runtime struct {
 	cfg   Config
-	cur   *dds.Store // D_{i-1} for the next round
+	cur   dds.StoreBackend // D_{i-1} for the next round
 	round int
 	stats []RoundStats
 	seedR *rng.RNG
+
+	// Store publication: every frozen store goes through pub, which decides
+	// where the frozen shards live (in process, mmap'd files, ...). pubSeq
+	// numbers published stores across SetInput and rounds; pubErr latches a
+	// publish failure until the next Round call reports it.
+	pub    dds.Publisher
+	pubSeq int
+	pubErr error
 
 	// Execution engine: a pool of long-lived workers (started at the first
 	// round), a builder reused across rounds, pooled Ctx objects whose cache
@@ -161,44 +175,84 @@ func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Backend == nil {
+		cfg.Backend = dds.MemPublisher{}
+	}
 	r := &Runtime{cfg: cfg, seedR: rng.New(cfg.Seed, 0xA3)}
 	r.workers = cfg.Workers
 	if r.workers > cfg.P {
 		r.workers = cfg.P
 	}
+	r.pub = cfg.Backend
 	r.builder = dds.NewBuilder(cfg.P)
 	r.ctxPool.New = func() any { return &Ctx{} }
 	r.errs = make([]error, cfg.P)
 	r.queries = make([]int, cfg.P)
 	r.writes = make([]int, cfg.P)
+	// The initial empty D0 stays in memory whatever the backend: publishing
+	// a placeholder through a file publisher would write and immediately
+	// retire a full set of shard files before SetInput installs real data.
+	// The salt is still drawn here so the seed stream is backend-invariant.
 	r.cur = dds.NewStore(nil, cfg.Shards, r.seedR.Uint64())
 	r.staticSalt = r.seedR.Uint64()
 	if cfg.FaultProb > 0 {
 		r.faultR = rng.New(cfg.Seed, 0xFA)
 	}
+	// The finalizer backstops callers that never Close: it releases the
+	// worker pool, the current backend's mappings, and any publisher-owned
+	// store directory once the Runtime is garbage.
+	runtime.SetFinalizer(r, func(rt *Runtime) { rt.shutdown() })
 	return r
 }
 
+// publish installs s as the current store through the backend publisher and
+// closes the retiring backend. A publish failure latches the error — it is
+// reported by the next Round call — and keeps the in-memory store readable
+// so driver-side reads do not crash before the error surfaces.
+func (r *Runtime) publish(s *dds.Store) {
+	nb, err := r.pub.Publish(r.pubSeq, s)
+	r.pubSeq++
+	if err != nil {
+		r.pubErr = err
+		nb = s
+	}
+	if r.cur != nil {
+		r.cur.Close()
+	}
+	r.cur = nb
+}
+
+// shutdown releases everything the runtime owns; shared by Close and the
+// finalizer.
+func (r *Runtime) shutdown() {
+	if r.pool != nil {
+		r.pool.close()
+	}
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+	r.pub.Close()
+}
+
 // ensurePool starts the worker pool on first use. The workers reference only
-// the pool, so an unclosed Runtime is still collectable: a finalizer shuts
-// the pool down when the Runtime is garbage.
+// the pool, so an unclosed Runtime is still collectable: the finalizer set at
+// New shuts the pool down when the Runtime is garbage.
 func (r *Runtime) ensurePool() *workerPool {
 	r.poolOnce.Do(func() {
 		r.pool = newWorkerPool(r.workers)
-		runtime.SetFinalizer(r, func(rt *Runtime) { rt.pool.close() })
 	})
 	return r.pool
 }
 
-// Close releases the runtime's worker pool. It is optional — an abandoned
-// Runtime's workers are reclaimed by a finalizer — but deterministic for
-// callers that create many runtimes. Rounds must not be executed after
-// Close.
+// Close releases the runtime's worker pool, the current store backend (with
+// its mmap regions, if file-backed) and the store publisher. It is optional
+// — an abandoned Runtime is reclaimed by a finalizer — but deterministic for
+// callers that create many runtimes. Rounds must not be executed, and stores
+// previously returned by Store must not be read, after Close.
 func (r *Runtime) Close() {
-	if r.pool != nil {
-		runtime.SetFinalizer(r, nil)
-		r.pool.close()
-	}
+	runtime.SetFinalizer(r, nil)
+	r.shutdown()
 }
 
 // Config returns the runtime's configuration.
@@ -215,14 +269,17 @@ func (r *Runtime) Budget() int { return r.cfg.BudgetFactor * r.cfg.S }
 
 // SetInput installs the pairs as the current store (the input D0, "stored
 // using a set of keys known to all machines"). It does not count as a round.
+// With a file backend, a publish failure here surfaces from the next Round.
 func (r *Runtime) SetInput(pairs []dds.KV) {
-	r.cur = dds.NewStore(pairs, r.cfg.Shards, r.seedR.Uint64())
+	r.publish(dds.NewStore(pairs, r.cfg.Shards, r.seedR.Uint64()))
 }
 
 // Store returns the current store D_{i-1} (the output of the last round).
 // Callers must treat it as read-only; driver-side reads through this method
-// model the master machine and are not counted against any budget.
-func (r *Runtime) Store() *dds.Store { return r.cur }
+// model the master machine and are not counted against any budget. The
+// returned backend is only valid until the next round (or SetInput or
+// Close) retires it — re-fetch it instead of retaining it.
+func (r *Runtime) Store() dds.StoreBackend { return r.cur }
 
 // Rounds returns the number of rounds executed so far.
 func (r *Runtime) Rounds() int { return r.round }
@@ -294,6 +351,10 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 			return err
 		}
 	}
+	if err := r.pubErr; err != nil {
+		r.pubErr = nil
+		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
+	}
 	r.cur.ResetLoads()
 	r.builder.Reset()
 	fail := r.failNext
@@ -347,10 +408,14 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 
 	freezeStart := time.Now()
 	nextStore := r.builder.Freeze(r.cfg.Shards, r.seedR.Uint64())
-	st.Freeze = time.Since(freezeStart)
 	st.Pairs = nextStore.Len()
+	r.publish(nextStore)
+	st.Freeze = time.Since(freezeStart)
+	if err := r.pubErr; err != nil {
+		r.pubErr = nil
+		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
+	}
 	r.stats = append(r.stats, st)
-	r.cur = nextStore
 	r.round++
 	if r.cfg.Observer != nil {
 		r.cfg.Observer(st)

@@ -28,7 +28,7 @@ type Ctx struct {
 	// of (seed, round, machine).
 	RNG *rng.RNG
 
-	reads  *dds.Store
+	reads  dds.StoreBackend
 	static *dds.Store
 	w      *dds.Writer
 	budget int

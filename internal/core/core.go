@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ampc/internal/ampc"
+	"ampc/internal/dds"
 	"ampc/internal/rng"
 )
 
@@ -58,6 +59,17 @@ type Options struct {
 	// probability (see ampc.Config.FaultProb). Outputs must not change.
 	// Must lie in [0, 1).
 	FaultProb float64
+	// Backend selects where each round's frozen store lives while the next
+	// round reads it: BackendMem (or empty) keeps it in process, BackendFile
+	// serializes it to mmap'd shard files (see StoreDir). Outputs are
+	// byte-identical for every backend.
+	Backend string
+	// StoreDir is the directory the file backend writes store shards under.
+	// Empty selects a temporary directory removed when the run finishes; in
+	// a caller-supplied directory each run claims a unique run-*
+	// subdirectory (concurrent runs never collide) and leaves its final
+	// store's shard files there. Ignored by the in-memory backend.
+	StoreDir string
 	// Observer, when non-nil, receives every AMPC round's statistics as
 	// soon as the round completes, letting callers stream telemetry while
 	// a run is still in flight. It is invoked synchronously from the
@@ -65,6 +77,15 @@ type Options struct {
 	// internals across calls.
 	Observer func(ampc.RoundStats)
 }
+
+// Store backend names accepted by Options.Backend.
+const (
+	// BackendMem keeps each round's frozen store in process (the default).
+	BackendMem = "mem"
+	// BackendFile serializes each round's frozen store to shard files and
+	// reads them back through mmap.
+	BackendFile = "file"
+)
 
 // Defaults for Options fields.
 const (
@@ -116,6 +137,12 @@ func (o Options) validate() error {
 	if o.FaultProb < 0 || o.FaultProb >= 1 {
 		return fmt.Errorf("%w: FaultProb must lie in [0,1), got %v", ErrInvalidOptions, o.FaultProb)
 	}
+	switch o.Backend {
+	case "", BackendMem, BackendFile:
+	default:
+		return fmt.Errorf("%w: Backend must be %q or %q (empty selects %q), got %q",
+			ErrInvalidOptions, BackendMem, BackendFile, BackendMem, o.Backend)
+	}
 	return nil
 }
 
@@ -154,6 +181,10 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 	if uncapped := (total + s - 1) / s; uncapped > p {
 		bf *= (uncapped + p - 1) / p
 	}
+	var pub dds.Publisher
+	if o.Backend == BackendFile {
+		pub = dds.NewFilePublisher(o.StoreDir)
+	}
 	rt := ampc.New(ampc.Config{
 		P:            p,
 		S:            s,
@@ -161,6 +192,7 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 		Workers:      o.Workers,
 		Seed:         o.Seed,
 		FaultProb:    o.FaultProb,
+		Backend:      pub,
 		Observer:     o.Observer,
 	})
 	if ctx != nil {

@@ -1,0 +1,75 @@
+package dds
+
+// StoreBackend is the read surface of one round's frozen store D_{i-1}. The
+// AMPC runtime reads the previous round's data exclusively through this
+// interface, so where the frozen shards physically live — in-process arrays
+// (*Store), mmap'd files (*FileStore), or eventually a remote shard server —
+// is invisible to every algorithm. All methods must be safe for concurrent
+// use and must account queries against per-shard load counters so the
+// Lemma 2.1 contention analysis keeps working for every backend.
+type StoreBackend interface {
+	// Get returns the value stored under k (index 0 of a duplicated key).
+	Get(k Key) (Value, bool)
+	// GetIndexed returns the i-th (0-based) value stored under k.
+	GetIndexed(k Key, i int) (Value, bool)
+	// GetRange appends the values stored under k at indices [lo, hi) to dst,
+	// charging the shard hi-lo queries but probing the key once.
+	GetRange(k Key, lo, hi int, dst []Value) []Value
+	// Count returns the number of pairs stored under k.
+	Count(k Key) int
+	// Len returns the total number of pairs in the store.
+	Len() int
+	// Shards returns the number of DDS machines backing the store.
+	Shards() int
+	// ShardSizes returns the number of pairs resident on each shard.
+	ShardSizes() []int
+	// ShardLoads returns a copy of the per-shard query counters.
+	ShardLoads() []int64
+	// MaxShardLoad returns the largest per-shard query count.
+	MaxShardLoad() int64
+	// ResetLoads zeroes the per-shard counters.
+	ResetLoads()
+	// Close releases backend resources (mmap regions, file handles). The
+	// store must not be read after Close; closing the in-memory backend is
+	// a no-op.
+	Close() error
+}
+
+// Close implements StoreBackend for the in-memory store; it is a no-op.
+func (s *Store) Close() error { return nil }
+
+// Salt returns the placement salt the store's shards were built with.
+// Backends that re-materialize a store (file serialization, remote shards)
+// must preserve it so key-to-shard routing is reproduced exactly.
+func (s *Store) Salt() uint64 { return s.salt }
+
+// compile-time checks: both storage engines satisfy the backend surface.
+var (
+	_ StoreBackend = (*Store)(nil)
+	_ StoreBackend = (*FileStore)(nil)
+)
+
+// Publisher turns each round's frozen in-memory store into the StoreBackend
+// the next round reads. Freeze always produces a *Store first — the merge
+// and index build are in-process work — and the publisher decides where the
+// frozen shards live while they are being queried.
+type Publisher interface {
+	// Publish installs store number seq (a monotonically increasing counter
+	// over SetInput and round freezes) and returns the backend to read it
+	// through. The returned backend is closed by the runtime when the store
+	// retires.
+	Publish(seq int, s *Store) (StoreBackend, error)
+	// Close releases publisher-owned resources (e.g. a temporary store
+	// directory). Backends already published must be closed separately.
+	Close() error
+}
+
+// MemPublisher is the default, in-process publisher: the frozen store itself
+// is the backend.
+type MemPublisher struct{}
+
+// Publish returns s unchanged.
+func (MemPublisher) Publish(seq int, s *Store) (StoreBackend, error) { return s, nil }
+
+// Close is a no-op.
+func (MemPublisher) Close() error { return nil }

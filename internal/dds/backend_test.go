@@ -1,0 +1,207 @@
+package dds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// roundTrip serializes s into a fresh temp directory and opens it back as a
+// FileStore, failing the test on any codec error. The FileStore is closed
+// when the test finishes.
+func roundTrip(t testing.TB, s *Store) *FileStore {
+	t.Helper()
+	dir := t.TempDir()
+	if err := WriteStore(s, dir); err != nil {
+		t.Fatalf("WriteStore: %v", err)
+	}
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := fs.Close(); err != nil {
+			t.Errorf("FileStore.Close: %v", err)
+		}
+	})
+	return fs
+}
+
+// forEachBackend runs fn once per storage backend as subtests: against the
+// in-memory store itself, and against its serialize→mmap round-trip. Every
+// read-path test in this package goes through it, so any future backend
+// added here is locked to the same semantics mechanically.
+func forEachBackend(t *testing.T, s *Store, fn func(t *testing.T, b StoreBackend)) {
+	t.Run("mem", func(t *testing.T) { fn(t, s) })
+	t.Run("file", func(t *testing.T) { fn(t, roundTrip(t, s)) })
+}
+
+// TestFileStoreMatchesReference is the file-backend twin of
+// TestFlatStoreMatchesReference: random pair sets with heavy duplicate keys,
+// round-tripped through the codec, must answer every read exactly like a
+// map[Key][]Value built in the same order.
+func TestFileStoreMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 12; trial++ {
+		n := r.Intn(3000) + 1
+		dup := []int{1, 3, 16, 200}[trial%4]
+		p := r.Intn(16) + 1
+		pairs := randomPairs(r, n, dup)
+		ref := reference(pairs)
+		s := NewStore(pairs, p, r.Uint64())
+		fs := roundTrip(t, s)
+		absent := make([]Key, 50)
+		for i := range absent {
+			absent[i] = Key{Tag: 9, A: int64(r.Intn(n + 1)), B: int64(r.Intn(8))}
+		}
+		checkAgainstReference(t, fs, ref, absent)
+		if fs.Len() != n || fs.Shards() != p || fs.Salt() != s.Salt() {
+			t.Fatalf("trial %d: Len/Shards/Salt drifted through the codec", trial)
+		}
+	}
+}
+
+// TestFileStoreShardMetadata pins the serialized metadata: shard sizes, pair
+// count, shard count and salt survive the round-trip bit-exactly, and load
+// accounting starts from zero on the reopened store.
+func TestFileStoreShardMetadata(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pairs := randomPairs(r, 5000, 7)
+	s := NewStore(pairs, 13, 0xFEED)
+	s.Get(pairs[0].Key) // dirty the mem store's load counters
+	fs := roundTrip(t, s)
+
+	ms, fss := s.ShardSizes(), fs.ShardSizes()
+	if len(ms) != len(fss) {
+		t.Fatalf("shard count %d vs %d", len(ms), len(fss))
+	}
+	for i := range ms {
+		if ms[i] != fss[i] {
+			t.Fatalf("shard %d size %d vs %d", i, ms[i], fss[i])
+		}
+	}
+	for i, l := range fs.ShardLoads() {
+		if l != 0 {
+			t.Fatalf("fresh file store shard %d load = %d", i, l)
+		}
+	}
+	fs.Get(pairs[0].Key)
+	if fs.MaxShardLoad() != 1 {
+		t.Fatalf("file store MaxShardLoad = %d after one query", fs.MaxShardLoad())
+	}
+	fs.ResetLoads()
+	if fs.MaxShardLoad() != 0 {
+		t.Fatal("file store ResetLoads did not zero counters")
+	}
+}
+
+// TestWriteStoreDeterministic asserts serialization is a pure function of
+// store contents: writing the same store twice produces byte-identical
+// files — the property the golden-format test depends on.
+func TestWriteStoreDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	pairs := randomPairs(r, 2000, 5)
+	s := NewStore(pairs, 6, 42)
+	var first [][]byte
+	for trial := 0; trial < 2; trial++ {
+		var bufs [][]byte
+		for i := range s.shards {
+			bufs = append(bufs, appendShardFile(nil, &s.shards[i], i, len(s.shards), s.salt))
+		}
+		if trial == 0 {
+			first = bufs
+			continue
+		}
+		for i := range bufs {
+			if string(bufs[i]) != string(first[i]) {
+				t.Fatalf("shard %d serialized differently on repeat", i)
+			}
+		}
+	}
+}
+
+// TestEmptyStoreRoundTrip covers the degenerate stores the runtime actually
+// publishes: the empty D0 and rounds that wrote nothing.
+func TestEmptyStoreRoundTrip(t *testing.T) {
+	for _, p := range []int{1, 4, 64} {
+		s := NewStore(nil, p, 9)
+		fs := roundTrip(t, s)
+		if fs.Len() != 0 || fs.Shards() != p {
+			t.Fatalf("p=%d: Len=%d Shards=%d", p, fs.Len(), fs.Shards())
+		}
+		if _, ok := fs.Get(Key{1, 1, 1}); ok {
+			t.Fatal("empty store answered a Get")
+		}
+		if got := fs.GetRange(Key{1, 1, 1}, 0, 5, nil); len(got) != 0 {
+			t.Fatalf("empty store GetRange returned %d values", len(got))
+		}
+	}
+}
+
+// TestFilePublisherLifecycle exercises the Publisher contract the runtime
+// relies on: sequential stores are published, retired backends delete their
+// files, the latest store survives its own Close, and a publisher-owned temp
+// directory disappears on publisher Close.
+func TestFilePublisherLifecycle(t *testing.T) {
+	pub := NewFilePublisher("")
+	a, err := pub.Publish(0, NewStore([]KV{kv(1, 1, 0, 10, 0)}, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pub.Dir()
+	if base == "" {
+		t.Fatal("publisher did not create a temp dir")
+	}
+	aDir := a.(*FileStore).Dir()
+	b, err := pub.Publish(1, NewStore([]KV{kv(1, 2, 0, 20, 0)}, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := b.Get(Key{1, 2, 0}); !ok || v.A != 20 {
+		t.Fatalf("published store Get = %v ok=%v", v, ok)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("close retired backend: %v", err)
+	}
+	if _, err := OpenFileStore(aDir); err == nil {
+		t.Fatal("retired store's files were not removed")
+	}
+	bDir := b.(*FileStore).Dir()
+	if err := b.Close(); err != nil {
+		t.Fatalf("close latest backend: %v", err)
+	}
+	if _, err := OpenFileStore(bDir); err != nil {
+		t.Fatalf("latest store's files should survive its Close: %v", err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatalf("publisher Close: %v", err)
+	}
+	if _, err := OpenFileStore(bDir); err == nil {
+		t.Fatal("publisher-owned temp dir survived Close")
+	}
+}
+
+// TestFilePublisherExplicitDirKept asserts a caller-supplied directory is
+// left in place with the latest store's files after the publisher closes.
+func TestFilePublisherExplicitDirKept(t *testing.T) {
+	dir := t.TempDir()
+	pub := NewFilePublisher(dir)
+	s, err := pub.Publish(0, NewStore([]KV{kv(1, 7, 0, 70, 0)}, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := s.(*FileStore).Dir()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenFileStore(last)
+	if err != nil {
+		t.Fatalf("latest store gone from explicit dir: %v", err)
+	}
+	defer reopened.Close()
+	if v, ok := reopened.Get(Key{1, 7, 0}); !ok || v.A != 70 {
+		t.Fatalf("reopened Get = %v ok=%v", v, ok)
+	}
+}

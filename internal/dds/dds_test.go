@@ -10,25 +10,30 @@ func kv(tag uint8, a, b, va, vb int64) KV {
 	return KV{Key{tag, a, b}, Value{va, vb}}
 }
 
+// The read-path tests below run through forEachBackend, so the in-memory
+// store and the serialize→mmap file store answer every case identically.
+
 func TestGetPresent(t *testing.T) {
-	s := NewStore([]KV{kv(1, 2, 3, 10, 20)}, 4, 99)
-	v, ok := s.Get(Key{1, 2, 3})
-	if !ok {
-		t.Fatal("key not found")
-	}
-	if v != (Value{10, 20}) {
-		t.Fatalf("got %v", v)
-	}
+	forEachBackend(t, NewStore([]KV{kv(1, 2, 3, 10, 20)}, 4, 99), func(t *testing.T, s StoreBackend) {
+		v, ok := s.Get(Key{1, 2, 3})
+		if !ok {
+			t.Fatal("key not found")
+		}
+		if v != (Value{10, 20}) {
+			t.Fatalf("got %v", v)
+		}
+	})
 }
 
 func TestGetAbsent(t *testing.T) {
-	s := NewStore([]KV{kv(1, 2, 3, 10, 20)}, 4, 99)
-	if _, ok := s.Get(Key{1, 2, 4}); ok {
-		t.Fatal("absent key reported present")
-	}
-	if _, ok := s.Get(Key{2, 2, 3}); ok {
-		t.Fatal("absent tag reported present")
-	}
+	forEachBackend(t, NewStore([]KV{kv(1, 2, 3, 10, 20)}, 4, 99), func(t *testing.T, s StoreBackend) {
+		if _, ok := s.Get(Key{1, 2, 4}); ok {
+			t.Fatal("absent key reported present")
+		}
+		if _, ok := s.Get(Key{2, 2, 3}); ok {
+			t.Fatal("absent tag reported present")
+		}
+	})
 }
 
 func TestDuplicateKeyIndexing(t *testing.T) {
@@ -37,82 +42,88 @@ func TestDuplicateKeyIndexing(t *testing.T) {
 		kv(1, 5, 0, 200, 0),
 		kv(1, 5, 0, 300, 0),
 	}
-	s := NewStore(pairs, 3, 7)
-	k := Key{1, 5, 0}
-	if got := s.Count(k); got != 3 {
-		t.Fatalf("Count = %d, want 3", got)
-	}
-	for i, want := range []int64{100, 200, 300} {
-		v, ok := s.GetIndexed(k, i)
-		if !ok || v.A != want {
-			t.Fatalf("index %d: got %v ok=%v, want A=%d", i, v, ok, want)
+	forEachBackend(t, NewStore(pairs, 3, 7), func(t *testing.T, s StoreBackend) {
+		k := Key{1, 5, 0}
+		if got := s.Count(k); got != 3 {
+			t.Fatalf("Count = %d, want 3", got)
 		}
-	}
-	if _, ok := s.GetIndexed(k, 3); ok {
-		t.Fatal("index out of range reported present")
-	}
-	if _, ok := s.GetIndexed(k, -1); ok {
-		t.Fatal("negative index reported present")
-	}
+		for i, want := range []int64{100, 200, 300} {
+			v, ok := s.GetIndexed(k, i)
+			if !ok || v.A != want {
+				t.Fatalf("index %d: got %v ok=%v, want A=%d", i, v, ok, want)
+			}
+		}
+		if _, ok := s.GetIndexed(k, 3); ok {
+			t.Fatal("index out of range reported present")
+		}
+		if _, ok := s.GetIndexed(k, -1); ok {
+			t.Fatal("negative index reported present")
+		}
+	})
 }
 
 func TestGetReturnsFirstOfDuplicates(t *testing.T) {
 	pairs := []KV{kv(1, 5, 0, 100, 0), kv(1, 5, 0, 200, 0)}
-	s := NewStore(pairs, 2, 7)
-	v, ok := s.Get(Key{1, 5, 0})
-	if !ok || v.A != 100 {
-		t.Fatalf("Get = %v ok=%v, want first value 100", v, ok)
-	}
+	forEachBackend(t, NewStore(pairs, 2, 7), func(t *testing.T, s StoreBackend) {
+		v, ok := s.Get(Key{1, 5, 0})
+		if !ok || v.A != 100 {
+			t.Fatalf("Get = %v ok=%v, want first value 100", v, ok)
+		}
+	})
 }
 
 func TestCountAbsent(t *testing.T) {
-	s := NewStore(nil, 4, 1)
-	if s.Count(Key{1, 1, 1}) != 0 {
-		t.Fatal("Count of absent key != 0")
-	}
+	forEachBackend(t, NewStore(nil, 4, 1), func(t *testing.T, s StoreBackend) {
+		if s.Count(Key{1, 1, 1}) != 0 {
+			t.Fatal("Count of absent key != 0")
+		}
+	})
 }
 
 func TestLenAndShards(t *testing.T) {
 	pairs := []KV{kv(1, 1, 0, 1, 0), kv(1, 2, 0, 2, 0), kv(1, 3, 0, 3, 0)}
-	s := NewStore(pairs, 5, 42)
-	if s.Len() != 3 {
-		t.Fatalf("Len = %d", s.Len())
-	}
-	if s.Shards() != 5 {
-		t.Fatalf("Shards = %d", s.Shards())
-	}
+	forEachBackend(t, NewStore(pairs, 5, 42), func(t *testing.T, s StoreBackend) {
+		if s.Len() != 3 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+		if s.Shards() != 5 {
+			t.Fatalf("Shards = %d", s.Shards())
+		}
+	})
 }
 
 func TestZeroShardsClamped(t *testing.T) {
-	s := NewStore([]KV{kv(1, 1, 0, 1, 0)}, 0, 1)
-	if s.Shards() != 1 {
-		t.Fatalf("Shards = %d, want clamp to 1", s.Shards())
-	}
-	if _, ok := s.Get(Key{1, 1, 0}); !ok {
-		t.Fatal("lookup failed in single-shard store")
-	}
+	forEachBackend(t, NewStore([]KV{kv(1, 1, 0, 1, 0)}, 0, 1), func(t *testing.T, s StoreBackend) {
+		if s.Shards() != 1 {
+			t.Fatalf("Shards = %d, want clamp to 1", s.Shards())
+		}
+		if _, ok := s.Get(Key{1, 1, 0}); !ok {
+			t.Fatal("lookup failed in single-shard store")
+		}
+	})
 }
 
 func TestLoadAccounting(t *testing.T) {
-	pairs := []KV{kv(1, 1, 0, 1, 0)}
-	s := NewStore(pairs, 4, 3)
-	for i := 0; i < 10; i++ {
-		s.Get(Key{1, 1, 0})
-	}
-	total := int64(0)
-	for _, l := range s.ShardLoads() {
-		total += l
-	}
-	if total != 10 {
-		t.Fatalf("total load = %d, want 10", total)
-	}
-	if s.MaxShardLoad() != 10 {
-		t.Fatalf("max load = %d, want 10 (all queries hit one key)", s.MaxShardLoad())
-	}
-	s.ResetLoads()
-	if s.MaxShardLoad() != 0 {
-		t.Fatal("ResetLoads did not zero counters")
-	}
+	forEachBackend(t, NewStore([]KV{kv(1, 1, 0, 1, 0)}, 4, 3), func(t *testing.T, s StoreBackend) {
+		s.ResetLoads()
+		for i := 0; i < 10; i++ {
+			s.Get(Key{1, 1, 0})
+		}
+		total := int64(0)
+		for _, l := range s.ShardLoads() {
+			total += l
+		}
+		if total != 10 {
+			t.Fatalf("total load = %d, want 10", total)
+		}
+		if s.MaxShardLoad() != 10 {
+			t.Fatalf("max load = %d, want 10 (all queries hit one key)", s.MaxShardLoad())
+		}
+		s.ResetLoads()
+		if s.MaxShardLoad() != 0 {
+			t.Fatal("ResetLoads did not zero counters")
+		}
+	})
 }
 
 func TestShardSizesSumToLen(t *testing.T) {
@@ -143,13 +154,14 @@ func TestShardBalance(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = kv(2, int64(i), int64(i*3), 0, 0)
 	}
-	s := NewStore(pairs, p, 12345)
-	want := n / p
-	for i, sz := range s.ShardSizes() {
-		if sz < want*8/10 || sz > want*12/10 {
-			t.Fatalf("shard %d holds %d pairs, want within 20%% of %d", i, sz, want)
+	forEachBackend(t, NewStore(pairs, p, 12345), func(t *testing.T, s StoreBackend) {
+		want := n / p
+		for i, sz := range s.ShardSizes() {
+			if sz < want*8/10 || sz > want*12/10 {
+				t.Fatalf("shard %d holds %d pairs, want within 20%% of %d", i, sz, want)
+			}
 		}
-	}
+	})
 }
 
 func TestSaltChangesPlacement(t *testing.T) {
@@ -177,29 +189,31 @@ func TestConcurrentReads(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = kv(1, int64(i), 0, int64(i*2), 0)
 	}
-	s := NewStore(pairs, 8, 77)
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < n; i++ {
-				v, ok := s.Get(Key{1, int64(i), 0})
-				if !ok || v.A != int64(i*2) {
-					t.Errorf("goroutine %d: bad read for %d", g, i)
-					return
+	forEachBackend(t, NewStore(pairs, 8, 77), func(t *testing.T, s StoreBackend) {
+		s.ResetLoads()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					v, ok := s.Get(Key{1, int64(i), 0})
+					if !ok || v.A != int64(i*2) {
+						t.Errorf("goroutine %d: bad read for %d", g, i)
+						return
+					}
 				}
-			}
-		}(g)
-	}
-	wg.Wait()
-	total := int64(0)
-	for _, l := range s.ShardLoads() {
-		total += l
-	}
-	if total != 8*n {
-		t.Fatalf("total load = %d, want %d", total, 8*n)
-	}
+			}(g)
+		}
+		wg.Wait()
+		total := int64(0)
+		for _, l := range s.ShardLoads() {
+			total += l
+		}
+		if total != 8*n {
+			t.Fatalf("total load = %d, want %d", total, 8*n)
+		}
+	})
 }
 
 func TestBuilderMergeOrder(t *testing.T) {
@@ -209,13 +223,15 @@ func TestBuilderMergeOrder(t *testing.T) {
 	k := Key{1, 9, 0}
 	w2.Write(k, Value{200, 0})
 	w0.Write(k, Value{100, 0})
-	s := b.Freeze(4, 5)
-	// Machine 0's write must come first regardless of Writer creation order.
-	v0, _ := s.GetIndexed(k, 0)
-	v1, _ := s.GetIndexed(k, 1)
-	if v0.A != 100 || v1.A != 200 {
-		t.Fatalf("merge order wrong: got %v, %v", v0, v1)
-	}
+	// Machine 0's write must come first regardless of Writer creation
+	// order, and the serialized store must preserve the assignment.
+	forEachBackend(t, b.Freeze(4, 5), func(t *testing.T, s StoreBackend) {
+		v0, _ := s.GetIndexed(k, 0)
+		v1, _ := s.GetIndexed(k, 1)
+		if v0.A != 100 || v1.A != 200 {
+			t.Fatalf("merge order wrong: got %v, %v", v0, v1)
+		}
+	})
 }
 
 func TestBuilderDropWriter(t *testing.T) {
@@ -282,5 +298,20 @@ func BenchmarkGet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Get(Key{1, int64(i & (n - 1)), 0})
+	}
+}
+
+// BenchmarkFileGet is BenchmarkGet against the mmap'd file backend, pinning
+// the cost of probing serialized slots relative to the in-memory index.
+func BenchmarkFileGet(b *testing.B) {
+	const n = 1 << 16
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = kv(1, int64(i), 0, int64(i), 0)
+	}
+	fs := roundTrip(b, NewStore(pairs, 16, 9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Get(Key{1, int64(i & (n - 1)), 0})
 	}
 }

@@ -1,0 +1,583 @@
+package dds
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// On-disk shard format (version 1).
+//
+// A frozen store serializes as one file per shard, shard-NNNN.shard, in a
+// store directory. Each file is the shard's flat index written verbatim in
+// little-endian — the same open-addressing slot array and overflow slab the
+// in-memory engine probes — so the mmap'd read path runs the identical probe
+// sequence over the mapped bytes with no deserialization step.
+//
+//	header   64 bytes
+//	  [0:8)    magic "AMPCSHRD"
+//	  [8:12)   format version, uint32 (currently 1)
+//	  [12:16)  shard index, uint32
+//	  [16:20)  shard count, uint32
+//	  [20:24)  reserved, zero
+//	  [24:32)  placement salt, uint64
+//	  [32:40)  pairs resident on this shard, uint64
+//	  [40:48)  slot count, uint64 (a power of two, or 0 for an empty shard)
+//	  [48:56)  slab value count, uint64
+//	  [56:64)  checksum, uint64 over header[0:56] ++ payload
+//	payload  slot count * 48-byte slot records, then slab count * 16-byte
+//	         value records
+//
+//	slot record, 48 bytes
+//	  [0:8)    key.A, int64     [8:16)   key.B, int64
+//	  [16:24)  first.A, int64   [24:32)  first.B, int64
+//	  [32:36)  count, int32     [36:40)  slab offset, int32
+//	  [40]     key.Tag          [41:48)  reserved, zero
+//
+//	value record, 16 bytes: A int64, B int64
+//
+// Versioning rules: the magic never changes; any layout change (field moves,
+// record sizes, checksum definition) bumps the version, and readers reject
+// versions they do not know with ErrBadVersion. Reserved bytes are written
+// as zero and ignored on read, so they are available to future versions only
+// behind a version bump.
+const (
+	shardMagic    = "AMPCSHRD"
+	shardVersion  = 1
+	headerBytes   = 64
+	slotBytes     = 48
+	valueBytes    = 16
+	shardFileFmt  = "shard-%04d.shard"
+	checksumSeed  = 0x9e3779b97f4a7c15
+	maxShardFiles = 1 << 20 // sanity cap on the shard count read from a header
+)
+
+// Typed errors returned when opening a serialized store. Use errors.Is; the
+// returned errors wrap these sentinels with the offending path and detail.
+var (
+	// ErrBadMagic means the file does not start with the shard magic — it
+	// is not a shard file at all.
+	ErrBadMagic = errors.New("dds: shard file: bad magic")
+	// ErrBadVersion means the file declares a format version this reader
+	// does not implement.
+	ErrBadVersion = errors.New("dds: shard file: unsupported format version")
+	// ErrTruncated means the file is shorter than its header or declared
+	// payload, or a shard file of the store is missing entirely.
+	ErrTruncated = errors.New("dds: shard file: truncated")
+	// ErrChecksum means the header+payload checksum does not match: the
+	// bytes were corrupted after serialization.
+	ErrChecksum = errors.New("dds: shard file: checksum mismatch")
+	// ErrBadGeometry means the header fields are structurally inconsistent:
+	// a non-power-of-two slot count, a shard index that contradicts the
+	// filename, or shard files that disagree on salt or shard count.
+	ErrBadGeometry = errors.New("dds: shard file: inconsistent geometry")
+)
+
+var le = binary.LittleEndian
+
+// checksum folds 8-byte little-endian words of the given byte slices through
+// the store's SplitMix64 finalizer. The chain is order-sensitive, so moved or
+// swapped records change the sum.
+func checksum(parts ...[]byte) uint64 {
+	h := uint64(checksumSeed)
+	for _, p := range parts {
+		for i := 0; i+8 <= len(p); i += 8 {
+			h = mix(h ^ le.Uint64(p[i:]))
+		}
+	}
+	return h
+}
+
+// appendShardFile serializes one shard into buf (header + slots + slab) and
+// returns the extended slice.
+func appendShardFile(buf []byte, sh *shard, index, count int, salt uint64) []byte {
+	base := len(buf)
+	buf = append(buf, make([]byte, headerBytes)...)
+	for i := range sh.slots {
+		sl := &sh.slots[i]
+		var rec [slotBytes]byte
+		le.PutUint64(rec[0:], uint64(sl.key.A))
+		le.PutUint64(rec[8:], uint64(sl.key.B))
+		le.PutUint64(rec[16:], uint64(sl.first.A))
+		le.PutUint64(rec[24:], uint64(sl.first.B))
+		le.PutUint32(rec[32:], uint32(sl.count))
+		le.PutUint32(rec[36:], uint32(sl.off))
+		rec[40] = sl.key.Tag
+		buf = append(buf, rec[:]...)
+	}
+	for _, v := range sh.slab {
+		var rec [valueBytes]byte
+		le.PutUint64(rec[0:], uint64(v.A))
+		le.PutUint64(rec[8:], uint64(v.B))
+		buf = append(buf, rec[:]...)
+	}
+	h := buf[base : base+headerBytes]
+	copy(h[0:8], shardMagic)
+	le.PutUint32(h[8:], shardVersion)
+	le.PutUint32(h[12:], uint32(index))
+	le.PutUint32(h[16:], uint32(count))
+	le.PutUint64(h[24:], salt)
+	le.PutUint64(h[32:], uint64(sh.size))
+	le.PutUint64(h[40:], uint64(len(sh.slots)))
+	le.PutUint64(h[48:], uint64(len(sh.slab)))
+	le.PutUint64(h[56:], checksum(h[0:56], buf[base+headerBytes:]))
+	return buf
+}
+
+// WriteStore serializes every shard of s into dir (created if absent), one
+// shard-NNNN.shard file per shard. Serialization is deterministic: the same
+// store produces byte-identical files.
+func WriteStore(s *Store, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	p := len(s.shards)
+	errs := make([]error, p)
+	parallelDo(p, buildWorkers(s.pairs), func(i int) {
+		buf := appendShardFile(nil, &s.shards[i], i, p, s.salt)
+		errs[i] = os.WriteFile(filepath.Join(dir, fmt.Sprintf(shardFileFmt, i)), buf, 0o644)
+	})
+	return errors.Join(errs...)
+}
+
+// fileShard is one shard of a FileStore: the serialized slot array and slab,
+// probed in place over the mapped bytes.
+type fileShard struct {
+	slots []byte // slotCount * slotBytes
+	mask  uint64
+	slab  []byte // slabCount * valueBytes
+	size  int
+	load  atomic.Int64
+}
+
+// findOff returns the byte offset of the slot holding k within the shard's
+// slot region, or -1. Identical probe sequence to the in-memory shard.
+func (sh *fileShard) findOff(k Key, h uint64) int {
+	if len(sh.slots) == 0 {
+		return -1
+	}
+	i := (h >> 32) & sh.mask
+	for {
+		off := int(i) * slotBytes
+		rec := sh.slots[off : off+slotBytes]
+		if le.Uint32(rec[32:]) == 0 {
+			return -1
+		}
+		if rec[40] == k.Tag &&
+			int64(le.Uint64(rec[0:])) == k.A &&
+			int64(le.Uint64(rec[8:])) == k.B {
+			return off
+		}
+		i = (i + 1) & sh.mask
+	}
+}
+
+// count returns the value count of the slot record at byte offset off.
+func (sh *fileShard) count(off int) int {
+	return int(int32(le.Uint32(sh.slots[off+32:])))
+}
+
+// value returns the i-th (0-based) value of the slot record at offset off.
+func (sh *fileShard) value(off, i int) Value {
+	if i == 0 {
+		return Value{
+			A: int64(le.Uint64(sh.slots[off+16:])),
+			B: int64(le.Uint64(sh.slots[off+24:])),
+		}
+	}
+	slabOff := int(int32(le.Uint32(sh.slots[off+36:])))
+	rec := sh.slab[(slabOff+i-1)*valueBytes:]
+	return Value{A: int64(le.Uint64(rec[0:])), B: int64(le.Uint64(rec[8:]))}
+}
+
+// FileStore is a StoreBackend reading a serialized store from mmap'd shard
+// files. All read methods are safe for concurrent use and account per-shard
+// load exactly like the in-memory store.
+type FileStore struct {
+	shards  []fileShard
+	salt    uint64
+	pairs   int
+	dir     string
+	unmaps  []func() error
+	cleanup func() error // optional, run after unmapping (e.g. remove dir)
+}
+
+// OpenFileStore maps the serialized store in dir. Every shard file's
+// checksum is verified before any read is answered; a corrupted, truncated
+// or version-skewed file fails with one of the typed errors above.
+func OpenFileStore(dir string) (*FileStore, error) {
+	s := &FileStore{dir: dir}
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+	count := 1
+	for i := 0; i < count; i++ {
+		path := filepath.Join(dir, fmt.Sprintf(shardFileFmt, i))
+		hdr, err := openShardFile(s, path, i)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("%w: %s: missing shard file", ErrTruncated, path)
+			}
+			return nil, err
+		}
+		if i == 0 {
+			count = hdr.count
+			if count <= 0 || count > maxShardFiles {
+				return nil, fmt.Errorf("%w: %s: shard count %d", ErrBadGeometry, path, count)
+			}
+			s.salt = hdr.salt
+			s.shards = make([]fileShard, 0, count)
+		} else if hdr.count != count || hdr.salt != s.salt {
+			return nil, fmt.Errorf("%w: %s: shard disagrees with shard 0 on count or salt",
+				ErrBadGeometry, path)
+		}
+		s.shards = append(s.shards, fileShard{
+			slots: hdr.slots,
+			mask:  hdr.mask,
+			slab:  hdr.slab,
+			size:  hdr.size,
+		})
+		s.pairs += hdr.size
+	}
+	ok = true
+	return s, nil
+}
+
+// shardHeader carries one decoded shard file.
+type shardHeader struct {
+	count int
+	salt  uint64
+	size  int
+	slots []byte
+	mask  uint64
+	slab  []byte
+}
+
+// openShardFile maps one shard file, validates magic, version, geometry and
+// checksum, and registers the unmap on s.
+func openShardFile(s *FileStore, path string, index int) (shardHeader, error) {
+	var hdr shardHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return hdr, err
+	}
+	if info.Size() < headerBytes {
+		return hdr, fmt.Errorf("%w: %s: %d bytes, header needs %d", ErrTruncated, path, info.Size(), headerBytes)
+	}
+	data, unmap, err := mmapFile(f, info.Size())
+	if err != nil {
+		return hdr, fmt.Errorf("dds: shard file: %s: map: %w", path, err)
+	}
+	s.unmaps = append(s.unmaps, unmap)
+
+	h := data[:headerBytes]
+	if string(h[0:8]) != shardMagic {
+		return hdr, fmt.Errorf("%w: %s", ErrBadMagic, path)
+	}
+	if v := le.Uint32(h[8:]); v != shardVersion {
+		return hdr, fmt.Errorf("%w: %s: version %d, reader implements %d", ErrBadVersion, path, v, shardVersion)
+	}
+	if got := int(le.Uint32(h[12:])); got != index {
+		return hdr, fmt.Errorf("%w: %s: header says shard %d", ErrBadGeometry, path, got)
+	}
+	hdr.count = int(le.Uint32(h[16:]))
+	hdr.salt = le.Uint64(h[24:])
+	hdr.size = int(le.Uint64(h[32:]))
+	slotCount := le.Uint64(h[40:])
+	slabCount := le.Uint64(h[48:])
+	if slotCount&(slotCount-1) != 0 { // 0 or a power of two
+		return hdr, fmt.Errorf("%w: %s: slot count %d not a power of two", ErrBadGeometry, path, slotCount)
+	}
+	if slotCount > uint64(info.Size()) || slabCount > uint64(info.Size()) {
+		return hdr, fmt.Errorf("%w: %s: %d bytes, header declares %d slots and %d slab values",
+			ErrTruncated, path, info.Size(), slotCount, slabCount)
+	}
+	want := int64(headerBytes) + int64(slotCount)*slotBytes + int64(slabCount)*valueBytes
+	if info.Size() < want {
+		return hdr, fmt.Errorf("%w: %s: %d bytes, header declares %d", ErrTruncated, path, info.Size(), want)
+	}
+	if info.Size() > want {
+		return hdr, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadGeometry, path, info.Size()-want)
+	}
+	if sum := checksum(h[0:56], data[headerBytes:]); sum != le.Uint64(h[56:]) {
+		return hdr, fmt.Errorf("%w: %s", ErrChecksum, path)
+	}
+	hdr.slots = data[headerBytes : headerBytes+int(slotCount)*slotBytes]
+	if slotCount > 0 {
+		hdr.mask = slotCount - 1
+	}
+	hdr.slab = data[headerBytes+int(slotCount)*slotBytes:]
+
+	// Structural validation of the slot table. A checksum only proves the
+	// bytes match what some writer computed — it does not prove the writer
+	// was honest — so reads must be made safe here: every occupied slot's
+	// slab window must lie inside the slab, the counts must sum to the
+	// declared pair count, and at least one slot must be empty or the
+	// linear probe for an absent key would never terminate.
+	occupied, total := uint64(0), uint64(0)
+	for off := 0; off < len(hdr.slots); off += slotBytes {
+		cnt := int32(le.Uint32(hdr.slots[off+32:]))
+		if cnt == 0 {
+			continue
+		}
+		occupied++
+		if cnt < 0 {
+			return hdr, fmt.Errorf("%w: %s: negative slot count", ErrBadGeometry, path)
+		}
+		total += uint64(cnt)
+		if cnt > 1 {
+			so := int32(le.Uint32(hdr.slots[off+36:]))
+			if so < 0 || uint64(so)+uint64(cnt-1) > slabCount {
+				return hdr, fmt.Errorf("%w: %s: slot slab window [%d, %d) outside slab of %d values",
+					ErrBadGeometry, path, so, uint64(so)+uint64(cnt-1), slabCount)
+			}
+		}
+	}
+	if occupied > 0 && occupied == slotCount {
+		return hdr, fmt.Errorf("%w: %s: no empty slot, probes would not terminate", ErrBadGeometry, path)
+	}
+	if total != uint64(hdr.size) {
+		return hdr, fmt.Errorf("%w: %s: slot counts sum to %d, header declares %d pairs",
+			ErrBadGeometry, path, total, hdr.size)
+	}
+	return hdr, nil
+}
+
+// Dir returns the directory the store was opened from.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Salt returns the placement salt recorded in the shard headers.
+func (s *FileStore) Salt() uint64 { return s.salt }
+
+// Close unmaps every shard file and runs the cleanup hook, if any. The store
+// must not be read afterwards.
+func (s *FileStore) Close() error {
+	var errs []error
+	for _, unmap := range s.unmaps {
+		errs = append(errs, unmap())
+	}
+	s.unmaps = nil
+	s.shards = nil
+	if s.cleanup != nil {
+		errs = append(errs, s.cleanup())
+		s.cleanup = nil
+	}
+	return errors.Join(errs...)
+}
+
+// shardFor returns the shard owning key k and its hash, counting n queries
+// against it.
+func (s *FileStore) shardFor(k Key, n int64) (*fileShard, uint64) {
+	h := hash(k, s.salt)
+	sh := &s.shards[h%uint64(len(s.shards))]
+	sh.load.Add(n)
+	return sh, h
+}
+
+// Get returns the value stored under k (index 0 of a duplicated key).
+func (s *FileStore) Get(k Key) (Value, bool) {
+	sh, h := s.shardFor(k, 1)
+	off := sh.findOff(k, h)
+	if off < 0 {
+		return Value{}, false
+	}
+	return sh.value(off, 0), true
+}
+
+// GetIndexed returns the i-th (0-based) value stored under k.
+func (s *FileStore) GetIndexed(k Key, i int) (Value, bool) {
+	sh, h := s.shardFor(k, 1)
+	off := sh.findOff(k, h)
+	if off < 0 || i < 0 || i >= sh.count(off) {
+		return Value{}, false
+	}
+	return sh.value(off, i), true
+}
+
+// GetRange appends the values stored under k at indices [lo, hi) to dst,
+// charging the shard hi-lo queries but probing the key once — identical
+// semantics and contention accounting to the in-memory store.
+func (s *FileStore) GetRange(k Key, lo, hi int, dst []Value) []Value {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return dst
+	}
+	sh, h := s.shardFor(k, int64(hi-lo))
+	off := sh.findOff(k, h)
+	if off < 0 {
+		return dst
+	}
+	if n := sh.count(off); hi > n {
+		hi = n
+	}
+	for i := lo; i < hi; i++ {
+		dst = append(dst, sh.value(off, i))
+	}
+	return dst
+}
+
+// Count returns the number of pairs stored under k.
+func (s *FileStore) Count(k Key) int {
+	sh, h := s.shardFor(k, 1)
+	off := sh.findOff(k, h)
+	if off < 0 {
+		return 0
+	}
+	return sh.count(off)
+}
+
+// Len returns the total number of pairs in the store.
+func (s *FileStore) Len() int { return s.pairs }
+
+// Shards returns the number of DDS machines backing the store.
+func (s *FileStore) Shards() int { return len(s.shards) }
+
+// ShardSizes returns the number of pairs resident on each shard.
+func (s *FileStore) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for i := range s.shards {
+		sizes[i] = s.shards[i].size
+	}
+	return sizes
+}
+
+// ShardLoads returns a copy of the per-shard query counters.
+func (s *FileStore) ShardLoads() []int64 {
+	loads := make([]int64, len(s.shards))
+	for i := range s.shards {
+		loads[i] = s.shards[i].load.Load()
+	}
+	return loads
+}
+
+// MaxShardLoad returns the largest per-shard query count.
+func (s *FileStore) MaxShardLoad() int64 {
+	var max int64
+	for i := range s.shards {
+		if l := s.shards[i].load.Load(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ResetLoads zeroes the per-shard counters.
+func (s *FileStore) ResetLoads() {
+	for i := range s.shards {
+		s.shards[i].load.Store(0)
+	}
+}
+
+// FilePublisher is a Publisher that serializes every published store into a
+// directory and reads it back through mmap'd FileStores — the bridge from
+// in-process simulation toward a DDS that actually lives outside the round's
+// address space. Retired stores are deleted when the runtime closes their
+// backend, so disk usage stays bounded by one store (plus the one being
+// published); the latest store's files are kept until the publisher itself
+// is closed, and survive it when the caller supplied the directory.
+type FilePublisher struct {
+	mu     sync.Mutex
+	dir    string // base directory; lazily created on first Publish
+	owned  bool   // dir was auto-created (temp) and is removed on Close
+	ready  bool
+	latest string // directory of the most recently published store
+}
+
+// NewFilePublisher returns a publisher writing store directories under dir.
+// An empty dir selects a fresh temporary directory that is removed when the
+// publisher is closed; a caller-supplied dir receives a unique run-*
+// subdirectory per publisher, so concurrent or repeated runs sharing a
+// store directory never write over each other's live mappings, and each
+// run's final store survives in its own run directory. The filesystem is
+// not touched until the first Publish, so construction never fails.
+func NewFilePublisher(dir string) *FilePublisher {
+	return &FilePublisher{dir: dir}
+}
+
+// Dir returns the base directory (empty until the first Publish when the
+// publisher owns a temporary directory).
+func (p *FilePublisher) Dir() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dir
+}
+
+// Publish serializes s into <dir>/store-NNNNNN and returns the mmap'd
+// backend reading it.
+func (p *FilePublisher) Publish(seq int, s *Store) (StoreBackend, error) {
+	p.mu.Lock()
+	if !p.ready {
+		if p.dir == "" {
+			tmp, err := os.MkdirTemp("", "ampc-dds-")
+			if err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+			p.dir, p.owned = tmp, true
+		} else {
+			if err := os.MkdirAll(p.dir, 0o755); err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+			run, err := os.MkdirTemp(p.dir, "run-")
+			if err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+			p.dir = run
+		}
+		p.ready = true
+	}
+	dir := filepath.Join(p.dir, fmt.Sprintf("store-%06d", seq))
+	p.mu.Unlock()
+
+	if err := WriteStore(s, dir); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	p.mu.Lock()
+	p.latest = dir
+	p.mu.Unlock()
+	fs.cleanup = func() error {
+		p.mu.Lock()
+		keep := p.latest == dir
+		p.mu.Unlock()
+		if keep {
+			return nil
+		}
+		return os.RemoveAll(dir)
+	}
+	return fs, nil
+}
+
+// Close removes the base directory when the publisher created it itself;
+// a caller-supplied directory is left in place with the latest store's files.
+func (p *FilePublisher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.owned && p.dir != "" {
+		err := os.RemoveAll(p.dir)
+		p.dir, p.ready, p.owned = "", false, false
+		return err
+	}
+	return nil
+}

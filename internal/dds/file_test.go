@@ -1,0 +1,224 @@
+package dds
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden shard files under testdata/golden")
+
+// goldenPairs is the fixed content of the committed golden store: duplicate
+// keys (slab path), negative key and value words, and multiple tags, spread
+// over two shards.
+var goldenPairs = []KV{
+	kv(1, 1, 0, 11, 111),
+	kv(1, 2, 0, 22, 222),
+	kv(2, 1, 1, 33, 333),
+	kv(1, 1, 0, 44, 444),
+	kv(1, 1, 0, 55, 555),
+	kv(3, -7, 9, -66, 666),
+	kv(2, 1, 1, 77, -777),
+}
+
+const (
+	goldenShards = 2
+	goldenSalt   = 0x5EED
+	goldenDir    = "testdata/golden"
+)
+
+func goldenStore() *Store { return NewStore(goldenPairs, goldenShards, goldenSalt) }
+
+// TestGoldenShardFiles pins the on-disk format: serializing the golden store
+// must reproduce the two committed shard files byte-for-byte, and opening
+// the committed files must answer every read exactly. Any codec change that
+// silently alters the format — field moves, endianness, checksum definition
+// — fails here; deliberate format changes must bump shardVersion and
+// regenerate with -update.
+func TestGoldenShardFiles(t *testing.T) {
+	s := goldenStore()
+	if *updateGolden {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteStore(s, goldenDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < goldenShards; i++ {
+		name := filepath.Join(goldenDir, shardFileName(i))
+		want, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with -update): %v", err)
+		}
+		got := appendShardFile(nil, &s.shards[i], i, goldenShards, goldenSalt)
+		if string(got) != string(want) {
+			t.Errorf("%s: serialization no longer bit-identical to the committed format (%d vs %d bytes); "+
+				"a deliberate format change must bump shardVersion and regenerate with -update",
+				name, len(got), len(want))
+		}
+	}
+
+	fs, err := OpenFileStore(goldenDir)
+	if err != nil {
+		t.Fatalf("open golden store: %v", err)
+	}
+	defer fs.Close()
+	if fs.Salt() != goldenSalt || fs.Shards() != goldenShards || fs.Len() != len(goldenPairs) {
+		t.Fatalf("golden metadata: salt=%#x shards=%d len=%d", fs.Salt(), fs.Shards(), fs.Len())
+	}
+	checkAgainstReference(t, fs, reference(goldenPairs), []Key{{9, 9, 9}, {1, 3, 0}})
+}
+
+func shardFileName(i int) string { return fmt.Sprintf(shardFileFmt, i) }
+
+// TestShardCorruption is the corruption table: every way a shard file can be
+// damaged maps to a typed error, so callers can distinguish "not a shard
+// file" from "torn write" from "bit rot".
+func TestShardCorruption(t *testing.T) {
+	valid := appendShardFile(nil, &goldenStore().shards[0], 0, 1, goldenSalt)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:headerBytes-12] }, ErrTruncated},
+		{"empty file", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, ErrTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"wrong version", func(b []byte) []byte { le.PutUint32(b[8:], shardVersion+1); return b }, ErrBadVersion},
+		{"future version", func(b []byte) []byte { le.PutUint32(b[8:], 0xFFFF); return b }, ErrBadVersion},
+		{"bad checksum", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }, ErrChecksum},
+		{"flipped header field", func(b []byte) []byte { b[33] ^= 0x01; return b }, ErrChecksum},
+		{"wrong shard index", func(b []byte) []byte { le.PutUint32(b[12:], 7); return b }, ErrBadGeometry},
+		{"slot count not a power of two", func(b []byte) []byte { le.PutUint64(b[40:], 3); return b }, ErrBadGeometry},
+		{"declared payload beyond file", func(b []byte) []byte { le.PutUint64(b[48:], 1<<40); return b }, ErrTruncated},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAA) }, ErrBadGeometry},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buf := tc.mutate(append([]byte(nil), valid...))
+			if err := os.WriteFile(filepath.Join(dir, shardFileName(0)), buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs, err := OpenFileStore(dir)
+			if err == nil {
+				fs.Close()
+				t.Fatalf("corrupted store opened cleanly")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want errors.Is(..., %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// fixChecksum recomputes a mutated file's checksum, making the structural
+// validation behind the checksum gate reachable — the dishonest-writer case.
+func fixChecksum(b []byte) []byte {
+	le.PutUint64(b[56:], checksum(b[0:56], b[headerBytes:]))
+	return b
+}
+
+// TestSlotTableValidation covers corruption that survives a recomputed
+// checksum: a checksum proves the bytes match what some writer computed, not
+// that the writer was honest, so the reader must reject slot tables whose
+// probes would hang or read out of bounds.
+func TestSlotTableValidation(t *testing.T) {
+	base := appendShardFile(nil, &NewStore(goldenPairs, 1, goldenSalt).shards[0], 0, 1, goldenSalt)
+	slotCount := int(le.Uint64(base[40:48]))
+	findSlot := func(b []byte, pred func(cnt int32) bool) int {
+		for off := headerBytes; off < headerBytes+slotCount*slotBytes; off += slotBytes {
+			if pred(int32(le.Uint32(b[off+32:]))) {
+				return off
+			}
+		}
+		t.Fatal("no slot matches predicate")
+		return -1
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"pair count disagrees with slot counts", func(b []byte) []byte {
+			le.PutUint64(b[32:], le.Uint64(b[32:])+1)
+			return fixChecksum(b)
+		}},
+		{"slab window outside slab", func(b []byte) []byte {
+			off := findSlot(b, func(c int32) bool { return c > 1 })
+			le.PutUint32(b[off+36:], 1<<30)
+			return fixChecksum(b)
+		}},
+		{"negative slot count", func(b []byte) []byte {
+			off := findSlot(b, func(c int32) bool { return c == 1 })
+			le.PutUint32(b[off+32:], 0x80000001)
+			return fixChecksum(b)
+		}},
+		{"no empty slot", func(b []byte) []byte {
+			for off := headerBytes; off < headerBytes+slotCount*slotBytes; off += slotBytes {
+				if le.Uint32(b[off+32:]) == 0 {
+					le.PutUint32(b[off+32:], 1)
+				}
+			}
+			return fixChecksum(b)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buf := tc.mutate(append([]byte(nil), base...))
+			if err := os.WriteFile(filepath.Join(dir, shardFileName(0)), buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs, err := OpenFileStore(dir)
+			if err == nil {
+				fs.Close()
+				t.Fatal("dishonest slot table opened cleanly")
+			}
+			if !errors.Is(err, ErrBadGeometry) {
+				t.Fatalf("error %v, want errors.Is(..., ErrBadGeometry)", err)
+			}
+		})
+	}
+}
+
+// TestStoreLevelCorruption covers damage visible only across shard files:
+// a missing shard and shards that disagree on placement metadata.
+func TestStoreLevelCorruption(t *testing.T) {
+	t.Run("missing shard file", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := WriteStore(goldenStore(), dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, shardFileName(1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFileStore(dir); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("error %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("salt mismatch across shards", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := WriteStore(goldenStore(), dir); err != nil {
+			t.Fatal(err)
+		}
+		other := NewStore(goldenPairs, goldenShards, goldenSalt+1)
+		buf := appendShardFile(nil, &other.shards[1], 1, goldenShards, goldenSalt+1)
+		if err := os.WriteFile(filepath.Join(dir, shardFileName(1)), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFileStore(dir); !errors.Is(err, ErrBadGeometry) {
+			t.Fatalf("error %v, want ErrBadGeometry", err)
+		}
+	})
+	t.Run("empty directory", func(t *testing.T) {
+		if _, err := OpenFileStore(t.TempDir()); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("error %v, want ErrTruncated", err)
+		}
+	})
+}

@@ -33,7 +33,9 @@ func reference(pairs []KV) map[Key][]Value {
 
 // checkAgainstReference asserts that s answers Get, GetIndexed, GetRange and
 // Count exactly like the reference map, including for keys that are absent.
-func checkAgainstReference(t *testing.T, s *Store, ref map[Key][]Value, probeAbsent []Key) {
+// It takes the backend interface, so the in-memory store and every
+// serialized backend are held to identical semantics.
+func checkAgainstReference(t *testing.T, s StoreBackend, ref map[Key][]Value, probeAbsent []Key) {
 	t.Helper()
 	for k, vs := range ref {
 		if got := s.Count(k); got != len(vs) {
@@ -58,6 +60,18 @@ func checkAgainstReference(t *testing.T, s *Store, ref map[Key][]Value, probeAbs
 			for i := range got {
 				if got[i] != vs[i] {
 					t.Fatalf("GetRange(%v)[%d] = %v, want %v", k, i, got[i], vs[i])
+				}
+			}
+		}
+		// Partial window past the end: indices beyond count are skipped.
+		mid := len(vs) / 2
+		if got := s.GetRange(k, mid, len(vs)+2, nil); len(got) != len(vs)-mid {
+			t.Fatalf("GetRange(%v, %d, %d) returned %d values, want %d",
+				k, mid, len(vs)+2, len(got), len(vs)-mid)
+		} else {
+			for i := range got {
+				if got[i] != vs[mid+i] {
+					t.Fatalf("GetRange(%v) window [%d:] index %d = %v, want %v", k, mid, i, got[i], vs[mid+i])
 				}
 			}
 		}

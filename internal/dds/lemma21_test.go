@@ -10,7 +10,9 @@ import (
 // T balls with integer weights in [0, P] summing to T, placed uniformly at
 // random into P bins, give a maximum bin weight of O(S) = O(T/P) w.h.p.
 // Here balls are key-value pairs, weights are per-key query counts, and
-// bins are shards.
+// bins are shards. The bound is a property of the placement hash, so it must
+// hold for every storage backend — the table-driven helper runs the same
+// query schedule against the in-memory shards and the mmap'd file shards.
 func TestLemma21WeightedBallsInBins(t *testing.T) {
 	const (
 		p = 64
@@ -46,31 +48,33 @@ func TestLemma21WeightedBallsInBins(t *testing.T) {
 	for i, b := range balls {
 		pairs[i] = KV{b.key, Value{int64(b.weight), 0}}
 	}
-	store := NewStore(pairs, p, r.Uint64())
-
-	// Issue the queries: each ball is queried `weight` times.
-	for _, b := range balls {
-		for q := 0; q < b.weight; q++ {
-			store.Get(b.key)
+	forEachBackend(t, NewStore(pairs, p, r.Uint64()), func(t *testing.T, store StoreBackend) {
+		store.ResetLoads()
+		// Issue the queries: each ball is queried `weight` times.
+		for _, b := range balls {
+			for q := 0; q < b.weight; q++ {
+				store.Get(b.key)
+			}
 		}
-	}
 
-	max := store.MaxShardLoad()
-	// The lemma promises O(S) w.h.p.; with these constants a factor-2 bound
-	// holds comfortably. A broken hash or placement would blow far past it.
-	if max > 2*s {
-		t.Fatalf("max shard load %d exceeds 2S = %d (Lemma 2.1 violated)", max, 2*s)
-	}
-	// And it must not be suspiciously low either: total load T over p bins
-	// averages S, so the max is at least S.
-	if max < s {
-		t.Fatalf("max shard load %d below the mean S = %d: accounting bug", max, s)
-	}
+		max := store.MaxShardLoad()
+		// The lemma promises O(S) w.h.p.; with these constants a factor-2
+		// bound holds comfortably. A broken hash or placement would blow far
+		// past it.
+		if max > 2*s {
+			t.Fatalf("max shard load %d exceeds 2S = %d (Lemma 2.1 violated)", max, 2*s)
+		}
+		// And it must not be suspiciously low either: total load T over p
+		// bins averages S, so the max is at least S.
+		if max < s {
+			t.Fatalf("max shard load %d below the mean S = %d: accounting bug", max, s)
+		}
+	})
 }
 
 // TestLemma21AcrossSalts repeats the placement over several salts; the
 // bound must hold for all of them (w.h.p. means failures would be visibly
-// rare even at this scale).
+// rare even at this scale) and for both storage backends.
 func TestLemma21AcrossSalts(t *testing.T) {
 	const (
 		p = 32
@@ -82,12 +86,14 @@ func TestLemma21AcrossSalts(t *testing.T) {
 		for i := range pairs {
 			pairs[i] = KV{Key{1, int64(i), 0}, Value{}}
 		}
-		store := NewStore(pairs, p, salt)
-		for i := 0; i < T; i++ {
-			store.Get(Key{1, int64(i), 0})
-		}
-		if max := store.MaxShardLoad(); max > 2*s {
-			t.Fatalf("salt %d: max shard load %d > 2S = %d", salt, max, 2*s)
-		}
+		forEachBackend(t, NewStore(pairs, p, salt), func(t *testing.T, store StoreBackend) {
+			store.ResetLoads()
+			for i := 0; i < T; i++ {
+				store.Get(Key{1, int64(i), 0})
+			}
+			if max := store.MaxShardLoad(); max > 2*s {
+				t.Fatalf("salt %d: max shard load %d > 2S = %d", salt, max, 2*s)
+			}
+		})
 	}
 }

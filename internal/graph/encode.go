@@ -60,8 +60,9 @@ func EncodeWeighted(g *WeightedGraph) []dds.KV {
 }
 
 // Decode reconstructs a Graph from a store holding the standard encoding.
-// It is a test helper and master-side utility; reads are not budgeted.
-func Decode(s *dds.Store) (*Graph, error) {
+// It is a test helper and master-side utility; reads are not budgeted. Any
+// store backend works — in-memory or file-backed.
+func Decode(s dds.StoreBackend) (*Graph, error) {
 	meta, ok := s.Get(MetaKey())
 	if !ok {
 		return nil, errMissingMeta
