@@ -128,7 +128,8 @@ var (
 type Options = core.Options
 
 // Store backend names for Options.Backend: BackendMem keeps each round's
-// frozen store in process, BackendFile serializes it to mmap'd shard files
+// frozen store in process, BackendFile publishes it write-behind to mmap'd
+// segment files
 // (see Options.StoreDir). Outputs are byte-identical for every backend.
 const (
 	BackendMem  = core.BackendMem

@@ -22,9 +22,9 @@
 // -bench-out appends that line to a trajectory file (see BENCH_*.json);
 // -workers sets the runtime's worker-pool size (outputs never depend on
 // it); -backend selects where each round's frozen store lives (mem keeps it
-// in process, file serializes it to mmap'd shard files under -store-dir;
-// outputs are identical either way); -timeout aborts the run through
-// context cancellation.
+// in process, file publishes it write-behind to a single mmap'd segment
+// file per store under -store-dir; outputs are identical either way);
+// -timeout aborts the run through context cancellation.
 package main
 
 import (
@@ -54,8 +54,8 @@ func main() {
 		check    = flag.Bool("check", true, "verify against the sequential oracle")
 		fault    = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
 		workers  = flag.Int("workers", 0, "OS worker goroutines per round (0 = GOMAXPROCS); outputs are identical for any value")
-		backend  = flag.String("backend", "mem", "store backend: mem (in-process) or file (mmap'd shard files); outputs are identical")
-		storeDir = flag.String("store-dir", "", "directory for -backend=file shard files (default: a temp dir removed after the run)")
+		backend  = flag.String("backend", "mem", "store backend: mem (in-process) or file (write-behind segment files); outputs are identical")
+		storeDir = flag.String("store-dir", "", "directory for -backend=file segment files (default: a temp dir removed after the run)")
 		asJSON   = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
 		bench    = flag.Bool("bench", false, "emit one machine-readable JSON line (algo, n, m, rounds, queries, wall time)")
 		benchOut = flag.String("bench-out", "", "append the -bench JSON line to this trajectory file (implies -bench)")
@@ -192,6 +192,7 @@ type benchLine struct {
 	WallMS            float64 `json:"wall_ms"`
 	ExecMS            float64 `json:"exec_ms"`
 	FreezeMS          float64 `json:"freeze_ms"`
+	PublishMS         float64 `json:"publish_ms"`
 	Check             string  `json:"check"`
 }
 
@@ -215,6 +216,7 @@ func printBenchLine(res *ampc.Result, backend, workload string, n, m int, eps fl
 		WallMS:            float64(wall.Microseconds()) / 1000,
 		ExecMS:            float64(t.ExecuteTime.Microseconds()) / 1000,
 		FreezeMS:          float64(t.FreezeTime.Microseconds()) / 1000,
+		PublishMS:         float64(t.PublishTime.Microseconds()) / 1000,
 		Check:             check.String(),
 	}
 	out, err := json.Marshal(line)
@@ -281,6 +283,7 @@ func printTelemetry(t ampc.Telemetry, wall time.Duration) {
 	fmt.Printf("  max shard load      %d per round\n", t.MaxShardLoad)
 	fmt.Printf("  execute time        %v\n", t.ExecuteTime.Round(time.Microsecond))
 	fmt.Printf("  freeze time         %v\n", t.FreezeTime.Round(time.Microsecond))
+	fmt.Printf("  publish time        %v\n", t.PublishTime.Round(time.Microsecond))
 	fmt.Printf("  wall time           %v\n", wall.Round(time.Microsecond))
 }
 

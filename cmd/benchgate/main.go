@@ -1,25 +1,31 @@
 // Command benchgate is the engine-level perf regression gate from the
 // ROADMAP: it replays the workload lines of a committed bench trajectory
 // (BENCH_PR*.json, written by ampcrun -bench-out) through the Engine and
-// fails — exit status 1 — when a workload's execute or freeze phase
-// regresses beyond the allowed factor over its baseline.
+// fails — exit status 1 — when a workload's execute phase or its combined
+// freeze+publish phase regresses beyond the allowed factor over its
+// baseline.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR2.json
-//	benchgate -baseline BENCH_PR2.json -factor 1.25 -floor-ms 40 -reps 3
-//	benchgate -baseline BENCH_PR2.json -out BENCH_PR3.json -backends mem,file
+//	benchgate -baseline BENCH_PR4.json
+//	benchgate -baseline BENCH_PR4.json -factor 1.25 -floor-ms 40 -reps 3
+//	benchgate -baseline BENCH_PR3.json -out BENCH_PR4.json -backends mem,file
 //
-// Only the baseline's in-memory-backend lines gate (a file-backend line has
-// no predecessor to regress against); -backends adds report-only runs on
-// the other backends, and -out appends every measured line to a new
-// trajectory file in the same format ampcrun emits, so the gate's output
-// becomes the next PR's committed baseline.
+// Every measured backend gates against the baseline line recorded for the
+// same (algorithm, backend) pair, so a file-path regression fails CI just
+// like a mem-path one; a backend with no baseline line runs report-only.
+// -out appends every measured line to a new trajectory file in the same
+// format ampcrun emits, so the gate's output becomes the next PR's
+// committed baseline. Freeze and publish gate as a sum because write-behind
+// publishing deliberately moves serialization cost between the two phases.
 //
-// Each workload runs -reps times and the minimum exec/freeze times compare
+// Each workload runs -reps times and the minimum phase times compare
 // against factor*baseline + floor; the floor absorbs scheduler noise on
 // small absolute numbers (CI machines are shared), the factor catches real
 // regressions on the big ones.
+//
+// When $GITHUB_STEP_SUMMARY is set (or -summary names a file), the gate
+// also appends a per-workload markdown delta table for the CI job summary.
 package main
 
 import (
@@ -59,28 +65,35 @@ type benchLine struct {
 	WallMS            float64 `json:"wall_ms"`
 	ExecMS            float64 `json:"exec_ms"`
 	FreezeMS          float64 `json:"freeze_ms"`
+	PublishMS         float64 `json:"publish_ms"`
 	Check             string  `json:"check"`
 }
+
+// storeMS returns the line's combined freeze+publish cost: the full price of
+// turning a round's writes into the next round's readable store. Baselines
+// written before publish_ms existed count their whole cost under freeze.
+func (l benchLine) storeMS() float64 { return l.FreezeMS + l.PublishMS }
 
 func main() {
 	var (
 		baseline = flag.String("baseline", "", "committed trajectory file to gate against (required)")
-		factor   = flag.Float64("factor", 1.25, "fail when exec or freeze exceeds factor*baseline+floor")
+		factor   = flag.Float64("factor", 1.25, "fail when exec or freeze+publish exceeds factor*baseline+floor")
 		floorMS  = flag.Float64("floor-ms", 40, "absolute slack in ms added to every bound (absorbs scheduler noise)")
 		reps     = flag.Int("reps", 3, "runs per workload; the minimum times gate")
 		out      = flag.String("out", "", "append every measured bench line to this trajectory file")
-		backends = flag.String("backends", "mem,file", "comma-separated backends to measure (only mem gates)")
+		backends = flag.String("backends", "mem,file", "comma-separated backends to measure; each gates when the baseline has a matching line")
+		summary  = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"), "append a markdown delta table to this file (default: $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 	if *baseline == "" {
 		log.Fatal("benchgate: -baseline is required")
 	}
 
-	lines, err := readBaseline(*baseline)
+	memLines, byBackend, err := readBaseline(*baseline)
 	if err != nil {
 		log.Fatalf("benchgate: %v", err)
 	}
-	if len(lines) == 0 {
+	if len(memLines) == 0 {
 		log.Fatalf("benchgate: %s holds no gateable workload lines", *baseline)
 	}
 
@@ -94,22 +107,29 @@ func main() {
 	}
 
 	failed := 0
-	for _, base := range lines {
+	var rows []summaryRow
+	for _, mem := range memLines {
 		for _, backend := range strings.Split(*backends, ",") {
 			backend = strings.TrimSpace(backend)
 			if backend == "" {
 				continue
 			}
-			got, err := measure(base, backend, *reps)
+			// The mem line defines the workload; the gate bound comes from
+			// the baseline line recorded for this backend, when one exists.
+			base, gates := byBackend[backendKey{mem.Algo, mem.Workload, mem.N, backend}]
+			if !gates {
+				base = mem
+			}
+			got, err := measure(mem, backend, *reps)
 			if errors.Is(err, errUnknownWorkload) {
 				// A future ampcrun may record workload kinds this gate does
 				// not know how to regenerate; that must not fail every
 				// subsequent CI run, only surface loudly.
-				fmt.Printf("%-14s %-5s n=%-7d SKIPPED: %v\n", base.Algo, backend, base.N, err)
+				fmt.Printf("%-14s %-5s n=%-7d SKIPPED: %v\n", mem.Algo, backend, mem.N, err)
 				continue
 			}
 			if err != nil {
-				log.Fatalf("benchgate: %s/%s: %v", base.Algo, backend, err)
+				log.Fatalf("benchgate: %s/%s: %v", mem.Algo, backend, err)
 			}
 			if outF != nil {
 				enc, err := json.Marshal(got)
@@ -120,24 +140,29 @@ func main() {
 					log.Fatalf("benchgate: %v", err)
 				}
 			}
-			gates := backend == "mem" && baseBackend(base) == "mem"
 			verdict := "report-only"
 			if gates {
 				execBound := *factor*base.ExecMS + *floorMS
-				freezeBound := *factor*base.FreezeMS + *floorMS
+				storeBound := *factor*base.storeMS() + *floorMS
 				switch {
 				case got.ExecMS > execBound:
 					verdict = fmt.Sprintf("FAIL exec %.1fms > %.1fms", got.ExecMS, execBound)
 					failed++
-				case got.FreezeMS > freezeBound:
-					verdict = fmt.Sprintf("FAIL freeze %.1fms > %.1fms", got.FreezeMS, freezeBound)
+				case got.storeMS() > storeBound:
+					verdict = fmt.Sprintf("FAIL freeze+publish %.1fms > %.1fms", got.storeMS(), storeBound)
 					failed++
 				default:
 					verdict = "ok"
 				}
 			}
-			fmt.Printf("%-14s %-5s n=%-7d exec %8.1fms (base %8.1f)  freeze %8.1fms (base %8.1f)  %s\n",
-				base.Algo, backend, base.N, got.ExecMS, base.ExecMS, got.FreezeMS, base.FreezeMS, verdict)
+			fmt.Printf("%-14s %-5s n=%-7d exec %8.1fms (base %8.1f)  freeze+publish %8.1fms (base %8.1f)  %s\n",
+				mem.Algo, backend, mem.N, got.ExecMS, base.ExecMS, got.storeMS(), base.storeMS(), verdict)
+			rows = append(rows, summaryRow{base: base, got: got, gated: gates, verdict: verdict})
+		}
+	}
+	if *summary != "" {
+		if err := writeSummary(*summary, rows); err != nil {
+			log.Printf("benchgate: step summary: %v", err)
 		}
 	}
 	if failed > 0 {
@@ -145,6 +170,41 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: all workloads within bounds")
+}
+
+// summaryRow is one line of the markdown delta table.
+type summaryRow struct {
+	base, got benchLine
+	gated     bool
+	verdict   string
+}
+
+// writeSummary appends the per-workload delta table, in GitHub-flavored
+// markdown, to the job summary file.
+func writeSummary(path string, rows []summaryRow) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	delta := func(base, got float64) string {
+		if base <= 0 {
+			return "–"
+		}
+		return fmt.Sprintf("%+.0f%%", (got/base-1)*100)
+	}
+	fmt.Fprintf(f, "### benchgate\n\n")
+	fmt.Fprintf(f, "| algo | backend | n | exec base (ms) | exec now (ms) | Δ | freeze+publish base (ms) | now (ms) | Δ | verdict |\n")
+	fmt.Fprintf(f, "|---|---|--:|--:|--:|--:|--:|--:|--:|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(f, "| %s | %s | %d | %.1f | %.1f | %s | %.1f | %.1f | %s | %s |\n",
+			r.got.Algo, r.got.Backend, r.got.N,
+			r.base.ExecMS, r.got.ExecMS, delta(r.base.ExecMS, r.got.ExecMS),
+			r.base.storeMS(), r.got.storeMS(), delta(r.base.storeMS(), r.got.storeMS()),
+			r.verdict)
+	}
+	fmt.Fprintln(f)
+	return nil
 }
 
 // baseBackend normalizes the baseline's backend field: lines written before
@@ -156,15 +216,26 @@ func baseBackend(l benchLine) string {
 	return l.Backend
 }
 
+// backendKey identifies one baseline line: a workload measured on a backend.
+type backendKey struct {
+	algo     string
+	workload string
+	n        int
+	backend  string
+}
+
 // readBaseline extracts the gateable workload lines from a trajectory file,
-// skipping meta/gobench records and non-mem lines.
-func readBaseline(path string) ([]benchLine, error) {
+// skipping meta/gobench records. The mem lines define the workload set
+// (every trajectory records them); the full per-backend map supplies each
+// backend's own gate bound.
+func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	var lines []benchLine
+	var memLines []benchLine
+	byBackend := make(map[backendKey]benchLine)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -176,20 +247,24 @@ func readBaseline(path string) ([]benchLine, error) {
 			Record string `json:"record"`
 		}
 		if err := json.Unmarshal([]byte(text), &record); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		if record.Record != "" {
 			continue
 		}
 		var l benchLine
 		if err := json.Unmarshal([]byte(text), &l); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		if l.Algo != "" && baseBackend(l) == "mem" {
-			lines = append(lines, l)
+		if l.Algo == "" {
+			continue
 		}
+		if baseBackend(l) == "mem" {
+			memLines = append(memLines, l)
+		}
+		byBackend[backendKey{l.Algo, l.Workload, l.N, baseBackend(l)}] = l
 	}
-	return lines, sc.Err()
+	return memLines, byBackend, sc.Err()
 }
 
 // measure runs the baseline line's workload on the given backend reps times
@@ -232,7 +307,7 @@ func measure(base benchLine, backend string, reps int) (benchLine, error) {
 	})
 	got := base
 	got.Backend = backend
-	got.WallMS, got.ExecMS, got.FreezeMS = math.Inf(1), math.Inf(1), math.Inf(1)
+	got.WallMS, got.ExecMS, got.FreezeMS, got.PublishMS = math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)
 	if reps < 1 {
 		reps = 1
 	}
@@ -249,6 +324,7 @@ func measure(base benchLine, backend string, reps int) (benchLine, error) {
 		got.WallMS = math.Min(got.WallMS, float64(wall.Microseconds())/1000)
 		got.ExecMS = math.Min(got.ExecMS, float64(t.ExecuteTime.Microseconds())/1000)
 		got.FreezeMS = math.Min(got.FreezeMS, float64(t.FreezeTime.Microseconds())/1000)
+		got.PublishMS = math.Min(got.PublishMS, float64(t.PublishTime.Microseconds())/1000)
 		got.Rounds, got.Phases = t.Rounds, t.Phases
 		got.TotalQueries, got.MaxMachineQueries = t.TotalQueries, t.MaxMachineQueries
 		got.MaxShardLoad, got.P, got.S = t.MaxShardLoad, t.P, t.S

@@ -69,9 +69,11 @@ type Config struct {
 	FaultProb float64
 	// Backend publishes each round's frozen store as the StoreBackend the
 	// next round reads: nil (or dds.MemPublisher) keeps stores in process,
-	// dds.NewFilePublisher serializes them to mmap'd shard files. Outputs
-	// are byte-identical for every backend; only the physical home of
-	// D_{i-1} changes.
+	// dds.NewFilePublisher serializes them to mmap'd segment files,
+	// write-behind — store i's serialization overlaps round i+1's execute
+	// phase, and Round joins it before the next freeze. Outputs are
+	// byte-identical for every backend; only the physical home of D_{i-1}
+	// changes.
 	Backend dds.Publisher
 	// Observer, when non-nil, receives every round's statistics as soon as
 	// the round completes, before the next round starts. It is called
@@ -110,6 +112,12 @@ type RoundStats struct {
 	// Freeze is the wall-clock time of the freeze phase: merging the
 	// machines' writes into the next round's immutable store.
 	Freeze time.Duration
+	// Publish is the wall-clock time this round spent synchronously on
+	// store publication: joining the previous round's write-behind publish
+	// before freezing, plus handing the frozen store to the publisher. With
+	// write-behind the serialization itself overlaps the next round's
+	// execute phase and never appears here.
+	Publish time.Duration
 }
 
 // Runtime executes AMPC rounds over a chain of stores.
@@ -136,6 +144,7 @@ type Runtime struct {
 	pool     *workerPool
 	poolOnce sync.Once
 	builder  *dds.Builder
+	arena    *dds.Arena
 	ctxPool  sync.Pool
 	errs     []error
 	queries  []int
@@ -185,6 +194,14 @@ func New(cfg Config) *Runtime {
 	}
 	r.pub = cfg.Backend
 	r.builder = dds.NewBuilder(cfg.P)
+	// Store double-buffering: retiring generations recycle their slot
+	// arrays and slabs through the arena into the next freeze. A publisher
+	// that externalizes stores asynchronously (dds.FilePublisher) gets the
+	// same arena so a store swapped onto its mmap'd segment is recycled too.
+	r.arena = dds.NewArena()
+	if ap, ok := cfg.Backend.(interface{ SetArena(*dds.Arena) }); ok {
+		ap.SetArena(r.arena)
+	}
 	r.ctxPool.New = func() any { return &Ctx{} }
 	r.errs = make([]error, cfg.P)
 	r.queries = make([]int, cfg.P)
@@ -208,7 +225,10 @@ func New(cfg Config) *Runtime {
 // publish installs s as the current store through the backend publisher and
 // closes the retiring backend. A publish failure latches the error — it is
 // reported by the next Round call — and keeps the in-memory store readable
-// so driver-side reads do not crash before the error surfaces.
+// so driver-side reads do not crash before the error surfaces. A retiring
+// in-memory store is recycled into the arena: at this point no machine, no
+// pooled Ctx and no publisher references it, so its arrays become the raw
+// material of the round after next's freeze.
 func (r *Runtime) publish(s *dds.Store) {
 	nb, err := r.pub.Publish(r.pubSeq, s)
 	r.pubSeq++
@@ -218,21 +238,38 @@ func (r *Runtime) publish(s *dds.Store) {
 	}
 	if r.cur != nil {
 		r.cur.Close()
+		if ms, ok := r.cur.(*dds.Store); ok && ms != nb {
+			r.arena.Recycle(ms)
+		}
 	}
 	r.cur = nb
 }
 
 // shutdown releases everything the runtime owns; shared by Close and the
-// finalizer.
-func (r *Runtime) shutdown() {
+// finalizer. The publisher barrier joins any in-flight write-behind publish
+// first, so the final store's segment is durable (or its cancellation is
+// fully cleaned up) before the current backend and the publisher release
+// what lives on disk. It returns the first failure: a latched publish
+// error no Round surfaced, the barrier's, or a release error.
+func (r *Runtime) shutdown() error {
 	if r.pool != nil {
 		r.pool.close()
 	}
+	err := r.pubErr
+	r.pubErr = nil
+	if berr := r.pub.Barrier(); err == nil {
+		err = berr
+	}
 	if r.cur != nil {
-		r.cur.Close()
+		if cerr := r.cur.Close(); err == nil {
+			err = cerr
+		}
 		r.cur = nil
 	}
-	r.pub.Close()
+	if perr := r.pub.Close(); err == nil {
+		err = perr
+	}
+	return err
 }
 
 // ensurePool starts the worker pool on first use. The workers reference only
@@ -246,13 +283,18 @@ func (r *Runtime) ensurePool() *workerPool {
 }
 
 // Close releases the runtime's worker pool, the current store backend (with
-// its mmap regions, if file-backed) and the store publisher. It is optional
-// — an abandoned Runtime is reclaimed by a finalizer — but deterministic for
-// callers that create many runtimes. Rounds must not be executed, and stores
-// previously returned by Store must not be read, after Close.
-func (r *Runtime) Close() {
+// its mmap regions, if file-backed) and the store publisher, first joining
+// any write-behind publish still in flight so the final store is durable.
+// It returns the first publish or release failure — in particular a failed
+// final-round write-behind publish, which no Round call was left to surface
+// (synchronous publishing reported it from the producing Round). Close is
+// optional — an abandoned Runtime is reclaimed by a finalizer — but
+// deterministic for callers that create many runtimes. Rounds must not be
+// executed, and stores previously returned by Store must not be read, after
+// Close.
+func (r *Runtime) Close() error {
 	runtime.SetFinalizer(r, nil)
-	r.shutdown()
+	return r.shutdown()
 }
 
 // Config returns the runtime's configuration.
@@ -271,7 +313,7 @@ func (r *Runtime) Budget() int { return r.cfg.BudgetFactor * r.cfg.S }
 // using a set of keys known to all machines"). It does not count as a round.
 // With a file backend, a publish failure here surfaces from the next Round.
 func (r *Runtime) SetInput(pairs []dds.KV) {
-	r.publish(dds.NewStore(pairs, r.cfg.Shards, r.seedR.Uint64()))
+	r.publish(dds.NewStoreArena(pairs, r.cfg.Shards, r.seedR.Uint64(), r.arena))
 }
 
 // Store returns the current store D_{i-1} (the output of the last round).
@@ -406,11 +448,25 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		}
 	}
 
-	freezeStart := time.Now()
-	nextStore := r.builder.Freeze(r.cfg.Shards, r.seedR.Uint64())
+	// Join the previous round's write-behind publish before freezing: the
+	// freeze is about to recycle the retiring generation's arrays, and a
+	// failure of that publish must surface here, from the same Round that
+	// would have exposed it under synchronous publishing. One timestamp
+	// chain splits the barrier/freeze/publish phases — clock reads are not
+	// free on every platform and Round is the floor under every algorithm's
+	// per-round cost.
+	t0 := time.Now()
+	if err := r.pub.Barrier(); err != nil {
+		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
+	}
+	t1 := time.Now()
+	nextStore := r.builder.FreezeArena(r.arena, r.cfg.Shards, r.seedR.Uint64())
 	st.Pairs = nextStore.Len()
+	t2 := time.Now()
 	r.publish(nextStore)
-	st.Freeze = time.Since(freezeStart)
+	t3 := time.Now()
+	st.Freeze = t2.Sub(t1)
+	st.Publish = t1.Sub(t0) + t3.Sub(t2)
 	if err := r.pubErr; err != nil {
 		r.pubErr = nil
 		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)

@@ -61,14 +61,14 @@ type Options struct {
 	FaultProb float64
 	// Backend selects where each round's frozen store lives while the next
 	// round reads it: BackendMem (or empty) keeps it in process, BackendFile
-	// serializes it to mmap'd shard files (see StoreDir). Outputs are
-	// byte-identical for every backend.
+	// publishes it write-behind to one mmap'd segment file per store (see
+	// StoreDir). Outputs are byte-identical for every backend.
 	Backend string
-	// StoreDir is the directory the file backend writes store shards under.
-	// Empty selects a temporary directory removed when the run finishes; in
-	// a caller-supplied directory each run claims a unique run-*
-	// subdirectory (concurrent runs never collide) and leaves its final
-	// store's shard files there. Ignored by the in-memory backend.
+	// StoreDir is the directory the file backend writes store segments
+	// under. Empty selects a temporary directory removed when the run
+	// finishes; in a caller-supplied directory each run claims a unique
+	// run-* subdirectory (concurrent runs never collide) and leaves its
+	// final store's segment file there. Ignored by the in-memory backend.
 	StoreDir string
 	// Observer, when non-nil, receives every AMPC round's statistics as
 	// soon as the round completes, letting callers stream telemetry while
@@ -82,8 +82,8 @@ type Options struct {
 const (
 	// BackendMem keeps each round's frozen store in process (the default).
 	BackendMem = "mem"
-	// BackendFile serializes each round's frozen store to shard files and
-	// reads them back through mmap.
+	// BackendFile serializes each round's frozen store to a segment file,
+	// write-behind, and reads it back through mmap.
 	BackendFile = "file"
 )
 
@@ -183,7 +183,13 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 	}
 	var pub dds.Publisher
 	if o.Backend == BackendFile {
-		pub = dds.NewFilePublisher(o.StoreDir)
+		fp := dds.NewFilePublisher(o.StoreDir)
+		if ctx != nil {
+			// A cancelled run must also kill its in-flight write-behind
+			// publish, so no half-written segment outlives the abort.
+			fp.SetContext(ctx)
+		}
+		pub = fp
 	}
 	rt := ampc.New(ampc.Config{
 		P:            p,
@@ -226,6 +232,10 @@ type Telemetry struct {
 	// FreezeTime is the wall-clock time spent freezing writes into the next
 	// round's store, summed over rounds.
 	FreezeTime time.Duration
+	// PublishTime is the wall-clock time spent synchronously publishing
+	// frozen stores (joining write-behind serialization and installing the
+	// backend), summed over rounds. Zero for the in-memory backend.
+	PublishTime time.Duration
 	// RoundStats is the per-round breakdown.
 	RoundStats []ampc.RoundStats
 }
@@ -244,6 +254,7 @@ func telemetryFrom(rt *ampc.Runtime, phases int) Telemetry {
 	for _, st := range t.RoundStats {
 		t.ExecuteTime += st.Execute
 		t.FreezeTime += st.Freeze
+		t.PublishTime += st.Publish
 	}
 	return t
 }

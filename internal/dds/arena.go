@@ -1,0 +1,156 @@
+package dds
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Arena recycles the allocations of retired stores into the next freeze.
+// The AMPC round loop keeps two store generations alive — D_{i-1} being
+// read and D_i being built — so the natural steady state is double
+// buffering: when generation i-2 retires, its slot arrays and overflow
+// slabs (plus the partition scratch of the previous build) become the raw
+// material for generation i instead of garbage. Store shapes are stable
+// across rounds (the shard count is fixed and slot arrays are powers of
+// two), so after the first couple of rounds a freeze allocates almost
+// nothing.
+//
+// All methods are safe for concurrent use: shard builds grab from the
+// arena in parallel. A nil *Arena is valid everywhere and means "allocate
+// fresh" — callers never need to guard.
+type Arena struct {
+	mu sync.Mutex
+	// slots holds retired slot arrays bucketed by log2(capacity); every
+	// slot array is allocated with a power-of-two length, so a bucket holds
+	// arrays of exactly one capacity and grabSlots is an exact-fit pop.
+	slots [64][][]slot
+	// slabs holds retired overflow slabs, any capacity, first-fit.
+	slabs [][]Value
+	// Partition scratch from the previous build, reused whole.
+	kvs     []KV
+	hs      []uint64
+	slotIdx []int32
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Recycle moves the store's shard allocations into the arena and detaches
+// them from s, so a later read through the retired store fails loudly
+// instead of returning bytes now owned by a newer generation. The caller
+// must guarantee no reader still holds s. Safe on a nil arena or store
+// (no-op).
+//
+// The arena retains exactly one retired generation: whatever the previous
+// Recycle left that the builds in between did not grab is dropped to the
+// garbage collector first. That is the double-buffering steady state — one
+// generation being read, one being built, one generation of spare arrays —
+// and it bounds the arena's footprint for callers whose build and retire
+// rates diverge (repeated SetInput, shrinking stores).
+func (a *Arena) Recycle(s *Store) {
+	if a == nil || s == nil || s.shards == nil {
+		return
+	}
+	a.mu.Lock()
+	for i := range a.slots {
+		a.slots[i] = a.slots[i][:0]
+	}
+	a.slabs = a.slabs[:0]
+	for i := range s.shards {
+		sh := &s.shards[i]
+		// Bucket by the array's length — always the power of two the build
+		// asked for — not its capacity, which make may have rounded up.
+		if n := len(sh.slots); n > 0 {
+			b := bits.TrailingZeros(uint(n))
+			a.slots[b] = append(a.slots[b], sh.slots[:0])
+		}
+		if cap(sh.slab) > 0 {
+			a.slabs = append(a.slabs, sh.slab[:0])
+		}
+		sh.slots, sh.slab = nil, nil
+	}
+	a.mu.Unlock()
+	s.shards = nil
+}
+
+// grabSlots returns a zeroed slot array of exactly n entries (n must be a
+// power of two), recycled when one of that capacity is available.
+func (a *Arena) grabSlots(n int) []slot {
+	if a == nil || n <= 0 {
+		return make([]slot, n)
+	}
+	b := bits.TrailingZeros(uint(n))
+	a.mu.Lock()
+	bucket := a.slots[b]
+	if len(bucket) == 0 {
+		a.mu.Unlock()
+		return make([]slot, n)
+	}
+	sl := bucket[len(bucket)-1][:n]
+	a.slots[b] = bucket[:len(bucket)-1]
+	a.mu.Unlock()
+	clear(sl)
+	return sl
+}
+
+// grabSlab returns a value slab of n entries, recycled first-fit. The slab
+// is not zeroed: every entry is overwritten by the build's placement pass.
+func (a *Arena) grabSlab(n int) []Value {
+	if a == nil || n <= 0 {
+		return make([]Value, n)
+	}
+	a.mu.Lock()
+	for i, sl := range a.slabs {
+		if cap(sl) >= n {
+			last := len(a.slabs) - 1
+			a.slabs[i] = a.slabs[last]
+			a.slabs = a.slabs[:last]
+			a.mu.Unlock()
+			return sl[:n]
+		}
+	}
+	a.mu.Unlock()
+	return make([]Value, n)
+}
+
+// grabScratch returns the three partition scratch slices for a build over
+// total pairs, reusing the previous build's allocations when they fit.
+// The scratch is exclusive to one build at a time — the round loop freezes
+// sequentially — and comes back via putScratch.
+func (a *Arena) grabScratch(total int) (kvs []KV, hs []uint64, slotIdx []int32) {
+	if a == nil {
+		return make([]KV, total), make([]uint64, total), make([]int32, total)
+	}
+	a.mu.Lock()
+	kvs, hs, slotIdx = a.kvs, a.hs, a.slotIdx
+	a.kvs, a.hs, a.slotIdx = nil, nil, nil
+	a.mu.Unlock()
+	if cap(kvs) < total {
+		kvs = make([]KV, total)
+	}
+	if cap(hs) < total {
+		hs = make([]uint64, total)
+	}
+	if cap(slotIdx) < total {
+		slotIdx = make([]int32, total)
+	}
+	return kvs[:total], hs[:total], slotIdx[:total]
+}
+
+// putScratch returns partition scratch to the arena for the next build.
+func (a *Arena) putScratch(kvs []KV, hs []uint64, slotIdx []int32) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if cap(kvs) > cap(a.kvs) {
+		a.kvs = kvs[:0]
+	}
+	if cap(hs) > cap(a.hs) {
+		a.hs = hs[:0]
+	}
+	if cap(slotIdx) > cap(a.slotIdx) {
+		a.slotIdx = slotIdx[:0]
+	}
+	a.mu.Unlock()
+}

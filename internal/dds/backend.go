@@ -57,10 +57,20 @@ type Publisher interface {
 	// Publish installs store number seq (a monotonically increasing counter
 	// over SetInput and round freezes) and returns the backend to read it
 	// through. The returned backend is closed by the runtime when the store
-	// retires.
+	// retires. Publish takes ownership of s: a publisher may externalize it
+	// asynchronously and recycle its memory later, so after a successful
+	// Publish the caller reads only through the returned backend.
 	Publish(seq int, s *Store) (StoreBackend, error)
+	// Barrier joins any asynchronous work of the previous Publish — the
+	// write-behind serialization of a file publisher — and returns its
+	// failure, if any, exactly once. The runtime calls it before freezing
+	// the next store, so a publish error surfaces from the same Round that
+	// would have exposed it under synchronous publishing. Synchronous
+	// publishers return nil.
+	Barrier() error
 	// Close releases publisher-owned resources (e.g. a temporary store
-	// directory). Backends already published must be closed separately.
+	// directory) and aborts any asynchronous publish still in flight.
+	// Backends already published must be closed separately.
 	Close() error
 }
 
@@ -70,6 +80,9 @@ type MemPublisher struct{}
 
 // Publish returns s unchanged.
 func (MemPublisher) Publish(seq int, s *Store) (StoreBackend, error) { return s, nil }
+
+// Barrier is a no-op: in-memory publishing is synchronous.
+func (MemPublisher) Barrier() error { return nil }
 
 // Close is a no-op.
 func (MemPublisher) Close() error { return nil }

@@ -1,7 +1,12 @@
 package dds
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -26,13 +31,35 @@ func roundTrip(t testing.TB, s *Store) *FileStore {
 	return fs
 }
 
+// segmentRoundTrip serializes s as a single segment file and opens it back
+// with full verification, failing the test on any codec error.
+func segmentRoundTrip(t testing.TB, s *Store) *FileStore {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.seg")
+	if _, err := WriteSegment(s, path, nil); err != nil {
+		t.Fatalf("WriteSegment: %v", err)
+	}
+	fs, err := OpenSegment(path)
+	if err != nil {
+		t.Fatalf("OpenSegment: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := fs.Close(); err != nil {
+			t.Errorf("FileStore.Close: %v", err)
+		}
+	})
+	return fs
+}
+
 // forEachBackend runs fn once per storage backend as subtests: against the
-// in-memory store itself, and against its serialize→mmap round-trip. Every
-// read-path test in this package goes through it, so any future backend
-// added here is locked to the same semantics mechanically.
+// in-memory store itself, against its legacy per-shard-file round-trip, and
+// against its segment-file round-trip. Every read-path test in this package
+// goes through it, so any future backend added here is locked to the same
+// semantics mechanically.
 func forEachBackend(t *testing.T, s *Store, fn func(t *testing.T, b StoreBackend)) {
 	t.Run("mem", func(t *testing.T) { fn(t, s) })
 	t.Run("file", func(t *testing.T) { fn(t, roundTrip(t, s)) })
+	t.Run("segment", func(t *testing.T) { fn(t, segmentRoundTrip(t, s)) })
 }
 
 // TestFileStoreMatchesReference is the file-backend twin of
@@ -137,9 +164,16 @@ func TestEmptyStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// segPath returns the segment path the publisher uses for store seq.
+func segPath(pub *FilePublisher, seq int) string {
+	return filepath.Join(pub.Dir(), fmt.Sprintf(segFileFmt, seq))
+}
+
 // TestFilePublisherLifecycle exercises the Publisher contract the runtime
-// relies on: sequential stores are published, retired backends delete their
-// files, the latest store survives its own Close, and a publisher-owned temp
+// relies on under write-behind: a published backend answers reads before its
+// segment is durable, Barrier makes the segment durable and swaps reads onto
+// the mmap'd file, retired backends delete their segments once superseded,
+// the latest segment survives its own Close, and a publisher-owned temp
 // directory disappears on publisher Close.
 func TestFilePublisherLifecycle(t *testing.T) {
 	pub := NewFilePublisher("")
@@ -147,11 +181,27 @@ func TestFilePublisherLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if v, ok := a.Get(Key{1, 1, 0}); !ok || v.A != 10 {
+		t.Fatalf("pre-barrier Get = %v ok=%v (write-behind must serve from memory)", v, ok)
+	}
 	base := pub.Dir()
 	if base == "" {
 		t.Fatal("publisher did not create a temp dir")
 	}
-	aDir := a.(*FileStore).Dir()
+	if err := pub.Barrier(); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	aPath := segPath(pub, 0)
+	if _, err := os.Stat(aPath); err != nil {
+		t.Fatalf("segment not durable after barrier: %v", err)
+	}
+	if _, ok := a.(*pendingStore).backend().(*FileStore); !ok {
+		t.Fatal("barrier did not swap reads onto the mmap'd segment")
+	}
+	if v, ok := a.Get(Key{1, 1, 0}); !ok || v.A != 10 {
+		t.Fatalf("post-barrier Get = %v ok=%v", v, ok)
+	}
+
 	b, err := pub.Publish(1, NewStore([]KV{kv(1, 2, 0, 20, 0)}, 2, 5))
 	if err != nil {
 		t.Fatal(err)
@@ -162,26 +212,69 @@ func TestFilePublisherLifecycle(t *testing.T) {
 	if err := a.Close(); err != nil {
 		t.Fatalf("close retired backend: %v", err)
 	}
-	if _, err := OpenFileStore(aDir); err == nil {
-		t.Fatal("retired store's files were not removed")
+	if err := pub.Barrier(); err != nil {
+		t.Fatal(err)
 	}
-	bDir := b.(*FileStore).Dir()
+	// Retired-segment deletion is deferred to the next publish's background
+	// goroutine (unlink cost must not extend the synchronous publish phase),
+	// so the retired file disappears once a third publish runs.
+	c, err := pub.Publish(2, NewStore([]KV{kv(1, 5, 0, 50, 0)}, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(aPath); err == nil {
+		t.Fatal("retired store's segment was not removed once superseded")
+	}
 	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cPath := segPath(pub, 2)
+	if err := c.Close(); err != nil {
 		t.Fatalf("close latest backend: %v", err)
 	}
-	if _, err := OpenFileStore(bDir); err != nil {
-		t.Fatalf("latest store's files should survive its Close: %v", err)
+	if fs, err := OpenSegment(cPath); err != nil {
+		t.Fatalf("latest segment should survive its backend's Close: %v", err)
+	} else {
+		fs.Close()
 	}
 	if err := pub.Close(); err != nil {
 		t.Fatalf("publisher Close: %v", err)
 	}
-	if _, err := OpenFileStore(bDir); err == nil {
+	if _, err := os.Stat(cPath); err == nil {
 		t.Fatal("publisher-owned temp dir survived Close")
 	}
 }
 
+// TestFilePublisherSync covers the synchronous mode: Publish returns the
+// mmap'd segment directly, already durable, and Barrier is a no-op.
+func TestFilePublisherSync(t *testing.T) {
+	pub := NewFilePublisher("")
+	pub.SetSync(true)
+	defer pub.Close()
+	b, err := pub.Publish(0, NewStore([]KV{kv(1, 4, 0, 40, 0)}, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := b.(*FileStore)
+	if !ok {
+		t.Fatalf("sync publish returned %T, want *FileStore", b)
+	}
+	if _, err := os.Stat(segPath(pub, 0)); err != nil {
+		t.Fatalf("sync publish did not leave a durable segment: %v", err)
+	}
+	if v, ok := fs.Get(Key{1, 4, 0}); !ok || v.A != 40 {
+		t.Fatalf("Get = %v ok=%v", v, ok)
+	}
+	if err := pub.Barrier(); err != nil {
+		t.Fatalf("sync barrier: %v", err)
+	}
+}
+
 // TestFilePublisherExplicitDirKept asserts a caller-supplied directory is
-// left in place with the latest store's files after the publisher closes.
+// left in place with the latest segment after the publisher closes.
 func TestFilePublisherExplicitDirKept(t *testing.T) {
 	dir := t.TempDir()
 	pub := NewFilePublisher(dir)
@@ -189,19 +282,96 @@ func TestFilePublisherExplicitDirKept(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	last := s.(*FileStore).Dir()
+	if err := pub.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	last := segPath(pub, 0)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := pub.Close(); err != nil {
 		t.Fatal(err)
 	}
-	reopened, err := OpenFileStore(last)
+	reopened, err := OpenSegment(last)
 	if err != nil {
-		t.Fatalf("latest store gone from explicit dir: %v", err)
+		t.Fatalf("latest segment gone from explicit dir: %v", err)
 	}
 	defer reopened.Close()
 	if v, ok := reopened.Get(Key{1, 7, 0}); !ok || v.A != 70 {
 		t.Fatalf("reopened Get = %v ok=%v", v, ok)
+	}
+}
+
+// TestFilePublisherCancelledPublish kills a write-behind publish through its
+// context: the publish must fail from Barrier with the context's error, the
+// backend must keep answering reads from memory, and no partial segment or
+// temp file may survive anywhere under the run directory.
+func TestFilePublisherCancelledPublish(t *testing.T) {
+	dir := t.TempDir()
+	pub := NewFilePublisher(dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	pub.SetContext(ctx)
+	cancel() // the in-flight writer observes this before any chunk is written
+
+	s := NewStore([]KV{kv(1, 3, 0, 30, 0)}, 4, 9)
+	ps, err := pub.Publish(0, s)
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := pub.Barrier(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("barrier error = %v, want context.Canceled", err)
+	}
+	if v, ok := ps.Get(Key{1, 3, 0}); !ok || v.A != 30 {
+		t.Fatalf("cancelled publish stopped serving reads: %v ok=%v", v, ok)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var leftover []string
+	if err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			leftover = append(leftover, path)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Fatalf("partial files survived a cancelled publish: %v", leftover)
+	}
+}
+
+// TestFilePublisherClosedMidFlight covers the Close path: closing the
+// publisher with a publish still in flight aborts the write, removes its
+// temp file, and a later Publish refuses to run.
+func TestFilePublisherClosedMidFlight(t *testing.T) {
+	dir := t.TempDir()
+	pub := NewFilePublisher(dir)
+	s := NewStore([]KV{kv(1, 6, 0, 60, 0)}, 2, 1)
+	if _, err := pub.Publish(0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".tmp" {
+			t.Fatalf("temp file survived Close: %s", path)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(1, s); err == nil {
+		t.Fatal("Publish after Close succeeded")
 	}
 }

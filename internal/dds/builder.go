@@ -150,12 +150,20 @@ func (b *Builder) Len() int {
 // regardless of parallelism. The builder's buffers are copied, so the
 // builder may be Reset and reused immediately.
 func (b *Builder) Freeze(p int, salt uint64) *Store {
+	return b.FreezeArena(nil, p, salt)
+}
+
+// FreezeArena is Freeze drawing the new store's slot arrays, slabs and
+// partition scratch from the arena's recycled generation instead of the
+// allocator. The produced store is identical; only the provenance of its
+// memory changes.
+func (b *Builder) FreezeArena(a *Arena, p int, salt uint64) *Store {
 	bufs := b.buffers()
 	total := 0
 	for _, buf := range bufs {
 		total += len(buf)
 	}
-	return buildStore(bufs, p, salt, buildWorkers(total))
+	return buildStore(bufs, p, salt, buildWorkers(total), a)
 }
 
 // Writer buffers one machine's writes for the round.

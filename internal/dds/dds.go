@@ -141,7 +141,14 @@ type Store struct {
 // retained. Large inputs build in parallel; the result is identical for any
 // level of parallelism.
 func NewStore(pairs []KV, p int, salt uint64) *Store {
-	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)))
+	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)), nil)
+}
+
+// NewStoreArena is NewStore drawing slot arrays, slabs and partition
+// scratch from the arena's recycled generation. The produced store is
+// identical; only the provenance of its memory changes.
+func NewStoreArena(pairs []KV, p int, salt uint64, a *Arena) *Store {
+	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)), a)
 }
 
 // buildWorkers picks the build parallelism for an input size: small builds
@@ -161,8 +168,9 @@ func buildWorkers(pairs int) int {
 // regions (counting pass, prefix sums, scatter pass) and then builds every
 // shard's flat index. All three passes parallelize over `workers` goroutines;
 // the scatter preserves input order within each shard, so the store is
-// independent of the worker count.
-func buildStore(bufs [][]KV, p int, salt uint64, workers int) *Store {
+// independent of the worker count. A non-nil arena supplies recycled slot
+// arrays, slabs and partition scratch; the result is identical either way.
+func buildStore(bufs [][]KV, p int, salt uint64, workers int, a *Arena) *Store {
 	if p <= 0 {
 		p = 1
 	}
@@ -212,8 +220,7 @@ func buildStore(bufs [][]KV, p int, salt uint64, workers int) *Store {
 
 	// Scatter pass: pairs land in their shard region in input order, with
 	// their full hash alongside so shard builds never rehash.
-	scratch := make([]KV, total)
-	hs := make([]uint64, total)
+	scratch, hs, slotIdx := a.grabScratch(total)
 	parallelDo(len(chunks), workers, func(c int) {
 		cur := cursors[c*p : (c+1)*p]
 		for _, seg := range chunks[c] {
@@ -229,11 +236,11 @@ func buildStore(bufs [][]KV, p int, salt uint64, workers int) *Store {
 
 	// Index build: shards are independent; slotIdx is a shared scratch that
 	// each shard slices to its own region.
-	slotIdx := make([]int32, total)
 	parallelDo(p, workers, func(sh int) {
 		lo, hi := starts[sh], starts[sh+1]
-		s.shards[sh].build(scratch[lo:hi], hs[lo:hi], slotIdx[lo:hi])
+		s.shards[sh].build(scratch[lo:hi], hs[lo:hi], slotIdx[lo:hi], a)
 	})
+	a.putScratch(scratch, hs, slotIdx)
 	return s
 }
 
@@ -308,7 +315,7 @@ func parallelDo(n, workers int, f func(i int)) {
 // the same length. Two passes: the first inserts keys and counts duplicates,
 // the second places values — first value inline, the rest appended to the
 // overflow slab in input order, which is exactly the sequential merge order.
-func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32) {
+func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32, a *Arena) {
 	sh.size = len(pairs)
 	if len(pairs) == 0 {
 		return
@@ -317,7 +324,7 @@ func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32) {
 	for cap < 2*len(pairs) {
 		cap <<= 1
 	}
-	sh.slots = make([]slot, cap)
+	sh.slots = a.grabSlots(cap)
 	sh.mask = uint64(cap - 1)
 	for i, kv := range pairs {
 		j := (hs[i] >> 32) & sh.mask
@@ -345,7 +352,7 @@ func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32) {
 		}
 	}
 	if overflow > 0 {
-		sh.slab = make([]Value, overflow)
+		sh.slab = a.grabSlab(int(overflow))
 	}
 	for i, kv := range pairs {
 		sl := &sh.slots[slotIdx[i]]

@@ -1,6 +1,7 @@
 package dds
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -92,14 +93,22 @@ func checksum(parts ...[]byte) uint64 {
 	return h
 }
 
-// appendShardFile serializes one shard into buf (header + slots + slab) and
-// returns the extended slice.
-func appendShardFile(buf []byte, sh *shard, index, count int, salt uint64) []byte {
-	base := len(buf)
-	buf = append(buf, make([]byte, headerBytes)...)
+// shardBlockBytes returns the exact serialized size of one shard's block:
+// header plus slot and slab records. Computable without serializing, which
+// is what lets the segment writer lay out its section table up front and
+// fill sections in parallel.
+func shardBlockBytes(sh *shard) int {
+	return headerBytes + len(sh.slots)*slotBytes + len(sh.slab)*valueBytes
+}
+
+// fillShardBlock serializes one shard into dst, which must be exactly
+// shardBlockBytes(sh) long. Every byte of dst is written — reserved bytes
+// explicitly zeroed — so filling a recycled buffer is still deterministic.
+func fillShardBlock(dst []byte, sh *shard, index, count int, salt uint64) {
+	off := headerBytes
 	for i := range sh.slots {
 		sl := &sh.slots[i]
-		var rec [slotBytes]byte
+		rec := dst[off : off+slotBytes]
 		le.PutUint64(rec[0:], uint64(sl.key.A))
 		le.PutUint64(rec[8:], uint64(sl.key.B))
 		le.PutUint64(rec[16:], uint64(sl.first.A))
@@ -107,15 +116,19 @@ func appendShardFile(buf []byte, sh *shard, index, count int, salt uint64) []byt
 		le.PutUint32(rec[32:], uint32(sl.count))
 		le.PutUint32(rec[36:], uint32(sl.off))
 		rec[40] = sl.key.Tag
-		buf = append(buf, rec[:]...)
+		for j := 41; j < slotBytes; j++ {
+			rec[j] = 0
+		}
+		off += slotBytes
 	}
 	for _, v := range sh.slab {
-		var rec [valueBytes]byte
+		rec := dst[off : off+valueBytes]
 		le.PutUint64(rec[0:], uint64(v.A))
 		le.PutUint64(rec[8:], uint64(v.B))
-		buf = append(buf, rec[:]...)
+		off += valueBytes
 	}
-	h := buf[base : base+headerBytes]
+	h := dst[:headerBytes]
+	clear(h)
 	copy(h[0:8], shardMagic)
 	le.PutUint32(h[8:], shardVersion)
 	le.PutUint32(h[12:], uint32(index))
@@ -124,8 +137,25 @@ func appendShardFile(buf []byte, sh *shard, index, count int, salt uint64) []byt
 	le.PutUint64(h[32:], uint64(sh.size))
 	le.PutUint64(h[40:], uint64(len(sh.slots)))
 	le.PutUint64(h[48:], uint64(len(sh.slab)))
-	le.PutUint64(h[56:], checksum(h[0:56], buf[base+headerBytes:]))
+	le.PutUint64(h[56:], checksum(h[0:56], dst[headerBytes:]))
+}
+
+// appendShardFile serializes one shard into buf (header + slots + slab) and
+// returns the extended slice.
+func appendShardFile(buf []byte, sh *shard, index, count int, salt uint64) []byte {
+	base := len(buf)
+	buf = growBytes(buf, shardBlockBytes(sh))
+	fillShardBlock(buf[base:], sh, index, count, salt)
 	return buf
+}
+
+// growBytes extends buf by n bytes, reusing spare capacity when available.
+// The extension is not zeroed when recycled; callers overwrite every byte.
+func growBytes(buf []byte, n int) []byte {
+	if tot := len(buf) + n; tot <= cap(buf) {
+		return buf[:tot]
+	}
+	return append(buf, make([]byte, n)...)
 }
 
 // WriteStore serializes every shard of s into dir (created if absent), one
@@ -263,25 +293,38 @@ type shardHeader struct {
 // openShardFile maps one shard file, validates magic, version, geometry and
 // checksum, and registers the unmap on s.
 func openShardFile(s *FileStore, path string, index int) (shardHeader, error) {
-	var hdr shardHeader
 	f, err := os.Open(path)
 	if err != nil {
-		return hdr, err
+		return shardHeader{}, err
 	}
 	defer f.Close()
 	info, err := f.Stat()
 	if err != nil {
-		return hdr, err
+		return shardHeader{}, err
 	}
 	if info.Size() < headerBytes {
-		return hdr, fmt.Errorf("%w: %s: %d bytes, header needs %d", ErrTruncated, path, info.Size(), headerBytes)
+		return shardHeader{}, fmt.Errorf("%w: %s: %d bytes, header needs %d", ErrTruncated, path, info.Size(), headerBytes)
 	}
 	data, unmap, err := mmapFile(f, info.Size())
 	if err != nil {
-		return hdr, fmt.Errorf("dds: shard file: %s: map: %w", path, err)
+		return shardHeader{}, fmt.Errorf("dds: shard file: %s: map: %w", path, err)
 	}
 	s.unmaps = append(s.unmaps, unmap)
+	return parseShardBlock(data, path, index, true)
+}
 
+// parseShardBlock decodes one serialized shard — a standalone v1 shard file
+// or one section of a segment file — validating magic, version, geometry and
+// checksum against exactly len(data) bytes. verify=false skips the checksum
+// and the slot-table scan: the trusted fast path for bytes this process
+// serialized itself moments ago, where validation would re-read the whole
+// payload the write-behind publisher just wrote.
+func parseShardBlock(data []byte, path string, index int, verify bool) (shardHeader, error) {
+	var hdr shardHeader
+	size := int64(len(data))
+	if size < headerBytes {
+		return hdr, fmt.Errorf("%w: %s: %d bytes, header needs %d", ErrTruncated, path, size, headerBytes)
+	}
 	h := data[:headerBytes]
 	if string(h[0:8]) != shardMagic {
 		return hdr, fmt.Errorf("%w: %s", ErrBadMagic, path)
@@ -300,25 +343,30 @@ func openShardFile(s *FileStore, path string, index int) (shardHeader, error) {
 	if slotCount&(slotCount-1) != 0 { // 0 or a power of two
 		return hdr, fmt.Errorf("%w: %s: slot count %d not a power of two", ErrBadGeometry, path, slotCount)
 	}
-	if slotCount > uint64(info.Size()) || slabCount > uint64(info.Size()) {
+	if slotCount > uint64(size) || slabCount > uint64(size) {
 		return hdr, fmt.Errorf("%w: %s: %d bytes, header declares %d slots and %d slab values",
-			ErrTruncated, path, info.Size(), slotCount, slabCount)
+			ErrTruncated, path, size, slotCount, slabCount)
 	}
 	want := int64(headerBytes) + int64(slotCount)*slotBytes + int64(slabCount)*valueBytes
-	if info.Size() < want {
-		return hdr, fmt.Errorf("%w: %s: %d bytes, header declares %d", ErrTruncated, path, info.Size(), want)
+	if size < want {
+		return hdr, fmt.Errorf("%w: %s: %d bytes, header declares %d", ErrTruncated, path, size, want)
 	}
-	if info.Size() > want {
-		return hdr, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadGeometry, path, info.Size()-want)
+	if size > want {
+		return hdr, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadGeometry, path, size-want)
 	}
-	if sum := checksum(h[0:56], data[headerBytes:]); sum != le.Uint64(h[56:]) {
-		return hdr, fmt.Errorf("%w: %s", ErrChecksum, path)
+	if verify {
+		if sum := checksum(h[0:56], data[headerBytes:]); sum != le.Uint64(h[56:]) {
+			return hdr, fmt.Errorf("%w: %s", ErrChecksum, path)
+		}
 	}
 	hdr.slots = data[headerBytes : headerBytes+int(slotCount)*slotBytes]
 	if slotCount > 0 {
 		hdr.mask = slotCount - 1
 	}
 	hdr.slab = data[headerBytes+int(slotCount)*slotBytes:]
+	if !verify {
+		return hdr, nil
+	}
 
 	// Structural validation of the slot table. A checksum only proves the
 	// bytes match what some writer computed — it does not prove the writer
@@ -483,30 +531,67 @@ func (s *FileStore) ResetLoads() {
 }
 
 // FilePublisher is a Publisher that serializes every published store into a
-// directory and reads it back through mmap'd FileStores — the bridge from
-// in-process simulation toward a DDS that actually lives outside the round's
-// address space. Retired stores are deleted when the runtime closes their
-// backend, so disk usage stays bounded by one store (plus the one being
-// published); the latest store's files are kept until the publisher itself
-// is closed, and survive it when the caller supplied the directory.
+// segment file and reads it back through mmap — the bridge from in-process
+// simulation toward a DDS that actually lives outside the round's address
+// space.
+//
+// Publishing is write-behind by default: Publish hands the frozen store to a
+// background goroutine that serializes it through a reused buffer, fsyncs
+// the segment and its directory, and renames it into place — all while the
+// caller's next round executes against the still-in-memory store. Barrier
+// joins the in-flight write; once the segment is durable the published
+// backend atomically swaps its reads to the mmap'd file and releases the
+// in-memory arrays into the publisher's Arena for the next freeze to
+// recycle. SetSync(true) restores fully synchronous publishing (serialize,
+// fsync, mmap before Publish returns), which is also the mode whose reads
+// exercise the mmap path for the whole round.
+//
+// Retired stores are deleted when the runtime closes their backend, so disk
+// usage stays bounded by the newest durable segment plus the one being
+// written; the latest segment is kept until the publisher itself is closed,
+// and survives it when the caller supplied the directory.
 type FilePublisher struct {
-	mu     sync.Mutex
-	dir    string // base directory; lazily created on first Publish
-	owned  bool   // dir was auto-created (temp) and is removed on Close
-	ready  bool
-	latest string // directory of the most recently published store
+	mu            sync.Mutex
+	dir           string // base directory; lazily created on first Publish
+	owned         bool   // dir was auto-created (temp) and is removed on Close
+	ready         bool
+	sync          bool            // publish in the foreground; reads go straight to mmap
+	ctx           context.Context // optional; cancels in-flight write-behind publishes
+	arena         *Arena          // optional; receives swapped-out in-memory stores
+	buf           []byte          // reused segment serialization buffer
+	inflight      *pendingStore   // the write-behind publish not yet joined
+	latest        string          // newest durable segment
+	latestRetired bool            // latest's backend closed; delete when superseded
+	garbage       []string        // retired segments awaiting off-thread deletion
+	closed        chan struct{}   // closed by Close; aborts in-flight writes
+	closeOnce     sync.Once
 }
 
-// NewFilePublisher returns a publisher writing store directories under dir.
-// An empty dir selects a fresh temporary directory that is removed when the
+// NewFilePublisher returns a publisher writing segment files under dir. An
+// empty dir selects a fresh temporary directory that is removed when the
 // publisher is closed; a caller-supplied dir receives a unique run-*
 // subdirectory per publisher, so concurrent or repeated runs sharing a
-// store directory never write over each other's live mappings, and each
-// run's final store survives in its own run directory. The filesystem is
+// store directory never write over each other's live segments, and each
+// run's final segment survives in its own run directory. The filesystem is
 // not touched until the first Publish, so construction never fails.
 func NewFilePublisher(dir string) *FilePublisher {
-	return &FilePublisher{dir: dir}
+	return &FilePublisher{dir: dir, closed: make(chan struct{})}
 }
+
+// SetSync selects synchronous publishing: Publish serializes, fsyncs and
+// mmaps the segment before returning, instead of write-behind. Call before
+// the first Publish.
+func (p *FilePublisher) SetSync(sync bool) { p.sync = sync }
+
+// SetContext attaches a cancellation context: an in-flight write-behind
+// publish aborts between write chunks once ctx is done, removing its temp
+// file, and the cancellation surfaces from the next Barrier or Publish.
+// Call before the first Publish.
+func (p *FilePublisher) SetContext(ctx context.Context) { p.ctx = ctx }
+
+// SetArena gives the publisher an arena to recycle swapped-out in-memory
+// stores into. Call before the first Publish.
+func (p *FilePublisher) SetArena(a *Arena) { p.arena = a }
 
 // Dir returns the base directory (empty until the first Publish when the
 // publisher owns a temporary directory).
@@ -516,62 +601,176 @@ func (p *FilePublisher) Dir() string {
 	return p.dir
 }
 
-// Publish serializes s into <dir>/store-NNNNNN and returns the mmap'd
-// backend reading it.
-func (p *FilePublisher) Publish(seq int, s *Store) (StoreBackend, error) {
-	p.mu.Lock()
-	if !p.ready {
-		if p.dir == "" {
-			tmp, err := os.MkdirTemp("", "ampc-dds-")
-			if err != nil {
-				p.mu.Unlock()
-				return nil, err
-			}
-			p.dir, p.owned = tmp, true
-		} else {
-			if err := os.MkdirAll(p.dir, 0o755); err != nil {
-				p.mu.Unlock()
-				return nil, err
-			}
-			run, err := os.MkdirTemp(p.dir, "run-")
-			if err != nil {
-				p.mu.Unlock()
-				return nil, err
-			}
-			p.dir = run
+// cancelled reports why an in-flight write must abort, or nil.
+func (p *FilePublisher) cancelled() error {
+	select {
+	case <-p.closed:
+		return errPublishCancelled
+	default:
+	}
+	if p.ctx != nil {
+		if err := p.ctx.Err(); err != nil {
+			return err
 		}
-		p.ready = true
 	}
-	dir := filepath.Join(p.dir, fmt.Sprintf("store-%06d", seq))
-	p.mu.Unlock()
-
-	if err := WriteStore(s, dir); err != nil {
-		os.RemoveAll(dir)
-		return nil, err
-	}
-	fs, err := OpenFileStore(dir)
-	if err != nil {
-		os.RemoveAll(dir)
-		return nil, err
-	}
-	p.mu.Lock()
-	p.latest = dir
-	p.mu.Unlock()
-	fs.cleanup = func() error {
-		p.mu.Lock()
-		keep := p.latest == dir
-		p.mu.Unlock()
-		if keep {
-			return nil
-		}
-		return os.RemoveAll(dir)
-	}
-	return fs, nil
+	return nil
 }
 
-// Close removes the base directory when the publisher created it itself;
-// a caller-supplied directory is left in place with the latest store's files.
+// ensureDir lazily creates the base (or run-*) directory; p.mu held.
+func (p *FilePublisher) ensureDir() error {
+	if p.ready {
+		return nil
+	}
+	if p.dir == "" {
+		tmp, err := os.MkdirTemp("", "ampc-dds-")
+		if err != nil {
+			return err
+		}
+		p.dir, p.owned = tmp, true
+	} else {
+		if err := os.MkdirAll(p.dir, 0o755); err != nil {
+			return err
+		}
+		run, err := os.MkdirTemp(p.dir, "run-")
+		if err != nil {
+			return err
+		}
+		p.dir = run
+	}
+	p.ready = true
+	return nil
+}
+
+// release retires one published segment. The newest durable store is kept
+// (and queued for deletion only when a newer segment lands, so disk always
+// holds the latest complete store); anything older joins the garbage queue,
+// drained off the driver thread — unlinking a retired segment can cost real
+// time (block discard on some filesystems) and must not extend the round's
+// synchronous publish phase.
+func (p *FilePublisher) release(path string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if path == p.latest {
+		p.latestRetired = true
+		return nil
+	}
+	p.garbage = append(p.garbage, path)
+	return nil
+}
+
+// recordDurable marks path as the newest durable segment, queueing the
+// previous latest for deletion if its backend already retired; p.mu held.
+func (p *FilePublisher) recordDurable(path string) {
+	if p.latestRetired && p.latest != "" && p.latest != path {
+		p.garbage = append(p.garbage, p.latest)
+	}
+	p.latest, p.latestRetired = path, false
+}
+
+// drainGarbage deletes retired segments queued by release. Called from the
+// background writer goroutine before each write (overlapping the caller's
+// execute phase) and from Close.
+func (p *FilePublisher) drainGarbage() {
+	p.mu.Lock()
+	g := p.garbage
+	p.garbage = nil
+	p.mu.Unlock()
+	for _, path := range g {
+		os.Remove(path)
+	}
+}
+
+// Publish installs store seq. In write-behind mode (the default) it returns
+// immediately with a backend reading the in-memory store while the segment
+// serializes in the background; in sync mode it returns the mmap'd segment.
+// Publish takes ownership of s: after a successful Publish the caller must
+// read only through the returned backend, because s's arrays may be
+// recycled into a later store once the segment is durable.
+func (p *FilePublisher) Publish(seq int, s *Store) (StoreBackend, error) {
+	if err := p.Barrier(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	select {
+	case <-p.closed:
+		p.mu.Unlock()
+		return nil, errPublishCancelled
+	default:
+	}
+	if err := p.ensureDir(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	path := filepath.Join(p.dir, fmt.Sprintf(segFileFmt, seq))
+	if p.sync {
+		buf, err := writeSegment(s, path, p.buf, p.cancelled)
+		p.buf = buf
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		fs, err := openSegment(path, false)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.recordDurable(path)
+		p.mu.Unlock()
+		p.drainGarbage()
+		fs.cleanup = func() error { return p.release(path) }
+		p.arena.Recycle(s)
+		return fs, nil
+	}
+	ps := &pendingStore{pub: p, path: path, mem: s, done: make(chan struct{})}
+	ps.store(s)
+	buf := p.buf
+	p.buf, p.inflight = nil, ps
+	p.mu.Unlock()
+	go ps.run(buf)
+	return ps, nil
+}
+
+// Barrier joins the in-flight write-behind publish: it blocks until the
+// segment is durable (file and directory fsynced), swaps the published
+// backend's reads from the in-memory store to the mmap'd segment, and
+// recycles the in-memory arrays. A write failure or cancellation is
+// returned once, and the backend keeps serving from memory so reads stay
+// correct while the error surfaces.
+func (p *FilePublisher) Barrier() error {
+	p.mu.Lock()
+	ps := p.inflight
+	p.inflight = nil
+	p.mu.Unlock()
+	if ps == nil {
+		return nil
+	}
+	<-ps.done
+	if ps.err != nil {
+		return ps.err
+	}
+	fs, err := openSegment(ps.path, false)
+	if err != nil {
+		return err
+	}
+	fs.cleanup = func() error { return p.release(ps.path) }
+	ps.swap(fs, p.arena)
+	return nil
+}
+
+// Close aborts any in-flight publish (its temp file is removed; a segment
+// that already became durable is kept as the latest) and removes the base
+// directory when the publisher created it itself; a caller-supplied
+// directory is left in place with the latest segment.
 func (p *FilePublisher) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	p.mu.Lock()
+	ps := p.inflight
+	p.inflight = nil
+	p.mu.Unlock()
+	if ps != nil {
+		<-ps.done
+	}
+	p.drainGarbage()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.owned && p.dir != "" {
@@ -581,3 +780,77 @@ func (p *FilePublisher) Close() error {
 	}
 	return nil
 }
+
+// pendingStore is the backend returned by a write-behind Publish. Reads are
+// served by the frozen in-memory store while the segment file is written in
+// the background; once Barrier observes the write durable, reads swap
+// atomically to the mmap'd segment and the in-memory arrays are recycled.
+type pendingStore struct {
+	inner atomic.Pointer[StoreBackend]
+	mem   *Store // retained until the swap
+	path  string
+	pub   *FilePublisher
+	done  chan struct{} // closed when the background write finishes
+	err   error         // write outcome; read only after done
+}
+
+// run is the background writer: one publish, one goroutine, joined by
+// Barrier (or Publish/Close) through ps.done.
+func (ps *pendingStore) run(buf []byte) {
+	ps.pub.drainGarbage()
+	buf, err := writeSegment(ps.mem, ps.path, buf, ps.pub.cancelled)
+	ps.err = err
+	p := ps.pub
+	p.mu.Lock()
+	p.buf = buf // return the serialization buffer for the next publish
+	if err == nil {
+		p.recordDurable(ps.path)
+	}
+	p.mu.Unlock()
+	close(ps.done)
+}
+
+func (ps *pendingStore) store(b StoreBackend)  { ps.inner.Store(&b) }
+func (ps *pendingStore) backend() StoreBackend { return *ps.inner.Load() }
+
+// swap redirects reads to the mmap'd segment and hands the in-memory store
+// to the arena. Load counters carry over zero — the runtime resets them at
+// every round boundary anyway.
+func (ps *pendingStore) swap(fs *FileStore, a *Arena) {
+	ps.store(fs)
+	a.Recycle(ps.mem)
+	ps.mem = nil
+}
+
+// Close retires the backend: it joins the background write, then releases
+// whatever reads were being served from — the mmap'd segment after a swap,
+// or just the segment file when the store retired before any Barrier.
+func (ps *pendingStore) Close() error {
+	<-ps.done
+	if fs, ok := ps.backend().(*FileStore); ok {
+		return fs.Close()
+	}
+	ps.mem = nil
+	if ps.err == nil {
+		return ps.pub.release(ps.path)
+	}
+	return nil
+}
+
+// StoreBackend delegation: every read goes through the current inner
+// backend (in-memory before the swap, mmap'd segment after).
+
+func (ps *pendingStore) Get(k Key) (Value, bool)               { return ps.backend().Get(k) }
+func (ps *pendingStore) GetIndexed(k Key, i int) (Value, bool) { return ps.backend().GetIndexed(k, i) }
+func (ps *pendingStore) GetRange(k Key, lo, hi int, dst []Value) []Value {
+	return ps.backend().GetRange(k, lo, hi, dst)
+}
+func (ps *pendingStore) Count(k Key) int     { return ps.backend().Count(k) }
+func (ps *pendingStore) Len() int            { return ps.backend().Len() }
+func (ps *pendingStore) Shards() int         { return ps.backend().Shards() }
+func (ps *pendingStore) ShardSizes() []int   { return ps.backend().ShardSizes() }
+func (ps *pendingStore) ShardLoads() []int64 { return ps.backend().ShardLoads() }
+func (ps *pendingStore) MaxShardLoad() int64 { return ps.backend().MaxShardLoad() }
+func (ps *pendingStore) ResetLoads()         { ps.backend().ResetLoads() }
+
+var _ StoreBackend = (*pendingStore)(nil)

@@ -126,11 +126,16 @@ func TestParallelFreezeMatchesSequential(t *testing.T) {
 		pairs := randomPairs(r, n, 25)
 		p := r.Intn(32) + 1
 		salt := r.Uint64()
-		seq := buildStore([][]KV{pairs}, p, salt, 1)
+		seq := buildStore([][]KV{pairs}, p, salt, 1, nil)
 		for _, workers := range []int{2, 3, 8} {
-			par := buildStore([][]KV{pairs}, p, salt, workers)
+			par := buildStore([][]KV{pairs}, p, salt, workers, nil)
 			compareStores(t, seq, par)
 		}
+		// An arena primed with a retired store must not change the build:
+		// recycled slot arrays are zeroed, slabs fully overwritten.
+		arena := NewArena()
+		arena.Recycle(buildStore([][]KV{pairs}, p, salt^1, 4, nil))
+		compareStores(t, seq, buildStore([][]KV{pairs}, p, salt, 4, arena))
 	}
 }
 
@@ -150,7 +155,7 @@ func TestBuilderParallelFreezeMatchesSequential(t *testing.T) {
 	}
 	const p, salt = 16, 99
 	par := b.Freeze(p, salt)
-	seq := buildStore([][]KV{b.Pairs()}, p, salt, 1)
+	seq := buildStore([][]KV{b.Pairs()}, p, salt, 1, nil)
 	compareStores(t, seq, par)
 
 	// ShardSizes and duplicate order must also match the historic

@@ -1,0 +1,301 @@
+package dds
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// On-disk segment format (version 2).
+//
+// A frozen store serializes as ONE file — store-NNNNNN.seg — instead of the
+// v1 layout's one file per shard. Writing P shard files per round made the
+// file backend's freeze 20-50x the in-memory backend's (BENCH_PR3.json):
+// the cost was P opens, P tiny writes and P closes, not the bytes. A segment
+// batches the shards of one store behind a single super-header, written
+// through one reused buffer and one write syscall.
+//
+//	super-header  64 bytes
+//	  [0:8)    magic "AMPCSEGM"
+//	  [8:12)   format version, uint32 (currently 2)
+//	  [12:16)  shard count, uint32
+//	  [16:24)  placement salt, uint64
+//	  [24:32)  total pairs, uint64
+//	  [32:40)  total file size in bytes, uint64
+//	  [40:56)  reserved, zero
+//	  [56:64)  checksum, uint64 over header[0:56] ++ section table
+//	section table  shard count * 16-byte entries
+//	  [0:8)    section offset from the start of the file, uint64
+//	  [8:16)   section length in bytes, uint64
+//	sections  one per shard, contiguous and in shard order
+//
+// Each section is bit-for-bit a v1 shard block (64-byte shard header, slot
+// records, slab records) keeping its own checksum and slot/slab geometry, so
+// a section validates independently and the mmap'd read path probes the same
+// bytes as a standalone shard file. Sections must start immediately after
+// the table and tile the file exactly; a table whose offsets are swapped,
+// overlapping or gapped is rejected as ErrBadGeometry before any section is
+// read.
+//
+// Versioning rules match the shard format: the magic never changes, layout
+// changes bump the version, readers reject versions they do not implement.
+const (
+	segmentMagic   = "AMPCSEGM"
+	segmentVersion = 2
+	segTableEntry  = 16
+	segFileFmt     = "store-%06d.seg"
+)
+
+// SectionError locates a validation failure inside one section of a segment
+// file. It wraps the section's underlying typed error — ErrChecksum,
+// ErrTruncated, ErrBadGeometry, ... — so errors.Is sees through it, and
+// errors.As recovers which shard's section is damaged.
+type SectionError struct {
+	Section int
+	Err     error
+}
+
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("section %d: %v", e.Section, e.Err)
+}
+
+func (e *SectionError) Unwrap() error { return e.Err }
+
+// AppendSegment serializes s as a segment into buf and returns the extended
+// slice. Serialization is deterministic — the same store produces identical
+// bytes into a fresh or recycled buffer — and the per-shard sections fill in
+// parallel for large stores, since the section table is computed up front.
+func AppendSegment(buf []byte, s *Store) []byte {
+	p := len(s.shards)
+	base := len(buf)
+	offs := make([]int, p+1)
+	offs[0] = headerBytes + p*segTableEntry
+	for i := range s.shards {
+		offs[i+1] = offs[i] + shardBlockBytes(&s.shards[i])
+	}
+	buf = growBytes(buf, offs[p])
+	seg := buf[base:]
+	parallelDo(p, buildWorkers(s.pairs), func(i int) {
+		fillShardBlock(seg[offs[i]:offs[i+1]], &s.shards[i], i, p, s.salt)
+	})
+	table := seg[headerBytes : headerBytes+p*segTableEntry]
+	for i := 0; i < p; i++ {
+		le.PutUint64(table[i*segTableEntry:], uint64(offs[i]))
+		le.PutUint64(table[i*segTableEntry+8:], uint64(offs[i+1]-offs[i]))
+	}
+	h := seg[:headerBytes]
+	clear(h)
+	copy(h[0:8], segmentMagic)
+	le.PutUint32(h[8:], segmentVersion)
+	le.PutUint32(h[12:], uint32(p))
+	le.PutUint64(h[16:], s.salt)
+	le.PutUint64(h[24:], uint64(s.pairs))
+	le.PutUint64(h[32:], uint64(offs[p]))
+	le.PutUint64(h[56:], checksum(h[0:56], table))
+	return buf
+}
+
+// WriteSegment serializes s into path through buf (reused when large
+// enough) and returns the possibly-grown buffer. The write is atomic and
+// durable: bytes go to a hidden temp file in path's directory, the file is
+// fsynced, renamed over path, and the directory is fsynced — a crash leaves
+// either no segment or a complete one, never a torn file, and a rename that
+// returned means the segment survives power loss.
+func WriteSegment(s *Store, path string, buf []byte) ([]byte, error) {
+	return writeSegment(s, path, buf, nil)
+}
+
+// errPublishCancelled reports a write-behind publish aborted before the
+// segment was durable (context cancellation or publisher Close).
+var errPublishCancelled = errors.New("dds: segment publish cancelled")
+
+// writeSegment is WriteSegment with a cancellation hook: when cancelled
+// returns a non-nil error between write chunks, the temp file is removed
+// and the error returned — no partial segment survives.
+func writeSegment(s *Store, path string, buf []byte, cancelled func() error) ([]byte, error) {
+	buf = AppendSegment(buf[:0], s)
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return buf, err
+	}
+	fail := func(err error) ([]byte, error) {
+		f.Close()
+		os.Remove(tmp)
+		return buf, err
+	}
+	const chunk = 4 << 20
+	for off := 0; off < len(buf); off += chunk {
+		if cancelled != nil {
+			if err := cancelled(); err != nil {
+				return fail(err)
+			}
+		}
+		end := off + chunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if _, err := f.Write(buf[off:end]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return buf, err
+	}
+	if cancelled != nil {
+		if err := cancelled(); err != nil {
+			os.Remove(tmp)
+			return buf, err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return buf, err
+	}
+	return buf, syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that cannot sync a directory fd (some network and overlay
+// mounts) report EINVAL/ENOTSUP; that leaves the rename as durable as the
+// platform allows and must not fail the publish.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		err = nil
+	}
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenSegment maps the segment file at path and returns the StoreBackend
+// reading it. The super-header checksum, the section tiling, and every
+// section's own checksum and slot-table structure are verified before any
+// read is answered; damage fails with the same typed errors as v1 shard
+// files, wrapped in a SectionError when it is confined to one section.
+func OpenSegment(path string) (*FileStore, error) {
+	return openSegment(path, true)
+}
+
+// openSegment is OpenSegment with the verification toggle. verify=false is
+// the publisher's trusted path for a segment this process serialized and
+// fsynced moments ago: structural bounds are still enforced (slices must
+// stay inside the mapping) but checksums and the slot-table scan — a full
+// re-read of bytes that were just written — are skipped.
+func openSegment(path string, verify bool) (*FileStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if info.Size() < headerBytes {
+		return nil, fmt.Errorf("%w: %s: %d bytes, super-header needs %d", ErrTruncated, path, info.Size(), headerBytes)
+	}
+	data, unmap, err := mmapFile(f, info.Size())
+	if err != nil {
+		return nil, fmt.Errorf("dds: segment file: %s: map: %w", path, err)
+	}
+	s := &FileStore{dir: path, unmaps: []func() error{unmap}}
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+
+	h := data[:headerBytes]
+	if string(h[0:8]) != segmentMagic {
+		return nil, fmt.Errorf("%w: %s: not a segment file", ErrBadMagic, path)
+	}
+	if v := le.Uint32(h[8:]); v != segmentVersion {
+		return nil, fmt.Errorf("%w: %s: segment version %d, reader implements %d", ErrBadVersion, path, v, segmentVersion)
+	}
+	count := int(le.Uint32(h[12:]))
+	if count <= 0 || count > maxShardFiles {
+		return nil, fmt.Errorf("%w: %s: shard count %d", ErrBadGeometry, path, count)
+	}
+	s.salt = le.Uint64(h[16:])
+	declaredPairs := le.Uint64(h[24:])
+	declaredSize := le.Uint64(h[32:])
+	tableEnd := int64(headerBytes) + int64(count)*segTableEntry
+	if info.Size() < tableEnd {
+		return nil, fmt.Errorf("%w: %s: %d bytes, section table needs %d", ErrTruncated, path, info.Size(), tableEnd)
+	}
+	table := data[headerBytes:tableEnd]
+	if verify {
+		if sum := checksum(h[0:56], table); sum != le.Uint64(h[56:]) {
+			return nil, fmt.Errorf("%w: %s: super-header", ErrChecksum, path)
+		}
+	}
+	if declaredSize != uint64(info.Size()) {
+		if declaredSize > uint64(info.Size()) {
+			return nil, fmt.Errorf("%w: %s: %d bytes, super-header declares %d", ErrTruncated, path, info.Size(), declaredSize)
+		}
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadGeometry, path, uint64(info.Size())-declaredSize)
+	}
+
+	// The section table must tile [tableEnd, size) exactly in shard order: a
+	// swapped, overlapping or gapped pair of entries is a geometry error, and
+	// catching it here means section offsets can be trusted as slice bounds.
+	next := uint64(tableEnd)
+	s.shards = make([]fileShard, 0, count)
+	pairs := uint64(0)
+	for i := 0; i < count; i++ {
+		off := le.Uint64(table[i*segTableEntry:])
+		length := le.Uint64(table[i*segTableEntry+8:])
+		if off != next {
+			return nil, fmt.Errorf("%w: %s: section %d starts at %d, want %d (sections must be contiguous and in shard order)",
+				ErrBadGeometry, path, i, off, next)
+		}
+		// Bound length by subtraction, never `off+length > size`: a crafted
+		// length near 2^64 would wrap the addition past the check and panic
+		// the section slicing below.
+		if length < headerBytes || length > uint64(info.Size())-off {
+			return nil, fmt.Errorf("%w: %s: section %d of %d bytes at offset %d outside the file",
+				ErrBadGeometry, path, i, length, off)
+		}
+		next = off + length
+		hdr, err := parseShardBlock(data[off:off+length], path, i, verify)
+		if err != nil {
+			return nil, &SectionError{Section: i, Err: err}
+		}
+		if hdr.count != count || hdr.salt != s.salt {
+			return nil, &SectionError{Section: i, Err: fmt.Errorf(
+				"%w: %s: section disagrees with super-header on shard count or salt", ErrBadGeometry, path)}
+		}
+		pairs += uint64(hdr.size)
+		s.shards = append(s.shards, fileShard{
+			slots: hdr.slots,
+			mask:  hdr.mask,
+			slab:  hdr.slab,
+			size:  hdr.size,
+		})
+	}
+	if next != uint64(info.Size()) {
+		return nil, fmt.Errorf("%w: %s: sections end at %d of %d bytes", ErrBadGeometry, path, next, info.Size())
+	}
+	if pairs != declaredPairs {
+		return nil, fmt.Errorf("%w: %s: sections hold %d pairs, super-header declares %d",
+			ErrBadGeometry, path, pairs, declaredPairs)
+	}
+	s.pairs = int(pairs)
+	ok = true
+	return s, nil
+}

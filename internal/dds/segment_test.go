@@ -1,0 +1,291 @@
+package dds
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goldenSegment = goldenDir + "/store.seg"
+
+// TestGoldenSegmentFile pins the segment format: serializing the golden
+// store must reproduce the committed segment byte-for-byte, and opening the
+// committed file must answer every read exactly. Deliberate format changes
+// must bump segmentVersion and regenerate with -update.
+func TestGoldenSegmentFile(t *testing.T) {
+	s := goldenStore()
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WriteSegment(s, goldenSegment, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenSegment)
+	if err != nil {
+		t.Fatalf("missing golden segment (regenerate with -update): %v", err)
+	}
+	got := AppendSegment(nil, s)
+	if !bytes.Equal(got, want) {
+		t.Errorf("segment serialization no longer bit-identical to the committed format (%d vs %d bytes); "+
+			"a deliberate format change must bump segmentVersion and regenerate with -update",
+			len(got), len(want))
+	}
+
+	fs, err := OpenSegment(goldenSegment)
+	if err != nil {
+		t.Fatalf("open golden segment: %v", err)
+	}
+	defer fs.Close()
+	if fs.Salt() != goldenSalt || fs.Shards() != goldenShards || fs.Len() != len(goldenPairs) {
+		t.Fatalf("golden metadata: salt=%#x shards=%d len=%d", fs.Salt(), fs.Shards(), fs.Len())
+	}
+	checkAgainstReference(t, fs, reference(goldenPairs), []Key{{9, 9, 9}, {1, 3, 0}})
+}
+
+// fixSegChecksum recomputes a mutated segment's super-header checksum so the
+// validation behind the checksum gate is reachable.
+func fixSegChecksum(b []byte) []byte {
+	count := int(le.Uint32(b[12:]))
+	le.PutUint64(b[56:], checksum(b[0:56], b[headerBytes:headerBytes+count*segTableEntry]))
+	return b
+}
+
+// TestSegmentCorruption is the segment-level corruption table: super-header
+// damage, section-table damage (including swapped section offsets) and
+// section-level damage each map to a typed error, with SectionError locating
+// the damaged section.
+func TestSegmentCorruption(t *testing.T) {
+	valid := AppendSegment(nil, goldenStore())
+	tableAt := func(i int) int { return headerBytes + i*segTableEntry }
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		want    error
+		section int // >= 0: a SectionError carrying this index is required
+	}{
+		{"truncated super-header", func(b []byte) []byte { return b[:40] }, ErrTruncated, -1},
+		{"empty file", func(b []byte) []byte { return nil }, ErrTruncated, -1},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic, -1},
+		{"shard-file magic", func(b []byte) []byte { copy(b[0:8], shardMagic); return b }, ErrBadMagic, -1},
+		{"wrong version", func(b []byte) []byte { le.PutUint32(b[8:], segmentVersion+1); return b }, ErrBadVersion, -1},
+		{"bad super-header checksum", func(b []byte) []byte { b[56] ^= 0x10; return b }, ErrChecksum, -1},
+		{"flipped table entry", func(b []byte) []byte { b[tableAt(1)] ^= 0x01; return b }, ErrChecksum, -1},
+		{"zero shard count", func(b []byte) []byte {
+			le.PutUint32(b[12:], 0)
+			return fixSegChecksum(b)
+		}, ErrBadGeometry, -1},
+		{"declared size beyond file", func(b []byte) []byte {
+			le.PutUint64(b[32:], uint64(len(b))+100)
+			return fixSegChecksum(b)
+		}, ErrTruncated, -1},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAA) }, ErrBadGeometry, -1},
+		{"swapped section offsets", func(b []byte) []byte {
+			e0 := append([]byte(nil), b[tableAt(0):tableAt(1)]...)
+			copy(b[tableAt(0):tableAt(1)], b[tableAt(1):tableAt(2)])
+			copy(b[tableAt(1):tableAt(2)], e0)
+			return fixSegChecksum(b)
+		}, ErrBadGeometry, -1},
+		{"section length wraps uint64", func(b []byte) []byte {
+			// A length near 2^64 must not wrap the bounds check into a
+			// passing value and panic the section slicing.
+			le.PutUint64(b[tableAt(1)+8:], ^uint64(0)-40)
+			return fixSegChecksum(b)
+		}, ErrBadGeometry, -1},
+		{"overlapping sections", func(b []byte) []byte {
+			// Pull section 1's offset back into section 0's bytes.
+			le.PutUint64(b[tableAt(1):], le.Uint64(b[tableAt(1):])-uint64(slotBytes))
+			return fixSegChecksum(b)
+		}, ErrBadGeometry, -1},
+		{"truncated section", func(b []byte) []byte {
+			// Shorten the file by one value record, keeping super-header and
+			// table consistent, so only the last section's own header notices.
+			b = b[:len(b)-valueBytes]
+			le.PutUint64(b[32:], uint64(len(b)))
+			last := tableAt(1) + 8
+			le.PutUint64(b[last:], le.Uint64(b[last:])-valueBytes)
+			return fixSegChecksum(b)
+		}, ErrTruncated, 1},
+		{"section payload corruption", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x40
+			return b
+		}, ErrChecksum, 1},
+		{"section salt disagrees with super-header", func(b []byte) []byte {
+			le.PutUint64(b[16:], goldenSalt+1)
+			return fixSegChecksum(b)
+		}, ErrBadGeometry, 0},
+		{"pair total disagrees with sections", func(b []byte) []byte {
+			le.PutUint64(b[24:], uint64(len(goldenPairs))+1)
+			return fixSegChecksum(b)
+		}, ErrBadGeometry, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "store.seg")
+			buf := tc.mutate(append([]byte(nil), valid...))
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs, err := OpenSegment(path)
+			if err == nil {
+				fs.Close()
+				t.Fatal("corrupted segment opened cleanly")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want errors.Is(..., %v)", err, tc.want)
+			}
+			if tc.section >= 0 {
+				var se *SectionError
+				if !errors.As(err, &se) {
+					t.Fatalf("error %v does not carry a SectionError", err)
+				}
+				if se.Section != tc.section {
+					t.Fatalf("SectionError locates section %d, want %d", se.Section, tc.section)
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentDishonestSection reuses the slot-table attack from the shard
+// corruption suite at segment level: a section whose checksum is valid but
+// whose slot table lies must still be rejected before any read.
+func TestSegmentDishonestSection(t *testing.T) {
+	s := NewStore(goldenPairs, 1, goldenSalt)
+	b := AppendSegment(nil, s)
+	sec := b[headerBytes+segTableEntry:] // single section
+	// Declare one pair more than the slots hold, re-checksum the section.
+	le.PutUint64(sec[32:], le.Uint64(sec[32:])+1)
+	le.PutUint64(sec[56:], checksum(sec[0:56], sec[headerBytes:]))
+	// The super-header's pair total must agree with the section so the
+	// failure is the slot-table scan, not the cheap total cross-check.
+	le.PutUint64(b[24:], le.Uint64(b[24:])+1)
+	fixSegChecksum(b)
+
+	path := filepath.Join(t.TempDir(), "store.seg")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenSegment(path)
+	if !errors.Is(err, ErrBadGeometry) {
+		t.Fatalf("error %v, want ErrBadGeometry", err)
+	}
+	var se *SectionError
+	if !errors.As(err, &se) || se.Section != 0 {
+		t.Fatalf("error %v, want SectionError for section 0", err)
+	}
+}
+
+// TestSegmentSerializationDeterminism asserts segment bytes are a pure
+// function of store contents: independent of build parallelism, of whether
+// the store was built from recycled arena memory, and of garbage left in a
+// recycled serialization buffer.
+func TestSegmentSerializationDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	pairs := randomPairs(r, 20000, 9)
+	const p, salt = 24, 0xABCD
+	base := AppendSegment(nil, buildStore([][]KV{pairs}, p, salt, 1, nil))
+	for _, workers := range []int{2, 8} {
+		got := AppendSegment(nil, buildStore([][]KV{pairs}, p, salt, workers, nil))
+		if !bytes.Equal(got, base) {
+			t.Fatalf("workers=%d: segment bytes differ from sequential build", workers)
+		}
+	}
+
+	arena := NewArena()
+	arena.Recycle(buildStore([][]KV{pairs}, p, salt^7, 8, nil))
+	st := buildStore([][]KV{pairs}, p, salt, 8, arena)
+	dirty := make([]byte, len(base)+512)
+	for i := range dirty {
+		dirty[i] = 0xAA
+	}
+	got := AppendSegment(dirty[:0], st)
+	if !bytes.Equal(got, base) {
+		t.Fatal("arena-recycled store + dirty buffer changed the segment bytes")
+	}
+}
+
+// TestWriteBehindDeterminism publishes the same chain of stores through
+// every combination of build parallelism (workers 1 vs 8) and publish
+// overlap (write-behind vs sync) and asserts the segment files on disk are
+// byte-identical — write-behind publishing must be invisible in the bytes.
+func TestWriteBehindDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(5150))
+	rounds := make([][]KV, 4)
+	for i := range rounds {
+		rounds[i] = randomPairs(r, 3000+500*i, 4)
+	}
+	const p = 8
+
+	var want [][]byte
+	for _, cfg := range []struct {
+		name    string
+		workers int
+		sync    bool
+	}{
+		{"sync/workers=1", 1, true},
+		{"sync/workers=8", 8, true},
+		{"write-behind/workers=1", 1, false},
+		{"write-behind/workers=8", 8, false},
+	} {
+		pub := NewFilePublisher(t.TempDir())
+		var backends []StoreBackend
+		pub.SetSync(cfg.sync)
+		for seq, pairs := range rounds {
+			b, err := pub.Publish(seq, buildStore([][]KV{pairs}, p, uint64(seq)*17+3, cfg.workers, nil))
+			if err != nil {
+				t.Fatalf("%s: publish %d: %v", cfg.name, seq, err)
+			}
+			backends = append(backends, b)
+		}
+		if err := pub.Barrier(); err != nil {
+			t.Fatalf("%s: barrier: %v", cfg.name, err)
+		}
+		got := make([][]byte, len(rounds))
+		for seq := range rounds {
+			data, err := os.ReadFile(filepath.Join(pub.Dir(), fmt.Sprintf(segFileFmt, seq)))
+			if err != nil {
+				t.Fatalf("%s: store %d: %v", cfg.name, seq, err)
+			}
+			got[seq] = data
+		}
+		for _, b := range backends {
+			if err := b.Close(); err != nil {
+				t.Fatalf("%s: close backend: %v", cfg.name, err)
+			}
+		}
+		if err := pub.Close(); err != nil {
+			t.Fatalf("%s: close publisher: %v", cfg.name, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for seq := range rounds {
+			if !bytes.Equal(got[seq], want[seq]) {
+				t.Errorf("%s: store %d segment differs from sync/workers=1", cfg.name, seq)
+			}
+		}
+	}
+}
+
+// TestSegmentEmptyStore covers the degenerate stores the runtime publishes:
+// the empty D0 and rounds that wrote nothing round-trip through one segment.
+func TestSegmentEmptyStore(t *testing.T) {
+	for _, p := range []int{1, 4, 64} {
+		s := NewStore(nil, p, 9)
+		fs := segmentRoundTrip(t, s)
+		if fs.Len() != 0 || fs.Shards() != p {
+			t.Fatalf("p=%d: Len=%d Shards=%d", p, fs.Len(), fs.Shards())
+		}
+		if _, ok := fs.Get(Key{1, 1, 1}); ok {
+			t.Fatal("empty store answered a Get")
+		}
+	}
+}
