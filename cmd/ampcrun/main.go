@@ -18,7 +18,9 @@
 // grid (sqrt(n) x sqrt(n)), path, star, tree, forest, clique.
 //
 // -stream prints every round's statistics as it completes; -bench emits
-// one machine-readable JSON line per run for perf trajectories, and
+// one machine-readable JSON line per run for perf trajectories — including
+// the write volume and the freeze_merge_ms/freeze_build_ms split, so a
+// freeze delta is attributable to data movement versus index builds — and
 // -bench-out appends that line to a trajectory file (see BENCH_*.json);
 // -workers sets the runtime's worker-pool size (outputs never depend on
 // it); -backend selects where each round's frozen store lives (mem keeps it
@@ -185,6 +187,7 @@ type benchLine struct {
 	Rounds            int     `json:"rounds"`
 	Phases            int     `json:"phases"`
 	TotalQueries      int64   `json:"queries"`
+	TotalWrites       int64   `json:"writes"`
 	MaxMachineQueries int     `json:"max_machine_queries"`
 	MaxShardLoad      int64   `json:"max_shard_load"`
 	P                 int     `json:"p"`
@@ -192,6 +195,8 @@ type benchLine struct {
 	WallMS            float64 `json:"wall_ms"`
 	ExecMS            float64 `json:"exec_ms"`
 	FreezeMS          float64 `json:"freeze_ms"`
+	FreezeMergeMS     float64 `json:"freeze_merge_ms"`
+	FreezeBuildMS     float64 `json:"freeze_build_ms"`
 	PublishMS         float64 `json:"publish_ms"`
 	Check             string  `json:"check"`
 }
@@ -209,6 +214,7 @@ func printBenchLine(res *ampc.Result, backend, workload string, n, m int, eps fl
 		Rounds:            t.Rounds,
 		Phases:            t.Phases,
 		TotalQueries:      t.TotalQueries,
+		TotalWrites:       t.TotalWrites,
 		MaxMachineQueries: t.MaxMachineQueries,
 		MaxShardLoad:      t.MaxShardLoad,
 		P:                 t.P,
@@ -216,6 +222,8 @@ func printBenchLine(res *ampc.Result, backend, workload string, n, m int, eps fl
 		WallMS:            float64(wall.Microseconds()) / 1000,
 		ExecMS:            float64(t.ExecuteTime.Microseconds()) / 1000,
 		FreezeMS:          float64(t.FreezeTime.Microseconds()) / 1000,
+		FreezeMergeMS:     float64(t.FreezeMergeTime.Microseconds()) / 1000,
+		FreezeBuildMS:     float64(t.FreezeBuildTime.Microseconds()) / 1000,
 		PublishMS:         float64(t.PublishTime.Microseconds()) / 1000,
 		Check:             check.String(),
 	}
@@ -282,7 +290,8 @@ func printTelemetry(t ampc.Telemetry, wall time.Duration) {
 	fmt.Printf("  max machine queries %d per round\n", t.MaxMachineQueries)
 	fmt.Printf("  max shard load      %d per round\n", t.MaxShardLoad)
 	fmt.Printf("  execute time        %v\n", t.ExecuteTime.Round(time.Microsecond))
-	fmt.Printf("  freeze time         %v\n", t.FreezeTime.Round(time.Microsecond))
+	fmt.Printf("  freeze time         %v (merge %v, build %v)\n", t.FreezeTime.Round(time.Microsecond),
+		t.FreezeMergeTime.Round(time.Microsecond), t.FreezeBuildTime.Round(time.Microsecond))
 	fmt.Printf("  publish time        %v\n", t.PublishTime.Round(time.Microsecond))
 	fmt.Printf("  wall time           %v\n", wall.Round(time.Microsecond))
 }

@@ -3,13 +3,18 @@
 // (BENCH_PR*.json, written by ampcrun -bench-out) through the Engine and
 // fails — exit status 1 — when a workload's execute phase or its combined
 // freeze+publish phase regresses beyond the allowed factor over its
-// baseline.
+// baseline. The trajectory's gobench records gate too: each one re-runs
+// its go-test micro-benchmark (WriteFreeze, RoundOverhead, Get, ...) and
+// compares the minimum ns/op against factor*baseline+floor, so a
+// storage-engine micro-regression fails CI even when the workload lines
+// absorb it.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR4.json
-//	benchgate -baseline BENCH_PR4.json -factor 1.25 -floor-ms 40 -reps 3
-//	benchgate -baseline BENCH_PR3.json -out BENCH_PR4.json -backends mem,file
+//	benchgate -baseline BENCH_PR5.json
+//	benchgate -baseline BENCH_PR5.json -factor 1.25 -floor-ms 40 -reps 3
+//	benchgate -baseline BENCH_PR4.json -out BENCH_PR5.json -backends mem,file
+//	benchgate -baseline BENCH_PR5.json -gobench=false    # workload lines only
 //
 // Every measured backend gates against the baseline line recorded for the
 // same (algorithm, backend) pair, so a file-path regression fails CI just
@@ -38,15 +43,19 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"ampc"
 )
 
-// benchLine mirrors the JSON schema of ampcrun -bench lines. Lines with a
-// "record" field (meta, gobench) are carried through -out untouched but do
-// not gate.
+// benchLine mirrors the JSON schema of ampcrun -bench lines. Meta records
+// do not gate; gobench records gate through the go-test bench runner below.
 type benchLine struct {
 	Algo              string  `json:"algo"`
 	Backend           string  `json:"backend,omitempty"`
@@ -58,6 +67,7 @@ type benchLine struct {
 	Rounds            int     `json:"rounds"`
 	Phases            int     `json:"phases"`
 	TotalQueries      int64   `json:"queries"`
+	TotalWrites       int64   `json:"writes,omitempty"`
 	MaxMachineQueries int     `json:"max_machine_queries"`
 	MaxShardLoad      int64   `json:"max_shard_load"`
 	P                 int     `json:"p"`
@@ -65,8 +75,26 @@ type benchLine struct {
 	WallMS            float64 `json:"wall_ms"`
 	ExecMS            float64 `json:"exec_ms"`
 	FreezeMS          float64 `json:"freeze_ms"`
+	FreezeMergeMS     float64 `json:"freeze_merge_ms,omitempty"`
+	FreezeBuildMS     float64 `json:"freeze_build_ms,omitempty"`
 	PublishMS         float64 `json:"publish_ms"`
 	Check             string  `json:"check"`
+}
+
+// gobenchRecord is a committed go-test micro-benchmark measurement:
+// {"record":"gobench","bench":"BenchmarkWriteFreeze","pkg":"internal/ampc",
+// "ns_op":...}. The gate re-runs the named benchmark through `go test
+// -bench` and compares the minimum observed ns/op against its baseline, so
+// a storage-engine micro-regression (a slower WriteFreeze, a slower Get)
+// fails CI even when the workload lines absorb it.
+type gobenchRecord struct {
+	Record   string  `json:"record"`
+	PR       int     `json:"pr,omitempty"`
+	Bench    string  `json:"bench"`
+	Pkg      string  `json:"pkg"`
+	BaseNsOp float64 `json:"base_ns_op,omitempty"`
+	NsOp     float64 `json:"ns_op"`
+	Speedup  float64 `json:"speedup,omitempty"`
 }
 
 // storeMS returns the line's combined freeze+publish cost: the full price of
@@ -76,20 +104,25 @@ func (l benchLine) storeMS() float64 { return l.FreezeMS + l.PublishMS }
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "", "committed trajectory file to gate against (required)")
-		factor   = flag.Float64("factor", 1.25, "fail when exec or freeze+publish exceeds factor*baseline+floor")
-		floorMS  = flag.Float64("floor-ms", 40, "absolute slack in ms added to every bound (absorbs scheduler noise)")
-		reps     = flag.Int("reps", 3, "runs per workload; the minimum times gate")
-		out      = flag.String("out", "", "append every measured bench line to this trajectory file")
-		backends = flag.String("backends", "mem,file", "comma-separated backends to measure; each gates when the baseline has a matching line")
-		summary  = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"), "append a markdown delta table to this file (default: $GITHUB_STEP_SUMMARY)")
+		baseline   = flag.String("baseline", "", "committed trajectory file to gate against (required)")
+		factor     = flag.Float64("factor", 1.25, "fail when exec or freeze+publish exceeds factor*baseline+floor")
+		floorMS    = flag.Float64("floor-ms", 40, "absolute slack in ms added to every bound (absorbs scheduler noise)")
+		reps       = flag.Int("reps", 3, "runs per workload; the minimum times gate")
+		out        = flag.String("out", "", "append every measured bench line to this trajectory file")
+		backends   = flag.String("backends", "mem,file", "comma-separated backends to measure; each gates when the baseline has a matching line")
+		summary    = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"), "append a markdown delta table to this file (default: $GITHUB_STEP_SUMMARY)")
+		gobench    = flag.Bool("gobench", true, "also re-run and gate the baseline's gobench micro-benchmark records via `go test -bench`")
+		gbFactor   = flag.Float64("gobench-factor", 1.5, "fail when a micro-benchmark's min ns/op exceeds factor*baseline+floor")
+		gbFloorNS  = flag.Float64("gobench-floor-ns", 1000, "absolute slack in ns added to every micro-benchmark bound")
+		gbPkgRoot  = flag.String("gobench-root", ".", "module directory go test runs in for gobench records")
+		gbBenchSec = flag.Float64("gobench-benchtime", 1, "seconds per micro-benchmark rep")
 	)
 	flag.Parse()
 	if *baseline == "" {
 		log.Fatal("benchgate: -baseline is required")
 	}
 
-	memLines, byBackend, err := readBaseline(*baseline)
+	memLines, byBackend, gobenchBase, err := readBaseline(*baseline)
 	if err != nil {
 		log.Fatalf("benchgate: %v", err)
 	}
@@ -160,16 +193,141 @@ func main() {
 			rows = append(rows, summaryRow{base: base, got: got, gated: gates, verdict: verdict})
 		}
 	}
+	var gbRows []gobenchRow
+	if *gobench && len(gobenchBase) > 0 {
+		gbRows, err = runGobench(gobenchBase, *gbPkgRoot, *reps, *gbBenchSec)
+		if err != nil {
+			log.Fatalf("benchgate: gobench: %v", err)
+		}
+		for i := range gbRows {
+			r := &gbRows[i]
+			bound := *gbFactor*r.base.NsOp + *gbFloorNS
+			switch {
+			case math.IsInf(r.got, 1):
+				r.verdict = "SKIPPED: benchmark not found"
+			case r.got > bound:
+				r.verdict = fmt.Sprintf("FAIL %.0fns/op > %.0fns/op", r.got, bound)
+				failed++
+			default:
+				r.verdict = "ok"
+			}
+			fmt.Printf("%-34s %-13s %10.0f ns/op (base %10.0f)  %s\n",
+				r.base.Bench, r.base.Pkg, r.got, r.base.NsOp, r.verdict)
+			if outF != nil && !math.IsInf(r.got, 1) {
+				rec := gobenchRecord{
+					Record: "gobench", Bench: r.base.Bench, Pkg: r.base.Pkg,
+					BaseNsOp: r.base.NsOp, NsOp: r.got,
+					Speedup: math.Round(r.base.NsOp/r.got*100) / 100,
+				}
+				enc, err := json.Marshal(rec)
+				if err != nil {
+					log.Fatalf("benchgate: %v", err)
+				}
+				if _, err := outF.Write(append(enc, '\n')); err != nil {
+					log.Fatalf("benchgate: %v", err)
+				}
+			}
+		}
+	}
 	if *summary != "" {
-		if err := writeSummary(*summary, rows); err != nil {
+		if err := writeSummary(*summary, rows, gbRows); err != nil {
 			log.Printf("benchgate: step summary: %v", err)
 		}
 	}
 	if failed > 0 {
-		fmt.Printf("benchgate: %d workload(s) regressed beyond %.0f%%+%.0fms\n", failed, (*factor-1)*100, *floorMS)
+		fmt.Printf("benchgate: %d record(s) regressed beyond bounds (workloads %.0f%%+%.0fms, gobench %.0f%%+%.0fns)\n",
+			failed, (*factor-1)*100, *floorMS, (*gbFactor-1)*100, *gbFloorNS)
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: all workloads within bounds")
+}
+
+// gobenchRow is one micro-benchmark comparison: the committed baseline
+// record and the minimum ns/op observed by re-running it now.
+type gobenchRow struct {
+	base    gobenchRecord
+	got     float64 // +Inf when the benchmark no longer exists
+	verdict string
+}
+
+// runGobench re-measures every baseline gobench record: one `go test -run
+// ^$ -bench <union>` invocation per package (each benchmark runs reps
+// times; the minimum ns/op gates, mirroring the workload policy). A record
+// whose benchmark has disappeared is reported as skipped rather than
+// failing CI, like an unknown workload kind.
+func runGobench(base []gobenchRecord, root string, reps int, benchSec float64) ([]gobenchRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	byPkg := make(map[string][]gobenchRecord)
+	for _, r := range base {
+		byPkg[r.Pkg] = append(byPkg[r.Pkg], r)
+	}
+	rows := make([]gobenchRow, 0, len(base))
+	pkgs := make([]string, 0, len(byPkg))
+	for pkg := range byPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		recs := byPkg[pkg]
+		// Union of the records' top-level benchmark names, exact-anchored.
+		tops := make(map[string]bool)
+		for _, r := range recs {
+			tops[strings.SplitN(r.Bench, "/", 2)[0]] = true
+		}
+		names := make([]string, 0, len(tops))
+		for name := range tops {
+			names = append(names, regexp.QuoteMeta(name))
+		}
+		sort.Strings(names)
+		pattern := "^(" + strings.Join(names, "|") + ")$"
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", pattern,
+			"-benchtime", fmt.Sprintf("%gs", benchSec),
+			"-count", fmt.Sprint(reps),
+			"./"+filepath.ToSlash(pkg))
+		cmd.Dir = root
+		outBytes, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench %s in %s: %v\n%s", pattern, pkg, err, outBytes)
+		}
+		mins := parseGobenchOutput(string(outBytes))
+		for _, r := range recs {
+			got, ok := mins[r.Bench]
+			if !ok {
+				got = math.Inf(1)
+			}
+			rows = append(rows, gobenchRow{base: r, got: got})
+		}
+	}
+	return rows, nil
+}
+
+// parseGobenchOutput extracts the minimum ns/op per benchmark name from go
+// test -bench output, stripping the trailing -GOMAXPROCS suffix.
+func parseGobenchOutput(out string) map[string]float64 {
+	mins := make(map[string]float64)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := mins[name]; !ok || ns < cur {
+			mins[name] = ns
+		}
+	}
+	return mins
 }
 
 // summaryRow is one line of the markdown delta table.
@@ -179,16 +337,16 @@ type summaryRow struct {
 	verdict   string
 }
 
-// writeSummary appends the per-workload delta table, in GitHub-flavored
-// markdown, to the job summary file.
-func writeSummary(path string, rows []summaryRow) error {
+// writeSummary appends the delta tables — workload lines and gobench
+// micro-records — in GitHub-flavored markdown, to the job summary file.
+func writeSummary(path string, rows []summaryRow, gbRows []gobenchRow) error {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	delta := func(base, got float64) string {
-		if base <= 0 {
+		if base <= 0 || math.IsInf(got, 1) {
 			return "–"
 		}
 		return fmt.Sprintf("%+.0f%%", (got/base-1)*100)
@@ -204,6 +362,19 @@ func writeSummary(path string, rows []summaryRow) error {
 			r.verdict)
 	}
 	fmt.Fprintln(f)
+	if len(gbRows) > 0 {
+		fmt.Fprintf(f, "| benchmark | pkg | base (ns/op) | now (ns/op) | Δ | verdict |\n")
+		fmt.Fprintf(f, "|---|---|--:|--:|--:|---|\n")
+		for _, r := range gbRows {
+			now := "–"
+			if !math.IsInf(r.got, 1) {
+				now = fmt.Sprintf("%.0f", r.got)
+			}
+			fmt.Fprintf(f, "| %s | %s | %.0f | %s | %s | %s |\n",
+				r.base.Bench, r.base.Pkg, r.base.NsOp, now, delta(r.base.NsOp, r.got), r.verdict)
+		}
+		fmt.Fprintln(f)
+	}
 	return nil
 }
 
@@ -224,17 +395,19 @@ type backendKey struct {
 	backend  string
 }
 
-// readBaseline extracts the gateable workload lines from a trajectory file,
-// skipping meta/gobench records. The mem lines define the workload set
-// (every trajectory records them); the full per-backend map supplies each
-// backend's own gate bound.
-func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, error) {
+// readBaseline extracts the gateable records from a trajectory file: the
+// workload lines (mem lines define the workload set — every trajectory
+// records them — and the full per-backend map supplies each backend's own
+// gate bound) plus the gobench micro-benchmark records. Meta records are
+// skipped.
+func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobenchRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer f.Close()
 	var memLines []benchLine
+	var gobench []gobenchRecord
 	byBackend := make(map[backendKey]benchLine)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -247,14 +420,24 @@ func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, error) {
 			Record string `json:"record"`
 		}
 		if err := json.Unmarshal([]byte(text), &record); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if record.Record == "gobench" {
+			var g gobenchRecord
+			if err := json.Unmarshal([]byte(text), &g); err != nil {
+				return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if g.Bench != "" && g.Pkg != "" && g.NsOp > 0 {
+				gobench = append(gobench, g)
+			}
+			continue
 		}
 		if record.Record != "" {
 			continue
 		}
 		var l benchLine
 		if err := json.Unmarshal([]byte(text), &l); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		if l.Algo == "" {
 			continue
@@ -264,7 +447,7 @@ func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, error) {
 		}
 		byBackend[backendKey{l.Algo, l.Workload, l.N, baseBackend(l)}] = l
 	}
-	return memLines, byBackend, sc.Err()
+	return memLines, byBackend, gobench, sc.Err()
 }
 
 // measure runs the baseline line's workload on the given backend reps times
@@ -308,6 +491,7 @@ func measure(base benchLine, backend string, reps int) (benchLine, error) {
 	got := base
 	got.Backend = backend
 	got.WallMS, got.ExecMS, got.FreezeMS, got.PublishMS = math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)
+	got.FreezeMergeMS, got.FreezeBuildMS = math.Inf(1), math.Inf(1)
 	if reps < 1 {
 		reps = 1
 	}
@@ -324,9 +508,12 @@ func measure(base benchLine, backend string, reps int) (benchLine, error) {
 		got.WallMS = math.Min(got.WallMS, float64(wall.Microseconds())/1000)
 		got.ExecMS = math.Min(got.ExecMS, float64(t.ExecuteTime.Microseconds())/1000)
 		got.FreezeMS = math.Min(got.FreezeMS, float64(t.FreezeTime.Microseconds())/1000)
+		got.FreezeMergeMS = math.Min(got.FreezeMergeMS, float64(t.FreezeMergeTime.Microseconds())/1000)
+		got.FreezeBuildMS = math.Min(got.FreezeBuildMS, float64(t.FreezeBuildTime.Microseconds())/1000)
 		got.PublishMS = math.Min(got.PublishMS, float64(t.PublishTime.Microseconds())/1000)
 		got.Rounds, got.Phases = t.Rounds, t.Phases
-		got.TotalQueries, got.MaxMachineQueries = t.TotalQueries, t.MaxMachineQueries
+		got.TotalQueries, got.TotalWrites = t.TotalQueries, t.TotalWrites
+		got.MaxMachineQueries = t.MaxMachineQueries
 		got.MaxShardLoad, got.P, got.S = t.MaxShardLoad, t.P, t.S
 	}
 	got.Check = ampc.CheckSkipped.String()

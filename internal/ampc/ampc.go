@@ -75,6 +75,14 @@ type Config struct {
 	// byte-identical for every backend; only the physical home of D_{i-1}
 	// changes.
 	Backend dds.Publisher
+	// Unpinned disables stable shard-to-worker ownership: freeze index
+	// builds and sync-publish section fills then stripe dynamically over
+	// transient goroutines (the pre-pinning behavior) instead of running on
+	// the worker pool with shard i owned by worker i mod Workers. Outputs
+	// are byte-identical either way — the knob exists for benchmarking and
+	// the differential tests that prove it. Machine execution is always
+	// dynamically striped regardless.
+	Unpinned bool
 	// Observer, when non-nil, receives every round's statistics as soon as
 	// the round completes, before the next round starts. It is called
 	// synchronously from the driver goroutine; slow observers slow the run.
@@ -112,6 +120,13 @@ type RoundStats struct {
 	// Freeze is the wall-clock time of the freeze phase: merging the
 	// machines' writes into the next round's immutable store.
 	Freeze time.Duration
+	// FreezeMerge and FreezeBuild split Freeze between its two parallel
+	// passes: merging writer buckets into contiguous per-shard regions (the
+	// sized merge that replaced the counting partition) and building the
+	// per-shard flat indexes. The split lets perf trajectories attribute a
+	// freeze delta to data movement versus index construction.
+	FreezeMerge time.Duration
+	FreezeBuild time.Duration
 	// Publish is the wall-clock time this round spent synchronously on
 	// store publication: joining the previous round's write-behind publish
 	// before freezing, plus handing the frozen store to the publisher. With
@@ -136,15 +151,16 @@ type Runtime struct {
 	pubSeq int
 	pubErr error
 
-	// Execution engine: a pool of long-lived workers (started at the first
-	// round), a builder reused across rounds, pooled Ctx objects whose cache
-	// maps survive between machines, and per-machine stat slices owned by
-	// the runtime.
+	// Execution engine: a pool of long-lived workers, a builder reused
+	// across rounds, pooled Ctx objects whose cache maps survive between
+	// machines, and per-machine stat slices owned by the runtime. nextSalt
+	// is the placement salt of the next store to be built — drawn before
+	// the round executes, so writers pre-hash their pairs for it.
 	workers  int
 	pool     *workerPool
-	poolOnce sync.Once
 	builder  *dds.Builder
 	arena    *dds.Arena
+	nextSalt uint64
 	ctxPool  sync.Pool
 	errs     []error
 	queries  []int
@@ -194,6 +210,11 @@ func New(cfg Config) *Runtime {
 	}
 	r.pub = cfg.Backend
 	r.builder = dds.NewBuilder(cfg.P)
+	// The pool starts eagerly: the pinned-freeze scheduler below must
+	// capture the pool — and only the pool — so that neither the builder
+	// nor the publisher ever holds a reference back to the Runtime (a cycle
+	// through an object with a finalizer would defeat collection).
+	r.pool = newWorkerPool(r.workers)
 	// Store double-buffering: retiring generations recycle their slot
 	// arrays and slabs through the arena into the next freeze. A publisher
 	// that externalizes stores asynchronously (dds.FilePublisher) gets the
@@ -201,6 +222,20 @@ func New(cfg Config) *Runtime {
 	r.arena = dds.NewArena()
 	if ap, ok := cfg.Backend.(interface{ SetArena(*dds.Arena) }); ok {
 		ap.SetArena(r.arena)
+	}
+	if !cfg.Unpinned {
+		// Stable shard ownership: freeze index builds (and sync-mode
+		// segment section fills) run on the pool with shard i pinned to
+		// worker i mod Workers, so a shard's arrays stay hot in the same
+		// worker's cache every round. The pool is idle during both phases —
+		// they run from the driver between rounds — so the pinned queues
+		// never contend with machine execution.
+		pool := r.pool
+		pinned := dds.Parallel(func(n int, f func(int)) { pool.runStriped(n, f) })
+		r.builder.SetParallel(pinned)
+		if sp, ok := cfg.Backend.(interface{ SetParallel(dds.Parallel) }); ok {
+			sp.SetParallel(pinned)
+		}
 	}
 	r.ctxPool.New = func() any { return &Ctx{} }
 	r.errs = make([]error, cfg.P)
@@ -212,6 +247,12 @@ func New(cfg Config) *Runtime {
 	// The salt is still drawn here so the seed stream is backend-invariant.
 	r.cur = dds.NewStore(nil, cfg.Shards, r.seedR.Uint64())
 	r.staticSalt = r.seedR.Uint64()
+	// The next store's salt is drawn up front (and re-drawn after every
+	// publish): writers pre-hash each written pair with it, which is what
+	// lets Freeze skip its counting pass. The draw order matches the old
+	// freeze-time draw exactly, so seeds produce the same salt sequence.
+	r.nextSalt = r.seedR.Uint64()
+	r.builder.Prime(cfg.Shards, r.nextSalt)
 	if cfg.FaultProb > 0 {
 		r.faultR = rng.New(cfg.Seed, 0xFA)
 	}
@@ -228,7 +269,10 @@ func New(cfg Config) *Runtime {
 // so driver-side reads do not crash before the error surfaces. A retiring
 // in-memory store is recycled into the arena: at this point no machine, no
 // pooled Ctx and no publisher references it, so its arrays become the raw
-// material of the round after next's freeze.
+// material of the round after next's freeze. Publishing also rotates
+// nextSalt: the store just installed consumed its salt, so the salt of the
+// store after it is drawn now, ahead of the writes that will pre-hash for
+// it.
 func (r *Runtime) publish(s *dds.Store) {
 	nb, err := r.pub.Publish(r.pubSeq, s)
 	r.pubSeq++
@@ -243,6 +287,7 @@ func (r *Runtime) publish(s *dds.Store) {
 		}
 	}
 	r.cur = nb
+	r.nextSalt = r.seedR.Uint64()
 }
 
 // shutdown releases everything the runtime owns; shared by Close and the
@@ -270,16 +315,6 @@ func (r *Runtime) shutdown() error {
 		err = perr
 	}
 	return err
-}
-
-// ensurePool starts the worker pool on first use. The workers reference only
-// the pool, so an unclosed Runtime is still collectable: the finalizer set at
-// New shuts the pool down when the Runtime is garbage.
-func (r *Runtime) ensurePool() *workerPool {
-	r.poolOnce.Do(func() {
-		r.pool = newWorkerPool(r.workers)
-	})
-	return r.pool
 }
 
 // Close releases the runtime's worker pool, the current store backend (with
@@ -313,7 +348,7 @@ func (r *Runtime) Budget() int { return r.cfg.BudgetFactor * r.cfg.S }
 // using a set of keys known to all machines"). It does not count as a round.
 // With a file backend, a publish failure here surfaces from the next Round.
 func (r *Runtime) SetInput(pairs []dds.KV) {
-	r.publish(dds.NewStoreArena(pairs, r.cfg.Shards, r.seedR.Uint64(), r.arena))
+	r.publish(dds.NewStoreArena(pairs, r.cfg.Shards, r.nextSalt, r.arena))
 }
 
 // Store returns the current store D_{i-1} (the output of the last round).
@@ -398,7 +433,11 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
 	}
 	r.cur.ResetLoads()
-	r.builder.Reset()
+	// Priming replaces the plain Reset: it empties every writer and arms
+	// write-time pre-hashing for the next store's geometry, so this round's
+	// writes land in per-shard buckets and the freeze below is a sized merge
+	// with no counting pass.
+	r.builder.Prime(r.cfg.Shards, r.nextSalt)
 	fail := r.failNext
 	r.failNext = nil
 	if r.faultR != nil {
@@ -414,7 +453,7 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 
 	execStart := time.Now()
 	var next atomic.Int64
-	r.ensurePool().run(r.workers, func() {
+	r.pool.run(r.workers, func() {
 		c := r.ctxPool.Get().(*Ctx)
 		for {
 			m := int(next.Add(1)) - 1
@@ -451,21 +490,32 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 	// Join the previous round's write-behind publish before freezing: the
 	// freeze is about to recycle the retiring generation's arrays, and a
 	// failure of that publish must surface here, from the same Round that
-	// would have exposed it under synchronous publishing. One timestamp
-	// chain splits the barrier/freeze/publish phases — clock reads are not
-	// free on every platform and Round is the floor under every algorithm's
-	// per-round cost.
-	t0 := time.Now()
-	if err := r.pub.Barrier(); err != nil {
-		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
+	// would have exposed it under synchronous publishing. The barrier — and
+	// its clock read — is skipped outright when the publisher reports
+	// nothing in flight (the mem backend always, the file backend on empty
+	// rounds): one timestamp chain splits the phases because clock reads
+	// are not free on every platform and Round is the floor under every
+	// algorithm's per-round cost.
+	needBarrier := true
+	if ip, ok := r.pub.(interface{ InFlight() bool }); ok {
+		needBarrier = ip.InFlight()
 	}
-	t1 := time.Now()
-	nextStore := r.builder.FreezeArena(r.arena, r.cfg.Shards, r.seedR.Uint64())
+	t0 := time.Now()
+	t1 := t0
+	if needBarrier {
+		if err := r.pub.Barrier(); err != nil {
+			return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
+		}
+		t1 = time.Now()
+	}
+	nextStore := r.builder.FreezeArena(r.arena, r.cfg.Shards, r.nextSalt)
 	st.Pairs = nextStore.Len()
+	fz := r.builder.FreezeTimes()
 	t2 := time.Now()
 	r.publish(nextStore)
 	t3 := time.Now()
 	st.Freeze = t2.Sub(t1)
+	st.FreezeMerge, st.FreezeBuild = fz.Merge, fz.Build
 	st.Publish = t1.Sub(t0) + t3.Sub(t2)
 	if err := r.pubErr; err != nil {
 		r.pubErr = nil

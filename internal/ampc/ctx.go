@@ -251,5 +251,26 @@ func (c *Ctx) Write(k dds.Key, v dds.Value) {
 	c.w.Write(k, v)
 }
 
+// WriteMany appends a batch of pairs to the next round's store, in slice
+// order, mirroring ReadMany on the write side. The semantics are exactly
+// Write in a loop — each pair charges one unit of write budget, and the
+// first pair past the budget latches ErrBudget and drops itself and the
+// rest — but a batch that fits the remaining budget is charged once and
+// handed to the writer whole, so hot write loops pay one budget check per
+// batch instead of one per pair.
+func (c *Ctx) WriteMany(kvs []dds.KV) {
+	if c.err != nil {
+		return
+	}
+	if c.writes+len(kvs) <= c.budget {
+		c.writes += len(kvs)
+		c.w.WriteMany(kvs)
+		return
+	}
+	for _, kv := range kvs {
+		c.Write(kv.Key, kv.Value)
+	}
+}
+
 // Writes returns the number of pairs written so far this round.
 func (c *Ctx) Writes() int { return c.writes }

@@ -8,24 +8,38 @@ import "sync"
 // per-round cost; the pool starts Config.Workers goroutines once and stripes
 // the P virtual machines over them round after round.
 //
+// Every worker owns a private job channel, which serves two dispatch
+// shapes. Machine execution stays dynamically striped: run hands every
+// worker the same closure and the closure claims machine ids from a shared
+// atomic counter, so an expensive machine never stalls the round behind one
+// worker. Shard work — freeze merges and index builds, sync-publish section
+// fills — goes through runStriped with stable ownership: worker w always
+// receives the same stripe of shard indices, so a shard's slot arrays, slab
+// and scratch region stay in the same worker's cache generation after
+// generation. Outputs never depend on which scheduler ran the work.
+//
 // The workers reference only the pool, never the Runtime, so an abandoned
 // Runtime stays collectable: its finalizer closes the pool and the workers
 // exit. Call Runtime.Close for deterministic shutdown.
 type workerPool struct {
-	jobs chan func()
+	jobs []chan func() // one private queue per worker
 	stop sync.Once
 }
 
 // newWorkerPool starts n worker goroutines.
 func newWorkerPool(n int) *workerPool {
-	p := &workerPool{jobs: make(chan func())}
-	for i := 0; i < n; i++ {
-		go func() {
-			for f := range p.jobs {
+	p := &workerPool{jobs: make([]chan func(), n)}
+	for i := range p.jobs {
+		// Capacity 1 lets the driver hand every worker its job without
+		// blocking on workers that have not yet come back to receive.
+		p.jobs[i] = make(chan func(), 1)
+	}
+	for w := 0; w < n; w++ {
+		go func(mine chan func()) {
+			for f := range mine {
 				f()
-				f = nil // drop the job's references between rounds
 			}
-		}()
+		}(p.jobs[w])
 	}
 	return p
 }
@@ -40,12 +54,48 @@ func (p *workerPool) run(n int, f func()) {
 		f()
 	}
 	for i := 0; i < n; i++ {
-		p.jobs <- job
+		p.jobs[i] <- job
 	}
 	wg.Wait()
 }
 
-// close releases the workers. Idempotent; run must not be called afterwards.
+// runStriped executes f(0..n-1) with stable worker ownership: index i always
+// runs on worker i mod w, where w = min(pool size, n). For a fixed n — the
+// shard count is fixed for a runtime's lifetime — the index-to-worker map
+// never changes across calls, which is what keeps a shard's memory hot in
+// one worker's cache across rounds. Must not be called concurrently with
+// itself or with run.
+func (p *workerPool) runStriped(n int, f func(i int)) {
+	w := len(p.jobs)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		k := k
+		p.jobs[k] <- func() {
+			defer wg.Done()
+			for i := k; i < n; i += w {
+				f(i)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// close releases the workers. Idempotent; run and runStriped must not be
+// called afterwards.
 func (p *workerPool) close() {
-	p.stop.Do(func() { close(p.jobs) })
+	p.stop.Do(func() {
+		for _, c := range p.jobs {
+			close(c)
+		}
+	})
 }

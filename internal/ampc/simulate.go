@@ -58,9 +58,17 @@ func (r *Runtime) MPCRound(name string, f MPCRoundFunc) error {
 			}
 			inbox = append(inbox, SimMessage{Dst: ctx.Machine, A: v.Value.A, B: v.Value.B})
 		}
+		// Sends accumulate locally and flush through one batched write: the
+		// outbox of a simulated MPC machine is its round output, and the
+		// batch keeps pair order identical to writing each send directly.
+		var outbox []dds.KV
 		f(ctx.Machine, inbox, func(msg SimMessage) {
-			ctx.Write(dds.Key{Tag: tagSimMsg, A: int64(msg.Dst)}, dds.Value{A: msg.A, B: msg.B})
+			outbox = append(outbox, dds.KV{
+				Key:   dds.Key{Tag: tagSimMsg, A: int64(msg.Dst)},
+				Value: dds.Value{A: msg.A, B: msg.B},
+			})
 		})
+		ctx.WriteMany(outbox)
 		return ctx.Err()
 	})
 }
@@ -170,6 +178,7 @@ func (p *PRAM) Step(name string, f func(s *StepCtx) error) error {
 		// flight writes); readers resolve the duplicate in favor of the
 		// fresh value.
 		lo, hi := BlockRange(ctx.Machine, p.cells, ctx.P)
+		carries := make([]dds.KV, 0, hi-lo)
 		for addr := lo; addr < hi; addr++ {
 			if sc.written[addr] {
 				continue
@@ -181,8 +190,12 @@ func (p *PRAM) Step(name string, f func(s *StepCtx) error) error {
 				}
 				continue // never-written cell: nothing to carry
 			}
-			ctx.Write(dds.Key{Tag: tagSimCell, A: int64(addr)}, dds.Value{A: v, B: carryMark})
+			carries = append(carries, dds.KV{
+				Key:   dds.Key{Tag: tagSimCell, A: int64(addr)},
+				Value: dds.Value{A: v, B: carryMark},
+			})
 		}
+		ctx.WriteMany(carries)
 		return ctx.Err()
 	})
 }

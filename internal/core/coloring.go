@@ -100,6 +100,7 @@ func GreedyColoring(ctx context.Context, g *graph.Graph, opts Options) (Coloring
 				capacity := ctx.S
 				q.eval(v, &capacity)
 			}
+			q.flush()
 			return nil
 		})
 		if err != nil {
@@ -127,10 +128,17 @@ func GreedyColoring(ctx context.Context, g *graph.Graph, opts Options) (Coloring
 type colorQuery struct {
 	ctx  *ampc.Ctx
 	memo map[int]int
+	out  []dds.KV // buffered color writes, flushed once per machine
 }
 
 func (q *colorQuery) writeColor(v, c int) {
-	q.ctx.Write(dds.Key{Tag: tagColorStatus, A: int64(v)}, dds.Value{A: int64(c) + 1})
+	q.out = append(q.out, dds.KV{Key: dds.Key{Tag: tagColorStatus, A: int64(v)}, Value: dds.Value{A: int64(c) + 1}})
+}
+
+// flush hands the buffered colors to the store in one batched write.
+func (q *colorQuery) flush() {
+	q.ctx.WriteMany(q.out)
+	q.out = q.out[:0]
 }
 
 // eval determines v's greedy color, returning (color, true) or (0, false)

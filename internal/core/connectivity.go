@@ -203,9 +203,7 @@ func publishContracted(rt *ampc.Runtime, gc *contracted, phase int) error {
 	}
 	return rt.Round(fmt.Sprintf("conn-publish-%d", phase), func(ctx *ampc.Ctx) error {
 		lo, hi := ampc.BlockRange(ctx.Machine, len(pairs), ctx.P)
-		for _, kv := range pairs[lo:hi] {
-			ctx.Write(kv.Key, kv.Value)
-		}
+		ctx.WriteMany(pairs[lo:hi])
 		return ctx.Err()
 	})
 }
@@ -220,6 +218,7 @@ func increaseDegrees(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffler
 	driver.Shuffle(len(verts), func(i, j int) { verts[i], verts[j] = verts[j], verts[i] })
 	return rt.Round(fmt.Sprintf("conn-increase-%d", phase), func(ctx *ampc.Ctx) error {
 		lo, hi := ampc.BlockRange(ctx.Machine, len(verts), ctx.P)
+		var out []dds.KV // per-vertex batch, reused across the machine's block
 		for _, v := range verts[lo:hi] {
 			found, whole, err := bfsExplore(ctx, v, d)
 			if err != nil {
@@ -229,10 +228,17 @@ func increaseDegrees(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffler
 			if whole {
 				w = 1
 			}
-			ctx.Write(dds.Key{Tag: tagConnSize, A: int64(v)}, dds.Value{A: int64(len(found)), B: w})
+			out = append(out[:0], dds.KV{
+				Key:   dds.Key{Tag: tagConnSize, A: int64(v)},
+				Value: dds.Value{A: int64(len(found)), B: w},
+			})
 			for i, x := range found {
-				ctx.Write(dds.Key{Tag: tagConnFound, A: int64(v), B: int64(i)}, dds.Value{A: int64(x)})
+				out = append(out, dds.KV{
+					Key:   dds.Key{Tag: tagConnFound, A: int64(v), B: int64(i)},
+					Value: dds.Value{A: int64(x)},
+				})
 			}
+			ctx.WriteMany(out)
 		}
 		return ctx.Err()
 	})
@@ -460,9 +466,14 @@ func solveLocally(rt *ampc.Runtime, gc *contracted, phase int) error {
 				min[r] = v
 			}
 		}
+		labels := make([]dds.KV, 0, len(verts))
 		for i, v := range verts {
-			ctx.Write(dds.Key{Tag: tagConnLabel, A: int64(v)}, dds.Value{A: int64(min[dsu.Find(i)])})
+			labels = append(labels, dds.KV{
+				Key:   dds.Key{Tag: tagConnLabel, A: int64(v)},
+				Value: dds.Value{A: int64(min[dsu.Find(i)])},
+			})
 		}
+		ctx.WriteMany(labels)
 		return ctx.Err()
 	})
 }

@@ -220,6 +220,9 @@ type Telemetry struct {
 	Phases int
 	// TotalQueries is the number of DDS queries over all rounds.
 	TotalQueries int64
+	// TotalWrites is the number of pairs written to the DDS over all
+	// rounds — the volume the write-time sharding pipeline routes.
+	TotalWrites int64
 	// MaxMachineQueries is the largest per-machine, per-round query count.
 	MaxMachineQueries int
 	// MaxShardLoad is the largest per-round, per-shard query count.
@@ -230,8 +233,14 @@ type Telemetry struct {
 	// (machines running, including their DDS reads), summed over rounds.
 	ExecuteTime time.Duration
 	// FreezeTime is the wall-clock time spent freezing writes into the next
-	// round's store, summed over rounds.
-	FreezeTime time.Duration
+	// round's store, summed over rounds. FreezeMergeTime and
+	// FreezeBuildTime split it between merging the machines' pre-hashed
+	// writes into per-shard regions and building the per-shard indexes, so
+	// a freeze delta in a perf trajectory is attributable to data movement
+	// versus index construction.
+	FreezeTime      time.Duration
+	FreezeMergeTime time.Duration
+	FreezeBuildTime time.Duration
 	// PublishTime is the wall-clock time spent synchronously publishing
 	// frozen stores (joining write-behind serialization and installing the
 	// backend), summed over rounds. Zero for the in-memory backend.
@@ -252,8 +261,11 @@ func telemetryFrom(rt *ampc.Runtime, phases int) Telemetry {
 		RoundStats:        rt.Stats(),
 	}
 	for _, st := range t.RoundStats {
+		t.TotalWrites += st.Writes
 		t.ExecuteTime += st.Execute
 		t.FreezeTime += st.Freeze
+		t.FreezeMergeTime += st.FreezeMerge
+		t.FreezeBuildTime += st.FreezeBuild
 		t.PublishTime += st.Publish
 	}
 	return t

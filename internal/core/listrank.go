@@ -114,14 +114,18 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 		driver.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 		err := rt.Round(fmt.Sprintf("list-contract-%d", r), func(ctx *ampc.Ctx) error {
 			lo, hi := ampc.BlockRange(ctx.Machine, len(shuffled), ctx.P)
+			hops := make([]dds.KV, 0, hi-lo)
 			for _, s := range shuffled[lo:hi] {
 				end, acc, err := listWalk(ctx, s, r)
 				if err != nil {
 					return err
 				}
-				ctx.Write(dds.Key{Tag: tagListNext, A: int64(s), B: int64(r + 1)},
-					dds.Value{A: int64(end), B: acc})
+				hops = append(hops, dds.KV{
+					Key:   dds.Key{Tag: tagListNext, A: int64(s), B: int64(r + 1)},
+					Value: dds.Value{A: int64(end), B: acc},
+				})
 			}
+			ctx.WriteMany(hops)
 			return ctx.Err()
 		})
 		if err != nil {
@@ -160,11 +164,13 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 	})
 	err = rt.Round("list-final-walk", func(ctx *ampc.Ctx) error {
 		lo, hi := ampc.BlockRange(ctx.Machine, len(shuffledHeads), ctx.P)
+		var ranks []dds.KV // rank writes batched per head walk
 		for _, h := range shuffledHeads[lo:hi] {
 			d := int64(0)
 			cur := h
+			ranks = ranks[:0]
 			for cur != -1 {
-				ctx.Write(dds.Key{Tag: tagListD, A: int64(cur)}, dds.Value{A: d})
+				ranks = append(ranks, dds.KV{Key: dds.Key{Tag: tagListD, A: int64(cur)}, Value: dds.Value{A: d}})
 				v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(cur), B: int64(coarsest)})
 				if !ok {
 					return fmt.Errorf("core: missing coarsest pointer for %d (err %v)", cur, ctx.Err())
@@ -172,6 +178,7 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 				d += v.B
 				cur = int(v.A)
 			}
+			ctx.WriteMany(ranks)
 		}
 		return ctx.Err()
 	})
@@ -189,6 +196,7 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 			lo, hi := ampc.BlockRange(ctx.Machine, len(shuffledW), ctx.P)
 			var pair [2]dds.Key
 			var res []ampc.ValueOK
+			var ranks []dds.KV // rank writes batched per walker
 			for _, s := range shuffledW[lo:hi] {
 				dv, ok := ctx.Read(dds.Key{Tag: tagListD, A: int64(s)})
 				if !ok {
@@ -198,7 +206,7 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 				// absorbed run after it. As in listWalk, each hop batches the
 				// next element's mark with its successor (the next hop's
 				// pointer), wasting one read at the final hop.
-				ctx.Write(dds.Key{Tag: tagListD, A: int64(s)}, dds.Value{A: dv.A})
+				ranks = append(ranks[:0], dds.KV{Key: dds.Key{Tag: tagListD, A: int64(s)}, Value: dds.Value{A: dv.A}})
 				d := dv.A
 				v, ok := ctx.ReadStatic(dds.Key{Tag: tagListNext, A: int64(s), B: int64(r)})
 				if !ok {
@@ -216,12 +224,13 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 					if res[0].OK {
 						break
 					}
-					ctx.Write(dds.Key{Tag: tagListD, A: int64(nxt)}, dds.Value{A: d})
+					ranks = append(ranks, dds.KV{Key: dds.Key{Tag: tagListD, A: int64(nxt)}, Value: dds.Value{A: d}})
 					if !res[1].OK {
 						return fmt.Errorf("core: missing level-%d pointer for %d (err %v)", r, nxt, ctx.Err())
 					}
 					v = res[1].Value
 				}
+				ctx.WriteMany(ranks)
 			}
 			return ctx.Err()
 		})

@@ -111,6 +111,7 @@ func MaximalMatching(ctx context.Context, g *graph.Graph, opts Options) (Matchin
 				capacity := ctx.S
 				q.eval(e, &capacity)
 			}
+			q.flush()
 			return nil
 		})
 		if err != nil {
@@ -160,6 +161,7 @@ func MaximalMatching(ctx context.Context, g *graph.Graph, opts Options) (Matchin
 type matchQuery struct {
 	ctx  *ampc.Ctx
 	memo map[int]int8
+	out  []dds.KV // buffered status writes, flushed once per machine
 }
 
 func (q *matchQuery) writeStatus(e int, s int8) {
@@ -167,7 +169,13 @@ func (q *matchQuery) writeStatus(e int, s int8) {
 	if s == 1 {
 		val = 1
 	}
-	q.ctx.Write(dds.Key{Tag: tagMatchStatus, A: int64(e)}, dds.Value{A: val})
+	q.out = append(q.out, dds.KV{Key: dds.Key{Tag: tagMatchStatus, A: int64(e)}, Value: dds.Value{A: val}})
+}
+
+// flush hands the buffered statuses to the store in one batched write.
+func (q *matchQuery) flush() {
+	q.ctx.WriteMany(q.out)
+	q.out = q.out[:0]
 }
 
 func (q *matchQuery) low() bool { return q.ctx.Remaining() <= misReserve }

@@ -110,6 +110,7 @@ func MIS(ctx context.Context, g *graph.Graph, opts Options) (MISResult, error) {
 				capacity := ctx.S // the paper's per-vertex visit cap c
 				q.eval(v, &capacity)
 			}
+			q.flush()
 			return nil
 		})
 		if err != nil {
@@ -163,6 +164,7 @@ func MIS(ctx context.Context, g *graph.Graph, opts Options) (MISResult, error) {
 type misQuery struct {
 	ctx  *ampc.Ctx
 	memo map[int]int8
+	out  []dds.KV // buffered status writes, flushed once per machine
 }
 
 func (q *misQuery) writeStatus(v int, s int8) {
@@ -170,7 +172,14 @@ func (q *misQuery) writeStatus(v int, s int8) {
 	if s == 1 {
 		val = 1
 	}
-	q.ctx.Write(dds.Key{Tag: tagMISStatus, A: int64(v)}, dds.Value{A: val})
+	q.out = append(q.out, dds.KV{Key: dds.Key{Tag: tagMISStatus, A: int64(v)}, Value: dds.Value{A: val}})
+}
+
+// flush hands the buffered statuses to the store in one batched write —
+// the machine's whole round output, order preserved.
+func (q *misQuery) flush() {
+	q.ctx.WriteMany(q.out)
+	q.out = q.out[:0]
 }
 
 // reserve is the slack kept unspent in the machine budget so bookkeeping

@@ -206,6 +206,7 @@ func msfIncreaseDegree(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffl
 	driver.Shuffle(len(verts), func(i, j int) { verts[i], verts[j] = verts[j], verts[i] })
 	return rt.Round(fmt.Sprintf("msf-increase-%d", phase), func(ctx *ampc.Ctx) error {
 		lo, hi := ampc.BlockRange(ctx.Machine, len(verts), ctx.P)
+		var out []dds.KV // per-vertex batch, reused across the machine's block
 		for _, v := range verts[lo:hi] {
 			fv, tree, whole, err := primExplore(ctx, v, d)
 			if err != nil {
@@ -215,13 +216,23 @@ func msfIncreaseDegree(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffl
 			if whole {
 				w = 1
 			}
-			ctx.Write(dds.Key{Tag: tagConnSize, A: int64(v)}, dds.Value{A: int64(len(fv)), B: w})
+			out = append(out[:0], dds.KV{
+				Key:   dds.Key{Tag: tagConnSize, A: int64(v)},
+				Value: dds.Value{A: int64(len(fv)), B: w},
+			})
 			for i, x := range fv {
-				ctx.Write(dds.Key{Tag: tagConnFound, A: int64(v), B: int64(i)}, dds.Value{A: int64(x)})
+				out = append(out, dds.KV{
+					Key:   dds.Key{Tag: tagConnFound, A: int64(v), B: int64(i)},
+					Value: dds.Value{A: int64(x)},
+				})
 			}
 			for i, tw := range tree {
-				ctx.Write(dds.Key{Tag: tagMSFEdge, A: int64(v), B: int64(i)}, dds.Value{A: tw})
+				out = append(out, dds.KV{
+					Key:   dds.Key{Tag: tagMSFEdge, A: int64(v), B: int64(i)},
+					Value: dds.Value{A: tw},
+				})
 			}
+			ctx.WriteMany(out)
 		}
 		return ctx.Err()
 	})
@@ -400,13 +411,16 @@ func msfSolveLocally(rt *ampc.Runtime, gc *contracted, phase int, committed map[
 		}
 		sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
 		dsu := graph.NewDSU(len(verts))
-		k := 0
+		chosen := make([]dds.KV, 0, len(verts))
 		for _, e := range edges {
 			if dsu.Union(idx[e.a], idx[e.b]) {
-				ctx.Write(dds.Key{Tag: tagMSFEdge, A: -1, B: int64(k)}, dds.Value{A: e.w})
-				k++
+				chosen = append(chosen, dds.KV{
+					Key:   dds.Key{Tag: tagMSFEdge, A: -1, B: int64(len(chosen))},
+					Value: dds.Value{A: e.w},
+				})
 			}
 		}
+		ctx.WriteMany(chosen)
 		return ctx.Err()
 	})
 	if err != nil {

@@ -20,16 +20,24 @@ import (
 // fresh" — callers never need to guard.
 type Arena struct {
 	mu sync.Mutex
-	// slots holds retired slot arrays bucketed by log2(capacity); every
-	// slot array is allocated with a power-of-two length, so a bucket holds
-	// arrays of exactly one capacity and grabSlots is an exact-fit pop.
-	slots [64][][]slot
+	// tables holds retired slot tables (slot array + occupancy bitmap)
+	// bucketed by log2(capacity); every slot array is allocated with a
+	// power-of-two length, so a bucket holds tables of exactly one capacity
+	// and grabTable is an exact-fit pop.
+	tables [64][]table
 	// slabs holds retired overflow slabs, any capacity, first-fit.
 	slabs [][]Value
 	// Partition scratch from the previous build, reused whole.
 	kvs     []KV
 	hs      []uint64
 	slotIdx []int32
+}
+
+// table pairs a slot array with its occupancy bitmap; they are always
+// recycled and grabbed together.
+type table struct {
+	slots []slot
+	bits  []uint64
 }
 
 // NewArena returns an empty arena.
@@ -52,8 +60,8 @@ func (a *Arena) Recycle(s *Store) {
 		return
 	}
 	a.mu.Lock()
-	for i := range a.slots {
-		a.slots[i] = a.slots[i][:0]
+	for i := range a.tables {
+		a.tables[i] = a.tables[i][:0]
 	}
 	a.slabs = a.slabs[:0]
 	for i := range s.shards {
@@ -62,35 +70,80 @@ func (a *Arena) Recycle(s *Store) {
 		// asked for — not its capacity, which make may have rounded up.
 		if n := len(sh.slots); n > 0 {
 			b := bits.TrailingZeros(uint(n))
-			a.slots[b] = append(a.slots[b], sh.slots[:0])
+			a.tables[b] = append(a.tables[b], table{slots: sh.slots[:0], bits: sh.bits[:0]})
 		}
 		if cap(sh.slab) > 0 {
 			a.slabs = append(a.slabs, sh.slab[:0])
 		}
-		sh.slots, sh.slab = nil, nil
+		sh.slots, sh.bits, sh.slab = nil, nil, nil
 	}
 	a.mu.Unlock()
 	s.shards = nil
 }
 
-// grabSlots returns a zeroed slot array of exactly n entries (n must be a
-// power of two), recycled when one of that capacity is available.
-func (a *Arena) grabSlots(n int) []slot {
-	if a == nil || n <= 0 {
-		return make([]slot, n)
+// lock and unlock expose the arena's mutex for callers that grab many
+// arrays in one sequential burst — the fused freeze sizes every shard's
+// table back to back, and one lock beats p of them. A nil arena is a no-op.
+func (a *Arena) lock() {
+	if a != nil {
+		a.mu.Lock()
 	}
-	b := bits.TrailingZeros(uint(n))
-	a.mu.Lock()
-	bucket := a.slots[b]
-	if len(bucket) == 0 {
+}
+
+func (a *Arena) unlock() {
+	if a != nil {
 		a.mu.Unlock()
-		return make([]slot, n)
 	}
-	sl := bucket[len(bucket)-1][:n]
-	a.slots[b] = bucket[:len(bucket)-1]
+}
+
+// bitWords returns the occupancy-bitmap length for an n-slot table.
+func bitWords(n int) int { return (n + 63) / 64 }
+
+// grabTable returns a slot table of exactly n entries (n must be a power of
+// two) with an all-clear occupancy bitmap, recycled when one of that
+// capacity is available. Only the bitmap is zeroed — 1/384th of the slot
+// bytes — because slot records are fully written at claim time and
+// serialization consults the bitmap for empties. The bitmap clear happens
+// outside the lock: concurrent shard builds must not serialize behind each
+// other.
+func (a *Arena) grabTable(n int) ([]slot, []uint64) {
+	if a == nil || n <= 0 {
+		return make([]slot, n), make([]uint64, bitWords(n))
+	}
+	a.mu.Lock()
+	t, recycled := a.popTableLocked(n)
 	a.mu.Unlock()
-	clear(sl)
-	return sl
+	if recycled {
+		clear(t.bits)
+	}
+	return t.slots, t.bits
+}
+
+// grabTableLocked is grabTable with the arena lock already held (or a nil
+// arena, which needs none). Only for single-threaded grab bursts.
+func (a *Arena) grabTableLocked(n int) ([]slot, []uint64) {
+	if a == nil || n <= 0 {
+		return make([]slot, n), make([]uint64, bitWords(n))
+	}
+	t, recycled := a.popTableLocked(n)
+	if recycled {
+		clear(t.bits)
+	}
+	return t.slots, t.bits
+}
+
+// popTableLocked pops a recycled table of capacity n (reporting true, its
+// bitmap still dirty) or allocates a fresh zeroed one (false). Lock held.
+func (a *Arena) popTableLocked(n int) (table, bool) {
+	b := bits.TrailingZeros(uint(n))
+	bucket := a.tables[b]
+	if len(bucket) == 0 {
+		return table{slots: make([]slot, n), bits: make([]uint64, bitWords(n))}, false
+	}
+	t := bucket[len(bucket)-1]
+	t.slots, t.bits = t.slots[:n], t.bits[:bitWords(n)]
+	a.tables[b] = bucket[:len(bucket)-1]
+	return t, true
 }
 
 // grabSlab returns a value slab of n entries, recycled first-fit. The slab
@@ -100,16 +153,25 @@ func (a *Arena) grabSlab(n int) []Value {
 		return make([]Value, n)
 	}
 	a.mu.Lock()
+	sl := a.grabSlabLocked(n)
+	a.mu.Unlock()
+	return sl
+}
+
+// grabSlabLocked is grabSlab with the arena lock already held (or a nil
+// arena, which needs none).
+func (a *Arena) grabSlabLocked(n int) []Value {
+	if a == nil || n <= 0 {
+		return make([]Value, n)
+	}
 	for i, sl := range a.slabs {
 		if cap(sl) >= n {
 			last := len(a.slabs) - 1
 			a.slabs[i] = a.slabs[last]
 			a.slabs = a.slabs[:last]
-			a.mu.Unlock()
 			return sl[:n]
 		}
 	}
-	a.mu.Unlock()
 	return make([]Value, n)
 }
 

@@ -84,5 +84,9 @@ func (MemPublisher) Publish(seq int, s *Store) (StoreBackend, error) { return s,
 // Barrier is a no-op: in-memory publishing is synchronous.
 func (MemPublisher) Barrier() error { return nil }
 
+// InFlight reports false: in-memory publishing never leaves asynchronous
+// work behind, so the runtime can skip its per-round barrier entirely.
+func (MemPublisher) InFlight() bool { return false }
+
 // Close is a no-op.
 func (MemPublisher) Close() error { return nil }

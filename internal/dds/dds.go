@@ -34,9 +34,11 @@ package dds
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Key identifies a constant-size key: a small tag discriminating the kind of
@@ -78,9 +80,57 @@ func mix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// slot is one entry of a shard's open-addressing index. count == 0 marks an
-// empty slot. The first value is stored inline; values 1..count-1 of a
-// duplicated key live at slab[off : off+count-1].
+// divisor computes n % d without a hardware divide. Shard routing takes a
+// modulo on every read and every pre-hashed write, and a 64-bit DIV costs
+// tens of cycles on most x86 parts; with d fixed per store the remainder
+// reduces to three multiplies (Lemire's direct-remainder construction):
+// with c = ceil(2^128/d), the low 128 bits of c*n are (2^128*(n%d)+e*n)/d
+// for e = c*d-2^128 < d, and multiplying them by d and keeping the top 128
+// bits yields exactly n%d because e*n < d*2^64 <= 2^128. The result equals
+// n % d bit-for-bit for every n, so placements — and the golden serialized
+// stores that pin them — are unchanged; TestDivisorMatchesMod proves it.
+type divisor struct {
+	d        uint64
+	mhi, mlo uint64 // ceil(2^128 / d); meaningful for d >= 2
+}
+
+// newDivisor precomputes the reduction constants for d.
+func newDivisor(d uint64) divisor {
+	dv := divisor{d: d}
+	if d < 2 {
+		return dv
+	}
+	q1, r1 := bits.Div64(1, 0, d) // floor(2^64/d), requires d > 1
+	q2, r2 := bits.Div64(r1, 0, d)
+	dv.mhi, dv.mlo = q1, q2
+	if r2 != 0 { // round the 128-bit quotient up
+		var carry uint64
+		dv.mlo, carry = bits.Add64(dv.mlo, 1, 0)
+		dv.mhi += carry
+	}
+	return dv
+}
+
+// mod returns n % dv.d.
+func (dv divisor) mod(n uint64) uint64 {
+	if dv.d < 2 {
+		return 0
+	}
+	// lowbits = (c * n) mod 2^128, with c = mhi:mlo.
+	hi1, lbLo := bits.Mul64(dv.mlo, n)
+	lbHi := hi1 + dv.mhi*n
+	// n % d = floor(lowbits * d / 2^128).
+	h2, _ := bits.Mul64(lbLo, dv.d)
+	h3, l3 := bits.Mul64(lbHi, dv.d)
+	_, carry := bits.Add64(l3, h2, 0)
+	return h3 + carry
+}
+
+// slot is one entry of a shard's open-addressing index. The first value is
+// stored inline; values 1..count-1 of a duplicated key live at
+// slab[off : off+count-1]. Occupancy lives in the shard's bitmap, not here:
+// a recycled slot array may hold stale bytes in unclaimed slots, and every
+// field of a claimed slot is written at claim time.
 type slot struct {
 	key   Key
 	first Value
@@ -90,28 +140,50 @@ type slot struct {
 }
 
 // shard holds the pairs that hashed to one DDS machine as a flat index.
+// bits is the slot-occupancy bitmap, one bit per slot. Keeping emptiness
+// out of the slot records means a recycled table is reset by clearing the
+// bitmap — 1/384th of the slot bytes — instead of zeroing every record, and
+// the build's probes for free slots read the cache-resident bitmap instead
+// of cold 48-byte records.
 type shard struct {
 	slots []slot
+	bits  []uint64
 	mask  uint64
 	slab  []Value
 	size  int          // pairs resident on this shard
 	load  atomic.Int64 // queries answered by this shard
 }
 
+// occupied reports whether slot i holds a pair.
+func (sh *shard) occupied(i uint64) bool {
+	return sh.bits[i>>6]>>(i&63)&1 != 0
+}
+
+// claim marks slot i occupied.
+func (sh *shard) claim(i uint64) {
+	sh.bits[i>>6] |= 1 << (i & 63)
+}
+
 // find returns the slot holding k, or nil. The table is at most half full,
-// so linear probing terminates at an empty slot.
+// so linear probing terminates at an empty slot. The key compare and the
+// occupancy load are arranged dependency-free — the slot line and the
+// bitmap word load in parallel — so the bitmap adds no latency to the hit
+// path; the occupancy check gates the match because an unclaimed slot may
+// hold stale bytes that happen to equal k.
 func (sh *shard) find(k Key, h uint64) *slot {
-	if len(sh.slots) == 0 {
+	slots, bm := sh.slots, sh.bits
+	if len(slots) == 0 {
 		return nil
 	}
 	i := (h >> 32) & sh.mask
 	for {
-		sl := &sh.slots[i]
-		if sl.count == 0 {
-			return nil
-		}
-		if sl.key == k {
+		sl := &slots[i]
+		occ := bm[i>>6] >> (i & 63) & 1
+		if sl.key == k && occ != 0 {
 			return sl
+		}
+		if occ == 0 {
+			return nil
 		}
 		i = (i + 1) & sh.mask
 	}
@@ -132,6 +204,45 @@ type Store struct {
 	shards []shard
 	salt   uint64
 	pairs  int
+	div    divisor // routes hash -> shard without a hardware divide
+}
+
+// Parallel schedules n independent tasks f(0), ..., f(n-1). The store
+// builders accept one so the caller controls where shard work runs — the
+// AMPC runtime passes a scheduler with stable shard-to-worker ownership, so
+// the same pool worker touches the same shard's slot arrays every round. An
+// implementation must invoke every index exactly once and return only when
+// all invocations have; beyond that the schedule is free, because every
+// parallel phase in this package is index-independent and its output does
+// not depend on interleaving.
+type Parallel func(n int, f func(i int))
+
+// FreezeStats splits the wall-clock cost of one store build into its two
+// phases, so perf trajectories can attribute a freeze delta: Merge covers
+// partitioning the written pairs into contiguous per-shard regions (the
+// counting scatter for flat inputs, the sized bucket copy for pre-hashed
+// writers), Build covers constructing the per-shard flat indexes.
+type FreezeStats struct {
+	Merge time.Duration
+	Build time.Duration
+}
+
+// dispatch runs n independent tasks over the chosen scheduler: inline when
+// the build is small (workers <= 1), through the caller-supplied Parallel
+// when one is set (pinned worker ownership), otherwise over transient
+// goroutines with dynamic striping.
+func dispatch(n, workers int, run Parallel, f func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if run != nil {
+		run(n, f)
+		return
+	}
+	parallelDo(n, workers, f)
 }
 
 // NewStore builds a store over the given pairs, sharded p ways with the
@@ -141,14 +252,14 @@ type Store struct {
 // retained. Large inputs build in parallel; the result is identical for any
 // level of parallelism.
 func NewStore(pairs []KV, p int, salt uint64) *Store {
-	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)), nil)
+	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)), nil, nil, nil)
 }
 
 // NewStoreArena is NewStore drawing slot arrays, slabs and partition
 // scratch from the arena's recycled generation. The produced store is
 // identical; only the provenance of its memory changes.
 func NewStoreArena(pairs []KV, p int, salt uint64, a *Arena) *Store {
-	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)), a)
+	return buildStore([][]KV{pairs}, p, salt, buildWorkers(len(pairs)), a, nil, nil)
 }
 
 // buildWorkers picks the build parallelism for an input size: small builds
@@ -166,11 +277,14 @@ func buildWorkers(pairs int) int {
 
 // buildStore partitions the concatenation of bufs into contiguous per-shard
 // regions (counting pass, prefix sums, scatter pass) and then builds every
-// shard's flat index. All three passes parallelize over `workers` goroutines;
-// the scatter preserves input order within each shard, so the store is
-// independent of the worker count. A non-nil arena supplies recycled slot
-// arrays, slabs and partition scratch; the result is identical either way.
-func buildStore(bufs [][]KV, p int, salt uint64, workers int, a *Arena) *Store {
+// shard's flat index. All three passes parallelize over `workers` goroutines
+// (through run, when supplied); the scatter preserves input order within
+// each shard, so the store is independent of the worker count and schedule.
+// A non-nil arena supplies recycled slot arrays, slabs and partition
+// scratch; the result is identical either way. A non-nil st receives the
+// wall-clock split between the partition (Merge) and index-build (Build)
+// phases.
+func buildStore(bufs [][]KV, p int, salt uint64, workers int, a *Arena, run Parallel, st *FreezeStats) *Store {
 	if p <= 0 {
 		p = 1
 	}
@@ -178,9 +292,13 @@ func buildStore(bufs [][]KV, p int, salt uint64, workers int, a *Arena) *Store {
 	for _, b := range bufs {
 		total += len(b)
 	}
-	s := &Store{shards: make([]shard, p), salt: salt, pairs: total}
+	s := &Store{shards: make([]shard, p), salt: salt, pairs: total, div: newDivisor(uint64(p))}
 	if total == 0 {
 		return s
+	}
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
 	}
 
 	// Group the buffers into about `workers` contiguous chunks of roughly
@@ -191,73 +309,90 @@ func buildStore(bufs [][]KV, p int, salt uint64, workers int, a *Arena) *Store {
 
 	// Counting pass: per-chunk, per-shard pair counts.
 	counts := make([]int64, len(chunks)*p)
-	parallelDo(len(chunks), workers, func(c int) {
+	dispatch(len(chunks), workers, run, func(c int) {
 		row := counts[c*p : (c+1)*p]
 		for _, seg := range chunks[c] {
 			for _, kv := range seg {
-				row[hash(kv.Key, salt)%uint64(p)]++
+				row[s.div.mod(hash(kv.Key, salt))]++
 			}
 		}
 	})
 
-	// Prefix sums: shard region starts, then per-chunk write cursors laid
-	// out so chunk order (= input order) is preserved inside every region.
-	starts := make([]int64, p+1)
-	for sh := 0; sh < p; sh++ {
-		starts[sh+1] = starts[sh]
-		for c := range chunks {
-			starts[sh+1] += counts[c*p+sh]
-		}
-	}
-	cursors := make([]int64, len(chunks)*p)
-	for sh := 0; sh < p; sh++ {
-		pos := starts[sh]
-		for c := range chunks {
-			cursors[c*p+sh] = pos
-			pos += counts[c*p+sh]
-		}
-	}
+	starts, cursors := partitionLayout(counts, len(chunks), p)
 
 	// Scatter pass: pairs land in their shard region in input order, with
 	// their full hash alongside so shard builds never rehash.
 	scratch, hs, slotIdx := a.grabScratch(total)
-	parallelDo(len(chunks), workers, func(c int) {
+	dispatch(len(chunks), workers, run, func(c int) {
 		cur := cursors[c*p : (c+1)*p]
 		for _, seg := range chunks[c] {
 			for _, kv := range seg {
 				h := hash(kv.Key, salt)
-				pos := cur[h%uint64(p)]
-				cur[h%uint64(p)] = pos + 1
+				si := s.div.mod(h)
+				pos := cur[si]
+				cur[si] = pos + 1
 				scratch[pos] = kv
 				hs[pos] = h
 			}
 		}
 	})
+	var t1 time.Time
+	if st != nil {
+		t1 = time.Now()
+	}
 
 	// Index build: shards are independent; slotIdx is a shared scratch that
 	// each shard slices to its own region.
-	parallelDo(p, workers, func(sh int) {
+	dispatch(p, workers, run, func(sh int) {
 		lo, hi := starts[sh], starts[sh+1]
 		s.shards[sh].build(scratch[lo:hi], hs[lo:hi], slotIdx[lo:hi], a)
 	})
+	if st != nil {
+		st.Merge, st.Build = t1.Sub(t0), time.Since(t1)
+	}
 	a.putScratch(scratch, hs, slotIdx)
 	return s
 }
 
+// partitionLayout turns per-chunk, per-shard counts into the shard region
+// starts and per-chunk write cursors of an order-preserving partition:
+// cursors are laid out so chunk order (= input order) is preserved inside
+// every shard region. Shared by the counting build and the pre-hashed
+// parallel freeze — the layout is what their byte-identity depends on, so
+// it exists exactly once.
+func partitionLayout(counts []int64, chunks, p int) (starts, cursors []int64) {
+	starts = make([]int64, p+1)
+	for sh := 0; sh < p; sh++ {
+		starts[sh+1] = starts[sh]
+		for c := 0; c < chunks; c++ {
+			starts[sh+1] += counts[c*p+sh]
+		}
+	}
+	cursors = make([]int64, chunks*p)
+	for sh := 0; sh < p; sh++ {
+		pos := starts[sh]
+		for c := 0; c < chunks; c++ {
+			cursors[c*p+sh] = pos
+			pos += counts[c*p+sh]
+		}
+	}
+	return starts, cursors
+}
+
 // chunk is one unit of partition work: an ordered run of buffer segments.
-type chunk [][]KV
+type chunk[T any] [][]T
 
 // splitChunks groups the buffer list into about `workers` contiguous chunks
-// of roughly total/workers pairs each, splitting oversized buffers by index.
-// Concatenating the chunks in order reproduces the concatenation of bufs
-// exactly, so partitioning is order-preserving for any worker count.
-func splitChunks(bufs [][]KV, workers, total int) []chunk {
+// of roughly total/workers elements each, splitting oversized buffers by
+// index. Concatenating the chunks in order reproduces the concatenation of
+// bufs exactly, so partitioning is order-preserving for any worker count.
+func splitChunks[T any](bufs [][]T, workers, total int) []chunk[T] {
 	target := (total + workers - 1) / workers
 	if target < 1024 {
 		target = 1024
 	}
-	var chunks []chunk
-	var cur chunk
+	var chunks []chunk[T]
+	var cur chunk[T]
 	curSize := 0
 	for _, b := range bufs {
 		for len(b) > 0 {
@@ -324,18 +459,22 @@ func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32, a *Arena) {
 	for cap < 2*len(pairs) {
 		cap <<= 1
 	}
-	sh.slots = a.grabSlots(cap)
+	sh.slots, sh.bits = a.grabTable(cap)
 	sh.mask = uint64(cap - 1)
 	for i, kv := range pairs {
 		j := (hs[i] >> 32) & sh.mask
 		for {
-			sl := &sh.slots[j]
-			if sl.count == 0 {
+			if !sh.occupied(j) {
+				sh.claim(j)
+				sl := &sh.slots[j]
 				sl.key = kv.Key
 				sl.count = 1
+				sl.off = 0
+				sl.fill = 0
 				slotIdx[i] = int32(j)
 				break
 			}
+			sl := &sh.slots[j]
 			if sl.key == kv.Key {
 				sl.count++
 				slotIdx[i] = int32(j)
@@ -345,12 +484,12 @@ func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32, a *Arena) {
 		}
 	}
 	overflow := int32(0)
-	for j := range sh.slots {
+	sh.forOccupied(func(j int) {
 		if sh.slots[j].count > 1 {
 			sh.slots[j].off = overflow
 			overflow += sh.slots[j].count - 1
 		}
-	}
+	})
 	if overflow > 0 {
 		sh.slab = a.grabSlab(int(overflow))
 	}
@@ -365,8 +504,24 @@ func (sh *shard) build(pairs []KV, hs []uint64, slotIdx []int32, a *Arena) {
 	}
 }
 
+// forOccupied invokes f for every occupied slot index, ascending — the scan
+// order the serialized format's slab offsets are defined by. Whole empty
+// bitmap words skip 64 slots at a time.
+func (sh *shard) forOccupied(f func(j int)) {
+	for wi, word := range sh.bits {
+		for word != 0 {
+			j := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			f(j)
+		}
+	}
+}
+
 // shardFor returns the shard owning key k and its hash, counting n queries
-// against it.
+// against it. Reads keep the hardware modulo: the shard pointer's address
+// depends on it, so the divide sits on the load's critical path where it
+// measures faster than the multiply chain of divisor.mod (which wins only
+// in throughput-shaped loops like the write and partition passes).
 func (s *Store) shardFor(k Key, n int64) (*shard, uint64) {
 	h := hash(k, s.salt)
 	sh := &s.shards[h%uint64(len(s.shards))]

@@ -315,3 +315,28 @@ func BenchmarkFileGet(b *testing.B) {
 		fs.Get(Key{1, int64(i & (n - 1)), 0})
 	}
 }
+
+// BenchmarkSegmentGet is BenchmarkFileGet against the production read path:
+// a segment file opened through the publisher's trusted fast path, so the
+// per-Get cost of the single-mmap layout is pinned against the legacy
+// per-shard files.
+func BenchmarkSegmentGet(b *testing.B) {
+	const n = 1 << 16
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = kv(1, int64(i), 0, int64(i), 0)
+	}
+	path := b.TempDir() + "/store.seg"
+	if _, err := WriteSegment(NewStore(pairs, 16, 9), path, nil); err != nil {
+		b.Fatal(err)
+	}
+	fs, err := openSegment(path, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Get(Key{1, int64(i & (n - 1)), 0})
+	}
+}

@@ -1,0 +1,60 @@
+package dds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDivisorMatchesMod proves the multiply-based remainder is exactly n % d
+// — the property every shard placement (and therefore every golden
+// serialized store) depends on. Edge divisors cover the branch structure:
+// d=1 (always 0), powers of two (exact 128-bit quotient, no round-up), the
+// shard-count sanity cap, and values near 2^32 and 2^63 where the packed
+// arithmetic would overflow first if it could.
+func TestDivisorMatchesMod(t *testing.T) {
+	edges := []uint64{1, 2, 3, 4, 5, 7, 8, 16, 63, 64, 512, 513,
+		maxShardFiles, maxShardFiles + 1, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+		1<<63 - 1, 1 << 63, 1<<64 - 1}
+	ns := []uint64{0, 1, 2, 63, 1<<32 - 1, 1 << 32, 1<<63 - 1, 1 << 63, 1<<64 - 1}
+	for _, d := range edges {
+		dv := newDivisor(d)
+		for _, n := range ns {
+			if got, want := dv.mod(n), n%d; got != want {
+				t.Fatalf("divisor(%d).mod(%d) = %d, want %d", d, n, got, want)
+			}
+		}
+	}
+
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200000; trial++ {
+		d := r.Uint64()
+		switch trial % 4 {
+		case 0:
+			d = d%512 + 1 // realistic shard counts
+		case 1:
+			d = d%maxShardFiles + 1
+		case 2:
+			d = d%(1<<32) + 1
+		default:
+			if d == 0 {
+				d = 1
+			}
+		}
+		n := r.Uint64()
+		dv := newDivisor(d)
+		if got, want := dv.mod(n), n%d; got != want {
+			t.Fatalf("divisor(%d).mod(%d) = %d, want %d", d, n, got, want)
+		}
+	}
+
+	check := func(d, n uint64) bool {
+		if d == 0 {
+			d = 1
+		}
+		return newDivisor(d).mod(n) == n%d
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -103,12 +103,19 @@ func shardBlockBytes(sh *shard) int {
 
 // fillShardBlock serializes one shard into dst, which must be exactly
 // shardBlockBytes(sh) long. Every byte of dst is written — reserved bytes
-// explicitly zeroed — so filling a recycled buffer is still deterministic.
+// explicitly zeroed, unclaimed slots as all-zero records (their in-memory
+// bytes may be stale from a recycled table; occupancy lives in the bitmap)
+// — so filling a recycled buffer from a recycled store is deterministic.
 func fillShardBlock(dst []byte, sh *shard, index, count int, salt uint64) {
 	off := headerBytes
 	for i := range sh.slots {
-		sl := &sh.slots[i]
 		rec := dst[off : off+slotBytes]
+		if !sh.occupied(uint64(i)) {
+			clear(rec)
+			off += slotBytes
+			continue
+		}
+		sl := &sh.slots[i]
 		le.PutUint64(rec[0:], uint64(sl.key.A))
 		le.PutUint64(rec[8:], uint64(sl.key.B))
 		le.PutUint64(rec[16:], uint64(sl.first.A))
@@ -185,21 +192,25 @@ type fileShard struct {
 }
 
 // findOff returns the byte offset of the slot holding k within the shard's
-// slot region, or -1. Identical probe sequence to the in-memory shard.
+// slot region, or -1. Identical probe sequence to the in-memory shard. The
+// slot region is hoisted into a local and every record is re-sliced with an
+// explicit capacity so the per-probe field loads compile to single bounded
+// reads — this probe is the whole cost of a file-backed Get and must stay
+// at parity with the in-memory index.
 func (sh *fileShard) findOff(k Key, h uint64) int {
-	if len(sh.slots) == 0 {
+	slots := sh.slots
+	if len(slots) == 0 {
 		return -1
 	}
+	ka, kb := uint64(k.A), uint64(k.B)
 	i := (h >> 32) & sh.mask
 	for {
 		off := int(i) * slotBytes
-		rec := sh.slots[off : off+slotBytes]
-		if le.Uint32(rec[32:]) == 0 {
+		rec := slots[off : off+slotBytes : off+slotBytes]
+		if le.Uint32(rec[32:36]) == 0 {
 			return -1
 		}
-		if rec[40] == k.Tag &&
-			int64(le.Uint64(rec[0:])) == k.A &&
-			int64(le.Uint64(rec[8:])) == k.B {
+		if le.Uint64(rec[0:8]) == ka && le.Uint64(rec[8:16]) == kb && rec[40] == k.Tag {
 			return off
 		}
 		i = (i + 1) & sh.mask
@@ -214,10 +225,8 @@ func (sh *fileShard) count(off int) int {
 // value returns the i-th (0-based) value of the slot record at offset off.
 func (sh *fileShard) value(off, i int) Value {
 	if i == 0 {
-		return Value{
-			A: int64(le.Uint64(sh.slots[off+16:])),
-			B: int64(le.Uint64(sh.slots[off+24:])),
-		}
+		rec := sh.slots[off+16 : off+32 : off+32]
+		return Value{A: int64(le.Uint64(rec[0:8])), B: int64(le.Uint64(rec[8:16]))}
 	}
 	slabOff := int(int32(le.Uint32(sh.slots[off+36:])))
 	rec := sh.slab[(slabOff+i-1)*valueBytes:]
@@ -426,7 +435,9 @@ func (s *FileStore) Close() error {
 }
 
 // shardFor returns the shard owning key k and its hash, counting n queries
-// against it.
+// against it. Like the in-memory store, reads keep the hardware modulo: it
+// sits on the shard pointer's critical path, where it beats the multiply
+// reduction.
 func (s *FileStore) shardFor(k Key, n int64) (*fileShard, uint64) {
 	h := hash(k, s.salt)
 	sh := &s.shards[h%uint64(len(s.shards))]
@@ -558,6 +569,7 @@ type FilePublisher struct {
 	sync          bool            // publish in the foreground; reads go straight to mmap
 	ctx           context.Context // optional; cancels in-flight write-behind publishes
 	arena         *Arena          // optional; receives swapped-out in-memory stores
+	run           Parallel        // optional; schedules sync-mode section fills
 	buf           []byte          // reused segment serialization buffer
 	inflight      *pendingStore   // the write-behind publish not yet joined
 	latest        string          // newest durable segment
@@ -592,6 +604,25 @@ func (p *FilePublisher) SetContext(ctx context.Context) { p.ctx = ctx }
 // SetArena gives the publisher an arena to recycle swapped-out in-memory
 // stores into. Call before the first Publish.
 func (p *FilePublisher) SetArena(a *Arena) { p.arena = a }
+
+// SetParallel installs the scheduler used for per-shard section fills when
+// publishing synchronously — the AMPC runtime passes its pinned worker-pool
+// scheduler, so the worker that built a shard's index also serializes its
+// section. Write-behind publishes ignore it: their fills run on the
+// background writer while those pool workers are busy executing the next
+// round, and borrowing them would serialize the publish behind the execute
+// phase it is meant to overlap. Call before the first Publish.
+func (p *FilePublisher) SetParallel(run Parallel) { p.run = run }
+
+// InFlight reports whether a write-behind publish has not yet been joined —
+// the condition under which the next Barrier call would actually block or
+// swap anything. The runtime uses it to skip the per-round barrier (and its
+// clock reads) entirely on rounds with nothing pending.
+func (p *FilePublisher) InFlight() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inflight != nil
+}
 
 // Dir returns the base directory (empty until the first Publish when the
 // publisher owns a temporary directory).
@@ -703,7 +734,7 @@ func (p *FilePublisher) Publish(seq int, s *Store) (StoreBackend, error) {
 	}
 	path := filepath.Join(p.dir, fmt.Sprintf(segFileFmt, seq))
 	if p.sync {
-		buf, err := writeSegment(s, path, p.buf, p.cancelled)
+		buf, err := writeSegment(s, path, p.buf, p.cancelled, p.run)
 		p.buf = buf
 		if err != nil {
 			p.mu.Unlock()
@@ -798,7 +829,7 @@ type pendingStore struct {
 // Barrier (or Publish/Close) through ps.done.
 func (ps *pendingStore) run(buf []byte) {
 	ps.pub.drainGarbage()
-	buf, err := writeSegment(ps.mem, ps.path, buf, ps.pub.cancelled)
+	buf, err := writeSegment(ps.mem, ps.path, buf, ps.pub.cancelled, nil)
 	ps.err = err
 	p := ps.pub
 	p.mu.Lock()

@@ -126,16 +126,16 @@ func TestParallelFreezeMatchesSequential(t *testing.T) {
 		pairs := randomPairs(r, n, 25)
 		p := r.Intn(32) + 1
 		salt := r.Uint64()
-		seq := buildStore([][]KV{pairs}, p, salt, 1, nil)
+		seq := buildStore([][]KV{pairs}, p, salt, 1, nil, nil, nil)
 		for _, workers := range []int{2, 3, 8} {
-			par := buildStore([][]KV{pairs}, p, salt, workers, nil)
+			par := buildStore([][]KV{pairs}, p, salt, workers, nil, nil, nil)
 			compareStores(t, seq, par)
 		}
 		// An arena primed with a retired store must not change the build:
 		// recycled slot arrays are zeroed, slabs fully overwritten.
 		arena := NewArena()
-		arena.Recycle(buildStore([][]KV{pairs}, p, salt^1, 4, nil))
-		compareStores(t, seq, buildStore([][]KV{pairs}, p, salt, 4, arena))
+		arena.Recycle(buildStore([][]KV{pairs}, p, salt^1, 4, nil, nil, nil))
+		compareStores(t, seq, buildStore([][]KV{pairs}, p, salt, 4, arena, nil, nil))
 	}
 }
 
@@ -155,7 +155,7 @@ func TestBuilderParallelFreezeMatchesSequential(t *testing.T) {
 	}
 	const p, salt = 16, 99
 	par := b.Freeze(p, salt)
-	seq := buildStore([][]KV{b.Pairs()}, p, salt, 1, nil)
+	seq := buildStore([][]KV{b.Pairs()}, p, salt, 1, nil, nil, nil)
 	compareStores(t, seq, par)
 
 	// ShardSizes and duplicate order must also match the historic
@@ -181,10 +181,10 @@ func compareStores(t *testing.T, a, b *Store) {
 	for si := range a.shards {
 		sh := &a.shards[si]
 		for j := range sh.slots {
-			sl := &sh.slots[j]
-			if sl.count == 0 {
+			if !sh.occupied(uint64(j)) {
 				continue
 			}
+			sl := &sh.slots[j]
 			if got := b.Count(sl.key); got != int(sl.count) {
 				t.Fatalf("key %v count %d vs %d", sl.key, sl.count, got)
 			}

@@ -68,6 +68,14 @@ func (e *SectionError) Unwrap() error { return e.Err }
 // bytes into a fresh or recycled buffer — and the per-shard sections fill in
 // parallel for large stores, since the section table is computed up front.
 func AppendSegment(buf []byte, s *Store) []byte {
+	return appendSegment(buf, s, nil)
+}
+
+// appendSegment is AppendSegment with a scheduling hook: a non-nil run
+// schedules the per-shard section fills (a synchronous publisher passes the
+// runtime's pinned worker scheduler, so the worker that built a shard's
+// index serializes its section). The bytes never depend on the schedule.
+func appendSegment(buf []byte, s *Store, run Parallel) []byte {
 	p := len(s.shards)
 	base := len(buf)
 	offs := make([]int, p+1)
@@ -77,7 +85,7 @@ func AppendSegment(buf []byte, s *Store) []byte {
 	}
 	buf = growBytes(buf, offs[p])
 	seg := buf[base:]
-	parallelDo(p, buildWorkers(s.pairs), func(i int) {
+	dispatch(p, buildWorkers(s.pairs), run, func(i int) {
 		fillShardBlock(seg[offs[i]:offs[i+1]], &s.shards[i], i, p, s.salt)
 	})
 	table := seg[headerBytes : headerBytes+p*segTableEntry]
@@ -104,18 +112,19 @@ func AppendSegment(buf []byte, s *Store) []byte {
 // either no segment or a complete one, never a torn file, and a rename that
 // returned means the segment survives power loss.
 func WriteSegment(s *Store, path string, buf []byte) ([]byte, error) {
-	return writeSegment(s, path, buf, nil)
+	return writeSegment(s, path, buf, nil, nil)
 }
 
 // errPublishCancelled reports a write-behind publish aborted before the
 // segment was durable (context cancellation or publisher Close).
 var errPublishCancelled = errors.New("dds: segment publish cancelled")
 
-// writeSegment is WriteSegment with a cancellation hook: when cancelled
+// writeSegment is WriteSegment with a cancellation hook — when cancelled
 // returns a non-nil error between write chunks, the temp file is removed
-// and the error returned — no partial segment survives.
-func writeSegment(s *Store, path string, buf []byte, cancelled func() error) ([]byte, error) {
-	buf = AppendSegment(buf[:0], s)
+// and the error returned, so no partial segment survives — and the
+// section-fill scheduling hook of appendSegment.
+func writeSegment(s *Store, path string, buf []byte, cancelled func() error, run Parallel) ([]byte, error) {
+	buf = appendSegment(buf[:0], s, run)
 	dir := filepath.Dir(path)
 	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

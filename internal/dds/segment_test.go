@@ -190,17 +190,17 @@ func TestSegmentSerializationDeterminism(t *testing.T) {
 	r := rand.New(rand.NewSource(77))
 	pairs := randomPairs(r, 20000, 9)
 	const p, salt = 24, 0xABCD
-	base := AppendSegment(nil, buildStore([][]KV{pairs}, p, salt, 1, nil))
+	base := AppendSegment(nil, buildStore([][]KV{pairs}, p, salt, 1, nil, nil, nil))
 	for _, workers := range []int{2, 8} {
-		got := AppendSegment(nil, buildStore([][]KV{pairs}, p, salt, workers, nil))
+		got := AppendSegment(nil, buildStore([][]KV{pairs}, p, salt, workers, nil, nil, nil))
 		if !bytes.Equal(got, base) {
 			t.Fatalf("workers=%d: segment bytes differ from sequential build", workers)
 		}
 	}
 
 	arena := NewArena()
-	arena.Recycle(buildStore([][]KV{pairs}, p, salt^7, 8, nil))
-	st := buildStore([][]KV{pairs}, p, salt, 8, arena)
+	arena.Recycle(buildStore([][]KV{pairs}, p, salt^7, 8, nil, nil, nil))
+	st := buildStore([][]KV{pairs}, p, salt, 8, arena, nil, nil)
 	dirty := make([]byte, len(base)+512)
 	for i := range dirty {
 		dirty[i] = 0xAA
@@ -238,7 +238,7 @@ func TestWriteBehindDeterminism(t *testing.T) {
 		var backends []StoreBackend
 		pub.SetSync(cfg.sync)
 		for seq, pairs := range rounds {
-			b, err := pub.Publish(seq, buildStore([][]KV{pairs}, p, uint64(seq)*17+3, cfg.workers, nil))
+			b, err := pub.Publish(seq, buildStore([][]KV{pairs}, p, uint64(seq)*17+3, cfg.workers, nil, nil, nil))
 			if err != nil {
 				t.Fatalf("%s: publish %d: %v", cfg.name, seq, err)
 			}
