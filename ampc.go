@@ -129,11 +129,13 @@ type Options = core.Options
 
 // Store backend names for Options.Backend: BackendMem keeps each round's
 // frozen store in process, BackendFile publishes it write-behind to mmap'd
-// segment files
-// (see Options.StoreDir). Outputs are byte-identical for every backend.
+// segment files (see Options.StoreDir), and BackendRPC ships it to a fleet
+// of shardd servers (see Options.Servers and Options.Replication). Outputs
+// are byte-identical for every backend.
 const (
 	BackendMem  = core.BackendMem
 	BackendFile = core.BackendFile
+	BackendRPC  = core.BackendRPC
 )
 
 // ErrInvalidOptions is wrapped by every error an algorithm returns for an

@@ -5,9 +5,12 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
 	"ampc"
+	"ampc/internal/rpc"
 )
 
 // backendJobs builds one Job per registered algorithm on small fixed
@@ -53,17 +56,53 @@ func backendJobs(t *testing.T) []ampc.Job {
 	return jobs
 }
 
-// runBackend executes the job with the given backend and worker count and
-// returns the result plus the per-round pair counts.
-func runBackend(t *testing.T, job ampc.Job, seed uint64, backend string, workers int) (*ampc.Result, []int) {
+// rpcFleet lazily starts the loopback shardd fleet shared by the rpc
+// differential columns, or adopts the external fleet named by
+// $AMPC_RPC_SERVERS (the CI matrix points it at real shardd processes).
+// Concurrent runs share the fleet safely: each publisher namespaces its
+// generations under a random run id.
+var rpcFleet struct {
+	once  sync.Once
+	addrs []string
+	err   error
+}
+
+func rpcServers(t *testing.T) []string {
+	t.Helper()
+	rpcFleet.once.Do(func() {
+		if env := os.Getenv("AMPC_RPC_SERVERS"); env != "" {
+			for _, a := range strings.Split(env, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					rpcFleet.addrs = append(rpcFleet.addrs, a)
+				}
+			}
+			return
+		}
+		for i := 0; i < 3; i++ {
+			s, err := rpc.NewServer(rpc.ServerConfig{Addr: "127.0.0.1:0"})
+			if err != nil {
+				rpcFleet.err = err
+				return
+			}
+			rpcFleet.addrs = append(rpcFleet.addrs, s.Addr())
+		}
+	})
+	if rpcFleet.err != nil {
+		t.Fatalf("loopback shardd fleet: %v", rpcFleet.err)
+	}
+	return rpcFleet.addrs
+}
+
+// runBackend executes the job with the given options and returns the result
+// plus the per-round pair counts.
+func runBackend(t *testing.T, job ampc.Job, opts ampc.Options) (*ampc.Result, []int) {
 	t.Helper()
 	eng := ampc.NewEngine(ampc.EngineOptions{})
-	opts := ampc.Options{Seed: seed, Backend: backend, Workers: workers}
 	j := job
 	j.Opts = &opts
 	res, err := eng.Run(context.Background(), j)
 	if err != nil {
-		t.Fatalf("%s backend=%s workers=%d: %v", job.Algo, backend, workers, err)
+		t.Fatalf("%s backend=%s workers=%d: %v", job.Algo, opts.Backend, opts.Workers, err)
 	}
 	pairs := make([]int, len(res.Telemetry.RoundStats))
 	for i, st := range res.Telemetry.RoundStats {
@@ -95,29 +134,36 @@ func normalizePayload(p any) any {
 // TestBackendDifferential is the acceptance gate for the StoreBackend layer:
 // every registered algorithm, run through the Engine on the same seeds, must
 // produce byte-identical labels, payloads, summaries and oracle-check status
-// whether each round reads D_{i-1} from in-process shards or from mmap'd
-// shard files — and for the file backend, for any worker count. A future
-// backend (e.g. an RPC shard server) plugs into the same test by adding its
-// name to the backends list.
+// whether each round reads D_{i-1} from in-process shards, from mmap'd shard
+// files, or over the wire from a fleet of shardd servers — and for the
+// published backends, for any worker count. A future backend plugs into the
+// same test by adding its name to the backends list.
 func TestBackendDifferential(t *testing.T) {
+	servers := rpcServers(t)
 	backends := []struct {
 		name    string
 		workers int
 	}{
 		{ampc.BackendFile, 1},
 		{ampc.BackendFile, 8},
+		{ampc.BackendRPC, 1},
+		{ampc.BackendRPC, 8},
 	}
 	for _, job := range backendJobs(t) {
 		job := job
 		t.Run(job.Algo, func(t *testing.T) {
 			t.Parallel()
 			for _, seed := range []uint64{7, 1234} {
-				base, basePairs := runBackend(t, job, seed, ampc.BackendMem, 1)
+				base, basePairs := runBackend(t, job, ampc.Options{Seed: seed, Backend: ampc.BackendMem, Workers: 1})
 				if base.Check != ampc.CheckPassed && base.Check != ampc.CheckSkipped {
 					t.Fatalf("seed %d: mem check status %v", seed, base.Check)
 				}
 				for _, bk := range backends {
-					res, pairs := runBackend(t, job, seed, bk.name, bk.workers)
+					opts := ampc.Options{Seed: seed, Backend: bk.name, Workers: bk.workers}
+					if bk.name == ampc.BackendRPC {
+						opts.Servers = servers
+					}
+					res, pairs := runBackend(t, job, opts)
 					if !reflect.DeepEqual(res.Labels, base.Labels) {
 						t.Errorf("seed %d: labels differ between mem and %s/workers=%d", seed, bk.name, bk.workers)
 					}
@@ -140,9 +186,10 @@ func TestBackendDifferential(t *testing.T) {
 	}
 }
 
-// TestBackendOptionValidation pins the Options.Backend contract: the two
-// documented names and empty are accepted, anything else is rejected with
-// ErrInvalidOptions semantics before any round executes.
+// TestBackendOptionValidation pins the Options.Backend contract: the three
+// documented names and empty are accepted (rpc only with a server fleet),
+// anything else is rejected with ErrInvalidOptions semantics before any
+// round executes.
 func TestBackendOptionValidation(t *testing.T) {
 	g := ampc.Path(16)
 	eng := ampc.NewEngine(ampc.EngineOptions{})
@@ -152,9 +199,78 @@ func TestBackendOptionValidation(t *testing.T) {
 			t.Fatalf("backend %q rejected: %v", backend, err)
 		}
 	}
-	opts := ampc.Options{Backend: "carrier-pigeon"}
-	if _, err := eng.Run(context.Background(), ampc.Job{Algo: "connectivity", Graph: g, Opts: &opts}); err == nil {
-		t.Fatal("unknown backend accepted")
+	for _, opts := range []ampc.Options{
+		{Backend: "carrier-pigeon"},
+		{Backend: ampc.BackendRPC}, // no servers
+		{Backend: ampc.BackendRPC, Servers: []string{"a", "b"}, Replication: 3}, // R > fleet
+	} {
+		opts := opts
+		if _, err := eng.Run(context.Background(), ampc.Job{Algo: "connectivity", Graph: g, Opts: &opts}); err == nil {
+			t.Fatalf("invalid options %+v accepted", opts)
+		}
+	}
+	opts := ampc.Options{Backend: ampc.BackendRPC, Servers: rpcServers(t), Replication: 2}
+	if _, err := eng.Run(context.Background(), ampc.Job{Algo: "connectivity", Graph: g, Opts: &opts}); err != nil {
+		t.Fatalf("rpc backend rejected: %v", err)
+	}
+}
+
+// TestRPCKillReplica is the replication acceptance test at the engine level:
+// with a dedicated 3-server fleet and Replication=2, killing one server
+// mid-run (after the second round's stats land) must not change one byte of
+// output versus the in-memory backend — reads fail over, publishes settle
+// for the surviving replica's ack.
+func TestRPCKillReplica(t *testing.T) {
+	g := ampc.GNM(400, 1200, ampc.NewRNG(4, 4))
+	job := ampc.Job{Algo: "connectivity", Graph: g, Check: true}
+	base, basePairs := runBackend(t, job, ampc.Options{Seed: 11, Backend: ampc.BackendMem, Workers: 1})
+
+	fleet := make([]*rpc.Server, 3)
+	addrs := make([]string, 3)
+	for i := range fleet {
+		s, err := rpc.NewServer(rpc.ServerConfig{Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		fleet[i] = s
+		addrs[i] = s.Addr()
+	}
+	var killOnce sync.Once
+	rounds := 0
+	eng := ampc.NewEngine(ampc.EngineOptions{
+		Observer: func(ev ampc.RoundEvent) {
+			rounds++
+			if rounds == 2 {
+				killOnce.Do(func() { fleet[1].Close() })
+			}
+		},
+	})
+	opts := ampc.Options{Seed: 11, Backend: ampc.BackendRPC, Servers: addrs, Replication: 2, Workers: 4}
+	j := job
+	j.Opts = &opts
+	res, err := eng.Run(context.Background(), j)
+	if err != nil {
+		t.Fatalf("run with killed replica: %v", err)
+	}
+	if rounds < 3 {
+		t.Skipf("run finished in %d rounds; the kill never hit a live round", rounds)
+	}
+	if !reflect.DeepEqual(res.Labels, base.Labels) {
+		t.Error("killing one of R=2 replicas changed labels")
+	}
+	if res.Summary != base.Summary {
+		t.Errorf("summary %q vs %q after replica kill", res.Summary, base.Summary)
+	}
+	if res.Check != base.Check {
+		t.Errorf("check status %v vs %v after replica kill", res.Check, base.Check)
+	}
+	pairs := make([]int, len(res.Telemetry.RoundStats))
+	for i, st := range res.Telemetry.RoundStats {
+		pairs[i] = st.Pairs
+	}
+	if !reflect.DeepEqual(pairs, basePairs) {
+		t.Errorf("per-round pair counts differ after replica kill: %v vs %v", pairs, basePairs)
 	}
 }
 
@@ -196,7 +312,7 @@ func TestFileBackendStoreDir(t *testing.T) {
 func TestFileBackendFaultInjection(t *testing.T) {
 	g := ampc.GNM(400, 1200, ampc.NewRNG(8, 2))
 	job := ampc.Job{Algo: "connectivity", Graph: g, Check: true}
-	base, basePairs := runBackend(t, job, 11, ampc.BackendMem, 1)
+	base, basePairs := runBackend(t, job, ampc.Options{Seed: 11, Backend: ampc.BackendMem, Workers: 1})
 	eng := ampc.NewEngine(ampc.EngineOptions{})
 	opts := ampc.Options{Seed: 11, Backend: ampc.BackendFile, FaultProb: 0.3, Workers: 4}
 	j := job

@@ -25,8 +25,9 @@
 // -workers sets the runtime's worker-pool size (outputs never depend on
 // it); -backend selects where each round's frozen store lives (mem keeps it
 // in process, file publishes it write-behind to a single mmap'd segment
-// file per store under -store-dir; outputs are identical either way);
-// -timeout aborts the run through context cancellation.
+// file per store under -store-dir, rpc ships it to the shardd fleet named
+// by -servers with -replication copies per shard; outputs are identical for
+// every backend); -timeout aborts the run through context cancellation.
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"ampc"
@@ -56,8 +58,11 @@ func main() {
 		check    = flag.Bool("check", true, "verify against the sequential oracle")
 		fault    = flag.Float64("faults", 0, "per-round machine failure probability (output must not change)")
 		workers  = flag.Int("workers", 0, "OS worker goroutines per round (0 = GOMAXPROCS); outputs are identical for any value")
-		backend  = flag.String("backend", "mem", "store backend: mem (in-process) or file (write-behind segment files); outputs are identical")
+		backend  = flag.String("backend", "mem", "store backend: mem (in-process), file (write-behind segment files) or rpc (shardd servers); outputs are identical")
 		storeDir = flag.String("store-dir", "", "directory for -backend=file segment files (default: a temp dir removed after the run)")
+		servers  = flag.String("servers", "", "comma-separated shardd addresses for -backend=rpc, e.g. 127.0.0.1:7701,127.0.0.1:7702")
+		replicas = flag.Int("replication", 1, "copies of each shard across the -servers fleet (rpc backend)")
+		rpcTO    = flag.Duration("rpc-timeout", 0, "per-request timeout against shardd servers (0 = default 2s)")
 		asJSON   = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
 		bench    = flag.Bool("bench", false, "emit one machine-readable JSON line (algo, n, m, rounds, queries, wall time)")
 		benchOut = flag.String("bench-out", "", "append the -bench JSON line to this trajectory file (implies -bench)")
@@ -90,6 +95,7 @@ func main() {
 		Defaults: ampc.Options{
 			Epsilon: *eps, Seed: *seed, FaultProb: *fault, Workers: *workers,
 			Backend: *backend, StoreDir: *storeDir,
+			Servers: splitServers(*servers), Replication: *replicas, RPCTimeout: *rpcTO,
 		},
 		Observer: roundPrinter(*stream),
 	})
@@ -237,6 +243,18 @@ func printBenchLine(res *ampc.Result, backend, workload string, n, m int, eps fl
 		fail(err)
 		fail(f.Close())
 	}
+}
+
+// splitServers parses the -servers flag: comma-separated addresses, blanks
+// dropped, empty flag meaning no servers (validation rejects that for rpc).
+func splitServers(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 func loadOrMakeGraph(input string, gkind *string, n, m, trees int, r *ampc.RNG) *ampc.Graph {

@@ -14,11 +14,16 @@
 //	benchgate -baseline BENCH_PR5.json
 //	benchgate -baseline BENCH_PR5.json -factor 1.25 -floor-ms 40 -reps 3
 //	benchgate -baseline BENCH_PR4.json -out BENCH_PR5.json -backends mem,file
+//	benchgate -baseline BENCH_PR6.json -backends mem,file,rpc
 //	benchgate -baseline BENCH_PR5.json -gobench=false    # workload lines only
 //
 // Every measured backend gates against the baseline line recorded for the
 // same (algorithm, backend) pair, so a file-path regression fails CI just
 // like a mem-path one; a backend with no baseline line runs report-only.
+// The rpc backend measures against the shardd fleet named by -rpc-servers,
+// or against three in-process loopback servers spawned for the run when the
+// flag is empty — self-contained, but still paying full serialization,
+// protocol and socket cost per read.
 // -out appends every measured line to a new trajectory file in the same
 // format ampcrun emits, so the gate's output becomes the next PR's
 // committed baseline. Freeze and publish gate as a sum because write-behind
@@ -52,6 +57,7 @@ import (
 	"time"
 
 	"ampc"
+	"ampc/internal/rpc"
 )
 
 // benchLine mirrors the JSON schema of ampcrun -bench lines. Meta records
@@ -116,6 +122,8 @@ func main() {
 		gbFloorNS  = flag.Float64("gobench-floor-ns", 1000, "absolute slack in ns added to every micro-benchmark bound")
 		gbPkgRoot  = flag.String("gobench-root", ".", "module directory go test runs in for gobench records")
 		gbBenchSec = flag.Float64("gobench-benchtime", 1, "seconds per micro-benchmark rep")
+		rpcServers = flag.String("rpc-servers", "", "comma-separated shardd addresses for the rpc backend (default: spawn 3 in-process loopback servers)")
+		rpcReplic  = flag.Int("rpc-replication", 1, "shard copies across the rpc fleet")
 	)
 	flag.Parse()
 	if *baseline == "" {
@@ -139,6 +147,21 @@ func main() {
 		defer outF.Close()
 	}
 
+	rpcOpts := rpcOptions{servers: splitAddrs(*rpcServers), replication: *rpcReplic}
+	if strings.Contains(*backends, "rpc") && len(rpcOpts.servers) == 0 {
+		fleet, addrs, err := spawnLoopbackFleet(3)
+		if err != nil {
+			log.Fatalf("benchgate: loopback shardd fleet: %v", err)
+		}
+		defer func() {
+			for _, s := range fleet {
+				s.Close()
+			}
+		}()
+		rpcOpts.servers = addrs
+		fmt.Printf("rpc backend: spawned %d loopback shardd servers (%s)\n", len(addrs), strings.Join(addrs, ", "))
+	}
+
 	failed := 0
 	var rows []summaryRow
 	for _, mem := range memLines {
@@ -153,7 +176,7 @@ func main() {
 			if !gates {
 				base = mem
 			}
-			got, err := measure(mem, backend, *reps)
+			got, err := measure(mem, backend, *reps, rpcOpts)
 			if errors.Is(err, errUnknownWorkload) {
 				// A future ampcrun may record workload kinds this gate does
 				// not know how to regenerate; that must not fail every
@@ -450,11 +473,49 @@ func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobench
 	return memLines, byBackend, gobench, sc.Err()
 }
 
+// rpcOptions carries the rpc backend's fleet configuration into measure.
+type rpcOptions struct {
+	servers     []string
+	replication int
+}
+
+// splitAddrs parses a comma-separated address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// spawnLoopbackFleet starts n in-process shard servers on loopback ports,
+// so the rpc backend measures without external processes. In-process, but
+// not in-memory: every read still crosses a real TCP socket and pays full
+// serialization cost.
+func spawnLoopbackFleet(n int) ([]*rpc.Server, []string, error) {
+	fleet := make([]*rpc.Server, 0, n)
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := rpc.NewServer(rpc.ServerConfig{Addr: "127.0.0.1:0"})
+		if err != nil {
+			for _, prev := range fleet {
+				prev.Close()
+			}
+			return nil, nil, err
+		}
+		fleet = append(fleet, s)
+		addrs = append(addrs, s.Addr())
+	}
+	return fleet, addrs, nil
+}
+
 // measure runs the baseline line's workload on the given backend reps times
 // and returns the line with the minimum exec/freeze/wall observed — the
 // same measurement ampcrun -bench takes, with the oracle check outside the
 // timed window.
-func measure(base benchLine, backend string, reps int) (benchLine, error) {
+func measure(base benchLine, backend string, reps int, rpcOpts rpcOptions) (benchLine, error) {
 	spec, ok := ampc.Lookup(base.Algo)
 	if !ok {
 		return benchLine{}, fmt.Errorf("unknown algorithm %q", base.Algo)
@@ -486,7 +547,10 @@ func measure(base benchLine, backend string, reps int) (benchLine, error) {
 	}
 
 	eng := ampc.NewEngine(ampc.EngineOptions{
-		Defaults: ampc.Options{Epsilon: base.Epsilon, Seed: base.Seed, Backend: backend},
+		Defaults: ampc.Options{
+			Epsilon: base.Epsilon, Seed: base.Seed, Backend: backend,
+			Servers: rpcOpts.servers, Replication: rpcOpts.replication,
+		},
 	})
 	got := base
 	got.Backend = backend

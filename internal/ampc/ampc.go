@@ -180,6 +180,14 @@ type Runtime struct {
 	// ctx, when non-nil, aborts the computation between rounds: Round
 	// returns ctx.Err() without executing once the context is done.
 	ctx context.Context
+
+	// preBarrier: the publisher asked for its barrier before the execute
+	// phase (BarrierBeforeExecute). A networked publisher needs D_{i-1}
+	// resident on its shard servers before round i's adaptive reads start —
+	// joining after execute, like the file backend does, would leave every
+	// read on the retained in-memory copy and the model's remote cost
+	// unpaid.
+	preBarrier bool
 }
 
 // New creates a runtime with an empty initial store D0. Call SetInput (or
@@ -209,6 +217,9 @@ func New(cfg Config) *Runtime {
 		r.workers = cfg.P
 	}
 	r.pub = cfg.Backend
+	if bb, ok := cfg.Backend.(interface{ BarrierBeforeExecute() bool }); ok {
+		r.preBarrier = bb.BarrierBeforeExecute()
+	}
 	r.builder = dds.NewBuilder(cfg.P)
 	// The pool starts eagerly: the pinned-freeze scheduler below must
 	// capture the pool — and only the pool — so that neither the builder
@@ -432,6 +443,24 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		r.pubErr = nil
 		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
 	}
+	// A publisher that asked for its barrier ahead of execute (a networked
+	// backend) joins the previous round's publish here, so this round's
+	// adaptive reads hit the store where it now lives. The join time counts
+	// as publish cost: it is the synchronous tail of the previous publish.
+	var preBarrier time.Duration
+	if r.preBarrier {
+		inFlight := true
+		if ip, ok := r.pub.(interface{ InFlight() bool }); ok {
+			inFlight = ip.InFlight()
+		}
+		if inFlight {
+			t := time.Now()
+			if err := r.pub.Barrier(); err != nil {
+				return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)
+			}
+			preBarrier = time.Since(t)
+		}
+	}
 	r.cur.ResetLoads()
 	// Priming replaces the plain Reset: it empties every writer and arms
 	// write-time pre-hashing for the next store's geometry, so this round's
@@ -464,10 +493,21 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		}
 		// Drop store and writer references so a pooled Ctx never pins the
 		// retiring round's store for an extra round.
-		c.reads, c.static, c.w = nil, nil, nil
+		c.reads, c.batch, c.static, c.w = nil, nil, nil, nil
 		r.ctxPool.Put(c)
 	})
 	execTime := time.Since(execStart)
+
+	// A remote read that survives replica failover with no answer cannot be
+	// reported through the error-less StoreBackend surface; the backend
+	// latches it and the round fails here, before machine errors — a machine
+	// that misbehaved because its reads silently came back absent is a
+	// symptom, not the cause.
+	if re, ok := r.cur.(interface{ ReadErr() error }); ok {
+		if err := re.ReadErr(); err != nil {
+			return fmt.Errorf("ampc: round %d (%s): store read: %w", r.round, name, err)
+		}
+	}
 
 	for m, err := range r.errs {
 		if err != nil {
@@ -516,7 +556,7 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 	t3 := time.Now()
 	st.Freeze = t2.Sub(t1)
 	st.FreezeMerge, st.FreezeBuild = fz.Merge, fz.Build
-	st.Publish = t1.Sub(t0) + t3.Sub(t2)
+	st.Publish = preBarrier + t1.Sub(t0) + t3.Sub(t2)
 	if err := r.pubErr; err != nil {
 		r.pubErr = nil
 		return fmt.Errorf("ampc: round %d (%s): store publish: %w", r.round, name, err)

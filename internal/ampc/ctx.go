@@ -29,6 +29,7 @@ type Ctx struct {
 	RNG *rng.RNG
 
 	reads  dds.StoreBackend
+	batch  dds.BatchGetter // reads' batch surface, when it has one
 	static *dds.Store
 	w      *dds.Writer
 	budget int
@@ -42,6 +43,16 @@ type Ctx struct {
 	cacheCount map[dds.Key]int
 
 	scratch []dds.Value // staging buffer for batched store reads
+
+	// ReadMany batch scratch: the distinct uncached keys of one call, their
+	// results, and for every appended output either -1 (already final) or
+	// the batch slot to copy from. pendingIdx detects in-batch duplicates;
+	// it is empty between calls.
+	batchKeys  []dds.Key
+	batchVals  []dds.Value
+	batchOks   []bool
+	resolve    []int32
+	pendingIdx map[dds.Key]int32
 }
 
 type cachedValue struct {
@@ -80,6 +91,7 @@ func (c *Ctx) reset(r *Runtime, m int) {
 		c.RNG.Reseed(r.cfg.Seed, machineStream(r.round, m))
 	}
 	c.reads = r.cur
+	c.batch, _ = r.cur.(dds.BatchGetter)
 	c.static = r.static
 	c.w = r.builder.Writer(m)
 	c.budget = r.Budget()
@@ -184,13 +196,68 @@ func (c *Ctx) CountKey(k dds.Key) int {
 // to dst (pass nil for a fresh slice) and returns the extended slice. The
 // semantics are exactly Read in a loop — budget charged once per distinct
 // key, already-cached keys free, OK = false past budget exhaustion (check
-// Err). The batch form exists so callers express "these keys together";
-// today only the indexed variant exploits that with a single store probe,
-// and store-level batching of plain gets is a ROADMAP follow-on.
+// Err). When the store backend batches (dds.BatchGetter — the networked
+// backend), the call's distinct uncached keys go to the store as one
+// GetMany instead of one probe each, which is what turns a machine's read
+// set into per-server request frames; results, caching and budget charges
+// are identical either way.
 func (c *Ctx) ReadMany(keys []dds.Key, dst []ValueOK) []ValueOK {
+	if c.batch == nil {
+		for _, k := range keys {
+			v, ok := c.Read(k)
+			dst = append(dst, ValueOK{v, ok})
+		}
+		return dst
+	}
+	base := len(dst)
+	c.batchKeys = c.batchKeys[:0]
+	c.resolve = c.resolve[:0]
 	for _, k := range keys {
-		v, ok := c.Read(k)
-		dst = append(dst, ValueOK{v, ok})
+		if cv, hit := c.cacheGet[k]; hit {
+			dst = append(dst, ValueOK{cv.v, cv.ok})
+			c.resolve = append(c.resolve, -1)
+			continue
+		}
+		if slot, dup := c.pendingIdx[k]; dup {
+			dst = append(dst, ValueOK{})
+			c.resolve = append(c.resolve, slot)
+			continue
+		}
+		// Charging happens in key order, exactly as the loop would: the
+		// first uncached key past the budget latches ErrBudget and it and
+		// every later uncached key read as absent.
+		if !c.charge() {
+			dst = append(dst, ValueOK{})
+			c.resolve = append(c.resolve, -1)
+			continue
+		}
+		if c.pendingIdx == nil {
+			c.pendingIdx = make(map[dds.Key]int32)
+		}
+		c.pendingIdx[k] = int32(len(c.batchKeys))
+		c.batchKeys = append(c.batchKeys, k)
+		dst = append(dst, ValueOK{})
+		c.resolve = append(c.resolve, int32(len(c.batchKeys)-1))
+	}
+	if n := len(c.batchKeys); n > 0 {
+		if cap(c.batchVals) < n {
+			c.batchVals = make([]dds.Value, n)
+			c.batchOks = make([]bool, n)
+		}
+		vals, oks := c.batchVals[:n], c.batchOks[:n]
+		c.batch.GetMany(c.batchKeys, vals, oks)
+		if c.cacheGet == nil {
+			c.cacheGet = make(map[dds.Key]cachedValue)
+		}
+		for i, k := range c.batchKeys {
+			c.cacheGet[k] = cachedValue{vals[i], oks[i]}
+		}
+		for j, slot := range c.resolve {
+			if slot >= 0 {
+				dst[base+j] = ValueOK{vals[slot], oks[slot]}
+			}
+		}
+		clear(c.pendingIdx)
 	}
 	return dst
 }

@@ -24,6 +24,7 @@ import (
 	"ampc/internal/ampc"
 	"ampc/internal/dds"
 	"ampc/internal/rng"
+	"ampc/internal/rpc"
 )
 
 // ErrInvalidOptions reports an Options value that violates its documented
@@ -70,6 +71,18 @@ type Options struct {
 	// run-* subdirectory (concurrent runs never collide) and leaves its
 	// final store's segment file there. Ignored by the in-memory backend.
 	StoreDir string
+	// Servers lists the shard server addresses ("host:port") the rpc
+	// backend publishes stores to and reads them back from. Required when
+	// Backend is BackendRPC; ignored otherwise.
+	Servers []string
+	// Replication is the rpc backend's replication factor R: every shard is
+	// written to its primary server and the R-1 successors, and reads fail
+	// over across them. Zero selects 1; must not exceed len(Servers).
+	Replication int
+	// RPCTimeout bounds each rpc request round trip (dial included), so one
+	// dead or slow server degrades latency instead of stalling a round.
+	// Zero selects the backend default (2s).
+	RPCTimeout time.Duration
 	// Observer, when non-nil, receives every AMPC round's statistics as
 	// soon as the round completes, letting callers stream telemetry while
 	// a run is still in flight. It is invoked synchronously from the
@@ -85,6 +98,11 @@ const (
 	// BackendFile serializes each round's frozen store to a segment file,
 	// write-behind, and reads it back through mmap.
 	BackendFile = "file"
+	// BackendRPC publishes each round's frozen store to a fleet of shard
+	// servers (cmd/shardd) over TCP and serves the next round's adaptive
+	// reads from them — the actually-distributed backend. Requires
+	// Options.Servers.
+	BackendRPC = "rpc"
 )
 
 // Defaults for Options fields.
@@ -139,9 +157,23 @@ func (o Options) validate() error {
 	}
 	switch o.Backend {
 	case "", BackendMem, BackendFile:
+	case BackendRPC:
+		if len(o.Servers) == 0 {
+			return fmt.Errorf("%w: Backend %q requires at least one entry in Servers", ErrInvalidOptions, BackendRPC)
+		}
+		if o.Replication > len(o.Servers) {
+			return fmt.Errorf("%w: Replication %d exceeds the %d configured servers",
+				ErrInvalidOptions, o.Replication, len(o.Servers))
+		}
 	default:
-		return fmt.Errorf("%w: Backend must be %q or %q (empty selects %q), got %q",
-			ErrInvalidOptions, BackendMem, BackendFile, BackendMem, o.Backend)
+		return fmt.Errorf("%w: Backend must be %q, %q or %q (empty selects %q), got %q",
+			ErrInvalidOptions, BackendMem, BackendFile, BackendRPC, BackendMem, o.Backend)
+	}
+	if o.Replication < 0 {
+		return fmt.Errorf("%w: Replication must be non-negative, got %d", ErrInvalidOptions, o.Replication)
+	}
+	if o.RPCTimeout < 0 {
+		return fmt.Errorf("%w: RPCTimeout must be non-negative, got %v", ErrInvalidOptions, o.RPCTimeout)
 	}
 	return nil
 }
@@ -182,7 +214,8 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 		bf *= (uncapped + p - 1) / p
 	}
 	var pub dds.Publisher
-	if o.Backend == BackendFile {
+	switch o.Backend {
+	case BackendFile:
 		fp := dds.NewFilePublisher(o.StoreDir)
 		if ctx != nil {
 			// A cancelled run must also kill its in-flight write-behind
@@ -190,6 +223,16 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 			fp.SetContext(ctx)
 		}
 		pub = fp
+	case BackendRPC:
+		rp := rpc.NewPublisher(rpc.Config{
+			Servers:     o.Servers,
+			Replication: o.Replication,
+			Timeout:     o.RPCTimeout,
+		})
+		if ctx != nil {
+			rp.SetContext(ctx)
+		}
+		pub = rp
 	}
 	rt := ampc.New(ampc.Config{
 		P:            p,

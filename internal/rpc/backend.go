@@ -1,0 +1,253 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ampc/internal/dds"
+)
+
+// Backend is the StoreBackend reading one published generation from the
+// shard servers. Shard metadata (salt, sizes, pair count) is captured from
+// the frozen store at publish time, so routing and accounting are local;
+// only the key probes travel. StoreBackend reads have no error returns —
+// a transport failure that survives replica failover latches here and the
+// runtime surfaces it from the round via ReadErr.
+type Backend struct {
+	c     *client
+	seq   uint64
+	p     int
+	salt  uint64
+	pairs int
+	sizes []int
+	loads []atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+func newBackend(c *client, seq uint64, s *dds.Store) *Backend {
+	return &Backend{
+		c:     c,
+		seq:   seq,
+		p:     s.Shards(),
+		salt:  s.Salt(),
+		pairs: s.Len(),
+		sizes: s.ShardSizes(),
+		loads: make([]atomic.Int64, s.Shards()),
+	}
+}
+
+// fail latches the first read failure for the runtime to surface.
+func (b *Backend) fail(err error) {
+	b.errMu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.errMu.Unlock()
+}
+
+// ReadErr returns the first latched read failure, if any.
+func (b *Backend) ReadErr() error {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return b.err
+}
+
+// Get returns the value stored under k (index 0 of a duplicated key).
+func (b *Backend) Get(k dds.Key) (dds.Value, bool) {
+	shard := dds.ShardOf(k, b.salt, b.p)
+	b.loads[shard].Add(1)
+	v, ok, err := b.c.getOne(b.seq, k, shard, b.p)
+	if err != nil {
+		b.fail(err)
+		return dds.Value{}, false
+	}
+	return v, ok
+}
+
+// GetIndexed returns the i-th (0-based) value stored under k.
+func (b *Backend) GetIndexed(k dds.Key, i int) (dds.Value, bool) {
+	if i < 0 {
+		return dds.Value{}, false
+	}
+	shard := dds.ShardOf(k, b.salt, b.p)
+	b.loads[shard].Add(1)
+	vals, err := b.c.getRange(b.seq, k, i, i+1, shard, b.p, nil)
+	if err != nil {
+		b.fail(err)
+		return dds.Value{}, false
+	}
+	if len(vals) == 0 {
+		return dds.Value{}, false
+	}
+	return vals[0], true
+}
+
+// GetRange appends the values stored under k at indices [lo, hi) to dst,
+// charging the shard hi-lo queries but probing the key once — one request
+// frame however wide the range.
+func (b *Backend) GetRange(k dds.Key, lo, hi int, dst []dds.Value) []dds.Value {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return dst
+	}
+	shard := dds.ShardOf(k, b.salt, b.p)
+	b.loads[shard].Add(int64(hi - lo))
+	out, err := b.c.getRange(b.seq, k, lo, hi, shard, b.p, dst)
+	if err != nil {
+		b.fail(err)
+		return dst
+	}
+	return out
+}
+
+// Count returns the number of pairs stored under k.
+func (b *Backend) Count(k dds.Key) int {
+	shard := dds.ShardOf(k, b.salt, b.p)
+	b.loads[shard].Add(1)
+	n, err := b.c.count(b.seq, k, shard, b.p)
+	if err != nil {
+		b.fail(err)
+		return 0
+	}
+	return n
+}
+
+// GetMany implements dds.BatchGetter: the key set is grouped by owning
+// server and sent as one request frame per server, in parallel. Keys whose
+// server fails advance to the next replica in lockstep rounds; a key whose
+// replicas are all exhausted reads as absent and latches the failure.
+func (b *Backend) GetMany(keys []dds.Key, vals []dds.Value, oks []bool) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	shards := make([]int, n)
+	for i, k := range keys {
+		shards[i] = dds.ShardOf(k, b.salt, b.p)
+		b.loads[shards[i]].Add(1)
+	}
+	r := b.c.cfg.Replication
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	maxAttempts := r * b.c.cfg.Passes
+	for att := 0; att < maxAttempts && len(pending) > 0; att++ {
+		// Later sweeps force a probe of marked-down servers, mirroring
+		// eachReplica's recovery behavior.
+		force := att >= r
+		groups := make(map[*server][]int)
+		for _, i := range pending {
+			s := b.c.replica(shards[i], b.p, att%r)
+			groups[s] = append(groups[s], i)
+		}
+		type result struct {
+			idxs  []int
+			retry []int
+			err   error
+		}
+		type job struct {
+			s    *server
+			idxs []int
+		}
+		jobs := make([]job, 0, len(groups))
+		for s, idxs := range groups {
+			jobs = append(jobs, job{s, idxs})
+		}
+		outs := make([]result, len(jobs))
+		if len(jobs) == 1 {
+			retry, err := b.c.getBatch(jobs[0].s, b.seq, keys, jobs[0].idxs, vals, oks, force)
+			outs[0] = result{idxs: jobs[0].idxs, retry: retry, err: err}
+		} else {
+			var wg sync.WaitGroup
+			for j := range jobs {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					retry, err := b.c.getBatch(jobs[j].s, b.seq, keys, jobs[j].idxs, vals, oks, force)
+					outs[j] = result{idxs: jobs[j].idxs, retry: retry, err: err}
+				}(j)
+			}
+			wg.Wait()
+		}
+		pending = pending[:0]
+		for _, out := range outs {
+			if out.err != nil {
+				if !retryable(out.err) {
+					for _, i := range out.idxs {
+						vals[i], oks[i] = dds.Value{}, false
+					}
+					b.fail(out.err)
+					continue
+				}
+				pending = append(pending, out.idxs...)
+				continue
+			}
+			pending = append(pending, out.retry...)
+		}
+	}
+	for _, i := range pending {
+		vals[i], oks[i] = dds.Value{}, false
+		b.fail(fmt.Errorf("rpc: read of shard %d (primary %s): all %d replicas exhausted: %w",
+			shards[i], b.c.replica(shards[i], b.p, 0).addr, r, dds.ErrBackendUnavailable))
+	}
+}
+
+// Len returns the total number of pairs in the store.
+func (b *Backend) Len() int { return b.pairs }
+
+// Shards returns the number of DDS machines backing the store.
+func (b *Backend) Shards() int { return b.p }
+
+// ShardSizes returns the number of pairs resident on each shard.
+func (b *Backend) ShardSizes() []int {
+	sizes := make([]int, len(b.sizes))
+	copy(sizes, b.sizes)
+	return sizes
+}
+
+// ShardLoads returns a copy of the per-shard query counters. Loads are
+// accounted client-side — the Lemma 2.1 contention ledger belongs to the
+// runtime, not the serving fleet.
+func (b *Backend) ShardLoads() []int64 {
+	loads := make([]int64, len(b.loads))
+	for i := range b.loads {
+		loads[i] = b.loads[i].Load()
+	}
+	return loads
+}
+
+// MaxShardLoad returns the largest per-shard query count.
+func (b *Backend) MaxShardLoad() int64 {
+	var max int64
+	for i := range b.loads {
+		if l := b.loads[i].Load(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ResetLoads zeroes the per-shard counters.
+func (b *Backend) ResetLoads() {
+	for i := range b.loads {
+		b.loads[i].Store(0)
+	}
+}
+
+// Close frees the generation on every reachable server, best-effort: an
+// unreachable server evicts it by its per-run cap instead.
+func (b *Backend) Close() error {
+	b.c.free(b.seq)
+	return nil
+}
+
+var (
+	_ dds.StoreBackend = (*Backend)(nil)
+	_ dds.BatchGetter  = (*Backend)(nil)
+)

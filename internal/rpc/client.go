@@ -1,0 +1,436 @@
+package rpc
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ampc/internal/dds"
+)
+
+// Config tunes the networked backend: the server fleet, replication, and the
+// timeouts that keep one slow or dead server a latency problem instead of a
+// stall.
+type Config struct {
+	// Servers lists the shard server addresses. Shards are assigned by
+	// contiguous range: server j primarily owns shards
+	// [ceil(j*P/N), ceil((j+1)*P/N)) of a P-shard store.
+	Servers []string
+	// Replication is R, the number of servers holding each shard (primary
+	// plus R-1 successors, wrapping). Default 1; clamped to len(Servers).
+	Replication int
+	// WriteQuorum is the per-shard ack count a publish requires. Default 1:
+	// with R=2 a publish survives one dead server, and reads fail over to
+	// whichever replica holds the shard.
+	WriteQuorum int
+	// Timeout bounds each request round trip, dial included. Default 2s.
+	Timeout time.Duration
+	// DownCooldown is how long a server stays marked down after a transport
+	// failure before it is probed again. Default 250ms.
+	DownCooldown time.Duration
+	// PoolSize caps idle pooled connections per server. Default 8.
+	PoolSize int
+	// Passes is how many times a read sweeps the replica list before giving
+	// up; the first pass skips marked-down servers, later ones force a probe
+	// so a recovered server is found. Default 2.
+	Passes int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if n := len(cfg.Servers); cfg.Replication > n && n > 0 {
+		cfg.Replication = n
+	}
+	if cfg.WriteQuorum <= 0 {
+		cfg.WriteQuorum = 1
+	}
+	if cfg.WriteQuorum > cfg.Replication {
+		cfg.WriteQuorum = cfg.Replication
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.DownCooldown <= 0 {
+		cfg.DownCooldown = 250 * time.Millisecond
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 8
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 2
+	}
+	return cfg
+}
+
+// errNoStore mirrors statusNoStore: the replica answered but does not hold
+// the generation or shard — retry another replica.
+var errNoStore = errors.New("rpc: store not resident on replica")
+
+// remoteError is a terminal server-side failure (malformed request, corrupt
+// block): retrying another replica would not help.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "rpc: server: " + e.msg }
+
+// retryable reports whether a request failure may succeed on another
+// replica: transport errors and missing stores do, terminal server errors
+// do not.
+func retryable(err error) bool {
+	var re *remoteError
+	return !errors.As(err, &re)
+}
+
+// conn is one pooled connection: handshake sent, synchronous frames.
+type conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	buf []byte // response payload scratch, reused across requests
+}
+
+func (cn *conn) close() { cn.nc.Close() }
+
+// server is the client-side state for one shard server: its connection pool
+// and health mark. downUntil holds the unix-nano deadline before which the
+// server is skipped (0 = healthy); it turns a dead server into one fast
+// failure per cooldown instead of a timeout per request.
+type server struct {
+	addr      string
+	cfg       *Config
+	mu        sync.Mutex
+	idle      []*conn
+	closed    bool
+	downUntil atomic.Int64
+}
+
+func (s *server) down() bool {
+	return time.Now().UnixNano() < s.downUntil.Load()
+}
+
+func (s *server) markDown() {
+	s.downUntil.Store(time.Now().Add(s.cfg.DownCooldown).UnixNano())
+}
+
+func (s *server) markUp() {
+	s.downUntil.Store(0)
+}
+
+// get pops an idle connection or dials a fresh one (handshake buffered, sent
+// with the first frame).
+func (s *server) get() (*conn, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("rpc: client closed")
+	}
+	if n := len(s.idle); n > 0 {
+		cn := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.mu.Unlock()
+		return cn, nil
+	}
+	s.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", s.addr, s.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cn := &conn{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), bw: bufio.NewWriterSize(nc, 64<<10)}
+	if _, err := cn.bw.WriteString(handshakeMagic); err != nil {
+		cn.close()
+		return nil, err
+	}
+	return cn, nil
+}
+
+// put returns a healthy connection to the pool.
+func (s *server) put(cn *conn) {
+	s.mu.Lock()
+	if !s.closed && len(s.idle) < s.cfg.PoolSize {
+		s.idle = append(s.idle, cn)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	cn.close()
+}
+
+func (s *server) closePool() {
+	s.mu.Lock()
+	idle := s.idle
+	s.idle, s.closed = nil, true
+	s.mu.Unlock()
+	for _, cn := range idle {
+		cn.close()
+	}
+}
+
+// roundTrip sends one request and decodes its response while the connection
+// is held (the payload aliases the connection's scratch buffer). force=false
+// fails fast on a marked-down server; force=true probes it anyway. Transport
+// failures close the connection and mark the server down; protocol-level
+// failures (statusErr, statusNoStore) do neither.
+func (s *server) roundTrip(op byte, req []byte, force bool, decode func(resp []byte) error) error {
+	if !force && s.down() {
+		return fmt.Errorf("rpc: server %s marked down: %w", s.addr, dds.ErrBackendUnavailable)
+	}
+	cn, err := s.get()
+	if err != nil {
+		s.markDown()
+		return err
+	}
+	fail := func(err error) error {
+		cn.close()
+		s.markDown()
+		return err
+	}
+	if err := cn.nc.SetDeadline(time.Now().Add(s.cfg.Timeout)); err != nil {
+		return fail(err)
+	}
+	if err := writeFrame(cn.bw, op, req); err != nil {
+		return fail(err)
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	status, resp, buf, err := readFrame(cn.br, cn.buf)
+	cn.buf = buf
+	if err != nil {
+		return fail(err)
+	}
+	s.markUp()
+	switch status {
+	case statusOK:
+		err = decode(resp)
+	case statusNoStore:
+		err = fmt.Errorf("%w: %s: %s", errNoStore, s.addr, resp)
+	default:
+		err = &remoteError{msg: fmt.Sprintf("%s: %s", s.addr, resp)}
+	}
+	cn.nc.SetDeadline(time.Time{})
+	s.put(cn)
+	return err
+}
+
+// client routes requests for one run across the server fleet.
+type client struct {
+	cfg     Config
+	run     uint64 // random per-publisher id namespacing generations
+	servers []*server
+}
+
+func newClient(cfg Config) *client {
+	cfg = cfg.withDefaults()
+	c := &client{cfg: cfg, run: randomRun()}
+	for _, addr := range cfg.Servers {
+		c.servers = append(c.servers, &server{addr: addr, cfg: &c.cfg})
+	}
+	return c
+}
+
+func randomRun() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("rpc: reading random run id: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (c *client) close() {
+	for _, s := range c.servers {
+		s.closePool()
+	}
+}
+
+// replica returns the server holding replica `i` of the given shard in a
+// p-shard store: the contiguous-range primary plus its i-th successor.
+func (c *client) replica(shard, p, i int) *server {
+	n := len(c.servers)
+	primary := shard * n / p
+	return c.servers[(primary+i)%n]
+}
+
+// primaryRange returns the contiguous shard range [lo, hi) that server j
+// primarily owns in a p-shard store.
+func primaryRange(j, p, n int) (lo, hi int) {
+	return (j*p + n - 1) / n, ((j+1)*p + n - 1) / n
+}
+
+// eachReplica runs fn against the shard's replicas until one succeeds. The
+// first pass skips marked-down servers; later passes force a probe. The
+// returned error wraps dds.ErrBackendUnavailable and names the shard and
+// the replica addresses.
+func (c *client) eachReplica(shard, p int, fn func(s *server, force bool) error) error {
+	r := c.cfg.Replication
+	var lastErr error
+	for pass := 0; pass < c.cfg.Passes; pass++ {
+		force := pass > 0
+		for i := 0; i < r; i++ {
+			s := c.replica(shard, p, i)
+			if !force && s.down() {
+				continue
+			}
+			err := fn(s, force)
+			if err == nil {
+				return nil
+			}
+			if !retryable(err) {
+				return err
+			}
+			lastErr = err
+		}
+	}
+	addrs := make([]string, 0, r)
+	for i := 0; i < r; i++ {
+		addrs = append(addrs, c.replica(shard, p, i).addr)
+	}
+	return fmt.Errorf("shard %d: all %d replicas failed (%s): %w (last: %v)",
+		shard, r, strings.Join(addrs, ", "), dds.ErrBackendUnavailable, lastErr)
+}
+
+// reqHeader appends the run|seq addressing prefix.
+func (c *client) reqHeader(buf []byte, seq uint64) []byte {
+	buf = le.AppendUint64(buf, c.run)
+	return le.AppendUint64(buf, seq)
+}
+
+// putShard uploads one serialized shard block to a specific server.
+func (c *client) putShard(s *server, seq uint64, shard int, block []byte) error {
+	req := make([]byte, 0, 20+len(block))
+	req = c.reqHeader(req, seq)
+	req = le.AppendUint32(req, uint32(shard))
+	req = append(req, block...)
+	return s.roundTrip(opPut, req, true, func([]byte) error { return nil })
+}
+
+// free drops generation seq on every reachable server, best-effort.
+func (c *client) free(seq uint64) {
+	req := c.reqHeader(make([]byte, 0, 16), seq)
+	for _, s := range c.servers {
+		if s.down() {
+			continue
+		}
+		s.roundTrip(opFree, req, false, func([]byte) error { return nil })
+	}
+}
+
+// getOne reads a single key with replica failover.
+func (c *client) getOne(seq uint64, k dds.Key, shard, p int) (dds.Value, bool, error) {
+	var val dds.Value
+	var ok bool
+	err := c.eachReplica(shard, p, func(s *server, force bool) error {
+		req := c.reqHeader(make([]byte, 0, 20+keyBytes), seq)
+		req = le.AppendUint32(req, 1)
+		req = appendKey(req, k)
+		return s.roundTrip(opGetBatch, req, force, func(resp []byte) error {
+			if len(resp) != 1+valBytes {
+				return fmt.Errorf("%s: getBatch response of %d bytes", s.addr, len(resp))
+			}
+			switch resp[0] {
+			case codePresent:
+				val, ok = decodeValue(resp[1:]), true
+			case codeAbsent:
+				val, ok = dds.Value{}, false
+			default:
+				return fmt.Errorf("%w: %s: shard %d", errNoStore, s.addr, shard)
+			}
+			return nil
+		})
+	})
+	return val, ok, err
+}
+
+// getRange reads values [lo, hi) of one key with replica failover, appending
+// to dst.
+func (c *client) getRange(seq uint64, k dds.Key, lo, hi, shard, p int, dst []dds.Value) ([]dds.Value, error) {
+	err := c.eachReplica(shard, p, func(s *server, force bool) error {
+		req := c.reqHeader(make([]byte, 0, 16+keyBytes+8), seq)
+		req = appendKey(req, k)
+		req = le.AppendUint32(req, uint32(lo))
+		req = le.AppendUint32(req, uint32(hi))
+		base := len(dst)
+		return s.roundTrip(opGetRange, req, force, func(resp []byte) error {
+			if len(resp) < 4 {
+				return fmt.Errorf("%s: getRange response of %d bytes", s.addr, len(resp))
+			}
+			n := int(le.Uint32(resp[0:4]))
+			if len(resp) != 4+n*valBytes {
+				return fmt.Errorf("%s: getRange response of %d bytes for %d values", s.addr, len(resp), n)
+			}
+			dst = dst[:base]
+			for i := 0; i < n; i++ {
+				dst = append(dst, decodeValue(resp[4+i*valBytes:]))
+			}
+			return nil
+		})
+	})
+	return dst, err
+}
+
+// count reads one key's pair count with replica failover.
+func (c *client) count(seq uint64, k dds.Key, shard, p int) (int, error) {
+	var n int
+	err := c.eachReplica(shard, p, func(s *server, force bool) error {
+		req := c.reqHeader(make([]byte, 0, 16+keyBytes), seq)
+		req = appendKey(req, k)
+		return s.roundTrip(opCount, req, force, func(resp []byte) error {
+			if len(resp) != 4 {
+				return fmt.Errorf("%s: count response of %d bytes", s.addr, len(resp))
+			}
+			n = int(le.Uint32(resp[0:4]))
+			return nil
+		})
+	})
+	return n, err
+}
+
+// getBatch reads the keys at idxs (indices into keys) from one server,
+// filling vals/oks. It returns the indices that must retry on another
+// replica (shards not resident there) and the transport/protocol error, if
+// any, in which case every index must retry.
+func (c *client) getBatch(s *server, seq uint64, keys []dds.Key, idxs []int, vals []dds.Value, oks []bool, force bool) ([]int, error) {
+	req := c.reqHeader(make([]byte, 0, 20+len(idxs)*keyBytes), seq)
+	req = le.AppendUint32(req, uint32(len(idxs)))
+	for _, i := range idxs {
+		req = appendKey(req, keys[i])
+	}
+	var retry []int
+	err := s.roundTrip(opGetBatch, req, force, func(resp []byte) error {
+		if len(resp) != len(idxs)*(1+valBytes) {
+			return fmt.Errorf("%s: getBatch response of %d bytes for %d keys", s.addr, len(resp), len(idxs))
+		}
+		for j, i := range idxs {
+			rec := resp[j*(1+valBytes):]
+			switch rec[0] {
+			case codePresent:
+				vals[i], oks[i] = decodeValue(rec[1:]), true
+			case codeAbsent:
+				vals[i], oks[i] = dds.Value{}, false
+			default:
+				retry = append(retry, i)
+			}
+		}
+		return nil
+	})
+	return retry, err
+}
+
+// Ping dials addr and exchanges one ping, bounded by timeout. Used by
+// `shardd -ping` as a readiness probe.
+func Ping(addr string, timeout time.Duration) error {
+	cfg := Config{Servers: []string{addr}, Timeout: timeout}.withDefaults()
+	s := &server{addr: addr, cfg: &cfg}
+	defer s.closePool()
+	return s.roundTrip(opPing, nil, true, func([]byte) error { return nil })
+}

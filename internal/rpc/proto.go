@@ -1,0 +1,134 @@
+// Package rpc implements the networked store backend: shard servers that
+// hold the frozen generations of a run's distributed data store and answer
+// batched reads over TCP, plus the client, StoreBackend and Publisher that
+// let the AMPC runtime pay the model's defining cost — adaptive remote reads
+// against D_{i-1} — over real sockets instead of in-process arrays.
+//
+// Wire protocol (version 1, little-endian throughout):
+//
+//	handshake  the client sends the 8-byte magic "AMPCRPC1" once per
+//	           connection; a server that reads anything else closes.
+//	request    u32 length | u8 op | payload   (length covers op + payload)
+//	response   u32 length | u8 status | payload
+//
+// Connections are synchronous: one request is answered before the next is
+// read, and concurrency comes from per-server connection pools, not from
+// multiplexing. Keys are 17 bytes (tag u8, A i64, B i64), values 16 bytes
+// (A i64, B i64). Stores are addressed by (run, seq): run is a random
+// 64-bit id drawn per publisher so concurrent runs sharing servers never
+// collide, seq is the store generation within the run.
+//
+// Ops:
+//
+//	ping      req  —                                 resp —
+//	put       req  run u64 | seq u64 | shard u32 | v1 shard block
+//	          resp —
+//	getBatch  req  run u64 | seq u64 | n u32 | n × key
+//	          resp n × (code u8 | value)   code: 0 absent, 1 present,
+//	                                       2 shard not resident here
+//	getRange  req  run u64 | seq u64 | key | lo u32 | hi u32
+//	          resp n u32 | n × value
+//	count     req  run u64 | seq u64 | key
+//	          resp n u32
+//	free      req  run u64 | seq u64                 resp —
+//
+// Shard blocks are bit-for-bit the segment codec's sections (the v1 shard
+// file format), so a server validates a received shard with the same
+// checksum and slot-table scan the file backend applies, and its probe
+// sequence over the block matches a local read exactly.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ampc/internal/dds"
+)
+
+const (
+	handshakeMagic = "AMPCRPC1"
+
+	opPing     = byte(1)
+	opPut      = byte(2)
+	opGetBatch = byte(3)
+	opGetRange = byte(4)
+	opCount    = byte(5)
+	opFree     = byte(6)
+
+	statusOK = byte(0)
+	// statusErr is a terminal failure for the request (malformed frame, bad
+	// shard block); the payload is the error message.
+	statusErr = byte(1)
+	// statusNoStore means the addressed generation (or the key's shard) is
+	// not resident on this server — retryable against another replica.
+	statusNoStore = byte(2)
+
+	// codeAbsent/codePresent/codeNoShard are per-key result codes inside a
+	// getBatch response.
+	codeAbsent  = byte(0)
+	codePresent = byte(1)
+	codeNoShard = byte(2)
+
+	keyBytes  = 17
+	valBytes  = 16
+	maxFrame  = 1 << 28 // 256 MiB cap on one frame's payload
+	frameHead = 5       // u32 length + op/status byte
+)
+
+var le = binary.LittleEndian
+
+func appendKey(buf []byte, k dds.Key) []byte {
+	buf = append(buf, k.Tag)
+	buf = le.AppendUint64(buf, uint64(k.A))
+	return le.AppendUint64(buf, uint64(k.B))
+}
+
+func decodeKey(b []byte) dds.Key {
+	return dds.Key{Tag: b[0], A: int64(le.Uint64(b[1:9])), B: int64(le.Uint64(b[9:17]))}
+}
+
+func appendValue(buf []byte, v dds.Value) []byte {
+	buf = le.AppendUint64(buf, uint64(v.A))
+	return le.AppendUint64(buf, uint64(v.B))
+}
+
+func decodeValue(b []byte) dds.Value {
+	return dds.Value{A: int64(le.Uint64(b[0:8])), B: int64(le.Uint64(b[8:16]))}
+}
+
+// writeFrame sends one length-prefixed frame: tag is the op (requests) or
+// status (responses). The caller flushes.
+func writeFrame(w *bufio.Writer, tag byte, payload []byte) error {
+	var head [frameHead]byte
+	le.PutUint32(head[0:4], uint32(1+len(payload)))
+	head[4] = tag
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf for the payload when it fits, and
+// returns the tag byte, the payload, and the possibly-grown buffer.
+func readFrame(r *bufio.Reader, buf []byte) (byte, []byte, []byte, error) {
+	var head [frameHead]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	length := le.Uint32(head[0:4])
+	if length < 1 || length > maxFrame {
+		return 0, nil, buf, fmt.Errorf("rpc: frame length %d outside [1, %d]", length, maxFrame)
+	}
+	n := int(length) - 1
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, err
+	}
+	return head[4], payload, buf, nil
+}

@@ -1,0 +1,384 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ampc/internal/dds"
+)
+
+// testPairs builds a deterministic workload with duplicated keys, so every
+// read surface (point, indexed, range, count) has something to disagree on.
+func testPairs(n int) []dds.KV {
+	pairs := make([]dds.KV, 0, n+n/4)
+	for i := 0; i < n; i++ {
+		k := dds.Key{Tag: uint8(i % 3), A: int64(i), B: int64(i % 7)}
+		pairs = append(pairs, dds.KV{Key: k, Value: dds.Value{A: int64(i * 10), B: int64(-i)}})
+		if i%4 == 0 {
+			pairs = append(pairs, dds.KV{Key: k, Value: dds.Value{A: int64(i*10 + 1), B: int64(i)}})
+		}
+	}
+	return pairs
+}
+
+// reference is the in-memory oracle: key → values in store order.
+func reference(pairs []dds.KV) map[dds.Key][]dds.Value {
+	s := dds.NewStore(pairs, 4, 0x5eed)
+	ref := make(map[dds.Key][]dds.Value)
+	for _, kv := range pairs {
+		if _, seen := ref[kv.Key]; seen {
+			continue
+		}
+		ref[kv.Key] = s.GetRange(kv.Key, 0, s.Count(kv.Key), nil)
+	}
+	return ref
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var netBuf bytes.Buffer
+	bw := bufio.NewWriter(&netBuf)
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 5000)}
+	for i, p := range payloads {
+		if err := writeFrame(bw, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&netBuf)
+	var buf []byte
+	for i, want := range payloads {
+		tag, got, b, err := readFrame(br, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = b
+		if tag != byte(i+1) {
+			t.Fatalf("frame %d: tag %d", i, tag)
+		}
+		if !bytes.Equal(got, want) && len(want) > 0 {
+			t.Fatalf("frame %d: payload differs", i)
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var netBuf bytes.Buffer
+	head := le.AppendUint32(nil, maxFrame+1)
+	netBuf.Write(append(head, opPing))
+	if _, _, _, err := readFrame(bufio.NewReader(&netBuf), nil); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestKeyValueCodec(t *testing.T) {
+	keys := []dds.Key{{}, {Tag: 255, A: -1, B: 1 << 60}, {Tag: 7, A: 42, B: -42}}
+	for _, k := range keys {
+		if got := decodeKey(appendKey(nil, k)); got != k {
+			t.Fatalf("key %+v round-tripped to %+v", k, got)
+		}
+	}
+	vals := []dds.Value{{}, {A: -1, B: 1}, {A: 1 << 62, B: -(1 << 62)}}
+	for _, v := range vals {
+		if got := decodeValue(appendValue(nil, v)); got != v {
+			t.Fatalf("value %+v round-tripped to %+v", v, got)
+		}
+	}
+}
+
+// TestShardAssignment pins the contiguous-range shard→server map: the
+// primary ranges partition [0, p), replica(shard, 0) agrees with them, and
+// a shard's R replicas are R distinct servers whenever R ≤ N.
+func TestShardAssignment(t *testing.T) {
+	for _, tc := range []struct{ p, n, r int }{
+		{8, 3, 2}, {16, 4, 3}, {5, 5, 5}, {7, 2, 1}, {64, 3, 2}, {4, 8, 2},
+	} {
+		addrs := make([]string, tc.n)
+		for j := range addrs {
+			addrs[j] = fmt.Sprintf("srv%d", j)
+		}
+		c := newClient(Config{Servers: addrs, Replication: tc.r})
+		covered := 0
+		for j := 0; j < tc.n; j++ {
+			lo, hi := primaryRange(j, tc.p, tc.n)
+			for sh := lo; sh < hi; sh++ {
+				if got := c.replica(sh, tc.p, 0).addr; got != addrs[j] {
+					t.Fatalf("p=%d n=%d: shard %d primary %s, range says %s", tc.p, tc.n, sh, got, addrs[j])
+				}
+			}
+			covered += hi - lo
+		}
+		if covered != tc.p {
+			t.Fatalf("p=%d n=%d: primary ranges cover %d shards", tc.p, tc.n, covered)
+		}
+		r := c.cfg.Replication
+		for sh := 0; sh < tc.p; sh++ {
+			seen := make(map[string]bool)
+			for i := 0; i < r; i++ {
+				seen[c.replica(sh, tc.p, i).addr] = true
+			}
+			if len(seen) != r {
+				t.Fatalf("p=%d n=%d r=%d: shard %d replicas not distinct", tc.p, tc.n, r, len(seen))
+			}
+		}
+		c.close()
+	}
+}
+
+// startFleet launches n loopback servers and returns them with their
+// addresses. Servers are closed by the test cleanup unless killed first.
+func startFleet(t *testing.T, n int, cfg ServerConfig) ([]*Server, []string) {
+	t.Helper()
+	fleet := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := range fleet {
+		c := cfg
+		c.Addr = "127.0.0.1:0"
+		s, err := NewServer(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		fleet[i] = s
+		addrs[i] = s.Addr()
+	}
+	return fleet, addrs
+}
+
+// checkBackend sweeps every read surface of b against the oracle.
+func checkBackend(t *testing.T, b dds.StoreBackend, ref map[dds.Key][]dds.Value) {
+	t.Helper()
+	for k, want := range ref {
+		if got := b.Count(k); got != len(want) {
+			t.Fatalf("Count(%+v) = %d, want %d", k, got, len(want))
+		}
+		v, ok := b.Get(k)
+		if !ok || v != want[0] {
+			t.Fatalf("Get(%+v) = %+v %v, want %+v", k, v, ok, want[0])
+		}
+		for i, w := range want {
+			v, ok := b.GetIndexed(k, i)
+			if !ok || v != w {
+				t.Fatalf("GetIndexed(%+v, %d) = %+v %v, want %+v", k, i, v, ok, w)
+			}
+		}
+		got := b.GetRange(k, 0, len(want), nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("GetRange(%+v)[%d] = %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+	absent := dds.Key{Tag: 99, A: -7, B: -7}
+	if _, ok := b.Get(absent); ok {
+		t.Fatalf("Get(absent) returned ok")
+	}
+	if n := b.Count(absent); n != 0 {
+		t.Fatalf("Count(absent) = %d", n)
+	}
+	// One batched sweep over every key plus an absent one.
+	keys := make([]dds.Key, 0, len(ref)+1)
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	keys = append(keys, absent)
+	if bg, ok := b.(dds.BatchGetter); ok {
+		vals := make([]dds.Value, len(keys))
+		oks := make([]bool, len(keys))
+		bg.GetMany(keys, vals, oks)
+		for i, k := range keys {
+			want, present := ref[k]
+			if oks[i] != present {
+				t.Fatalf("GetMany(%+v) ok=%v, want %v", k, oks[i], present)
+			}
+			if present && vals[i] != want[0] {
+				t.Fatalf("GetMany(%+v) = %+v, want %+v", k, vals[i], want[0])
+			}
+		}
+	}
+}
+
+// publish ships the store through a fresh publisher and joins the barrier,
+// returning the swapped remote backend.
+func publish(t *testing.T, cfg Config, s *dds.Store) (*Publisher, dds.StoreBackend) {
+	t.Helper()
+	p := NewPublisher(cfg)
+	t.Cleanup(func() { p.Close() })
+	p.SetArena(dds.NewArena())
+	b, err := p.Publish(1, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	return p, b
+}
+
+// TestPublishReadCycle is the single-server end-to-end: publish a store,
+// read every surface back over the wire, free it, and observe the read
+// failure latch afterwards.
+func TestPublishReadCycle(t *testing.T) {
+	_, addrs := startFleet(t, 1, ServerConfig{})
+	if err := Ping(addrs[0], time.Second); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	pairs := testPairs(500)
+	ref := reference(pairs)
+	_, b := publish(t, Config{Servers: addrs}, dds.NewStore(pairs, 4, 0x5eed))
+	checkBackend(t, b, ref)
+	if re := b.(interface{ ReadErr() error }); re.ReadErr() != nil {
+		t.Fatalf("clean reads latched %v", re.ReadErr())
+	}
+
+	// Freeing the generation makes later reads fail loudly, not silently
+	// read absent: the latch must carry ErrBackendUnavailable.
+	if c, ok := b.(interface{ Close() error }); ok {
+		c.Close()
+	}
+	if _, ok := b.Get(dds.Key{A: 1, B: 1}); ok {
+		t.Fatal("read of a freed generation returned ok")
+	}
+	err := b.(interface{ ReadErr() error }).ReadErr()
+	if !errors.Is(err, dds.ErrBackendUnavailable) {
+		t.Fatalf("freed-generation read latched %v, want ErrBackendUnavailable", err)
+	}
+}
+
+// TestQuorumFailover is the replication acceptance test: with 3 servers and
+// R=2, killing any one server after publish must leave every read surface
+// answering identically, with no read failure latched.
+func TestQuorumFailover(t *testing.T) {
+	pairs := testPairs(400)
+	ref := reference(pairs)
+	for kill := 0; kill < 3; kill++ {
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			fleet, addrs := startFleet(t, 3, ServerConfig{})
+			cfg := Config{Servers: addrs, Replication: 2, Timeout: time.Second, DownCooldown: 50 * time.Millisecond}
+			_, b := publish(t, cfg, dds.NewStore(pairs, 6, 0x5eed))
+			fleet[kill].Close()
+			checkBackend(t, b, ref)
+			if err := b.(interface{ ReadErr() error }).ReadErr(); err != nil {
+				t.Fatalf("failover latched %v", err)
+			}
+		})
+	}
+}
+
+// TestWriteQuorumFailure pins the publish error path: with R=1 a dead
+// server makes its shards miss quorum, and Barrier must name the shard and
+// the replica address in an ErrBackendUnavailable error.
+func TestWriteQuorumFailure(t *testing.T) {
+	fleet, addrs := startFleet(t, 2, ServerConfig{})
+	fleet[1].Close()
+	p := NewPublisher(Config{Servers: addrs, Timeout: 200 * time.Millisecond})
+	defer p.Close()
+	p.SetArena(dds.NewArena())
+	if _, err := p.Publish(1, dds.NewStore(testPairs(100), 4, 0x5eed)); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Barrier()
+	if !errors.Is(err, dds.ErrBackendUnavailable) {
+		t.Fatalf("barrier after dead server: %v, want ErrBackendUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), addrs[1]) {
+		t.Fatalf("quorum error does not name the dead replica: %v", err)
+	}
+}
+
+// TestFaultLatencyTimeout exercises the -fault-latency axis: a server
+// slower than the request timeout is indistinguishable from a dead one, so
+// reads must exhaust the replica list and surface ErrBackendUnavailable
+// naming the shard.
+func TestFaultLatencyTimeout(t *testing.T) {
+	_, addrs := startFleet(t, 1, ServerConfig{FaultLatency: 500 * time.Millisecond})
+	// Publishing needs working puts, so load the blocks through a patient
+	// client first, then read through an impatient one.
+	pairs := testPairs(60)
+	store := dds.NewStore(pairs, 2, 0x5eed)
+	patient := newClient(Config{Servers: addrs, Timeout: 5 * time.Second})
+	defer patient.close()
+	uploadStore(t, patient, 1, store)
+
+	hasty := newClient(Config{Servers: addrs, Timeout: 50 * time.Millisecond, DownCooldown: time.Millisecond})
+	hasty.run = patient.run
+	defer hasty.close()
+	k := pairs[0].Key
+	shard := dds.ShardOf(k, store.Salt(), store.Shards())
+	_, _, err := hasty.getOne(1, k, shard, store.Shards())
+	if !errors.Is(err, dds.ErrBackendUnavailable) {
+		t.Fatalf("read through latency fault: %v, want ErrBackendUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("shard %d", shard)) {
+		t.Fatalf("timeout error does not name the shard: %v", err)
+	}
+}
+
+// TestFaultDropRetry exercises the -fault-drop axis: with a server dropping
+// a third of its connections, enough retry passes must still answer every
+// read correctly.
+func TestFaultDropRetry(t *testing.T) {
+	_, addrs := startFleet(t, 1, ServerConfig{FaultDrop: 0.3, FaultSeed: 42})
+	pairs := testPairs(50)
+	ref := reference(pairs)
+	store := dds.NewStore(pairs, 2, 0x5eed)
+	c := newClient(Config{Servers: addrs, Timeout: time.Second, DownCooldown: time.Millisecond, Passes: 12})
+	defer c.close()
+	uploadStore(t, c, 1, store)
+	b := newBackend(c, 1, store)
+	checkBackend(t, b, ref)
+	if err := b.ReadErr(); err != nil {
+		t.Fatalf("drop-retry latched %v", err)
+	}
+}
+
+// uploadStore puts every shard block of s to its owners, retrying puts that
+// a fault-injecting server drops.
+func uploadStore(t *testing.T, c *client, seq uint64, s *dds.Store) {
+	t.Helper()
+	sections, err := dds.SegmentSections(dds.AppendSegment(nil, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sh, block := range sections {
+		for i := 0; i < c.cfg.Replication; i++ {
+			srv := c.replica(sh, len(sections), i)
+			var putErr error
+			for attempt := 0; attempt < 20; attempt++ {
+				if putErr = c.putShard(srv, seq, sh, block); putErr == nil {
+					break
+				}
+			}
+			if putErr != nil {
+				t.Fatalf("put shard %d: %v", sh, putErr)
+			}
+		}
+	}
+}
+
+// TestGenerationEviction pins the per-run cap: pushing more generations
+// than MaxGensPerRun evicts the oldest, whose reads then answer noStore.
+func TestGenerationEviction(t *testing.T) {
+	_, addrs := startFleet(t, 1, ServerConfig{MaxGensPerRun: 2})
+	pairs := testPairs(30)
+	store := dds.NewStore(pairs, 1, 0x5eed)
+	c := newClient(Config{Servers: addrs, Timeout: time.Second})
+	defer c.close()
+	for seq := uint64(1); seq <= 3; seq++ {
+		uploadStore(t, c, seq, store)
+	}
+	k := pairs[0].Key
+	sh := dds.ShardOf(k, store.Salt(), store.Shards())
+	if _, _, err := c.getOne(1, k, sh, store.Shards()); !errors.Is(err, dds.ErrBackendUnavailable) {
+		t.Fatalf("evicted generation read: %v, want ErrBackendUnavailable", err)
+	}
+	if _, ok, err := c.getOne(3, k, sh, store.Shards()); err != nil || !ok {
+		t.Fatalf("latest generation read: ok=%v err=%v", ok, err)
+	}
+}
