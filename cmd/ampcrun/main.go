@@ -63,6 +63,9 @@ func main() {
 		servers  = flag.String("servers", "", "comma-separated shardd addresses for -backend=rpc, e.g. 127.0.0.1:7701,127.0.0.1:7702")
 		replicas = flag.Int("replication", 1, "copies of each shard across the -servers fleet (rpc backend)")
 		rpcTO    = flag.Duration("rpc-timeout", 0, "per-request timeout against shardd servers (0 = default 2s)")
+		rpcCool  = flag.Duration("rpc-cooldown", 0, "how long a failing shardd server stays marked down (0 = default 250ms)")
+		unpinned = flag.Bool("unpinned", false, "stripe machines to workers dynamically instead of pinning m to worker m mod W")
+		noCache  = flag.Bool("no-worker-cache", false, "disable the per-worker read cache over the previous round's data (rpc backend)")
 		asJSON   = flag.Bool("json", false, "emit telemetry as JSON (per-round breakdown included)")
 		bench    = flag.Bool("bench", false, "emit one machine-readable JSON line (algo, n, m, rounds, queries, wall time)")
 		benchOut = flag.String("bench-out", "", "append the -bench JSON line to this trajectory file (implies -bench)")
@@ -96,6 +99,7 @@ func main() {
 			Epsilon: *eps, Seed: *seed, FaultProb: *fault, Workers: *workers,
 			Backend: *backend, StoreDir: *storeDir,
 			Servers: splitServers(*servers), Replication: *replicas, RPCTimeout: *rpcTO,
+			RPCDownCooldown: *rpcCool, Unpinned: *unpinned, NoWorkerCache: *noCache,
 		},
 		Observer: roundPrinter(*stream),
 	})
@@ -196,6 +200,8 @@ type benchLine struct {
 	TotalWrites       int64   `json:"writes"`
 	MaxMachineQueries int     `json:"max_machine_queries"`
 	MaxShardLoad      int64   `json:"max_shard_load"`
+	CacheHits         int64   `json:"cache_hits"`
+	RPCFrames         int64   `json:"rpc_frames"`
 	P                 int     `json:"p"`
 	S                 int     `json:"s"`
 	WallMS            float64 `json:"wall_ms"`
@@ -223,6 +229,8 @@ func printBenchLine(res *ampc.Result, backend, workload string, n, m int, eps fl
 		TotalWrites:       t.TotalWrites,
 		MaxMachineQueries: t.MaxMachineQueries,
 		MaxShardLoad:      t.MaxShardLoad,
+		CacheHits:         t.CacheHits,
+		RPCFrames:         t.RPCFrames,
 		P:                 t.P,
 		S:                 t.S,
 		WallMS:            float64(wall.Microseconds()) / 1000,
@@ -307,6 +315,12 @@ func printTelemetry(t ampc.Telemetry, wall time.Duration) {
 	fmt.Printf("  total queries       %d\n", t.TotalQueries)
 	fmt.Printf("  max machine queries %d per round\n", t.MaxMachineQueries)
 	fmt.Printf("  max shard load      %d per round\n", t.MaxShardLoad)
+	if t.CacheHits > 0 || t.CacheMisses > 0 {
+		fmt.Printf("  worker cache        %d hits / %d misses\n", t.CacheHits, t.CacheMisses)
+	}
+	if t.RPCFrames > 0 {
+		fmt.Printf("  rpc read frames     %d\n", t.RPCFrames)
+	}
 	fmt.Printf("  execute time        %v\n", t.ExecuteTime.Round(time.Microsecond))
 	fmt.Printf("  freeze time         %v (merge %v, build %v)\n", t.FreezeTime.Round(time.Microsecond),
 		t.FreezeMergeTime.Round(time.Microsecond), t.FreezeBuildTime.Round(time.Microsecond))

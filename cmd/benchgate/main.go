@@ -76,6 +76,8 @@ type benchLine struct {
 	TotalWrites       int64   `json:"writes,omitempty"`
 	MaxMachineQueries int     `json:"max_machine_queries"`
 	MaxShardLoad      int64   `json:"max_shard_load"`
+	CacheHits         int64   `json:"cache_hits,omitempty"`
+	RPCFrames         int64   `json:"rpc_frames,omitempty"`
 	P                 int     `json:"p"`
 	S                 int     `json:"s"`
 	WallMS            float64 `json:"wall_ms"`
@@ -579,6 +581,7 @@ func measure(base benchLine, backend string, reps int, rpcOpts rpcOptions) (benc
 		got.TotalQueries, got.TotalWrites = t.TotalQueries, t.TotalWrites
 		got.MaxMachineQueries = t.MaxMachineQueries
 		got.MaxShardLoad, got.P, got.S = t.MaxShardLoad, t.P, t.S
+		got.CacheHits, got.RPCFrames = t.CacheHits, t.RPCFrames
 	}
 	got.Check = ampc.CheckSkipped.String()
 	if spec.Check != nil {

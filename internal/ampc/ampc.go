@@ -75,14 +75,29 @@ type Config struct {
 	// byte-identical for every backend; only the physical home of D_{i-1}
 	// changes.
 	Backend dds.Publisher
-	// Unpinned disables stable shard-to-worker ownership: freeze index
-	// builds and sync-publish section fills then stripe dynamically over
-	// transient goroutines (the pre-pinning behavior) instead of running on
-	// the worker pool with shard i owned by worker i mod Workers. Outputs
-	// are byte-identical either way — the knob exists for benchmarking and
-	// the differential tests that prove it. Machine execution is always
-	// dynamically striped regardless.
+	// Unpinned disables stable work-to-worker ownership. Pinned (the
+	// default), freeze index builds and sync-publish section fills run on
+	// the worker pool with shard i owned by worker i mod Workers, and the
+	// execute phase stripes machine m to worker m mod Workers — so a
+	// shard's arrays, and a machine's cache maps, RNG state and worker
+	// read cache, stay on one worker's cache lines round after round.
+	// Unpinned restores dynamic striping everywhere (shard work over
+	// transient goroutines, machines claimed from a shared atomic counter),
+	// which tolerates skewed per-machine cost at the price of cache
+	// affinity. Outputs are byte-identical either way — the knob exists for
+	// benchmarking and the differential tests that prove it.
 	Unpinned bool
+	// NoWorkerCache disables the per-worker read-through cache over the
+	// immutable D_{i-1}: machines then hit the backend for every first
+	// read of a key, as if no other machine on their worker had fetched
+	// it. A hit costs one probe of the worker's own flat table — cheaper
+	// than even the in-process stores' shard probe, and orders of
+	// magnitude cheaper than a network round trip — so the cache engages
+	// on every built-in backend. Outputs, charged queries and shard loads
+	// are byte-identical with the cache on or off — it saves probes and
+	// network frames, never model accounting — so this knob too exists
+	// only for benchmarking and differential tests.
+	NoWorkerCache bool
 	// Observer, when non-nil, receives every round's statistics as soon as
 	// the round completes, before the next round starts. It is called
 	// synchronously from the driver goroutine; slow observers slow the run.
@@ -133,6 +148,18 @@ type RoundStats struct {
 	// write-behind the serialization itself overlaps the next round's
 	// execute phase and never appears here.
 	Publish time.Duration
+	// CacheHits counts point reads served by the per-worker read cache
+	// this round: charged against the reading machine's budget and the
+	// owning shard like any first read, but answered without a store
+	// probe. CacheMisses counts point reads that reached the store. The
+	// two let perf trajectories see cross-machine dedup working; they
+	// never affect Queries or any output.
+	CacheHits   int64
+	CacheMisses int64
+	// RPCFrames counts read-path request frames the networked backend sent
+	// during this round's execute phase, retries included; zero for
+	// in-process backends.
+	RPCFrames int64
 }
 
 // Runtime executes AMPC rounds over a chain of stores.
@@ -162,14 +189,38 @@ type Runtime struct {
 	arena    *dds.Arena
 	nextSalt uint64
 	ctxPool  sync.Pool
+	ctxs     []*Ctx // per-worker Ctxs for pinned machine execution
 	errs     []error
 	queries  []int
 	writes   []int
 
-	// Static side store; see static.go.
+	// Capabilities of the current read backend, asserted once per publish
+	// instead of once per machine reset (type assertions on every reset
+	// showed up in the round-overhead benchmark): the batch surface, the
+	// pre-hashed point-read surface, and the load-batching + salt surfaces
+	// the worker read cache needs. curCache is the per-round verdict: the
+	// worker cache runs only when the backend can settle its deferred
+	// accounting.
+	curBatch dds.BatchGetter
+	curPre   dds.PrehashedGetter
+	curLoads dds.LoadBatcher
+	curSalt  uint64
+	curCache bool
+	// curFrames exposes the networked backend's read-frame counter, for
+	// the per-round RPCFrames delta; nil for in-process backends.
+	curFrames interface{ ReadFrames() int64 }
+	// shardDiv maps placement hashes to shards, precomputed once for the
+	// fixed shard count; the workers' cache-hit attribution uses it.
+	shardDiv dds.ShardDiv
+	// hits and misses accumulate the workers' cache counters each round.
+	hits, misses atomic.Int64
+
+	// Static side store; see static.go. staticSeq counts rebuilds, so the
+	// workers' static read caches drop entries from a superseded store.
 	static      *dds.Store
 	staticPairs []dds.KV
 	staticSalt  uint64
+	staticSeq   int
 
 	// failNext maps machine id -> number of times the machine should fail
 	// (have its writes dropped and be re-executed) in the next round.
@@ -212,6 +263,7 @@ func New(cfg Config) *Runtime {
 		cfg.Backend = dds.MemPublisher{}
 	}
 	r := &Runtime{cfg: cfg, seedR: rng.New(cfg.Seed, 0xA3)}
+	r.shardDiv = dds.NewShardDiv(cfg.Shards)
 	r.workers = cfg.Workers
 	if r.workers > cfg.P {
 		r.workers = cfg.P
@@ -257,6 +309,7 @@ func New(cfg Config) *Runtime {
 	// retire a full set of shard files before SetInput installs real data.
 	// The salt is still drawn here so the seed stream is backend-invariant.
 	r.cur = dds.NewStore(nil, cfg.Shards, r.seedR.Uint64())
+	r.bindBackend()
 	r.staticSalt = r.seedR.Uint64()
 	// The next store's salt is drawn up front (and re-drawn after every
 	// publish): writers pre-hash each written pair with it, which is what
@@ -298,7 +351,37 @@ func (r *Runtime) publish(s *dds.Store) {
 		}
 	}
 	r.cur = nb
+	r.bindBackend()
 	r.nextSalt = r.seedR.Uint64()
+}
+
+// bindBackend re-asserts the current backend's optional capabilities, once
+// per publish. The worker read cache needs both the load-batching surface
+// (to settle the Lemma 2.1 ledger for hits) and the placement salt (to
+// attribute a hit to its owning shard); a backend lacking either simply
+// runs uncached. ReadMany's store-batch wiring only engages on backends
+// that report read frames — the networked ones, where one GetMany is what
+// collapses a machine's read set into per-server request frames. On the
+// in-process stores a batched read's dedup and result-routing bookkeeping
+// costs more per key than the sequential shard sweep saves over the ~35ns
+// scalar probe, so mem and file serve ReadMany through the pre-hashed
+// scalar path instead.
+func (r *Runtime) bindBackend() {
+	r.curBatch = nil
+	r.curPre = nil
+	r.curLoads, _ = r.cur.(dds.LoadBatcher)
+	r.curFrames, _ = r.cur.(interface{ ReadFrames() int64 })
+	if b, ok := r.cur.(dds.BatchGetter); ok && r.curFrames != nil {
+		r.curBatch = b
+	}
+	r.curSalt, r.curCache = 0, false
+	if sl, ok := r.cur.(dds.Salter); ok {
+		r.curSalt = sl.Salt()
+		// The salt pins the backend's own placement hash, so a
+		// pre-hashed Get can trust the caller's value.
+		r.curPre, _ = r.cur.(dds.PrehashedGetter)
+		r.curCache = r.curLoads != nil && !r.cfg.NoWorkerCache
+	}
 }
 
 // shutdown releases everything the runtime owns; shared by Close and the
@@ -480,22 +563,55 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		}
 	}
 
+	r.hits.Store(0)
+	r.misses.Store(0)
+	var framesBase int64
+	if r.curFrames != nil {
+		framesBase = r.curFrames.ReadFrames()
+	}
 	execStart := time.Now()
-	var next atomic.Int64
-	r.pool.run(r.workers, func() {
-		c := r.ctxPool.Get().(*Ctx)
-		for {
-			m := int(next.Add(1)) - 1
-			if m >= r.cfg.P {
-				break
+	if r.cfg.Unpinned {
+		// Dynamic striping: every worker claims machine ids from a shared
+		// counter, so an expensive machine never stalls the round behind
+		// one worker.
+		var next atomic.Int64
+		r.pool.run(r.workers, func() {
+			c := r.ctxPool.Get().(*Ctx)
+			c.bind(r)
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= r.cfg.P {
+					break
+				}
+				r.runMachine(c, m, f, 1+fail[m])
 			}
-			r.runMachine(c, m, f, 1+fail[m])
+			// finish drops store and writer references so a pooled Ctx
+			// never pins the retiring round's store for an extra round.
+			c.finish(r)
+			r.ctxPool.Put(c)
+		})
+	} else {
+		// Pinned striping: machine m always runs on worker m mod Workers,
+		// on that worker's own persistent Ctx — its cache maps, RNG state
+		// and worker read cache stay on one worker's cache lines across
+		// rounds. Outputs cannot differ: writes merge in machine-id order
+		// and machine randomness is keyed by (seed, round, machine).
+		if r.ctxs == nil {
+			r.ctxs = make([]*Ctx, r.workers)
 		}
-		// Drop store and writer references so a pooled Ctx never pins the
-		// retiring round's store for an extra round.
-		c.reads, c.batch, c.static, c.w = nil, nil, nil, nil
-		r.ctxPool.Put(c)
-	})
+		r.pool.runWorkers(r.workers, func(w int) {
+			c := r.ctxs[w]
+			if c == nil {
+				c = &Ctx{}
+				r.ctxs[w] = c
+			}
+			c.bind(r)
+			for m := w; m < r.cfg.P; m += r.workers {
+				r.runMachine(c, m, f, 1+fail[m])
+			}
+			c.finish(r)
+		})
+	}
 	execTime := time.Since(execStart)
 
 	// A remote read that survives replica failover with no answer cannot be
@@ -515,7 +631,16 @@ func (r *Runtime) Round(name string, f RoundFunc) error {
 		}
 	}
 
-	st := RoundStats{Name: name, MaxShardLoad: r.cur.MaxShardLoad(), Execute: execTime}
+	st := RoundStats{
+		Name:         name,
+		MaxShardLoad: r.cur.MaxShardLoad(),
+		Execute:      execTime,
+		CacheHits:    r.hits.Load(),
+		CacheMisses:  r.misses.Load(),
+	}
+	if r.curFrames != nil {
+		st.RPCFrames = r.curFrames.ReadFrames() - framesBase
+	}
 	for m := 0; m < r.cfg.P; m++ {
 		st.Queries += int64(r.queries[m])
 		st.Writes += int64(r.writes[m])

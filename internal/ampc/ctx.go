@@ -6,10 +6,10 @@ import (
 )
 
 // Ctx is one virtual machine's view of a round. It is owned by the runtime,
-// used by exactly one goroutine at a time, and recycled: each pooled worker
-// resets one Ctx per machine it executes, so cache maps and scratch buffers
-// keep their capacity across machines and rounds instead of being
-// reallocated P times per round.
+// used by exactly one goroutine at a time, and recycled: each pool worker
+// binds one Ctx per round and resets it per machine it executes, so cache
+// maps and scratch buffers keep their capacity across machines and rounds
+// instead of being reallocated P times per round.
 //
 // All Read* methods are adaptive: their arguments may depend on the results
 // of earlier reads in the same round. Each distinct query counts against the
@@ -17,6 +17,19 @@ import (
 // machine-local cache for free, matching the model's assumption that "each
 // worker machine queries for each key at most once" because machines have
 // space to cache results.
+//
+// On top of the per-machine cache sits the worker cache: point-read table
+// entries survive from one machine to the next on the same worker, stamped
+// with the machine-attempt that inserted them. D_{i-1} is immutable for the
+// whole round, so when a later machine reads a key an earlier machine on
+// this worker already fetched, the cached value is byte-identical to what
+// the store would return — the machine is still charged its query and the
+// owning shard still counts it (the model's accounting never changes), but
+// the store probe (and, on a networked backend, the request frame) is
+// saved. Entries are invalidated when the store generation changes and
+// ignored (via the stamp) for budget purposes, so queries,
+// max_machine_queries and every output stay byte-identical with the cache
+// on or off.
 type Ctx struct {
 	// Machine is this machine's id in [0, P).
 	Machine int
@@ -29,7 +42,8 @@ type Ctx struct {
 	RNG *rng.RNG
 
 	reads  dds.StoreBackend
-	batch  dds.BatchGetter // reads' batch surface, when it has one
+	batch  dds.BatchGetter     // reads' batch surface, when it has one
+	preGet dds.PrehashedGetter // reads' pre-hashed surface, when it has one
 	static *dds.Store
 	w      *dds.Writer
 	budget int
@@ -38,17 +52,53 @@ type Ctx struct {
 	writes  int
 	err     error
 
-	cacheGet   map[dds.Key]cachedValue
+	tbl        getCache // point-read cache over the current store
+	stbl       getCache // point-read cache over the static store
 	cacheIdx   map[indexedKey]cachedValue
 	cacheCount map[dds.Key]int
+
+	// Worker-cache state. stamp identifies the current machine attempt: a
+	// table entry with a matching stamp was read by this machine this
+	// attempt (repeat — free); a mismatched stamp means an earlier machine
+	// on this worker read it from the same store (hit — charged, served
+	// without a store probe). sharedDyn gates that layer for the current
+	// store's table and sharedStatic for the static one; both start on and
+	// answer to a payoff policy (cachePolicy below) that watches whether
+	// machines actually re-read each other's keys. On a networked store
+	// sharedDyn additionally ignores the policy: a hit there saves a whole
+	// request frame, which pays at any hit rate. When a side is off, its
+	// stale entries are dead and a re-read misses to the store,
+	// reproducing the pre-cache behavior exactly.
+	sharedDyn    bool
+	sharedStatic bool
+	stamp        uint32
+	gen          int             // store generation (pubSeq) tbl belongs to
+	sgen         int             // static generation (staticSeq) stbl belongs to
+	salt         uint64          // reads' placement salt; tbl's hash seed
+	ssalt        uint64          // static store's placement salt; stbl's hash seed
+	div          dds.ShardDiv    // hash→shard, for hit shard attribution
+	loads        []int64         // deferred per-shard load deltas from hits
+	sloads       []int64         // same, for static-store hits
+	loadSink     dds.LoadBatcher // where loads settles at round end
+	hits         int64           // worker-cache hits (charged, probe saved)
+	sHits        int64           // same, against the static store
+	misses       int64           // point reads that reached a store
+
+	// Payoff policies for the two shared tables. netDyn records whether
+	// the current store is networked, where a dynamic hit saves a request
+	// frame and sharing always pays regardless of what dpol concludes.
+	dpol   cachePolicy
+	spol   cachePolicy
+	netDyn bool
 
 	scratch []dds.Value // staging buffer for batched store reads
 
 	// ReadMany batch scratch: the distinct uncached keys of one call, their
-	// results, and for every appended output either -1 (already final) or
-	// the batch slot to copy from. pendingIdx detects in-batch duplicates;
-	// it is empty between calls.
+	// hashes and results, and for every appended output either -1 (already
+	// final) or the batch slot to copy from. pendingIdx detects in-batch
+	// duplicates; it is empty between calls.
 	batchKeys  []dds.Key
+	batchHs    []uint64
 	batchVals  []dds.Value
 	batchOks   []bool
 	resolve    []int32
@@ -56,8 +106,193 @@ type Ctx struct {
 }
 
 type cachedValue struct {
-	v  dds.Value
-	ok bool
+	v     dds.Value
+	stamp uint32
+	ok    bool
+}
+
+// getSlot is one entry of the point-read cache: the key's placement hash
+// (the table's probe key, shared with the store's shard routing), the key
+// itself for collision rejection, the cached result, and the stamp of the
+// machine attempt that last read it. stamp == 0 marks a never-used slot.
+type getSlot struct {
+	h     uint64
+	key   dds.Key
+	val   dds.Value
+	stamp uint32
+	ok    bool
+}
+
+// getCache is the open-addressed table behind Read and ReadStatic. A
+// hash-keyed flat table beats a map[dds.Key]cachedValue twice over: the
+// placement hash is computed once and shared with the store probe (the map
+// re-hashed every 24-byte key through aeshash), and recycling is O(1) — a
+// stamp bump dead-ends every entry of the finished machine, where clearing
+// the map swept its whole bucket array per machine.
+type getCache struct {
+	slots []getSlot
+	mask  uint64
+	used  int // slots with stamp != 0; insertion keeps used <= 5/8 len
+}
+
+const getCacheMinSlots = 1 << 10
+
+// lookup returns the slot holding (h, k) — live or stale; the caller
+// decides by stamp — or nil. Chains terminate at never-used slots only, so
+// stale entries keep later entries of their chain reachable.
+func (t *getCache) lookup(h uint64, k dds.Key) *getSlot {
+	if t.used == 0 {
+		return nil
+	}
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.stamp == 0 {
+			return nil
+		}
+		if s.h == h && s.key == k {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert stores (h, k) → (v, ok) stamped as stamp. A slot already holding k
+// is overwritten in place. Otherwise the entry lands in the first dead slot
+// of its probe chain — live != 0 declares every stamp but live dead (the
+// per-machine mode) — or in the chain's empty tail. Shared mode passes
+// live == 0: every stamped entry is a valid cache line for the current
+// generation and nothing is reused.
+func (t *getCache) insert(h uint64, k dds.Key, v dds.Value, ok bool, stamp, live uint32) {
+	if t.slots == nil {
+		t.slots = make([]getSlot, getCacheMinSlots)
+		t.mask = getCacheMinSlots - 1
+	}
+	i := h & t.mask
+	dead := -1
+	for {
+		s := &t.slots[i]
+		if s.stamp == 0 {
+			if dead >= 0 {
+				s = &t.slots[dead]
+			} else {
+				t.used++
+			}
+			*s = getSlot{h: h, key: k, val: v, stamp: stamp, ok: ok}
+			break
+		}
+		if s.h == h && s.key == k {
+			s.val, s.ok, s.stamp = v, ok, stamp
+			return
+		}
+		if dead < 0 && live != 0 && s.stamp != live {
+			dead = int(i)
+		}
+		i = (i + 1) & t.mask
+	}
+	if t.used*8 > len(t.slots)*5 {
+		t.compact(live)
+	}
+}
+
+// compact rebuilds the table keeping only live entries — every stamped
+// entry in shared mode (live == 0), the current attempt's otherwise — and
+// resizes the slot array to fit the live set: doubling when it crowds the
+// table, shrinking when dead entries were most of it. The grow target
+// leaves the live set under 3/8 of the slots: lookup is the hottest
+// instruction path in read-heavy algorithms, and the extra memory is
+// cheaper than the probe chains a denser table grows. In per-machine mode
+// this is the analogue of the old per-machine map clear, but amortized: it
+// runs only when dead entries from finished machines have filled five
+// eighths of the table.
+func (t *getCache) compact(live uint32) {
+	keep := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.stamp != 0 && (live == 0 || s.stamp == live) {
+			keep++
+		}
+	}
+	n := len(t.slots)
+	for keep*8 > n*3 {
+		n *= 2
+	}
+	for n > getCacheMinSlots && keep*8 <= n {
+		n /= 2
+	}
+	old := t.slots
+	t.slots = make([]getSlot, n)
+	t.mask = uint64(n - 1)
+	t.used = keep
+	for i := range old {
+		s := &old[i]
+		if s.stamp == 0 || (live != 0 && s.stamp != live) {
+			continue
+		}
+		j := s.h & t.mask
+		for t.slots[j].stamp != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = *s
+	}
+}
+
+// clear drops every entry, keeping the allocation.
+func (t *getCache) clear() {
+	if t.used > 0 {
+		clear(t.slots)
+		t.used = 0
+	}
+}
+
+// drop releases the table entirely; the next insert starts from the
+// minimum size.
+func (t *getCache) drop() {
+	t.slots, t.mask, t.used = nil, 0, 0
+}
+
+// cachePolicy decides whether sharing one worker-cache table across machines
+// keeps paying for itself. Sharing pays only when machines actually re-read
+// each other's keys: on a pointer-jumping workload every machine reads fresh
+// keys, the table balloons past cache residency, and every cold probe costs
+// more than the ~35ns in-memory store probe a hit would save. The hot paths
+// count every charged shared-mode read and how many were table hits; every
+// policyWindow-th read closes a window and judge renders a verdict. A hit
+// rate under 1/16 switches the table off for good — access patterns that
+// are disjoint once stay so, and a sticky verdict keeps the policy free of
+// flapping. Workloads with real re-reading clear the bar inside the first
+// window (MIS overlaps 13% in its first 8k reads and climbs to 84%;
+// list-ranking never passes 3%). Turning the table off never changes any
+// output: a hit and a store probe charge the machine, the shard ledger and
+// the telemetry identically, so the switch is invisible to the model.
+type cachePolicy struct {
+	probes, hits   int64 // charged shared-mode reads; table hits among them
+	probes0, hits0 int64 // values when the last window closed
+	off            bool
+	dropPending    bool // table should be dropped at the next bind
+}
+
+// policyWindow is the judgement granularity: hot paths call judge when
+// probes crosses a multiple of it, so verdicts land mid-round, before an
+// unprofitable table has grown past a few thousand entries.
+const policyWindow = 1 << 13
+
+// judge closes the current window and reports whether it just switched the
+// table off. The caller must also stop treating stale entries as hits
+// (clear sharedDyn/sharedStatic); the table itself is dropped at the next
+// bind, never mid-machine — the current machine's live entries are what
+// make its repeats free, and evicting them would turn repeats back into
+// charged queries.
+func (p *cachePolicy) judge() bool {
+	w := p.probes - p.probes0
+	h := p.hits - p.hits0
+	p.probes0, p.hits0 = p.probes, p.hits
+	if h*16 < w {
+		p.off = true
+		p.dropPending = true
+		return true
+	}
+	return false
 }
 
 type indexedKey struct {
@@ -72,34 +307,116 @@ type ValueOK struct {
 	OK    bool
 }
 
-// resetMapThreshold bounds the cost of recycling a Ctx: clearing a map
-// sweeps its whole bucket array, so after an unusually read-heavy machine it
-// is cheaper to drop the map and let the next machine grow a fresh one.
+// resetMapThreshold bounds the cost of recycling a Ctx between machines:
+// clearing a map sweeps its whole bucket array, so after an unusually
+// read-heavy machine it is cheaper to drop the map and let the next machine
+// grow a fresh one.
 const resetMapThreshold = 1 << 12
 
-// reset prepares the pooled Ctx to run machine m of the runtime's current
-// round (also called between the attempts of a failure-injected machine, so
-// a restarted machine re-runs from scratch with identical randomness).
-func (c *Ctx) reset(r *Runtime, m int) {
-	c.Machine = m
+// bind prepares the Ctx for one worker-round: everything constant across the
+// machines this worker will run — store references, budget, the worker-cache
+// wiring — is set once here instead of P/Workers times in reset. The
+// point-read table is keyed by the current store's placement hash, so a
+// generation change (new store, new salt) invalidates it outright: entries
+// describe a store that no longer serves reads, and their hashes no longer
+// route.
+func (c *Ctx) bind(r *Runtime) {
 	c.P = r.cfg.P
 	c.S = r.cfg.S
 	c.Round = r.round
+	c.reads = r.cur
+	c.batch = r.curBatch
+	c.preGet = r.curPre
+	c.static = r.static
+	c.budget = r.Budget()
+	c.netDyn = r.curFrames != nil
+	c.sharedDyn = r.curCache && (c.netDyn || !c.dpol.off)
+	c.sharedStatic = !r.cfg.NoWorkerCache && !c.spol.off
+	if c.dpol.dropPending {
+		c.dpol.dropPending = false
+		c.tbl.drop()
+	}
+	if c.spol.dropPending {
+		c.spol.dropPending = false
+		c.stbl.drop()
+	}
+	c.salt = r.curSalt
+	c.ssalt = r.staticSalt
+	c.div = r.shardDiv
+	if c.gen != r.pubSeq {
+		c.gen = r.pubSeq
+		c.tbl.clear()
+	}
+	// The static table outlives store generations — the static store is
+	// immutable for the whole computation — and drops only when AddStatic
+	// rebuilds it, or when its observed hit rate shows the workload never
+	// re-reads keys (sticky: access patterns that start disjoint stay so).
+	if c.sgen != r.staticSeq {
+		c.sgen = r.staticSeq
+		c.stbl.clear()
+	}
+	if c.sharedDyn {
+		c.loadSink = r.curLoads
+		if cap(c.loads) < r.cfg.Shards {
+			c.loads = make([]int64, r.cfg.Shards)
+		} else {
+			c.loads = c.loads[:r.cfg.Shards]
+		}
+	}
+	if c.sharedStatic {
+		if cap(c.sloads) < r.cfg.Shards {
+			c.sloads = make([]int64, r.cfg.Shards)
+		} else {
+			c.sloads = c.sloads[:r.cfg.Shards]
+		}
+	}
+}
+
+// finish settles a worker-round: deferred shard loads flush to the store
+// (one batched add instead of an atomic per hit), hit/miss counters flush to
+// the runtime, and the store and writer references drop so a parked Ctx
+// never pins the retiring round's store.
+func (c *Ctx) finish(r *Runtime) {
+	if c.hits > 0 {
+		c.loadSink.AddShardLoads(c.loads)
+		for i := range c.loads {
+			c.loads[i] = 0
+		}
+	}
+	if c.sHits > 0 && c.static != nil {
+		c.static.AddShardLoads(c.sloads)
+		for i := range c.sloads {
+			c.sloads[i] = 0
+		}
+	}
+	r.hits.Add(c.hits + c.sHits)
+	r.misses.Add(c.misses)
+	c.hits, c.sHits, c.misses = 0, 0, 0
+	c.reads, c.batch, c.preGet, c.static, c.w, c.loadSink = nil, nil, nil, nil, nil, nil
+}
+
+// reset prepares the Ctx to run machine m of the runtime's current round
+// (also called between the attempts of a failure-injected machine, so a
+// restarted machine re-runs from scratch with identical randomness). The
+// stamp bump is what isolates machines sharing the worker cache: every
+// entry an earlier machine (or a discarded attempt) inserted becomes a
+// charged hit instead of a free repeat.
+func (c *Ctx) reset(r *Runtime, m int) {
+	c.Machine = m
 	if c.RNG == nil {
 		c.RNG = rng.New(r.cfg.Seed, machineStream(r.round, m))
 	} else {
 		c.RNG.Reseed(r.cfg.Seed, machineStream(r.round, m))
 	}
-	c.reads = r.cur
-	c.batch, _ = r.cur.(dds.BatchGetter)
-	c.static = r.static
 	c.w = r.builder.Writer(m)
-	c.budget = r.Budget()
 	c.queries, c.writes, c.err = 0, 0, nil
-	if len(c.cacheGet) > resetMapThreshold {
-		c.cacheGet = nil
-	} else {
-		clear(c.cacheGet)
+	c.stamp++
+	if c.stamp == 0 {
+		// Stamp wraparound: a surviving entry from 2^32 attempts ago could
+		// alias the fresh stamp, so drop everything once per wrap.
+		c.tbl.clear()
+		c.stbl.clear()
+		c.stamp = 1
 	}
 	if len(c.cacheIdx) > resetMapThreshold {
 		c.cacheIdx = nil
@@ -141,28 +458,97 @@ func (c *Ctx) Remaining() int {
 	return c.budget - c.queries
 }
 
+// hit finalizes a worker-cache hit on a stale table slot: the machine was
+// charged, so the owning shard is credited locally (settled in one batched
+// add at round end) and the slot is restamped as this machine's read.
+func (c *Ctx) hit(s *getSlot) (dds.Value, bool) {
+	c.loads[c.div.Of(s.h)]++
+	c.hits++
+	c.dpol.hits++
+	c.dynProbe()
+	s.stamp = c.stamp
+	return s.val, s.ok
+}
+
+// dynProbe counts one charged read against the dynamic table's payoff
+// policy and applies its verdict when a window closes. A networked store
+// ignores an off verdict: there a hit saves a request frame, which pays at
+// any hit rate.
+func (c *Ctx) dynProbe() {
+	c.dpol.probes++
+	if !c.dpol.off && c.dpol.probes&(policyWindow-1) == 0 && c.dpol.judge() && !c.netDyn {
+		c.sharedDyn = false
+	}
+}
+
+// staticProbe is dynProbe for the static table. The static store is always
+// in-process, so its verdict has no networked override.
+func (c *Ctx) staticProbe() {
+	c.spol.probes++
+	if !c.spol.off && c.spol.probes&(policyWindow-1) == 0 && c.spol.judge() {
+		c.sharedStatic = false
+	}
+}
+
+// liveDyn returns the stamp that marks current-store table entries
+// reusable for insertion: none in shared mode (every entry is a valid
+// cache line), the current attempt's otherwise. liveStatic is the static
+// table's counterpart.
+func (c *Ctx) liveDyn() uint32 {
+	if c.sharedDyn {
+		return 0
+	}
+	return c.stamp
+}
+
+func (c *Ctx) liveStatic() uint32 {
+	if c.sharedStatic {
+		return 0
+	}
+	return c.stamp
+}
+
 // Read returns the value stored under k in the previous round's store, or
 // ok=false if the key is absent or the budget is exhausted (check Err to
 // distinguish).
 func (c *Ctx) Read(k dds.Key) (dds.Value, bool) {
-	if cv, hit := c.cacheGet[k]; hit {
-		return cv.v, cv.ok
+	h := dds.HashOf(k, c.salt)
+	if s := c.tbl.lookup(h, k); s != nil {
+		if s.stamp == c.stamp {
+			return s.val, s.ok
+		}
+		if c.sharedDyn {
+			// Worker-cache hit: an earlier machine on this worker read k
+			// from this same immutable generation. This machine is charged
+			// exactly as a first read; only the store probe is saved.
+			if !c.charge() {
+				return dds.Value{}, false
+			}
+			return c.hit(s)
+		}
+		// Per-machine mode: the entry is a finished machine's leftover.
+		// Fall through to a real store read; insert will reuse the slot.
 	}
 	if !c.charge() {
 		return dds.Value{}, false
 	}
-	v, ok := c.reads.Get(k)
-	if c.cacheGet == nil {
-		c.cacheGet = make(map[dds.Key]cachedValue)
+	var v dds.Value
+	var ok bool
+	if c.preGet != nil {
+		v, ok = c.preGet.GetHashed(k, h)
+	} else {
+		v, ok = c.reads.Get(k)
 	}
-	c.cacheGet[k] = cachedValue{v, ok}
+	c.misses++
+	c.dynProbe()
+	c.tbl.insert(h, k, v, ok, c.stamp, c.liveDyn())
 	return v, ok
 }
 
 // ReadIndexed returns the i-th value stored under a duplicated key.
 func (c *Ctx) ReadIndexed(k dds.Key, i int) (dds.Value, bool) {
 	ik := indexedKey{k, i}
-	if cv, hit := c.cacheIdx[ik]; hit {
+	if cv, found := c.cacheIdx[ik]; found {
 		return cv.v, cv.ok
 	}
 	if !c.charge() {
@@ -172,13 +558,13 @@ func (c *Ctx) ReadIndexed(k dds.Key, i int) (dds.Value, bool) {
 	if c.cacheIdx == nil {
 		c.cacheIdx = make(map[indexedKey]cachedValue)
 	}
-	c.cacheIdx[ik] = cachedValue{v, ok}
+	c.cacheIdx[ik] = cachedValue{v, c.stamp, ok}
 	return v, ok
 }
 
 // CountKey returns the number of values stored under k.
 func (c *Ctx) CountKey(k dds.Key) int {
-	if n, hit := c.cacheCount[k]; hit {
+	if n, found := c.cacheCount[k]; found {
 		return n
 	}
 	if !c.charge() {
@@ -196,10 +582,9 @@ func (c *Ctx) CountKey(k dds.Key) int {
 // to dst (pass nil for a fresh slice) and returns the extended slice. The
 // semantics are exactly Read in a loop — budget charged once per distinct
 // key, already-cached keys free, OK = false past budget exhaustion (check
-// Err). When the store backend batches (dds.BatchGetter — the networked
+// Err). When the store backend batches (dds.BatchGetter — every built-in
 // backend), the call's distinct uncached keys go to the store as one
-// GetMany instead of one probe each, which is what turns a machine's read
-// set into per-server request frames; results, caching and budget charges
+// GetMany instead of one probe each; results, caching and budget charges
 // are identical either way.
 func (c *Ctx) ReadMany(keys []dds.Key, dst []ValueOK) []ValueOK {
 	if c.batch == nil {
@@ -211,12 +596,30 @@ func (c *Ctx) ReadMany(keys []dds.Key, dst []ValueOK) []ValueOK {
 	}
 	base := len(dst)
 	c.batchKeys = c.batchKeys[:0]
+	c.batchHs = c.batchHs[:0]
 	c.resolve = c.resolve[:0]
 	for _, k := range keys {
-		if cv, hit := c.cacheGet[k]; hit {
-			dst = append(dst, ValueOK{cv.v, cv.ok})
-			c.resolve = append(c.resolve, -1)
-			continue
+		h := dds.HashOf(k, c.salt)
+		if s := c.tbl.lookup(h, k); s != nil {
+			if s.stamp == c.stamp {
+				dst = append(dst, ValueOK{s.val, s.ok})
+				c.resolve = append(c.resolve, -1)
+				continue
+			}
+			if c.sharedDyn {
+				// Worker-cache hit, finalized inline: charged in key order
+				// like the scalar loop, served without joining the store
+				// batch.
+				if !c.charge() {
+					dst = append(dst, ValueOK{})
+					c.resolve = append(c.resolve, -1)
+					continue
+				}
+				v, ok := c.hit(s)
+				dst = append(dst, ValueOK{v, ok})
+				c.resolve = append(c.resolve, -1)
+				continue
+			}
 		}
 		if slot, dup := c.pendingIdx[k]; dup {
 			dst = append(dst, ValueOK{})
@@ -236,6 +639,7 @@ func (c *Ctx) ReadMany(keys []dds.Key, dst []ValueOK) []ValueOK {
 		}
 		c.pendingIdx[k] = int32(len(c.batchKeys))
 		c.batchKeys = append(c.batchKeys, k)
+		c.batchHs = append(c.batchHs, h)
 		dst = append(dst, ValueOK{})
 		c.resolve = append(c.resolve, int32(len(c.batchKeys)-1))
 	}
@@ -246,11 +650,10 @@ func (c *Ctx) ReadMany(keys []dds.Key, dst []ValueOK) []ValueOK {
 		}
 		vals, oks := c.batchVals[:n], c.batchOks[:n]
 		c.batch.GetMany(c.batchKeys, vals, oks)
-		if c.cacheGet == nil {
-			c.cacheGet = make(map[dds.Key]cachedValue)
-		}
+		c.misses += int64(n)
+		live := c.liveDyn()
 		for i, k := range c.batchKeys {
-			c.cacheGet[k] = cachedValue{vals[i], oks[i]}
+			c.tbl.insert(c.batchHs[i], k, vals[i], oks[i], c.stamp, live)
 		}
 		for j, slot := range c.resolve {
 			if slot >= 0 {
@@ -297,7 +700,7 @@ func (c *Ctx) ReadIndexedMany(k dds.Key, n int, dst []ValueOK) []ValueOK {
 			if i < len(c.scratch) {
 				r = ValueOK{c.scratch[i], true}
 			}
-			c.cacheIdx[indexedKey{k, i}] = cachedValue{r.Value, r.OK}
+			c.cacheIdx[indexedKey{k, i}] = cachedValue{r.Value, c.stamp, r.OK}
 		}
 		dst = append(dst, r)
 	}

@@ -8,15 +8,18 @@ import "sync"
 // per-round cost; the pool starts Config.Workers goroutines once and stripes
 // the P virtual machines over them round after round.
 //
-// Every worker owns a private job channel, which serves two dispatch
-// shapes. Machine execution stays dynamically striped: run hands every
-// worker the same closure and the closure claims machine ids from a shared
-// atomic counter, so an expensive machine never stalls the round behind one
-// worker. Shard work — freeze merges and index builds, sync-publish section
-// fills — goes through runStriped with stable ownership: worker w always
-// receives the same stripe of shard indices, so a shard's slot arrays, slab
-// and scratch region stay in the same worker's cache generation after
-// generation. Outputs never depend on which scheduler ran the work.
+// Every worker owns a private job channel, which serves three dispatch
+// shapes. run hands every worker the same closure — used for dynamically
+// striped (Config.Unpinned) machine execution, where the closure claims
+// machine ids from a shared atomic counter so an expensive machine never
+// stalls the round behind one worker. runWorkers hands worker w a closure
+// that knows it is worker w — used for pinned machine execution, where
+// worker w owns machines w, w+W, w+2W, ... every round. Shard work — freeze
+// merges and index builds, sync-publish section fills — goes through
+// runStriped with stable ownership: worker w always receives the same
+// stripe of shard indices, so a shard's slot arrays, slab and scratch
+// region stay in the same worker's cache generation after generation.
+// Outputs never depend on which scheduler ran the work.
 //
 // The workers reference only the pool, never the Runtime, so an abandoned
 // Runtime stays collectable: its finalizer closes the pool and the workers
@@ -55,6 +58,23 @@ func (p *workerPool) run(n int, f func()) {
 	}
 	for i := 0; i < n; i++ {
 		p.jobs[i] <- job
+	}
+	wg.Wait()
+}
+
+// runWorkers hands worker w the call f(w), for w in [0, n), and blocks until
+// all n return. Unlike run, the closure knows which worker runs it — the
+// hook pinned machine execution builds its stable machine-to-worker stripe
+// on. n must not exceed the pool size.
+func (p *workerPool) runWorkers(n int, f func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		w := w
+		p.jobs[w] <- func() {
+			defer wg.Done()
+			f(w)
+		}
 	}
 	wg.Wait()
 }

@@ -31,6 +31,7 @@ func (r *Runtime) AddStatic(name string, pairs []dds.KV) error {
 	}
 	r.staticPairs = append(r.staticPairs, pairs...)
 	r.static = dds.NewStore(r.staticPairs, r.cfg.Shards, r.staticSalt)
+	r.staticSeq++
 	return nil
 }
 
@@ -41,22 +42,42 @@ func (r *Runtime) StaticStore() *dds.Store { return r.static }
 // ReadStatic returns the value stored under k in the static store. It is
 // charged and cached like Read.
 func (c *Ctx) ReadStatic(k dds.Key) (dds.Value, bool) {
-	sk := staticKey(k)
-	if cv, hit := c.cacheGet[sk]; hit {
-		return cv.v, cv.ok
+	// Static reads get their own worker-cache table, keyed by the static
+	// store's placement hash and invalidated only when AddStatic rebuilds
+	// the store — the static data is immutable across rounds, so after the
+	// first round most machines' static reads are worker-cache hits. Hits
+	// are charged like any first read, and the owning shard of the static
+	// store's own ledger is credited through the same deferred batch as
+	// dynamic hits.
+	h := dds.HashOf(k, c.ssalt)
+	if s := c.stbl.lookup(h, k); s != nil {
+		if s.stamp == c.stamp {
+			return s.val, s.ok
+		}
+		if c.sharedStatic {
+			if !c.charge() {
+				return dds.Value{}, false
+			}
+			c.sHits++
+			c.spol.hits++
+			c.staticProbe()
+			if c.static != nil {
+				c.sloads[c.div.Of(h)]++
+			}
+			s.stamp = c.stamp
+			return s.val, s.ok
+		}
 	}
 	if !c.charge() {
 		return dds.Value{}, false
 	}
+	c.staticProbe()
 	var v dds.Value
 	var ok bool
 	if c.static != nil {
-		v, ok = c.static.Get(k)
+		v, ok = c.static.GetHashed(k, h)
 	}
-	if c.cacheGet == nil {
-		c.cacheGet = make(map[dds.Key]cachedValue)
-	}
-	c.cacheGet[sk] = cachedValue{v, ok}
+	c.stbl.insert(h, k, v, ok, c.stamp, c.liveStatic())
 	return v, ok
 }
 
@@ -87,7 +108,7 @@ func (c *Ctx) ReadStaticIndexed(k dds.Key, i int) (dds.Value, bool) {
 	if c.cacheIdx == nil {
 		c.cacheIdx = make(map[indexedKey]cachedValue)
 	}
-	c.cacheIdx[ik] = cachedValue{v, ok}
+	c.cacheIdx[ik] = cachedValue{v, c.stamp, ok}
 	return v, ok
 }
 

@@ -219,8 +219,9 @@ func increaseDegrees(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffler
 	return rt.Round(fmt.Sprintf("conn-increase-%d", phase), func(ctx *ampc.Ctx) error {
 		lo, hi := ampc.BlockRange(ctx.Machine, len(verts), ctx.P)
 		var out []dds.KV // per-vertex batch, reused across the machine's block
+		var st bfsScratch
 		for _, v := range verts[lo:hi] {
-			found, whole, err := bfsExplore(ctx, v, d)
+			found, whole, err := bfsExplore(ctx, &st, v, d)
 			if err != nil {
 				return err
 			}
@@ -244,26 +245,47 @@ func increaseDegrees(rt *ampc.Runtime, gc *contracted, d int, driver rngShuffler
 	})
 }
 
+// bfsScratch holds one machine's BFS working set, reused across the
+// vertices of its block: the visited set stays small (at most d+1 entries),
+// so clearing it between vertices is far cheaper than growing a fresh map
+// and four slices per explored vertex.
+type bfsScratch struct {
+	visited map[int]bool
+	order   []int
+	queue   []int
+	keys    []dds.Key
+	vals    []ampc.ValueOK
+}
+
 // bfsExplore runs the budgeted BFS from v, returning the visited vertices
 // (excluding v) and whether the whole component was exhausted. Adjacency
 // lists are pulled through the batched ReadMany API in blocks bounded by
 // the per-vertex read cap — the O(d²) of Lemma 6.1, which counts every key
 // — and by the remaining exploration capacity, so a block never charges
-// more than the sequential probe order could still have needed.
-func bfsExplore(ctx *ampc.Ctx, v, d int) ([]int, bool, error) {
+// more than the sequential probe order could still have needed. The
+// returned slice aliases st.order and is valid until the next call with
+// the same scratch.
+func bfsExplore(ctx *ampc.Ctx, st *bfsScratch, v, d int) ([]int, bool, error) {
 	const block = 64
 	readCap := 2*d*d + 32
 	reads := 0
 
-	visited := map[int]bool{v: true}
-	order := []int{}
-	queue := []int{v}
+	if st.visited == nil {
+		st.visited = make(map[int]bool, d+1)
+	} else {
+		clear(st.visited)
+	}
+	visited := st.visited
+	visited[v] = true
+	order := st.order[:0]
+	queue := append(st.queue[:0], v)
 	whole := true
-	var keys []dds.Key
-	var vals []ampc.ValueOK
-	for len(queue) > 0 && len(visited) < d+1 {
-		x := queue[0]
-		queue = queue[1:]
+	keys := st.keys
+	vals := st.vals
+	qi := 0
+	for qi < len(queue) && len(visited) < d+1 {
+		x := queue[qi]
+		qi++
 		if reads >= readCap {
 			whole = false
 			break
@@ -288,7 +310,8 @@ func bfsExplore(ctx *ampc.Ctx, v, d int) ([]int, bool, error) {
 			}
 			// Each unvisited entry grows the visited set, so the remaining
 			// capacity bounds how many entries can still be useful.
-			if room := d + 1 - len(visited); batch > room {
+			room := d + 1 - len(visited)
+			if batch > room {
 				batch = room
 			}
 			keys = keys[:0]
@@ -322,9 +345,10 @@ func bfsExplore(ctx *ampc.Ctx, v, d int) ([]int, bool, error) {
 			break
 		}
 	}
-	if len(queue) > 0 {
+	if qi < len(queue) {
 		whole = false
 	}
+	st.order, st.queue, st.keys, st.vals = order, queue, keys, vals
 	return order, whole, nil
 }
 

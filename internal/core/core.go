@@ -83,6 +83,20 @@ type Options struct {
 	// dead or slow server degrades latency instead of stalling a round.
 	// Zero selects the backend default (2s).
 	RPCTimeout time.Duration
+	// RPCDownCooldown is how long the rpc backend keeps a server marked
+	// down after a transport failure before probing it again. Zero selects
+	// the backend default (250ms). Chaos scenarios tune it to trade
+	// recovery latency against probe storms on a flapping server.
+	RPCDownCooldown time.Duration
+	// Unpinned disables stable work-to-worker pinning in the runtime (see
+	// ampc.Config.Unpinned). Outputs are identical; the knob exists for
+	// benchmarking and differential tests.
+	Unpinned bool
+	// NoWorkerCache disables the runtime's per-worker read-through cache
+	// over the previous round's store (see ampc.Config.NoWorkerCache).
+	// Outputs and all model accounting are identical; the knob exists for
+	// benchmarking and differential tests.
+	NoWorkerCache bool
 	// Observer, when non-nil, receives every AMPC round's statistics as
 	// soon as the round completes, letting callers stream telemetry while
 	// a run is still in flight. It is invoked synchronously from the
@@ -175,6 +189,9 @@ func (o Options) validate() error {
 	if o.RPCTimeout < 0 {
 		return fmt.Errorf("%w: RPCTimeout must be non-negative, got %v", ErrInvalidOptions, o.RPCTimeout)
 	}
+	if o.RPCDownCooldown < 0 {
+		return fmt.Errorf("%w: RPCDownCooldown must be non-negative, got %v", ErrInvalidOptions, o.RPCDownCooldown)
+	}
 	return nil
 }
 
@@ -225,9 +242,10 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 		pub = fp
 	case BackendRPC:
 		rp := rpc.NewPublisher(rpc.Config{
-			Servers:     o.Servers,
-			Replication: o.Replication,
-			Timeout:     o.RPCTimeout,
+			Servers:      o.Servers,
+			Replication:  o.Replication,
+			Timeout:      o.RPCTimeout,
+			DownCooldown: o.RPCDownCooldown,
 		})
 		if ctx != nil {
 			rp.SetContext(ctx)
@@ -235,14 +253,16 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 		pub = rp
 	}
 	rt := ampc.New(ampc.Config{
-		P:            p,
-		S:            s,
-		BudgetFactor: bf,
-		Workers:      o.Workers,
-		Seed:         o.Seed,
-		FaultProb:    o.FaultProb,
-		Backend:      pub,
-		Observer:     o.Observer,
+		P:             p,
+		S:             s,
+		BudgetFactor:  bf,
+		Workers:       o.Workers,
+		Seed:          o.Seed,
+		FaultProb:     o.FaultProb,
+		Backend:       pub,
+		Unpinned:      o.Unpinned,
+		NoWorkerCache: o.NoWorkerCache,
+		Observer:      o.Observer,
 	})
 	if ctx != nil {
 		rt.SetContext(ctx)
@@ -288,6 +308,17 @@ type Telemetry struct {
 	// frozen stores (joining write-behind serialization and installing the
 	// backend), summed over rounds. Zero for the in-memory backend.
 	PublishTime time.Duration
+	// CacheHits and CacheMisses sum the per-round worker read-cache
+	// counters: hits were charged queries answered without a store probe,
+	// misses reached the store. They never affect TotalQueries or any
+	// output.
+	CacheHits   int64
+	CacheMisses int64
+	// RPCFrames sums the read-path request frames the rpc backend sent
+	// during execute phases; zero for in-process backends. With the
+	// worker cache and single-flight coalescing this runs far below
+	// TotalQueries — the dedup the trajectory watches.
+	RPCFrames int64
 	// RoundStats is the per-round breakdown.
 	RoundStats []ampc.RoundStats
 }
@@ -310,6 +341,9 @@ func telemetryFrom(rt *ampc.Runtime, phases int) Telemetry {
 		t.FreezeMergeTime += st.FreezeMerge
 		t.FreezeBuildTime += st.FreezeBuild
 		t.PublishTime += st.Publish
+		t.CacheHits += st.CacheHits
+		t.CacheMisses += st.CacheMisses
+		t.RPCFrames += st.RPCFrames
 	}
 	return t
 }

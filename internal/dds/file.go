@@ -884,4 +884,48 @@ func (ps *pendingStore) ShardLoads() []int64 { return ps.backend().ShardLoads() 
 func (ps *pendingStore) MaxShardLoad() int64 { return ps.backend().MaxShardLoad() }
 func (ps *pendingStore) ResetLoads()         { ps.backend().ResetLoads() }
 
-var _ StoreBackend = (*pendingStore)(nil)
+// GetMany batches through whichever side currently serves reads; both the
+// in-memory store and the mmap'd segment implement BatchGetter natively.
+func (ps *pendingStore) GetMany(keys []Key, vals []Value, oks []bool) {
+	b := ps.backend()
+	if bg, ok := b.(BatchGetter); ok {
+		bg.GetMany(keys, vals, oks)
+		return
+	}
+	for i, k := range keys {
+		vals[i], oks[i] = b.Get(k)
+	}
+}
+
+// GetHashed delegates a pre-hashed read; both sides of the swap share the
+// salt, so the caller's hash routes identically on either.
+func (ps *pendingStore) GetHashed(k Key, h uint64) (Value, bool) {
+	b := ps.backend()
+	if pg, ok := b.(PrehashedGetter); ok {
+		return pg.GetHashed(k, h)
+	}
+	return b.Get(k)
+}
+
+// AddShardLoads settles deferred load deltas against the serving side.
+func (ps *pendingStore) AddShardLoads(deltas []int64) {
+	if lb, ok := ps.backend().(LoadBatcher); ok {
+		lb.AddShardLoads(deltas)
+	}
+}
+
+// Salt returns the placement salt; identical on both sides of the swap (the
+// segment records the salt the in-memory store was built with).
+func (ps *pendingStore) Salt() uint64 {
+	if sl, ok := ps.backend().(Salter); ok {
+		return sl.Salt()
+	}
+	return 0
+}
+
+var (
+	_ StoreBackend = (*pendingStore)(nil)
+	_ BatchGetter  = (*pendingStore)(nil)
+	_ LoadBatcher  = (*pendingStore)(nil)
+	_ Salter       = (*pendingStore)(nil)
+)

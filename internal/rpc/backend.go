@@ -23,8 +23,25 @@ type Backend struct {
 	sizes []int
 	loads []atomic.Int64
 
+	// reads single-flights key fetches for this generation: dds.Key ->
+	// *flight. The generation is immutable, so the first fetch of a key is
+	// authoritative; concurrent and later readers of the same key wait on
+	// (or find) its flight instead of paying their own request frame. Shard
+	// loads are still counted per arriving read — the Lemma 2.1 ledger
+	// charges the query whether or not a frame travels.
+	reads sync.Map
+
 	errMu sync.Mutex
 	err   error
+}
+
+// flight is one single-flighted key fetch: done closes once val/ok are
+// final (a key whose replicas are all exhausted resolves absent, with the
+// failure latched by the fetching reader).
+type flight struct {
+	done chan struct{}
+	val  dds.Value
+	ok   bool
 }
 
 func newBackend(c *client, seq uint64, s *dds.Store) *Backend {
@@ -55,15 +72,30 @@ func (b *Backend) ReadErr() error {
 	return b.err
 }
 
-// Get returns the value stored under k (index 0 of a duplicated key).
+// Get returns the value stored under k (index 0 of a duplicated key). The
+// fetch is single-flighted: whoever claims the key's flight pays the request
+// frame, everyone else waits on the result.
 func (b *Backend) Get(k dds.Key) (dds.Value, bool) {
 	shard := dds.ShardOf(k, b.salt, b.p)
 	b.loads[shard].Add(1)
+	if prev, hit := b.reads.Load(k); hit {
+		f := prev.(*flight)
+		<-f.done
+		return f.val, f.ok
+	}
+	f := &flight{done: make(chan struct{})}
+	if prev, loaded := b.reads.LoadOrStore(k, f); loaded {
+		pf := prev.(*flight)
+		<-pf.done
+		return pf.val, pf.ok
+	}
 	v, ok, err := b.c.getOne(b.seq, k, shard, b.p)
 	if err != nil {
 		b.fail(err)
-		return dds.Value{}, false
+		v, ok = dds.Value{}, false
 	}
+	f.val, f.ok = v, ok
+	close(f.done)
 	return v, ok
 }
 
@@ -121,6 +153,11 @@ func (b *Backend) Count(k dds.Key) int {
 // server and sent as one request frame per server, in parallel. Keys whose
 // server fails advance to the next replica in lockstep rounds; a key whose
 // replicas are all exhausted reads as absent and latches the failure.
+//
+// Fetches are single-flighted per generation: only the keys this call claims
+// first go into request frames; keys another machine is fetching (or already
+// fetched) are filled from their flight after the owned fetches complete, so
+// N machines wanting the same hot key cost one frame entry instead of N.
 func (b *Backend) GetMany(keys []dds.Key, vals []dds.Value, oks []bool) {
 	n := len(keys)
 	if n == 0 {
@@ -131,11 +168,26 @@ func (b *Backend) GetMany(keys []dds.Key, vals []dds.Value, oks []bool) {
 		shards[i] = dds.ShardOf(k, b.salt, b.p)
 		b.loads[shards[i]].Add(1)
 	}
-	r := b.c.cfg.Replication
-	pending := make([]int, n)
-	for i := range pending {
-		pending[i] = i
+	flights := make([]*flight, n)
+	pending := make([]int, 0, n) // indices whose fetch this call owns
+	var waits []int              // indices served by another caller's flight
+	for i, k := range keys {
+		if prev, hit := b.reads.Load(k); hit {
+			flights[i] = prev.(*flight)
+			waits = append(waits, i)
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		if prev, loaded := b.reads.LoadOrStore(k, f); loaded {
+			flights[i] = prev.(*flight)
+			waits = append(waits, i)
+			continue
+		}
+		flights[i] = f
+		pending = append(pending, i)
 	}
+	owned := append([]int(nil), pending...)
+	r := b.c.cfg.Replication
 	maxAttempts := r * b.c.cfg.Passes
 	for att := 0; att < maxAttempts && len(pending) > 0; att++ {
 		// Later sweeps force a probe of marked-down servers, mirroring
@@ -196,7 +248,40 @@ func (b *Backend) GetMany(keys []dds.Key, vals []dds.Value, oks []bool) {
 		b.fail(fmt.Errorf("rpc: read of shard %d (primary %s): all %d replicas exhausted: %w",
 			shards[i], b.c.replica(shards[i], b.p, 0).addr, r, dds.ErrBackendUnavailable))
 	}
+	// Every owned index now holds its final result (fetched, terminal-error
+	// absent, or replica-exhausted absent): resolve the flights, then fill
+	// the indices waiting on other callers. Own flights close first, so a
+	// duplicated key inside one call never deadlocks on itself.
+	for _, i := range owned {
+		f := flights[i]
+		f.val, f.ok = vals[i], oks[i]
+		close(f.done)
+	}
+	for _, i := range waits {
+		f := flights[i]
+		<-f.done
+		vals[i], oks[i] = f.val, f.ok
+	}
 }
+
+// Salt implements dds.Salter: the placement salt captured from the frozen
+// store at publish time.
+func (b *Backend) Salt() uint64 { return b.salt }
+
+// AddShardLoads implements dds.LoadBatcher: deltas[i] queries are credited
+// to shard i's client-side load counter.
+func (b *Backend) AddShardLoads(deltas []int64) {
+	for i, d := range deltas {
+		if d != 0 {
+			b.loads[i].Add(d)
+		}
+	}
+}
+
+// ReadFrames returns the total read-path request frames this backend's
+// client has sent, retries included. The counter is client-wide (it spans
+// generations); callers diff it around a window.
+func (b *Backend) ReadFrames() int64 { return b.c.frames.Load() }
 
 // Len returns the total number of pairs in the store.
 func (b *Backend) Len() int { return b.pairs }
@@ -250,4 +335,6 @@ func (b *Backend) Close() error {
 var (
 	_ dds.StoreBackend = (*Backend)(nil)
 	_ dds.BatchGetter  = (*Backend)(nil)
+	_ dds.LoadBatcher  = (*Backend)(nil)
+	_ dds.Salter       = (*Backend)(nil)
 )

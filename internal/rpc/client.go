@@ -228,6 +228,7 @@ type client struct {
 	cfg     Config
 	run     uint64 // random per-publisher id namespacing generations
 	servers []*server
+	frames  atomic.Int64 // read-path request frames sent (incl. retries)
 }
 
 func newClient(cfg Config) *client {
@@ -330,6 +331,7 @@ func (c *client) getOne(seq uint64, k dds.Key, shard, p int) (dds.Value, bool, e
 	var val dds.Value
 	var ok bool
 	err := c.eachReplica(shard, p, func(s *server, force bool) error {
+		c.frames.Add(1)
 		req := c.reqHeader(make([]byte, 0, 20+keyBytes), seq)
 		req = le.AppendUint32(req, 1)
 		req = appendKey(req, k)
@@ -355,6 +357,7 @@ func (c *client) getOne(seq uint64, k dds.Key, shard, p int) (dds.Value, bool, e
 // to dst.
 func (c *client) getRange(seq uint64, k dds.Key, lo, hi, shard, p int, dst []dds.Value) ([]dds.Value, error) {
 	err := c.eachReplica(shard, p, func(s *server, force bool) error {
+		c.frames.Add(1)
 		req := c.reqHeader(make([]byte, 0, 16+keyBytes+8), seq)
 		req = appendKey(req, k)
 		req = le.AppendUint32(req, uint32(lo))
@@ -382,6 +385,7 @@ func (c *client) getRange(seq uint64, k dds.Key, lo, hi, shard, p int, dst []dds
 func (c *client) count(seq uint64, k dds.Key, shard, p int) (int, error) {
 	var n int
 	err := c.eachReplica(shard, p, func(s *server, force bool) error {
+		c.frames.Add(1)
 		req := c.reqHeader(make([]byte, 0, 16+keyBytes), seq)
 		req = appendKey(req, k)
 		return s.roundTrip(opCount, req, force, func(resp []byte) error {
@@ -400,6 +404,7 @@ func (c *client) count(seq uint64, k dds.Key, shard, p int) (int, error) {
 // replica (shards not resident there) and the transport/protocol error, if
 // any, in which case every index must retry.
 func (c *client) getBatch(s *server, seq uint64, keys []dds.Key, idxs []int, vals []dds.Value, oks []bool, force bool) ([]int, error) {
+	c.frames.Add(1)
 	req := c.reqHeader(make([]byte, 0, 20+len(idxs)*keyBytes), seq)
 	req = le.AppendUint32(req, uint32(len(idxs)))
 	for _, i := range idxs {

@@ -287,6 +287,22 @@ func (ps *pending) GetIndexed(k dds.Key, i int) (dds.Value, bool) {
 func (ps *pending) GetRange(k dds.Key, lo, hi int, dst []dds.Value) []dds.Value {
 	return ps.backend().GetRange(k, lo, hi, dst)
 }
+
+// AddShardLoads settles deferred load deltas against the serving side; both
+// the retained in-memory store and the remote backend implement it.
+func (ps *pending) AddShardLoads(deltas []int64) {
+	if lb, ok := ps.backend().(dds.LoadBatcher); ok {
+		lb.AddShardLoads(deltas)
+	}
+}
+
+// Salt returns the placement salt, identical on both sides of the swap.
+func (ps *pending) Salt() uint64 { return ps.remote.Salt() }
+
+// ReadFrames reports the client's read-path frame counter; reads before the
+// swap are in-process and send none.
+func (ps *pending) ReadFrames() int64 { return ps.remote.ReadFrames() }
+
 func (ps *pending) Count(k dds.Key) int { return ps.backend().Count(k) }
 func (ps *pending) Len() int            { return ps.backend().Len() }
 func (ps *pending) Shards() int         { return ps.backend().Shards() }
@@ -298,5 +314,7 @@ func (ps *pending) ResetLoads()         { ps.backend().ResetLoads() }
 var (
 	_ dds.StoreBackend = (*pending)(nil)
 	_ dds.BatchGetter  = (*pending)(nil)
+	_ dds.LoadBatcher  = (*pending)(nil)
+	_ dds.Salter       = (*pending)(nil)
 	_ dds.Publisher    = (*Publisher)(nil)
 )

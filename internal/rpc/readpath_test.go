@@ -1,0 +1,126 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ampc/internal/dds"
+)
+
+// TestGetManyDupAndAbsentBatch is the batched-read equivalence check over
+// the wire: a dup-heavy batch with interleaved absent keys must answer
+// exactly like scalar Get, and the per-key load ledger must not shrink —
+// the single-flight layer coalesces frames, never accounting.
+func TestGetManyDupAndAbsentBatch(t *testing.T) {
+	_, addrs := startFleet(t, 3, ServerConfig{})
+	pairs := testPairs(600)
+	ref := reference(pairs)
+	_, b := publish(t, Config{Servers: addrs, Replication: 2}, dds.NewStore(pairs, 8, 0x5eed))
+
+	var keys []dds.Key
+	hot := dds.Key{Tag: pairs[0].Key.Tag, A: pairs[0].Key.A, B: pairs[0].Key.B}
+	for i := 0; i < 100; i++ {
+		keys = append(keys, hot) // dup-heavy: 100 copies of one present key
+	}
+	for k := range ref {
+		keys = append(keys, k)
+		keys = append(keys, dds.Key{Tag: 99, A: k.A, B: k.B}) // absent twin
+	}
+	vals := make([]dds.Value, len(keys))
+	oks := make([]bool, len(keys))
+	before := sumLoads(b)
+	b.(dds.BatchGetter).GetMany(keys, vals, oks)
+	for i, k := range keys {
+		want, present := ref[k]
+		if oks[i] != present {
+			t.Fatalf("key %d %+v: ok=%v, want %v", i, k, oks[i], present)
+		}
+		if present && vals[i] != want[0] {
+			t.Fatalf("key %d %+v: got %+v, want %+v", i, k, vals[i], want[0])
+		}
+	}
+	// Every arriving key charges its shard once, duplicates included: the
+	// model's contention ledger must not see the coalescing.
+	if got := sumLoads(b) - before; got != int64(len(keys)) {
+		t.Fatalf("batch of %d keys accounted %d shard loads", len(keys), got)
+	}
+	if re := b.(interface{ ReadErr() error }); re.ReadErr() != nil {
+		t.Fatalf("reads latched %v", re.ReadErr())
+	}
+}
+
+// TestSingleFlightCoalescesFrames pins the whole point of the per-generation
+// single-flight: a batch that is 100 copies of one key crosses the wire as
+// one request frame, and concurrent scalar Gets of one key stay bounded by
+// the caller count rather than multiplying by retries.
+func TestSingleFlightCoalescesFrames(t *testing.T) {
+	_, addrs := startFleet(t, 1, ServerConfig{})
+	pairs := testPairs(100)
+	_, b := publish(t, Config{Servers: addrs}, dds.NewStore(pairs, 4, 0x5eed))
+	fr := b.(interface{ ReadFrames() int64 })
+
+	hot := pairs[0].Key
+	keys := make([]dds.Key, 100)
+	for i := range keys {
+		keys[i] = hot
+	}
+	vals := make([]dds.Value, len(keys))
+	oks := make([]bool, len(keys))
+	base := fr.ReadFrames()
+	b.(dds.BatchGetter).GetMany(keys, vals, oks)
+	if got := fr.ReadFrames() - base; got != 1 {
+		t.Fatalf("100-duplicate batch used %d frames, want 1", got)
+	}
+	for i := range keys {
+		if !oks[i] || vals[i] != pairs[0].Value {
+			t.Fatalf("dup %d: got %+v %v", i, vals[i], oks[i])
+		}
+	}
+
+	// Concurrent scalar readers of the same key: correctness under -race,
+	// and no more frames than readers (coalescing can only reduce them).
+	const readers = 32
+	base = fr.ReadFrames()
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, ok := b.Get(hot)
+			if !ok || v != pairs[0].Value {
+				errs <- "bad concurrent read"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got := fr.ReadFrames() - base; got > readers {
+		t.Fatalf("%d concurrent Gets used %d frames", readers, got)
+	}
+}
+
+// TestDownCooldownDefault pins the health mark-down cooldown option: the
+// zero value keeps the long-standing 250ms default, an explicit setting
+// passes through untouched.
+func TestDownCooldownDefault(t *testing.T) {
+	if got := (Config{}).withDefaults().DownCooldown; got != 250*time.Millisecond {
+		t.Fatalf("default DownCooldown = %v, want 250ms", got)
+	}
+	if got := (Config{DownCooldown: 40 * time.Millisecond}).withDefaults().DownCooldown; got != 40*time.Millisecond {
+		t.Fatalf("explicit DownCooldown = %v, want 40ms", got)
+	}
+}
+
+// sumLoads totals the backend's per-shard query counters.
+func sumLoads(b dds.StoreBackend) int64 {
+	var n int64
+	for _, l := range b.ShardLoads() {
+		n += l
+	}
+	return n
+}
