@@ -1,0 +1,99 @@
+// Command ampcd is the AMPC serving daemon: it runs algorithms once and
+// keeps their final stores resident, so point queries — which component is
+// vertex v in, what is element i's list rank — are warm O(µs) lookups
+// instead of whole-graph recomputations.
+//
+// Usage:
+//
+//	ampcd -addr 127.0.0.1:7780
+//	ampcd -selfcheck -n 20000 -m 80000 -queries 1000
+//
+// HTTP surface:
+//
+//	POST   /v1/jobs                 submit {"algo", "graph"|"n"+"edges"|"next", "check", "retain", "eps", "seed"}
+//	GET    /v1/jobs                 list all jobs
+//	GET    /v1/jobs/{id}            one job's status
+//	DELETE /v1/jobs/{id}            cancel a running job / delete a finished one (frees its store)
+//	GET    /v1/jobs/{id}/result     summary, labels, telemetry of a finished job
+//	GET    /v1/jobs/{id}/query      warm point queries: ?key=3, ?keys=1,2,3, ?u=1&v=2, ?kind=label
+//	GET    /v1/jobs/{id}/telemetry  long-poll per-round stats: ?after=N&wait=10s
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness + registered algorithms
+//
+// Jobs default to retain=true: the run's final store stays resident until
+// the job is deleted. Submitting with "retain": false runs fire-and-forget
+// (status and result still served, no /query surface).
+//
+// -selfcheck starts a daemon on a loopback port, drives one connectivity
+// job through the full HTTP surface (submit, long-poll telemetry, result
+// verified against the sequential oracle, point queries cross-checked
+// label by label, /metrics scrape), measures client-observed point-query
+// latency, and emits one BENCH-format JSON line with query_p50_us — the
+// serving-latency record the perf gate tracks.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ampc"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7780", "listen address")
+		maxConc = flag.Int("max-concurrent", 0, "max jobs running at once (0 = GOMAXPROCS, negative = unlimited)")
+		eps     = flag.Float64("eps", 0.5, "default space exponent: S = n^eps")
+		seed    = flag.Uint64("seed", 1, "default random seed")
+		workers = flag.Int("workers", 0, "worker goroutines per round (0 = GOMAXPROCS)")
+
+		selfcheck = flag.Bool("selfcheck", false, "run the serving smoke + latency benchmark against an in-process daemon and exit")
+		scN       = flag.Int("n", 20000, "selfcheck: vertex count")
+		scM       = flag.Int("m", 0, "selfcheck: edge count (default 4n)")
+		scQueries = flag.Int("queries", 1000, "selfcheck: point queries to time")
+		benchOut  = flag.String("bench-out", "", "selfcheck: append the BENCH JSON line to this file")
+	)
+	flag.Parse()
+
+	defaults := ampc.Options{Epsilon: *eps, Seed: *seed, Workers: *workers}
+
+	if *selfcheck {
+		if *scM == 0 {
+			*scM = 4 * *scN
+		}
+		if err := runSelfcheck(defaults, *scN, *scM, *seed, *scQueries, *benchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	d := newDaemon(defaults, *maxConc)
+	srv := &http.Server{Addr: *addr, Handler: d.mux()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("ampcd serving on http://%s (algorithms: %v)", *addr, ampc.Algorithms())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("ampcd shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	d.close()
+}

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ampc"
+)
+
+// servingRecord is the BENCH-format JSON line -selfcheck emits: one
+// serving-latency measurement per run, distinguished from workload lines by
+// the "record" field so existing trajectory readers skip it. benchgate
+// re-runs these records through `ampcd -selfcheck` and gates query_p50_us.
+type servingRecord struct {
+	Record     string  `json:"record"`
+	Algo       string  `json:"algo"`
+	Backend    string  `json:"backend"`
+	Workload   string  `json:"workload"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	Epsilon    float64 `json:"eps"`
+	Seed       uint64  `json:"seed"`
+	Queries    int     `json:"queries"`
+	QueryP50US float64 `json:"query_p50_us"`
+	QueryP90US float64 `json:"query_p90_us"`
+	QueryP99US float64 `json:"query_p99_us"`
+	RunMS      float64 `json:"run_ms"`  // algorithm wall time, submit to done
+	WallMS     float64 `json:"wall_ms"` // whole selfcheck, including queries
+	Check      string  `json:"check"`
+}
+
+// runSelfcheck starts an in-process daemon on a loopback port and drives
+// one connectivity job through the entire HTTP surface: submit, long-poll
+// telemetry, status polling, result verification against the sequential
+// oracle, per-vertex point queries cross-checked against the result labels,
+// batch and same-component queries, and a /metrics scrape. It then emits
+// the serving record with client-observed point-query latency percentiles.
+func runSelfcheck(defaults ampc.Options, n, m int, seed uint64, queries int, benchOut string) error {
+	start := time.Now()
+	d := newDaemon(defaults, 0)
+	defer d.close()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.mux()}
+	go srv.Serve(lis)
+	defer srv.Close()
+	base := "http://" + lis.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Submit one connectivity job on a generated G(n, m).
+	submitted := time.Now()
+	body, _ := json.Marshal(submitRequest{
+		Algo:  "connectivity",
+		Graph: &graphSpec{Kind: "gnm", N: n, M: m, Seed: seed},
+		Seed:  seed,
+	})
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var sub struct {
+		ID    uint64 `json:"id"`
+		State string `json:"state"`
+	}
+	if err := decodeJSON(resp, http.StatusAccepted, &sub); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	jobURL := fmt.Sprintf("%s/v1/jobs/%d", base, sub.ID)
+
+	// Long-poll telemetry while the job runs: each response carries the
+	// rounds completed since the cursor, pushed as they happen.
+	cursor, polls := 0, 0
+	for {
+		resp, err := client.Get(fmt.Sprintf("%s/telemetry?after=%d&wait=5s", jobURL, cursor))
+		if err != nil {
+			return err
+		}
+		var tel telemetryResponse
+		if err := decodeJSON(resp, http.StatusOK, &tel); err != nil {
+			return fmt.Errorf("telemetry long-poll: %w", err)
+		}
+		cursor = tel.Next
+		polls++
+		if tel.State != stateRunning {
+			if tel.State != stateDone {
+				return fmt.Errorf("job ended %s", tel.State)
+			}
+			break
+		}
+		if polls > 600 {
+			return fmt.Errorf("job still running after %d telemetry polls", polls)
+		}
+	}
+	runWall := time.Since(submitted)
+	if cursor == 0 {
+		return fmt.Errorf("long-poll telemetry reported no rounds")
+	}
+
+	// Fetch the result and verify the labeling against the exact oracle,
+	// regenerating the same graph the daemon built from the spec.
+	resp, err = client.Get(jobURL + "/result")
+	if err != nil {
+		return err
+	}
+	var res resultResponse
+	if err := decodeJSON(resp, http.StatusOK, &res); err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	g := ampc.GNM(n, m, ampc.NewRNG(seed, 0x7))
+	oracle := ampc.Components(g)
+	if len(res.Labels) != g.N() {
+		return fmt.Errorf("result labels: got %d, want %d", len(res.Labels), g.N())
+	}
+	if !ampc.SameLabeling(res.Labels, oracle) {
+		return fmt.Errorf("result labeling disagrees with the sequential oracle")
+	}
+
+	// Warm point queries: every response must agree with the result labels
+	// (and therefore with the oracle partition). Client-observed latency
+	// over loopback HTTP is the serving number the gate tracks.
+	if queries < 1 {
+		queries = 1
+	}
+	r := ampc.NewRNG(seed, 0x99)
+	lats := make([]float64, 0, queries)
+	var hit queryResponse
+	for i := 0; i < queries; i++ {
+		v := r.Intn(g.N())
+		q0 := time.Now()
+		resp, err := client.Get(fmt.Sprintf("%s/query?kind=label&key=%d", jobURL, v))
+		if err != nil {
+			return err
+		}
+		if err := decodeJSON(resp, http.StatusOK, &hit); err != nil {
+			return fmt.Errorf("query key=%d: %w", v, err)
+		}
+		lats = append(lats, float64(time.Since(q0).Nanoseconds())/1e3)
+		if len(hit.Values) != 1 || !hit.Values[0].Found || hit.Values[0].Value != res.Labels[v] {
+			return fmt.Errorf("query key=%d: got %+v, want label %d", v, hit.Values, res.Labels[v])
+		}
+	}
+
+	// Batch and same-component forms, once each.
+	resp, err = client.Get(jobURL + "/query?keys=0,1,2,3")
+	if err != nil {
+		return err
+	}
+	if err := decodeJSON(resp, http.StatusOK, &hit); err != nil {
+		return fmt.Errorf("batch query: %w", err)
+	}
+	for _, qh := range hit.Values {
+		if !qh.Found || qh.Value != res.Labels[qh.Key] {
+			return fmt.Errorf("batch query: got %+v, want label %d", qh, res.Labels[qh.Key])
+		}
+	}
+	u, v := r.Intn(g.N()), r.Intn(g.N())
+	resp, err = client.Get(fmt.Sprintf("%s/query?u=%d&v=%d", jobURL, u, v))
+	if err != nil {
+		return err
+	}
+	if err := decodeJSON(resp, http.StatusOK, &hit); err != nil {
+		return fmt.Errorf("same-component query: %w", err)
+	}
+	if hit.Same == nil || hit.Same.Same != (res.Labels[u] == res.Labels[v]) {
+		return fmt.Errorf("same-component query u=%d v=%d: got %+v", u, v, hit.Same)
+	}
+
+	// Scrape /metrics and assert the counters the run must have moved.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metricsText := raw.String()
+	for _, want := range []string{
+		`ampcd_jobs_finished_total{state="done"} 1`,
+		`ampcd_round_phase_seconds_total{phase="execute"}`,
+		`ampcd_point_queries_total`,
+		`ampcd_point_query_latency_us{quantile="0.5"}`,
+		`ampcd_resident_stores 1`,
+	} {
+		if !strings.Contains(metricsText, want) {
+			return fmt.Errorf("/metrics is missing %q", want)
+		}
+	}
+	if strings.Contains(metricsText, "ampcd_rounds_total 0\n") {
+		return fmt.Errorf("/metrics reports zero rounds after a completed job")
+	}
+
+	sort.Float64s(lats)
+	q := func(p float64) float64 { return lats[int(p*float64(len(lats)-1))] }
+	rec := servingRecord{
+		Record:     "serving",
+		Algo:       "connectivity",
+		Backend:    "ampcd",
+		Workload:   "gnm",
+		N:          g.N(),
+		M:          g.M(),
+		Epsilon:    defaults.Epsilon,
+		Seed:       seed,
+		Queries:    queries,
+		QueryP50US: q(0.50),
+		QueryP90US: q(0.90),
+		QueryP99US: q(0.99),
+		RunMS:      float64(runWall.Microseconds()) / 1000,
+		WallMS:     float64(time.Since(start).Microseconds()) / 1000,
+		Check:      ampc.CheckPassed.String(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(line))
+	if benchOut != "" {
+		f, err := os.OpenFile(benchOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeJSON checks the response status and decodes the body, surfacing the
+// server's error message on mismatch.
+func decodeJSON(resp *http.Response, wantStatus int, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, wantStatus, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

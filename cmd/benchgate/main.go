@@ -110,6 +110,30 @@ type gobenchRecord struct {
 // written before publish_ms existed count their whole cost under freeze.
 func (l benchLine) storeMS() float64 { return l.FreezeMS + l.PublishMS }
 
+// servingRecord mirrors the JSON line `ampcd -selfcheck` emits: a
+// serving-latency measurement ({"record":"serving", ..., "query_p50_us"}).
+// The gate re-runs the selfcheck and compares the minimum observed p50
+// point-query latency against its baseline, so a regression on the warm
+// read path (store lookup, handler dispatch, HTTP serving) fails CI even
+// though no workload line sees it.
+type servingRecord struct {
+	Record     string  `json:"record"`
+	Algo       string  `json:"algo"`
+	Backend    string  `json:"backend"`
+	Workload   string  `json:"workload"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	Epsilon    float64 `json:"eps"`
+	Seed       uint64  `json:"seed"`
+	Queries    int     `json:"queries"`
+	QueryP50US float64 `json:"query_p50_us"`
+	QueryP90US float64 `json:"query_p90_us"`
+	QueryP99US float64 `json:"query_p99_us"`
+	RunMS      float64 `json:"run_ms"`
+	WallMS     float64 `json:"wall_ms"`
+	Check      string  `json:"check"`
+}
+
 func main() {
 	var (
 		baseline   = flag.String("baseline", "", "committed trajectory file to gate against (required)")
@@ -126,13 +150,16 @@ func main() {
 		gbBenchSec = flag.Float64("gobench-benchtime", 1, "seconds per micro-benchmark rep")
 		rpcServers = flag.String("rpc-servers", "", "comma-separated shardd addresses for the rpc backend (default: spawn 3 in-process loopback servers)")
 		rpcReplic  = flag.Int("rpc-replication", 1, "shard copies across the rpc fleet")
+		serving    = flag.Bool("serving", true, "also re-run and gate the baseline's serving records via `ampcd -selfcheck`")
+		svFactor   = flag.Float64("serving-factor", 2.0, "fail when the serving p50 exceeds factor*baseline+floor")
+		svFloorUS  = flag.Float64("serving-floor-us", 200, "absolute slack in µs added to every serving bound (shared-runner jitter)")
 	)
 	flag.Parse()
 	if *baseline == "" {
 		log.Fatal("benchgate: -baseline is required")
 	}
 
-	memLines, byBackend, gobenchBase, err := readBaseline(*baseline)
+	memLines, byBackend, gobenchBase, servingBase, err := readBaseline(*baseline)
 	if err != nil {
 		log.Fatalf("benchgate: %v", err)
 	}
@@ -254,8 +281,37 @@ func main() {
 			}
 		}
 	}
+	var svRows []servingRow
+	if *serving && len(servingBase) > 0 {
+		for _, sb := range servingBase {
+			got, err := measureServing(sb, *gbPkgRoot, *reps)
+			if err != nil {
+				log.Fatalf("benchgate: serving: %v", err)
+			}
+			bound := *svFactor*sb.QueryP50US + *svFloorUS
+			row := servingRow{base: sb, got: got}
+			if got.QueryP50US > bound {
+				row.verdict = fmt.Sprintf("FAIL p50 %.0fµs > %.0fµs", got.QueryP50US, bound)
+				failed++
+			} else {
+				row.verdict = "ok"
+			}
+			fmt.Printf("%-14s %-5s n=%-7d query p50 %8.1fµs (base %8.1f)  p90 %8.1fµs  %s\n",
+				"serving:"+sb.Algo, sb.Backend, sb.N, got.QueryP50US, sb.QueryP50US, got.QueryP90US, row.verdict)
+			svRows = append(svRows, row)
+			if outF != nil {
+				enc, err := json.Marshal(got)
+				if err != nil {
+					log.Fatalf("benchgate: %v", err)
+				}
+				if _, err := outF.Write(append(enc, '\n')); err != nil {
+					log.Fatalf("benchgate: %v", err)
+				}
+			}
+		}
+	}
 	if *summary != "" {
-		if err := writeSummary(*summary, rows, gbRows); err != nil {
+		if err := writeSummary(*summary, rows, gbRows, svRows); err != nil {
 			log.Printf("benchgate: step summary: %v", err)
 		}
 	}
@@ -355,6 +411,67 @@ func parseGobenchOutput(out string) map[string]float64 {
 	return mins
 }
 
+// servingRow is one serving-latency comparison for the summary table.
+type servingRow struct {
+	base, got servingRecord
+	verdict   string
+}
+
+// measureServing re-runs one serving record through `go run ./cmd/ampcd
+// -selfcheck` reps times and keeps the minimum observed latency percentiles
+// — the same min-gates policy the workload lines use. The selfcheck itself
+// verifies the run against the sequential oracle and cross-checks every
+// point query, so a passing measurement is also a correctness smoke.
+func measureServing(base servingRecord, root string, reps int) (servingRecord, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	got := base
+	got.QueryP50US, got.QueryP90US, got.QueryP99US = math.Inf(1), math.Inf(1), math.Inf(1)
+	got.RunMS, got.WallMS = math.Inf(1), math.Inf(1)
+	for rep := 0; rep < reps; rep++ {
+		cmd := exec.Command("go", "run", "./cmd/ampcd", "-selfcheck",
+			"-n", fmt.Sprint(base.N), "-m", fmt.Sprint(base.M),
+			"-seed", fmt.Sprint(base.Seed), "-queries", fmt.Sprint(base.Queries),
+			"-eps", fmt.Sprint(base.Epsilon))
+		cmd.Dir = root
+		out, err := cmd.Output()
+		if err != nil {
+			var ee *exec.ExitError
+			if errors.As(err, &ee) {
+				return servingRecord{}, fmt.Errorf("ampcd -selfcheck: %v\n%s%s", err, out, ee.Stderr)
+			}
+			return servingRecord{}, fmt.Errorf("ampcd -selfcheck: %v", err)
+		}
+		var rec servingRecord
+		line := lastJSONLine(string(out))
+		if line == "" {
+			return servingRecord{}, fmt.Errorf("ampcd -selfcheck emitted no JSON line:\n%s", out)
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return servingRecord{}, fmt.Errorf("parsing selfcheck output %q: %w", line, err)
+		}
+		got.QueryP50US = math.Min(got.QueryP50US, rec.QueryP50US)
+		got.QueryP90US = math.Min(got.QueryP90US, rec.QueryP90US)
+		got.QueryP99US = math.Min(got.QueryP99US, rec.QueryP99US)
+		got.RunMS = math.Min(got.RunMS, rec.RunMS)
+		got.WallMS = math.Min(got.WallMS, rec.WallMS)
+		got.Check = rec.Check
+	}
+	return got, nil
+}
+
+// lastJSONLine returns the last line of out that looks like a JSON object.
+func lastJSONLine(out string) string {
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if l := strings.TrimSpace(lines[i]); strings.HasPrefix(l, "{") {
+			return l
+		}
+	}
+	return ""
+}
+
 // summaryRow is one line of the markdown delta table.
 type summaryRow struct {
 	base, got benchLine
@@ -362,9 +479,10 @@ type summaryRow struct {
 	verdict   string
 }
 
-// writeSummary appends the delta tables — workload lines and gobench
-// micro-records — in GitHub-flavored markdown, to the job summary file.
-func writeSummary(path string, rows []summaryRow, gbRows []gobenchRow) error {
+// writeSummary appends the delta tables — workload lines, gobench
+// micro-records and serving records — in GitHub-flavored markdown, to the
+// job summary file.
+func writeSummary(path string, rows []summaryRow, gbRows []gobenchRow, svRows []servingRow) error {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
@@ -400,6 +518,17 @@ func writeSummary(path string, rows []summaryRow, gbRows []gobenchRow) error {
 		}
 		fmt.Fprintln(f)
 	}
+	if len(svRows) > 0 {
+		fmt.Fprintf(f, "| serving | n | queries | p50 base (µs) | p50 now (µs) | Δ | p90 now (µs) | verdict |\n")
+		fmt.Fprintf(f, "|---|--:|--:|--:|--:|--:|--:|---|\n")
+		for _, r := range svRows {
+			fmt.Fprintf(f, "| %s | %d | %d | %.1f | %.1f | %s | %.1f | %s |\n",
+				r.base.Algo, r.base.N, r.base.Queries,
+				r.base.QueryP50US, r.got.QueryP50US, delta(r.base.QueryP50US, r.got.QueryP50US),
+				r.got.QueryP90US, r.verdict)
+		}
+		fmt.Fprintln(f)
+	}
 	return nil
 }
 
@@ -423,16 +552,17 @@ type backendKey struct {
 // readBaseline extracts the gateable records from a trajectory file: the
 // workload lines (mem lines define the workload set — every trajectory
 // records them — and the full per-backend map supplies each backend's own
-// gate bound) plus the gobench micro-benchmark records. Meta records are
-// skipped.
-func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobenchRecord, error) {
+// gate bound), the gobench micro-benchmark records, and the ampcd serving
+// records. Meta records are skipped.
+func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobenchRecord, []servingRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	defer f.Close()
 	var memLines []benchLine
 	var gobench []gobenchRecord
+	var servings []servingRecord
 	byBackend := make(map[backendKey]benchLine)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -445,15 +575,25 @@ func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobench
 			Record string `json:"record"`
 		}
 		if err := json.Unmarshal([]byte(text), &record); err != nil {
-			return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		if record.Record == "gobench" {
+		switch record.Record {
+		case "gobench":
 			var g gobenchRecord
 			if err := json.Unmarshal([]byte(text), &g); err != nil {
-				return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+				return nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 			}
 			if g.Bench != "" && g.Pkg != "" && g.NsOp > 0 {
 				gobench = append(gobench, g)
+			}
+			continue
+		case "serving":
+			var s servingRecord
+			if err := json.Unmarshal([]byte(text), &s); err != nil {
+				return nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if s.Algo != "" && s.N > 0 && s.Queries > 0 && s.QueryP50US > 0 {
+				servings = append(servings, s)
 			}
 			continue
 		}
@@ -462,7 +602,7 @@ func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobench
 		}
 		var l benchLine
 		if err := json.Unmarshal([]byte(text), &l); err != nil {
-			return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		if l.Algo == "" {
 			continue
@@ -472,7 +612,7 @@ func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobench
 		}
 		byBackend[backendKey{l.Algo, l.Workload, l.N, baseBackend(l)}] = l
 	}
-	return memLines, byBackend, gobench, sc.Err()
+	return memLines, byBackend, gobench, servings, sc.Err()
 }
 
 // rpcOptions carries the rpc backend's fleet configuration into measure.

@@ -102,6 +102,17 @@ type Config struct {
 	// the round completes, before the next round starts. It is called
 	// synchronously from the driver goroutine; slow observers slow the run.
 	Observer func(RoundStats)
+	// RetainFinalStore keeps the last published store alive across Close:
+	// instead of releasing it, shutdown detaches it and FinalStore hands it
+	// to the caller, who owns its Close from then on. This is what lets a
+	// serving daemon keep a run's final frozen store resident and answer
+	// point queries at memory speed long after the runtime is gone. The
+	// detached store must be self-contained once the publisher closes: the
+	// mem backend always is, the file backend's mmap stays readable until
+	// its own Close even after the publisher unlinks the segment (POSIX
+	// unlink semantics), but an rpc backend's reads die with the
+	// publisher's connection pools — callers gate on that.
+	RetainFinalStore bool
 }
 
 // DefaultBudgetFactor is the default constant multiplier on S for the
@@ -239,6 +250,12 @@ type Runtime struct {
 	// read on the retained in-memory copy and the model's remote cost
 	// unpaid.
 	preBarrier bool
+
+	// closed makes shutdown idempotent: drivers that retain the final store
+	// Close explicitly mid-function while a deferred Close still runs.
+	// final is the store detached by shutdown under Config.RetainFinalStore.
+	closed bool
+	final  dds.StoreBackend
 }
 
 // New creates a runtime with an empty initial store D0. Call SetInput (or
@@ -391,6 +408,10 @@ func (r *Runtime) bindBackend() {
 // what lives on disk. It returns the first failure: a latched publish
 // error no Round surfaced, the barrier's, or a release error.
 func (r *Runtime) shutdown() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	if r.pool != nil {
 		r.pool.close()
 	}
@@ -400,7 +421,13 @@ func (r *Runtime) shutdown() error {
 		err = berr
 	}
 	if r.cur != nil {
-		if cerr := r.cur.Close(); err == nil {
+		if r.cfg.RetainFinalStore && err == nil {
+			// Detach instead of releasing: the caller takes ownership via
+			// FinalStore and closes it when the serving surface retires. On
+			// a failed run nothing is detached — a store whose publish or
+			// barrier failed is not fit to serve.
+			r.final = r.cur
+		} else if cerr := r.cur.Close(); err == nil {
 			err = cerr
 		}
 		r.cur = nil
@@ -410,6 +437,12 @@ func (r *Runtime) shutdown() error {
 	}
 	return err
 }
+
+// FinalStore returns the last published store detached by Close under
+// Config.RetainFinalStore, or nil before Close, after a failed shutdown, or
+// when retention was never requested. The caller owns the returned backend
+// and must Close it once done serving from it.
+func (r *Runtime) FinalStore() dds.StoreBackend { return r.final }
 
 // Close releases the runtime's worker pool, the current store backend (with
 // its mmap regions, if file-backed) and the store publisher, first joining

@@ -26,6 +26,10 @@ type ConnectivityResult struct {
 	// Components labels each vertex with a canonical representative of its
 	// connected component.
 	Components []int
+	// Store is the retained final store holding the labels under the
+	// serving tag, populated only when Options.RetainStore was set; query
+	// it through NewConnectivityQuery. The caller owns its Close.
+	Store dds.StoreBackend
 	// Telemetry is the measured cost.
 	Telemetry Telemetry
 }
@@ -178,7 +182,16 @@ func Connectivity(ctx context.Context, g *graph.Graph, opts Options) (Connectivi
 
 	comp := make([]int, n)
 	copy(comp, m2)
-	return ConnectivityResult{Components: comp, Telemetry: telemetryFrom(rt, phases)}, nil
+	res := ConnectivityResult{Components: comp}
+	if opts.RetainStore {
+		store, err := retainServeStore(rt, comp)
+		if err != nil {
+			return ConnectivityResult{}, err
+		}
+		res.Store = store
+	}
+	res.Telemetry = telemetryFrom(rt, phases)
+	return res, nil
 }
 
 // publishContracted writes the current contracted graph to the DDS: the

@@ -103,6 +103,17 @@ type Options struct {
 	// algorithm's goroutine and must not retain the RoundStats slice
 	// internals across calls.
 	Observer func(ampc.RoundStats)
+	// RetainStore keeps the run's final frozen store alive after the
+	// runtime shuts down, exposed on the result (ConnectivityResult.Store,
+	// MSFResult.Store, ListRankingResult.Store) for warm point queries
+	// through the typed query surfaces (ConnectivityQuery, MSFQuery,
+	// ListRankQuery). Algorithms that support retention run one extra
+	// serve-publish round so the retained store holds exactly the
+	// per-element labels under one known tag; the caller owns the store's
+	// Close. Supported on the mem and file backends; the rpc backend's
+	// reads die with the run's connection pools, so RetainStore with
+	// BackendRPC is rejected by validation.
+	RetainStore bool
 }
 
 // Store backend names accepted by Options.Backend.
@@ -174,6 +185,10 @@ func (o Options) validate() error {
 	case BackendRPC:
 		if len(o.Servers) == 0 {
 			return fmt.Errorf("%w: Backend %q requires at least one entry in Servers", ErrInvalidOptions, BackendRPC)
+		}
+		if o.RetainStore {
+			return fmt.Errorf("%w: RetainStore is not supported with Backend %q (a retained store must outlive the run's connection pools)",
+				ErrInvalidOptions, BackendRPC)
 		}
 		if o.Replication > len(o.Servers) {
 			return fmt.Errorf("%w: Replication %d exceeds the %d configured servers",
@@ -253,16 +268,17 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 		pub = rp
 	}
 	rt := ampc.New(ampc.Config{
-		P:             p,
-		S:             s,
-		BudgetFactor:  bf,
-		Workers:       o.Workers,
-		Seed:          o.Seed,
-		FaultProb:     o.FaultProb,
-		Backend:       pub,
-		Unpinned:      o.Unpinned,
-		NoWorkerCache: o.NoWorkerCache,
-		Observer:      o.Observer,
+		P:                p,
+		S:                s,
+		BudgetFactor:     bf,
+		Workers:          o.Workers,
+		Seed:             o.Seed,
+		FaultProb:        o.FaultProb,
+		Backend:          pub,
+		Unpinned:         o.Unpinned,
+		NoWorkerCache:    o.NoWorkerCache,
+		Observer:         o.Observer,
+		RetainFinalStore: o.RetainStore,
 	})
 	if ctx != nil {
 		rt.SetContext(ctx)

@@ -22,6 +22,10 @@ type ListRankingResult struct {
 	// Rank[v] is the number of elements preceding v in its list (the head
 	// of each list has rank 0).
 	Rank []int
+	// Store is the retained final store holding the ranks under the
+	// serving tag, populated only when Options.RetainStore was set; query
+	// it through NewListRankQuery. The caller owns its Close.
+	Store dds.StoreBackend
 	// Telemetry is the measured cost.
 	Telemetry Telemetry
 }
@@ -248,7 +252,16 @@ func ListRanking(ctx context.Context, next []int, opts Options) (ListRankingResu
 		}
 		ranks[v] = int(d.A)
 	}
-	return ListRankingResult{Rank: ranks, Telemetry: telemetryFrom(rt, coarsest)}, nil
+	res := ListRankingResult{Rank: ranks}
+	if opts.RetainStore {
+		store, err := retainServeStore(rt, ranks)
+		if err != nil {
+			return ListRankingResult{}, err
+		}
+		res.Store = store
+	}
+	res.Telemetry = telemetryFrom(rt, coarsest)
+	return res, nil
 }
 
 // listWalk walks forward from sample s along level-r pointers until the

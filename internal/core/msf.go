@@ -16,6 +16,13 @@ type MSFResult struct {
 	// Edges is the minimum spanning forest as original edges, sorted by
 	// weight. Distinct weights make it unique.
 	Edges []graph.WeightedEdge
+	// Components labels each vertex with the canonical minimum id of its
+	// forest component, populated only when Options.RetainStore was set.
+	Components []int
+	// Store is the retained final store holding the component labels under
+	// the serving tag, populated only when Options.RetainStore was set;
+	// query it through NewMSFQuery. The caller owns its Close.
+	Store dds.StoreBackend
 	// Telemetry is the measured cost.
 	Telemetry Telemetry
 }
@@ -159,7 +166,17 @@ func MSF(ctx context.Context, g *graph.WeightedGraph, opts Options) (MSFResult, 
 		edges = append(edges, e)
 	}
 	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight < edges[j].Weight })
-	return MSFResult{Edges: edges, Telemetry: telemetryFrom(rt, phases)}, nil
+	res := MSFResult{Edges: edges}
+	if opts.RetainStore {
+		res.Components = forestComponents(n, edges)
+		store, err := retainServeStore(rt, res.Components)
+		if err != nil {
+			return MSFResult{}, err
+		}
+		res.Store = store
+	}
+	res.Telemetry = telemetryFrom(rt, phases)
+	return res, nil
 }
 
 // SpanningForest computes an arbitrary spanning forest by running MSF over

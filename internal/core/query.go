@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// tagServe is the DDS tag of the serving labels: when Options.RetainStore is
+// set, the supporting algorithms end their run with one extra serve-publish
+// round writing (tagServe, v) -> label for every element, so the retained
+// final store holds exactly the queryable output under one tag known to the
+// query surfaces — no per-algorithm tag knowledge leaks out of this file.
+const tagServe = graph.TagAlgoBase + 50
+
+// ServeKey returns the retained-store key of element v's serving label.
+func ServeKey(v int) dds.Key { return dds.Key{Tag: tagServe, A: int64(v)} }
+
+// publishServeLabels runs the serve-publish round: the labels are
+// block-partitioned across machines and written through the same budget-safe
+// bulk path every data-publication round uses, so the extra round obeys the
+// model like any other.
+func publishServeLabels(rt *ampc.Runtime, labels []int) error {
+	pairs := make([]dds.KV, len(labels))
+	for v, l := range labels {
+		pairs[v] = dds.KV{Key: ServeKey(v), Value: dds.Value{A: int64(l)}}
+	}
+	return rt.Round("serve-publish", func(ctx *ampc.Ctx) error {
+		lo, hi := ampc.BlockRange(ctx.Machine, len(pairs), ctx.P)
+		ctx.WriteMany(pairs[lo:hi])
+		return ctx.Err()
+	})
+}
+
+// retainServeStore publishes the serving labels, shuts the runtime down, and
+// returns the detached final store. The runtime's deferred Close becomes a
+// no-op; the caller owns the returned store's Close.
+func retainServeStore(rt *ampc.Runtime, labels []int) (dds.StoreBackend, error) {
+	if err := publishServeLabels(rt, labels); err != nil {
+		return nil, err
+	}
+	if err := rt.Close(); err != nil {
+		return nil, err
+	}
+	store := rt.FinalStore()
+	if store == nil {
+		return nil, fmt.Errorf("core: runtime did not retain the final store")
+	}
+	return store, nil
+}
+
+// LabelStore is a warm point-query surface over a retained serving store:
+// one store probe per lookup (~tens of nanoseconds on the mem backend), safe
+// for concurrent use because the store is immutable. It underlies the typed
+// per-algorithm query types below.
+type LabelStore struct {
+	n     int
+	store dds.StoreBackend
+}
+
+// NewLabelStore wraps a retained serving store holding labels for elements
+// [0, n).
+func NewLabelStore(store dds.StoreBackend, n int) (*LabelStore, error) {
+	if store == nil {
+		return nil, fmt.Errorf("core: no retained store (run with Options.RetainStore)")
+	}
+	return &LabelStore{n: n, store: store}, nil
+}
+
+// Len returns the number of elements the store holds labels for.
+func (q *LabelStore) Len() int { return q.n }
+
+// Lookup returns element v's label; ok is false when v is out of range.
+func (q *LabelStore) Lookup(v int) (label int, ok bool) {
+	if v < 0 || v >= q.n {
+		return 0, false
+	}
+	val, ok := q.store.Get(ServeKey(v))
+	if !ok {
+		return 0, false
+	}
+	return int(val.A), true
+}
+
+// Close releases the retained store.
+func (q *LabelStore) Close() error { return q.store.Close() }
+
+// ConnectivityQuery answers warm point queries against a retained
+// connectivity run: per-vertex component labels and same-component tests.
+type ConnectivityQuery struct{ ls *LabelStore }
+
+// NewConnectivityQuery wraps a ConnectivityResult produced with
+// Options.RetainStore. The query takes ownership of res.Store.
+func NewConnectivityQuery(res ConnectivityResult) (*ConnectivityQuery, error) {
+	ls, err := NewLabelStore(res.Store, len(res.Components))
+	if err != nil {
+		return nil, err
+	}
+	return &ConnectivityQuery{ls: ls}, nil
+}
+
+// Label returns v's component label.
+func (q *ConnectivityQuery) Label(v int) (int, bool) { return q.ls.Lookup(v) }
+
+// SameComponent reports whether u and v share a component; ok is false when
+// either vertex is out of range.
+func (q *ConnectivityQuery) SameComponent(u, v int) (same, ok bool) {
+	lu, ok1 := q.ls.Lookup(u)
+	lv, ok2 := q.ls.Lookup(v)
+	return lu == lv, ok1 && ok2
+}
+
+// Len returns the vertex count.
+func (q *ConnectivityQuery) Len() int { return q.ls.Len() }
+
+// Close releases the retained store.
+func (q *ConnectivityQuery) Close() error { return q.ls.Close() }
+
+// MSFQuery answers warm point queries against a retained MSF run: forest
+// component membership per vertex.
+type MSFQuery struct{ ls *LabelStore }
+
+// NewMSFQuery wraps an MSFResult produced with Options.RetainStore. The
+// query takes ownership of res.Store.
+func NewMSFQuery(res MSFResult) (*MSFQuery, error) {
+	ls, err := NewLabelStore(res.Store, len(res.Components))
+	if err != nil {
+		return nil, err
+	}
+	return &MSFQuery{ls: ls}, nil
+}
+
+// Component returns the canonical id of the forest component containing v.
+func (q *MSFQuery) Component(v int) (int, bool) { return q.ls.Lookup(v) }
+
+// SameComponent reports whether u and v lie in the same forest component.
+func (q *MSFQuery) SameComponent(u, v int) (same, ok bool) {
+	lu, ok1 := q.ls.Lookup(u)
+	lv, ok2 := q.ls.Lookup(v)
+	return lu == lv, ok1 && ok2
+}
+
+// Len returns the vertex count.
+func (q *MSFQuery) Len() int { return q.ls.Len() }
+
+// Close releases the retained store.
+func (q *MSFQuery) Close() error { return q.ls.Close() }
+
+// ListRankQuery answers warm point queries against a retained list-ranking
+// run: per-element ranks.
+type ListRankQuery struct{ ls *LabelStore }
+
+// NewListRankQuery wraps a ListRankingResult produced with
+// Options.RetainStore. The query takes ownership of res.Store.
+func NewListRankQuery(res ListRankingResult) (*ListRankQuery, error) {
+	ls, err := NewLabelStore(res.Store, len(res.Rank))
+	if err != nil {
+		return nil, err
+	}
+	return &ListRankQuery{ls: ls}, nil
+}
+
+// Rank returns element v's rank within its list.
+func (q *ListRankQuery) Rank(v int) (int, bool) { return q.ls.Lookup(v) }
+
+// Len returns the element count.
+func (q *ListRankQuery) Len() int { return q.ls.Len() }
+
+// Close releases the retained store.
+func (q *ListRankQuery) Close() error { return q.ls.Close() }
+
+// forestComponents derives the connectivity labeling a forest induces:
+// canonical minimum vertex id per component, matching the convention of the
+// other labelings.
+func forestComponents(n int, edges []graph.WeightedEdge) []int {
+	dsu := graph.NewDSU(n)
+	for _, e := range edges {
+		dsu.Union(e.U, e.V)
+	}
+	min := make(map[int]int)
+	for v := 0; v < n; v++ {
+		r := dsu.Find(v)
+		if cur, ok := min[r]; !ok || v < cur {
+			min[r] = v
+		}
+	}
+	labels := make([]int, n)
+	for v := 0; v < n; v++ {
+		labels[v] = min[dsu.Find(v)]
+	}
+	return labels
+}

@@ -41,7 +41,21 @@ type Config struct {
 	// up; the first pass skips marked-down servers, later ones force a probe
 	// so a recovered server is found. Default 2.
 	Passes int
+
+	// now reads the health clock as a monotonic duration. Down marks must
+	// not involve the wall clock: an NTP step or VM clock jump would pin a
+	// healthy server down for the size of the jump, or erase a cooldown
+	// entirely. Defaulted by withDefaults to the process-monotonic clock;
+	// tests inject their own to simulate clock behavior.
+	now func() time.Duration
 }
+
+// monoBase anchors the default health clock: time.Since keeps Go's
+// monotonic reading, so the derived durations are immune to wall-clock
+// steps.
+var monoBase = time.Now()
+
+func monoSince() time.Duration { return time.Since(monoBase) }
 
 func (cfg Config) withDefaults() Config {
 	if cfg.Replication <= 0 {
@@ -67,6 +81,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Passes <= 0 {
 		cfg.Passes = 2
+	}
+	if cfg.now == nil {
+		cfg.now = monoSince
 	}
 	return cfg
 }
@@ -100,9 +117,10 @@ type conn struct {
 func (cn *conn) close() { cn.nc.Close() }
 
 // server is the client-side state for one shard server: its connection pool
-// and health mark. downUntil holds the unix-nano deadline before which the
-// server is skipped (0 = healthy); it turns a dead server into one fast
-// failure per cooldown instead of a timeout per request.
+// and health mark. downUntil holds the monotonic cfg.now() deadline before
+// which the server is skipped (0 = healthy); it turns a dead server into one
+// fast failure per cooldown instead of a timeout per request. downs counts
+// mark-downs over the server's lifetime, for tests and diagnostics.
 type server struct {
 	addr      string
 	cfg       *Config
@@ -110,14 +128,16 @@ type server struct {
 	idle      []*conn
 	closed    bool
 	downUntil atomic.Int64
+	downs     atomic.Int64
 }
 
 func (s *server) down() bool {
-	return time.Now().UnixNano() < s.downUntil.Load()
+	return s.cfg.now() < time.Duration(s.downUntil.Load())
 }
 
 func (s *server) markDown() {
-	s.downUntil.Store(time.Now().Add(s.cfg.DownCooldown).UnixNano())
+	s.downs.Add(1)
+	s.downUntil.Store(int64(s.cfg.now() + s.cfg.DownCooldown))
 }
 
 func (s *server) markUp() {
@@ -125,20 +145,29 @@ func (s *server) markUp() {
 }
 
 // get pops an idle connection or dials a fresh one (handshake buffered, sent
-// with the first frame).
-func (s *server) get() (*conn, error) {
+// with the first frame). pooled reports which: a transport failure on a
+// pooled connection may just mean the server restarted since the connection
+// went idle, while a failure on a fresh dial is evidence against the
+// server's health.
+func (s *server) get() (cn *conn, pooled bool, err error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("rpc: client closed")
+		return nil, false, fmt.Errorf("rpc: client closed")
 	}
 	if n := len(s.idle); n > 0 {
 		cn := s.idle[n-1]
 		s.idle = s.idle[:n-1]
 		s.mu.Unlock()
-		return cn, nil
+		return cn, true, nil
 	}
 	s.mu.Unlock()
+	cn, err = s.dial()
+	return cn, false, err
+}
+
+// dial opens a fresh connection with the handshake buffered.
+func (s *server) dial() (*conn, error) {
 	nc, err := net.DialTimeout("tcp", s.addr, s.cfg.Timeout)
 	if err != nil {
 		return nil, err
@@ -152,6 +181,20 @@ func (s *server) get() (*conn, error) {
 		return nil, err
 	}
 	return cn, nil
+}
+
+// discardIdle drops every pooled idle connection. Called when a pooled
+// connection turns out dead: its poolmates went idle no later than it did,
+// so they are stale for the same reason (typically a server restart) and
+// reusing them would just repeat the failure.
+func (s *server) discardIdle() {
+	s.mu.Lock()
+	idle := s.idle
+	s.idle = nil
+	s.mu.Unlock()
+	for _, cn := range idle {
+		cn.close()
+	}
 }
 
 // put returns a healthy connection to the pool.
@@ -178,22 +221,50 @@ func (s *server) closePool() {
 
 // roundTrip sends one request and decodes its response while the connection
 // is held (the payload aliases the connection's scratch buffer). force=false
-// fails fast on a marked-down server; force=true probes it anyway. Transport
-// failures close the connection and mark the server down; protocol-level
-// failures (statusErr, statusNoStore) do neither.
+// fails fast on a marked-down server; force=true probes it anyway.
+//
+// Transport failures close the connection; whether they also mark the server
+// down depends on where the connection came from. A pooled connection that
+// dies on its first frame usually means the server restarted while the
+// connection sat idle — the server may be perfectly healthy — so the stale
+// pool is discarded and the request retried once on a fresh dial before any
+// failure counts against health. Failures on fresh connections (the dial
+// itself, or the retry) mark the server down. Protocol-level failures
+// (statusErr, statusNoStore) never do.
 func (s *server) roundTrip(op byte, req []byte, force bool, decode func(resp []byte) error) error {
 	if !force && s.down() {
 		return fmt.Errorf("rpc: server %s marked down: %w", s.addr, dds.ErrBackendUnavailable)
 	}
-	cn, err := s.get()
+	cn, pooled, err := s.get()
 	if err != nil {
 		s.markDown()
 		return err
 	}
-	fail := func(err error) error {
-		cn.close()
+	err, transport := s.exchange(cn, op, req, decode)
+	if transport && pooled {
+		s.discardIdle()
+		if cn, err = s.dial(); err != nil {
+			s.markDown()
+			return err
+		}
+		err, transport = s.exchange(cn, op, req, decode)
+	}
+	if transport {
 		s.markDown()
-		return err
+	}
+	return err
+}
+
+// exchange runs one frame exchange on cn and decodes the response. It
+// returns transport=true when the failure was at the transport layer — the
+// connection is then already closed and the caller decides what the failure
+// says about the server's health. On success (transport=false) the server is
+// marked up, the connection is pooled, and err carries any protocol-level
+// outcome.
+func (s *server) exchange(cn *conn, op byte, req []byte, decode func(resp []byte) error) (err error, transport bool) {
+	fail := func(err error) (error, bool) {
+		cn.close()
+		return err, true
 	}
 	if err := cn.nc.SetDeadline(time.Now().Add(s.cfg.Timeout)); err != nil {
 		return fail(err)
@@ -220,7 +291,7 @@ func (s *server) roundTrip(op byte, req []byte, force bool, decode func(resp []b
 	}
 	cn.nc.SetDeadline(time.Time{})
 	s.put(cn)
-	return err
+	return err, false
 }
 
 // client routes requests for one run across the server fleet.

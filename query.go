@@ -1,0 +1,82 @@
+package ampc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotQueryable is reported by Engine.Query when a Result cannot serve
+// warm point queries: the algorithm registered no query hook, or the run
+// did not retain its final store (Options.RetainStore unset).
+var ErrNotQueryable = errors.New("ampc: result is not queryable")
+
+// QueryHandler serves warm point queries against one finished job's
+// retained store. Implementations are safe for concurrent use — the
+// retained store is immutable — and hold the store open until Close.
+type QueryHandler interface {
+	// Kinds lists the query kinds the handler answers, primary first:
+	// "label" for connectivity, "component" for msf, "rank" for listrank.
+	Kinds() []string
+	// Len returns the number of elements the handler holds values for.
+	Len() int
+	// Lookup answers one point query: the integer value recorded for key
+	// under kind. ok is false when key is out of [0, Len()); an unknown
+	// kind returns an error.
+	Lookup(kind string, key int) (value int, ok bool, err error)
+	// Close releases the retained store. The handler must not be used
+	// after Close.
+	Close() error
+}
+
+// labelHandler adapts one label-lookup function to the QueryHandler
+// surface; every current query surface is a single int->int labeling, so
+// one adapter covers all three registered hooks.
+type labelHandler struct {
+	kinds   []string
+	n       int
+	lookup  func(int) (int, bool)
+	closeFn func() error
+}
+
+func (h *labelHandler) Kinds() []string { return h.kinds }
+func (h *labelHandler) Len() int        { return h.n }
+func (h *labelHandler) Close() error    { return h.closeFn() }
+
+func (h *labelHandler) Lookup(kind string, key int) (int, bool, error) {
+	for _, k := range h.kinds {
+		if k == kind {
+			v, ok := h.lookup(key)
+			return v, ok, nil
+		}
+	}
+	return 0, false, fmt.Errorf("unknown query kind %q (supported: %v)", kind, h.kinds)
+}
+
+// newLabelHandler builds the QueryHandler over a typed query surface's
+// lookup and close functions.
+func newLabelHandler(kinds []string, n int, lookup func(int) (int, bool), close func() error) QueryHandler {
+	return &labelHandler{kinds: kinds, n: n, lookup: lookup, closeFn: close}
+}
+
+// Query builds the warm point-query surface for a finished job's Result.
+// It requires the job to have run with Options.RetainStore and the
+// algorithm to have registered a query hook; otherwise it reports
+// ErrNotQueryable. The returned handler owns the retained store — exactly
+// one handler may be built per Result, and its Close releases the store.
+func (e *Engine) Query(res *Result) (QueryHandler, error) {
+	spec, ok := Lookup(res.Algo)
+	if !ok {
+		return nil, unknownAlgorithmError(res.Algo)
+	}
+	if spec.Query == nil {
+		return nil, fmt.Errorf("%w: %q registered no query hook", ErrNotQueryable, res.Algo)
+	}
+	h, err := spec.Query(res)
+	if err != nil {
+		return nil, fmt.Errorf("ampc: query %q: %w", res.Algo, err)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("%w: %q ran without Options.RetainStore", ErrNotQueryable, res.Algo)
+	}
+	return h, nil
+}

@@ -60,6 +60,12 @@ type AlgorithmSpec struct {
 	// error describing the mismatch if verification fails. Nil means the
 	// algorithm has no oracle; Engine.Run then reports CheckSkipped.
 	Check func(job Job, res *Result) error
+	// Query, when non-nil, builds the warm point-query surface over a
+	// finished run's retained store (Options.RetainStore) without
+	// re-decoding the payload. It returns (nil, nil) when the run did not
+	// retain its store; Engine.Query turns that into ErrNotQueryable. The
+	// returned handler takes ownership of the retained store.
+	Query func(res *Result) (QueryHandler, error)
 }
 
 var (
