@@ -78,18 +78,25 @@ var (
 	// Cycle, TwoCycles, TwoCycleInstance, Path, Star, Clique, Grid,
 	// RandomTree, RandomForest, Caterpillar, GNM, ConnectedGNM,
 	// WithRandomWeights, Union and Relabel generate synthetic workloads.
-	Cycle             = graph.Cycle
-	TwoCycles         = graph.TwoCycles
-	TwoCycleInstance  = graph.TwoCycleInstance
-	Path              = graph.Path
-	Star              = graph.Star
-	Clique            = graph.Clique
-	Grid              = graph.Grid
-	RandomTree        = graph.RandomTree
-	RandomForest      = graph.RandomForest
-	Caterpillar       = graph.Caterpillar
-	GNM               = graph.GNM
-	ConnectedGNM      = graph.ConnectedGNM
+	Cycle            = graph.Cycle
+	TwoCycles        = graph.TwoCycles
+	TwoCycleInstance = graph.TwoCycleInstance
+	Path             = graph.Path
+	Star             = graph.Star
+	Clique           = graph.Clique
+	Grid             = graph.Grid
+	RandomTree       = graph.RandomTree
+	RandomForest     = graph.RandomForest
+	Caterpillar      = graph.Caterpillar
+	GNM              = graph.GNM
+	ConnectedGNM     = graph.ConnectedGNM
+	// ChungLu, PowerLaw and SkewedDegree generate heavy-tailed and
+	// hub-concentrated workloads; HubCount is the hub-set size the "skew"
+	// workload kind derives from n.
+	ChungLu           = graph.ChungLu
+	PowerLaw          = graph.PowerLaw
+	SkewedDegree      = graph.SkewedDegree
+	HubCount          = graph.HubCount
 	WithRandomWeights = graph.WithRandomWeights
 	Union             = graph.Union
 	Relabel           = graph.Relabel

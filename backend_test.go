@@ -78,14 +78,12 @@ func rpcServers(t *testing.T) []string {
 			}
 			return
 		}
-		for i := 0; i < 3; i++ {
-			s, err := rpc.NewServer(rpc.ServerConfig{Addr: "127.0.0.1:0"})
-			if err != nil {
-				rpcFleet.err = err
-				return
-			}
-			rpcFleet.addrs = append(rpcFleet.addrs, s.Addr())
+		f, err := rpc.StartFleet(make([]rpc.ServerConfig, 3))
+		if err != nil {
+			rpcFleet.err = err
+			return
 		}
+		rpcFleet.addrs = f.Addrs()
 	})
 	if rpcFleet.err != nil {
 		t.Fatalf("loopback shardd fleet: %v", rpcFleet.err)
@@ -225,24 +223,19 @@ func TestRPCKillReplica(t *testing.T) {
 	job := ampc.Job{Algo: "connectivity", Graph: g, Check: true}
 	base, basePairs := runBackend(t, job, ampc.Options{Seed: 11, Backend: ampc.BackendMem, Workers: 1})
 
-	fleet := make([]*rpc.Server, 3)
-	addrs := make([]string, 3)
-	for i := range fleet {
-		s, err := rpc.NewServer(rpc.ServerConfig{Addr: "127.0.0.1:0"})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer s.Close()
-		fleet[i] = s
-		addrs[i] = s.Addr()
+	fleet, err := rpc.StartFleet(make([]rpc.ServerConfig, 3))
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer fleet.Close()
+	addrs := fleet.Addrs()
 	var killOnce sync.Once
 	rounds := 0
 	eng := ampc.NewEngine(ampc.EngineOptions{
 		Observer: func(ev ampc.RoundEvent) {
 			rounds++
 			if rounds == 2 {
-				killOnce.Do(func() { fleet[1].Close() })
+				killOnce.Do(func() { fleet.Kill(1) })
 			}
 		},
 	})

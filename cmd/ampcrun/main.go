@@ -14,8 +14,10 @@
 //	ampcrun -algo listrank -n 100000
 //	ampcrun -list
 //
-// Graphs: gnm, cgnm (connected), cycle (one cycle), cycle2 (two cycles),
-// grid (sqrt(n) x sqrt(n)), path, star, tree, forest, clique.
+// Graphs: gnm, cgnm (connected), powerlaw (Chung-Lu, gamma 2.5), skew
+// (edges concentrated on a 1% hub set — dup-heavy keys), cycle (one
+// cycle), cycle2 (two cycles), grid (sqrt(n) x sqrt(n)), path, star, tree,
+// forest, clique.
 //
 // -stream prints every round's statistics as it completes; -bench emits
 // one machine-readable JSON line per run for perf trajectories — including
@@ -48,7 +50,7 @@ func main() {
 	var (
 		algo     = flag.String("algo", "connectivity", "algorithm name from the registry (see -list)")
 		list     = flag.Bool("list", false, "list registered algorithms and exit")
-		gkind    = flag.String("graph", "gnm", "workload: gnm|cgnm|cycle|cycle2|grid|path|star|tree|forest|clique")
+		gkind    = flag.String("graph", "gnm", "workload: gnm|cgnm|powerlaw|skew|cycle|cycle2|grid|path|star|tree|forest|clique")
 		input    = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
 		n        = flag.Int("n", 10000, "vertex count")
 		m        = flag.Int("m", 0, "edge count (default 4n for gnm/cgnm)")
@@ -284,6 +286,10 @@ func makeGraph(kind string, n, m, trees int, r *ampc.RNG) *ampc.Graph {
 		return ampc.GNM(n, m, r)
 	case "cgnm":
 		return ampc.ConnectedGNM(n, m, r)
+	case "powerlaw":
+		return ampc.PowerLaw(n, m, r)
+	case "skew":
+		return ampc.SkewedDegree(n, m, ampc.HubCount(n), r)
 	case "cycle":
 		return ampc.TwoCycleInstance(n, true, r)
 	case "cycle2":

@@ -36,6 +36,23 @@
 //
 // When $GITHUB_STEP_SUMMARY is set (or -summary names a file), the gate
 // also appends a per-workload markdown delta table for the CI job summary.
+//
+// # Scenario mode
+//
+// -scenario <name> (or -scenarios name,name / -scenarios all) switches the
+// binary into the chaos orchestrator (scenario.go, orchestrator.go): each
+// named scenario launches a shard fleet — in-process loopback servers, or
+// real shardd processes with -scenario-fleet proc — runs declared
+// workloads through the Engine with chaos actions (kill, restart, pause,
+// resume) injected between rounds, and verifies every cell against the
+// mem-backend oracle: byte-identical labels, or a clean typed
+// backend-unavailable failure for blackout scenarios. Cells emit the same
+// bench JSON lines with scenario/chaos_actions/workers/outcome fields, so
+// a committed trajectory holding scenario lines gates degraded-mode wall
+// time on later runs. In scenario mode -baseline is optional.
+//
+//	benchgate -scenario restart -scenario-fleet proc
+//	benchgate -scenarios all -scenario-scale 0.25 -out scenario-records.json
 package main
 
 import (
@@ -51,6 +68,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -87,6 +105,16 @@ type benchLine struct {
 	FreezeBuildMS     float64 `json:"freeze_build_ms,omitempty"`
 	PublishMS         float64 `json:"publish_ms"`
 	Check             string  `json:"check"`
+
+	// Scenario cells (emitted by the chaos orchestrator) carry four extra
+	// fields: which named scenario produced the line, the chaos actions
+	// that actually fired, the worker-pool size of the cell, and the
+	// verified outcome ("ok", "unavailable", or "fail: ..."). Healthy
+	// perf-gate lines omit all four, so old trajectories parse unchanged.
+	Workers      int      `json:"workers,omitempty"`
+	Scenario     string   `json:"scenario,omitempty"`
+	ChaosActions []string `json:"chaos_actions,omitempty"`
+	Outcome      string   `json:"outcome,omitempty"`
 }
 
 // gobenchRecord is a committed go-test micro-benchmark measurement:
@@ -153,8 +181,31 @@ func main() {
 		serving    = flag.Bool("serving", true, "also re-run and gate the baseline's serving records via `ampcd -selfcheck`")
 		svFactor   = flag.Float64("serving-factor", 2.0, "fail when the serving p50 exceeds factor*baseline+floor")
 		svFloorUS  = flag.Float64("serving-floor-us", 200, "absolute slack in µs added to every serving bound (shared-runner jitter)")
+
+		scenarioName  = flag.String("scenario", "", "run one named chaos scenario instead of the perf gate (baseline, degraded, partition, restart, straggler, blackout, highload)")
+		scenarioList  = flag.String("scenarios", "", `comma-separated scenario names, or "all", to run several`)
+		scenarioScale = flag.Float64("scenario-scale", 1.0, "multiply scenario workload sizes (CI runs the grid at 0.25)")
+		scenarioFleet = flag.String("scenario-fleet", "inproc", "shard fleet for scenarios: inproc (loopback servers in this process), proc (real shardd processes: SIGKILL/SIGSTOP chaos), or auto (proc on unix)")
+		scenarioTO    = flag.Duration("scenario-timeout", 2*time.Minute, "per-cell wall clock limit; hitting it fails the cell (hangs are bugs, not degraded modes)")
+		scFactor      = flag.Float64("scenario-factor", 2.0, "fail when a scenario cell's wall time exceeds factor*baseline+floor (chaos timings are noisy)")
+		scFloorMS     = flag.Float64("scenario-floor-ms", 500, "absolute slack in ms added to every scenario wall-time bound")
 	)
 	flag.Parse()
+	if *scenarioName != "" || *scenarioList != "" {
+		list := *scenarioList
+		if *scenarioName != "" {
+			if list != "" {
+				list = *scenarioName + "," + list
+			} else {
+				list = *scenarioName
+			}
+		}
+		os.Exit(scenarioMain(scenarioGateConfig{
+			list: list, scale: *scenarioScale, fleetMode: *scenarioFleet, root: *gbPkgRoot,
+			timeout: *scenarioTO, baseline: *baseline, factor: *scFactor, floorMS: *scFloorMS,
+			out: *out, summary: *summary,
+		}))
+	}
 	if *baseline == "" {
 		log.Fatal("benchgate: -baseline is required")
 	}
@@ -178,17 +229,13 @@ func main() {
 
 	rpcOpts := rpcOptions{servers: splitAddrs(*rpcServers), replication: *rpcReplic}
 	if strings.Contains(*backends, "rpc") && len(rpcOpts.servers) == 0 {
-		fleet, addrs, err := spawnLoopbackFleet(3)
+		fleet, err := rpc.StartFleet(make([]rpc.ServerConfig, 3))
 		if err != nil {
 			log.Fatalf("benchgate: loopback shardd fleet: %v", err)
 		}
-		defer func() {
-			for _, s := range fleet {
-				s.Close()
-			}
-		}()
-		rpcOpts.servers = addrs
-		fmt.Printf("rpc backend: spawned %d loopback shardd servers (%s)\n", len(addrs), strings.Join(addrs, ", "))
+		defer fleet.Close()
+		rpcOpts.servers = fleet.Addrs()
+		fmt.Printf("rpc backend: spawned %d loopback shardd servers (%s)\n", len(rpcOpts.servers), strings.Join(rpcOpts.servers, ", "))
 	}
 
 	failed := 0
@@ -201,7 +248,7 @@ func main() {
 			}
 			// The mem line defines the workload; the gate bound comes from
 			// the baseline line recorded for this backend, when one exists.
-			base, gates := byBackend[backendKey{mem.Algo, mem.Workload, mem.N, backend}]
+			base, gates := byBackend[backendKey{mem.Algo, mem.Workload, mem.N, backend, "", 0}]
 			if !gates {
 				base = mem
 			}
@@ -541,12 +588,16 @@ func baseBackend(l benchLine) string {
 	return l.Backend
 }
 
-// backendKey identifies one baseline line: a workload measured on a backend.
+// backendKey identifies one baseline line: a workload measured on a
+// backend, within a scenario cell when the line came from the chaos
+// orchestrator (healthy perf-gate lines have scenario "" and workers 0).
 type backendKey struct {
 	algo     string
 	workload string
 	n        int
 	backend  string
+	scenario string
+	workers  int
 }
 
 // readBaseline extracts the gateable records from a trajectory file: the
@@ -607,10 +658,20 @@ func readBaseline(path string) ([]benchLine, map[backendKey]benchLine, []gobench
 		if l.Algo == "" {
 			continue
 		}
+		if l.Scenario != "" {
+			// Scenario cells never define perf-gate workloads; they only
+			// supply wall-time bounds for matching scenario cells, and only
+			// when the recorded run reached its expected outcome — a failed
+			// cell in an old trajectory must not become a bound.
+			if l.Outcome == "ok" || l.Outcome == "unavailable" {
+				byBackend[backendKey{l.Algo, l.Workload, l.N, baseBackend(l), l.Scenario, l.Workers}] = l
+			}
+			continue
+		}
 		if baseBackend(l) == "mem" {
 			memLines = append(memLines, l)
 		}
-		byBackend[backendKey{l.Algo, l.Workload, l.N, baseBackend(l)}] = l
+		byBackend[backendKey{l.Algo, l.Workload, l.N, baseBackend(l), "", l.Workers}] = l
 	}
 	return memLines, byBackend, gobench, servings, sc.Err()
 }
@@ -630,27 +691,6 @@ func splitAddrs(s string) []string {
 		}
 	}
 	return addrs
-}
-
-// spawnLoopbackFleet starts n in-process shard servers on loopback ports,
-// so the rpc backend measures without external processes. In-process, but
-// not in-memory: every read still crosses a real TCP socket and pays full
-// serialization cost.
-func spawnLoopbackFleet(n int) ([]*rpc.Server, []string, error) {
-	fleet := make([]*rpc.Server, 0, n)
-	addrs := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		s, err := rpc.NewServer(rpc.ServerConfig{Addr: "127.0.0.1:0"})
-		if err != nil {
-			for _, prev := range fleet {
-				prev.Close()
-			}
-			return nil, nil, err
-		}
-		fleet = append(fleet, s)
-		addrs = append(addrs, s.Addr())
-	}
-	return fleet, addrs, nil
 }
 
 // measure runs the baseline line's workload on the given backend reps times
@@ -743,6 +783,10 @@ func makeGraph(kind string, n, m int, r *ampc.RNG) (*ampc.Graph, error) {
 		return ampc.GNM(n, m, r), nil
 	case "cgnm":
 		return ampc.ConnectedGNM(n, m, r), nil
+	case "powerlaw":
+		return ampc.PowerLaw(n, m, r), nil
+	case "skew":
+		return ampc.SkewedDegree(n, m, ampc.HubCount(n), r), nil
 	case "cycle":
 		return ampc.TwoCycleInstance(n, true, r), nil
 	case "cycle2":
@@ -758,4 +802,165 @@ func makeGraph(kind string, n, m int, r *ampc.RNG) (*ampc.Graph, error) {
 	default:
 		return nil, fmt.Errorf("%w: %q", errUnknownWorkload, kind)
 	}
+}
+
+// scenarioGateConfig carries the -scenario* flag values into scenarioMain.
+type scenarioGateConfig struct {
+	list      string
+	scale     float64
+	fleetMode string
+	root      string
+	timeout   time.Duration
+	baseline  string
+	factor    float64
+	floorMS   float64
+	out       string
+	summary   string
+}
+
+// scenarioRow is one scenario cell in the markdown summary.
+type scenarioRow struct {
+	base    benchLine
+	got     benchLine
+	gated   bool
+	verdict string
+}
+
+// scenarioMain runs the chaos-scenario grid and returns the process exit
+// code: 0 when every cell reached its expected outcome and stayed inside
+// its wall-time bound, 1 otherwise. Unlike the perf gate, -baseline is
+// optional here — without one every cell still verifies correctness
+// against the mem oracle but reports wall time without gating it.
+func scenarioMain(cfg scenarioGateConfig) int {
+	scenarios, err := resolveScenarios(cfg.list, cfg.scale)
+	if err != nil {
+		log.Printf("benchgate: %v", err)
+		return 1
+	}
+	var byBackend map[backendKey]benchLine
+	if cfg.baseline != "" {
+		_, byBackend, _, _, err = readBaseline(cfg.baseline)
+		if err != nil {
+			log.Printf("benchgate: %v", err)
+			return 1
+		}
+	}
+	var outF *os.File
+	if cfg.out != "" {
+		outF, err = os.OpenFile(cfg.out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Printf("benchgate: %v", err)
+			return 1
+		}
+		defer outF.Close()
+	}
+	fleetMode := cfg.fleetMode
+	if fleetMode == "auto" {
+		fleetMode = "proc"
+		if runtime.GOOS == "windows" {
+			fleetMode = "inproc"
+		}
+	}
+	if fleetMode != "proc" && fleetMode != "inproc" {
+		log.Printf("benchgate: unknown -scenario-fleet %q (inproc, proc or auto)", cfg.fleetMode)
+		return 1
+	}
+
+	runner := newScenarioRunner(fleetMode, cfg.root, cfg.timeout)
+	defer runner.close()
+	failed := 0
+	var rows []scenarioRow
+	for _, sc := range scenarios {
+		fmt.Printf("scenario %-10s fleet=%s servers=%d R=%d  %s\n",
+			sc.Name, fleetMode, sc.Servers, sc.Replication, sc.Description)
+		cells, err := runner.run(sc)
+		if err != nil {
+			log.Printf("benchgate: scenario %s: %v", sc.Name, err)
+			return 1
+		}
+		for _, cell := range cells {
+			l := cell.line
+			base, gates := byBackend[backendKey{l.Algo, l.Workload, l.N, "rpc", l.Scenario, l.Workers}]
+			verdict := "report-only"
+			switch {
+			case cell.failed:
+				verdict = "FAIL " + l.Outcome
+				failed++
+			case gates:
+				bound := scenarioWallBound(base, cfg.factor, cfg.floorMS)
+				if l.WallMS > bound {
+					verdict = fmt.Sprintf("FAIL wall %.1fms > %.1fms", l.WallMS, bound)
+					failed++
+				} else {
+					verdict = "ok"
+				}
+			}
+			fmt.Printf("  %-14s %-9s n=%-7d workers=%-2d rounds=%-3d wall %8.1fms  chaos=[%s]  %s  %s\n",
+				l.Algo, l.Workload, l.N, l.Workers, l.Rounds, l.WallMS,
+				strings.Join(l.ChaosActions, " "), l.Outcome, verdict)
+			rows = append(rows, scenarioRow{base: base, got: l, gated: gates, verdict: verdict})
+			if outF != nil {
+				enc, err := json.Marshal(l)
+				if err != nil {
+					log.Printf("benchgate: %v", err)
+					return 1
+				}
+				if _, err := outF.Write(append(enc, '\n')); err != nil {
+					log.Printf("benchgate: %v", err)
+					return 1
+				}
+			}
+		}
+	}
+	if cfg.summary != "" {
+		if err := writeScenarioSummary(cfg.summary, rows); err != nil {
+			log.Printf("benchgate: step summary: %v", err)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d scenario cell(s) failed\n", failed)
+		return 1
+	}
+	fmt.Println("benchgate: all scenario cells reached their expected outcome")
+	return 0
+}
+
+// writeScenarioSummary appends the scenario delta table, grouped by
+// scenario name, in GitHub-flavored markdown. Cells with a committed
+// baseline show the wall-time delta against it; the rest are report-only,
+// which is how future BENCH_PR*.json baselines start gating degraded-mode
+// latency: commit a trajectory with scenario lines and matching cells gate
+// automatically.
+func writeScenarioSummary(path string, rows []scenarioRow) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "### benchgate scenarios\n\n")
+	fmt.Fprintf(f, "| scenario | algo | workload | n | workers | rounds | chaos | wall base (ms) | wall now (ms) | Δ | outcome | verdict |\n")
+	fmt.Fprintf(f, "|---|---|---|--:|--:|--:|---|--:|--:|--:|---|---|\n")
+	lastScenario := ""
+	for _, r := range rows {
+		name := r.got.Scenario
+		if name == lastScenario {
+			name = "" // group rows: print the scenario name once per block
+		} else {
+			lastScenario = name
+		}
+		baseWall, delta := "–", "–"
+		if r.gated && r.base.WallMS > 0 {
+			baseWall = fmt.Sprintf("%.1f", r.base.WallMS)
+			delta = fmt.Sprintf("%+.0f%%", (r.got.WallMS/r.base.WallMS-1)*100)
+		}
+		chaos := strings.Join(r.got.ChaosActions, "<br>")
+		if chaos == "" {
+			chaos = "–"
+		}
+		fmt.Fprintf(f, "| %s | %s | %s | %d | %d | %d | %s | %s | %.1f | %s | %s | %s |\n",
+			name, r.got.Algo, r.got.Workload, r.got.N, r.got.Workers, r.got.Rounds,
+			chaos, baseWall, r.got.WallMS, delta, r.got.Outcome, r.verdict)
+	}
+	fmt.Fprintln(f)
+	return nil
 }

@@ -40,7 +40,7 @@ func main() {
 		maxRuns = flag.Int("max-runs", 0, "distinct runs kept before evicting the coldest (0 = default 64)")
 		latency = flag.Duration("fault-latency", 0, "inject this delay before every response (fault testing)")
 		drop    = flag.Float64("fault-drop", 0, "probability in [0,1] of dropping a request's connection (fault testing)")
-		seed    = flag.Int64("fault-seed", 0, "seed for the -fault-drop decision stream (0 = 1)")
+		seed    = flag.Int64("fault-seed", 0, "seed for the -fault-drop decision stream; 0 selects the fixed default 1 (never derived from time), negative is an error")
 		ping    = flag.String("ping", "", "probe a running shardd at this address and exit (0 = reachable)")
 		pingTO  = flag.Duration("ping-timeout", 2*time.Second, "per-attempt timeout for -ping")
 		quiet   = flag.Bool("quiet", false, "suppress per-event log lines")
@@ -56,6 +56,9 @@ func main() {
 	}
 	if *drop < 0 || *drop > 1 {
 		log.Fatalf("shardd: -fault-drop %v outside [0, 1]", *drop)
+	}
+	if *seed < 0 {
+		log.Fatalf("shardd: -fault-seed %d is negative; pass a seed >= 1, or 0 for the fixed default 1", *seed)
 	}
 
 	logf := log.Printf

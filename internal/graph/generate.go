@@ -285,6 +285,72 @@ func ChungLu(n, m int, gamma float64, r *rng.RNG) *Graph {
 	return MustGraph(n, edges)
 }
 
+// PowerLaw returns a ChungLu sample at gamma 2.5, the long-tailed degree
+// profile of social and web graphs — the workload axis the scenario
+// harness sweeps next to gnm/cgnm. The fixed gamma keeps the workload
+// regenerable from (kind, n, m, seed) alone, which the bench trajectory
+// format requires.
+func PowerLaw(n, m int, r *rng.RNG) *Graph {
+	return ChungLu(n, m, 2.5, r)
+}
+
+// HubCount returns the hub-set size the "skew" workload kind uses for n
+// vertices: 1% of the graph, at least one vertex. Fixed here so every
+// consumer (ampcrun, benchgate, scenarios) regenerates identical graphs
+// from (kind, n, m, seed).
+func HubCount(n int) int {
+	if h := n / 100; h > 1 {
+		return h
+	}
+	return 1
+}
+
+// SkewedDegree returns a random simple graph whose edges concentrate on a
+// small hub set: each edge picks one endpoint uniformly among the first
+// hubs vertices and the other uniformly among all n. A hub's adjacency key
+// holds ~m/hubs values — the dup-heavy key distribution — and since a
+// key's values live on one shard, the store's shard load is maximally
+// skewed: the adversarial distribution the highload scenario drives.
+func SkewedDegree(n, m, hubs int, r *rng.RNG) *Graph {
+	if hubs <= 0 || hubs > n {
+		panic(fmt.Sprintf("graph: SkewedDegree needs 1 <= hubs <= n, got hubs=%d n=%d", hubs, n))
+	}
+	maxM := hubs*(n-hubs) + hubs*(hubs-1)/2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: SkewedDegree m=%d exceeds max %d for n=%d hubs=%d", m, maxM, n, hubs))
+	}
+	seen := make(map[Edge]bool, m)
+	edges := make([]Edge, 0, m)
+	attempts := 0
+	for len(edges) < m {
+		if attempts++; attempts > 200*m+1000 {
+			// Degenerate parameters (m near the hub-incident maximum): fill
+			// deterministically so the generator always terminates.
+			for u := 0; u < hubs && len(edges) < m; u++ {
+				for v := u + 1; v < n && len(edges) < m; v++ {
+					e := Edge{u, v}
+					if !seen[e] {
+						seen[e] = true
+						edges = append(edges, e)
+					}
+				}
+			}
+			break
+		}
+		u, v := r.Intn(hubs), r.Intn(n)
+		if u == v {
+			continue
+		}
+		e := Edge{u, v}.Canon()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return MustGraph(n, edges)
+}
+
 // Bipartite returns a random bipartite graph with sides of size a and b and
 // m distinct edges.
 func Bipartite(a, b, m int, r *rng.RNG) *Graph {

@@ -74,6 +74,95 @@ func TestChungLuPanics(t *testing.T) {
 	}
 }
 
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(500, 2000, rng.New(42, 3))
+	b := PowerLaw(500, 2000, rng.New(42, 3))
+	if a.N() != 500 || a.M() != 2000 {
+		t.Fatalf("N=%d M=%d", a.N(), a.M())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs across identical seeds: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestHubCount(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {50, 1}, {100, 1}, {199, 1}, {200, 2}, {10000, 100},
+	} {
+		if got := HubCount(tc.n); got != tc.want {
+			t.Errorf("HubCount(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestSkewedDegreeShape(t *testing.T) {
+	r := rng.New(300, 0)
+	n, m, hubs := 2000, 8000, HubCount(2000)
+	g := SkewedDegree(n, m, hubs, r)
+	if g.N() != n || g.M() != m {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	// Every edge touches the hub set, so hubs hold >= half of all endpoints.
+	hubEnds := 0
+	for v := 0; v < hubs; v++ {
+		hubEnds += g.Deg(v)
+	}
+	if hubEnds < m {
+		t.Fatalf("hub set holds %d of %d endpoints: edges escaped the hub set", hubEnds, 2*m)
+	}
+	for _, e := range g.Edges() {
+		if e.U >= hubs && e.V >= hubs {
+			t.Fatalf("edge %v touches no hub", e)
+		}
+	}
+}
+
+func TestSkewedDegreeProperties(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%80 + 5
+		r := rng.New(seed, 4)
+		hubs := HubCount(n)
+		maxM := hubs*(n-hubs) + hubs*(hubs-1)/2
+		m := r.Intn(maxM + 1)
+		g := SkewedDegree(n, m, hubs, r)
+		return g.N() == n && g.M() == m
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedDegreeDegenerateFallback(t *testing.T) {
+	// m at the hub-incident maximum forces the rejection loop into the
+	// deterministic fill.
+	n, hubs := 12, 3
+	m := hubs*(n-hubs) + hubs*(hubs-1)/2
+	g := SkewedDegree(n, m, hubs, rng.New(301, 0))
+	if g.M() != m {
+		t.Fatalf("M = %d, want %d", g.M(), m)
+	}
+}
+
+func TestSkewedDegreePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"hubs-zero": func() { SkewedDegree(10, 5, 0, rng.New(1, 1)) },
+		"hubs-big":  func() { SkewedDegree(10, 5, 11, rng.New(1, 1)) },
+		"too-m":     func() { SkewedDegree(10, 1000, 1, rng.New(1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestBipartiteIsBipartite(t *testing.T) {
 	check := func(seed uint64, aRaw, bRaw uint8) bool {
 		a := int(aRaw)%30 + 1

@@ -131,24 +131,25 @@ func TestShardAssignment(t *testing.T) {
 	}
 }
 
-// startFleet launches n loopback servers and returns them with their
-// addresses. Servers are closed by the test cleanup unless killed first.
+// startFleet launches n loopback servers through the shared Fleet helper
+// and returns them with their addresses. The fleet is closed by the test
+// cleanup; individual servers may be killed first.
 func startFleet(t *testing.T, n int, cfg ServerConfig) ([]*Server, []string) {
 	t.Helper()
-	fleet := make([]*Server, n)
-	addrs := make([]string, n)
-	for i := range fleet {
-		c := cfg
-		c.Addr = "127.0.0.1:0"
-		s, err := NewServer(c)
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { s.Close() })
-		fleet[i] = s
-		addrs[i] = s.Addr()
+	cfgs := make([]ServerConfig, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
 	}
-	return fleet, addrs
+	f, err := StartFleet(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	fleet := make([]*Server, n)
+	for i := range fleet {
+		fleet[i] = f.Server(i)
+	}
+	return fleet, f.Addrs()
 }
 
 // checkBackend sweeps every read surface of b against the oracle.

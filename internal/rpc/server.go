@@ -77,7 +77,15 @@ type Server struct {
 	faultMu sync.Mutex
 	faultR  *rand.Rand
 
+	// paused, while non-nil, holds a channel every request handler blocks
+	// on before answering — the in-process analogue of SIGSTOPping a shardd
+	// process (connections stay open, requests go unanswered until Resume
+	// closes the channel or Close shuts the server down).
+	pauseMu sync.Mutex
+	paused  atomic.Pointer[chan struct{}]
+
 	closed atomic.Bool
+	done   chan struct{}
 	wg     sync.WaitGroup
 }
 
@@ -104,6 +112,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		runs:   make(map[uint64]*runState),
 		conns:  make(map[net.Conn]struct{}),
 		faultR: rand.New(rand.NewSource(seed)),
+		done:   make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -114,10 +123,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
 // Close stops accepting, severs open connections and waits for handlers.
+// Paused handlers are released so Close never deadlocks on a straggler.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(s.done)
 	err := s.lis.Close()
 	s.connMu.Lock()
 	for c := range s.conns {
@@ -126,6 +137,44 @@ func (s *Server) Close() error {
 	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// Pause makes the server hold every subsequent request unanswered while
+// keeping its connections open — the in-process equivalent of sending a
+// shardd process SIGSTOP. Clients see timeouts, mark the server down and
+// fail over to replicas; the held requests complete after Resume. Pausing
+// an already-paused server is a no-op.
+func (s *Server) Pause() {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	if s.paused.Load() == nil {
+		ch := make(chan struct{})
+		s.paused.Store(&ch)
+	}
+}
+
+// Resume releases a paused server's held requests. Resuming a running
+// server is a no-op.
+func (s *Server) Resume() {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	if p := s.paused.Load(); p != nil {
+		close(*p)
+		s.paused.Store(nil)
+	}
+}
+
+// pauseGate blocks while the server is paused; it returns false when the
+// server shut down instead of resuming.
+func (s *Server) pauseGate() bool {
+	if p := s.paused.Load(); p != nil {
+		select {
+		case <-*p:
+		case <-s.done:
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -188,6 +237,9 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 		reqBuf = buf
+		if !s.pauseGate() {
+			return
+		}
 		if s.cfg.FaultLatency > 0 {
 			time.Sleep(s.cfg.FaultLatency)
 		}
