@@ -188,11 +188,18 @@ func init() {
 	})
 
 	Register(AlgorithmSpec{
-		Name:        "connectivity",
-		Description: "connected components in O(log log n + 1/ε) phases w.h.p. (§6)",
-		Input:       InputGraph,
+		Name:          "connectivity",
+		Description:   "connected components in O(log log n + 1/ε) phases w.h.p. (§6)",
+		Input:         InputGraph,
+		AcceptsStream: true,
 		Run: func(ctx context.Context, job Job, opts Options) (*Result, error) {
-			res, err := core.Connectivity(ctx, job.Graph, opts)
+			var res core.ConnectivityResult
+			var err error
+			if job.Stream != nil {
+				res, err = core.ConnectivityStream(ctx, job.Stream, opts)
+			} else {
+				res, err = core.Connectivity(ctx, job.Graph, opts)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -204,6 +211,14 @@ func init() {
 			}, nil
 		},
 		Check: func(job Job, res *Result) error {
+			if job.Stream != nil {
+				// Streamed inputs may be too large to materialize: verify
+				// against a sequential union-find replay of the stream.
+				if !core.ConnectivityStreamCheck(job.Stream, res.Labels) {
+					return fmt.Errorf("components differ from the union-find replay of the stream")
+				}
+				return nil
+			}
 			if !graph.SameLabeling(res.Labels, graph.Components(job.Graph)) {
 				return fmt.Errorf("components differ from the BFS oracle")
 			}

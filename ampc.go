@@ -61,6 +61,10 @@ type Edge = graph.Edge
 // WeightedEdge is an undirected weighted edge.
 type WeightedEdge = graph.WeightedEdge
 
+// EdgeStream is a replayable streamed edge producer, the out-of-core input
+// form for algorithms that accept Job.Stream.
+type EdgeStream = graph.EdgeStream
+
 // RNG is the deterministic random stream used by generators.
 type RNG = rng.RNG
 
@@ -100,6 +104,11 @@ var (
 	WithRandomWeights = graph.WithRandomWeights
 	Union             = graph.Union
 	Relabel           = graph.Relabel
+	// StreamGNM streams a uniform multigraph without materializing it (the
+	// "mgnm" workload kind); StreamOf adapts a materialized graph to the
+	// stream interface.
+	StreamGNM = graph.StreamGNM
+	StreamOf  = graph.StreamOf
 )
 
 // Edge-list text serialization ("n <count>" line, then "u v [w]" lines).

@@ -281,20 +281,33 @@ func TestFileBackendStoreDir(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	runs, err := os.ReadDir(dir)
+	// Lock files (.lock, .ampc-dir.lock) are publisher infrastructure —
+	// liveness markers for the stale-run sweep — not stores; skip anything
+	// dot-prefixed when counting.
+	visible := func(entries []os.DirEntry) []string {
+		var names []string
+		for _, e := range entries {
+			if !strings.HasPrefix(e.Name(), ".") {
+				names = append(names, e.Name())
+			}
+		}
+		return names
+	}
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	runs := visible(entries)
 	if len(runs) != 2 {
-		t.Fatalf("store dir holds %d run directories after 2 runs, want 2", len(runs))
+		t.Fatalf("store dir holds %d run directories after 2 runs, want 2: %v", len(runs), runs)
 	}
 	for _, run := range runs {
-		stores, err := os.ReadDir(filepath.Join(dir, run.Name()))
+		entries, err := os.ReadDir(filepath.Join(dir, run))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(stores) != 1 {
-			t.Fatalf("run dir %s holds %d store directories, want exactly the final one", run.Name(), len(stores))
+		if stores := visible(entries); len(stores) != 1 {
+			t.Fatalf("run dir %s holds %d store files, want exactly the final one: %v", run, len(stores), stores)
 		}
 	}
 }

@@ -17,7 +17,10 @@
 // Graphs: gnm, cgnm (connected), powerlaw (Chung-Lu, gamma 2.5), skew
 // (edges concentrated on a 1% hub set — dup-heavy keys), cycle (one
 // cycle), cycle2 (two cycles), grid (sqrt(n) x sqrt(n)), path, star, tree,
-// forest, clique.
+// forest, clique, and mgnm — a streamed uniform multigraph that is never
+// materialized as an edge list, the out-of-core ingest workload
+// (connectivity only; combine with -backend file -residency drop to bound
+// resident memory at one store generation).
 //
 // -stream prints every round's statistics as it completes; -bench emits
 // one machine-readable JSON line per run for perf trajectories — including
@@ -44,13 +47,14 @@ import (
 	"time"
 
 	"ampc"
+	"ampc/internal/sysmem"
 )
 
 func main() {
 	var (
 		algo     = flag.String("algo", "connectivity", "algorithm name from the registry (see -list)")
 		list     = flag.Bool("list", false, "list registered algorithms and exit")
-		gkind    = flag.String("graph", "gnm", "workload: gnm|cgnm|powerlaw|skew|cycle|cycle2|grid|path|star|tree|forest|clique")
+		gkind    = flag.String("graph", "gnm", "workload: gnm|cgnm|powerlaw|skew|cycle|cycle2|grid|path|star|tree|forest|clique|mgnm (streamed, connectivity only)")
 		input    = flag.String("input", "", "read the graph from an edge-list file instead of generating one")
 		n        = flag.Int("n", 10000, "vertex count")
 		m        = flag.Int("m", 0, "edge count (default 4n for gnm/cgnm)")
@@ -62,6 +66,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "OS worker goroutines per round (0 = GOMAXPROCS); outputs are identical for any value")
 		backend  = flag.String("backend", "mem", "store backend: mem (in-process), file (write-behind segment files) or rpc (shardd servers); outputs are identical")
 		storeDir = flag.String("store-dir", "", "directory for -backend=file segment files (default: a temp dir removed after the run)")
+		resid    = flag.String("residency", "", "file-backend memory policy for retired stores: retain (default) or drop (serve the previous round from mmap, freeing its memory)")
 		servers  = flag.String("servers", "", "comma-separated shardd addresses for -backend=rpc, e.g. 127.0.0.1:7701,127.0.0.1:7702")
 		replicas = flag.Int("replication", 1, "copies of each shard across the -servers fleet (rpc backend)")
 		rpcTO    = flag.Duration("rpc-timeout", 0, "per-request timeout against shardd servers (0 = default 2s)")
@@ -99,7 +104,7 @@ func main() {
 	eng := ampc.NewEngine(ampc.EngineOptions{
 		Defaults: ampc.Options{
 			Epsilon: *eps, Seed: *seed, FaultProb: *fault, Workers: *workers,
-			Backend: *backend, StoreDir: *storeDir,
+			Backend: *backend, StoreDir: *storeDir, Residency: *resid,
 			Servers: splitServers(*servers), Replication: *replicas, RPCTimeout: *rpcTO,
 			RPCDownCooldown: *rpcCool, Unpinned: *unpinned, NoWorkerCache: *noCache,
 		},
@@ -124,6 +129,12 @@ func main() {
 		job.Next = next
 		workload, wn, wm = "list", *n, 0
 	case ampc.InputGraph:
+		if *gkind == "mgnm" && *input == "" {
+			es := ampc.StreamGNM(*n, *m, *seed)
+			job.Stream = es
+			workload, wn, wm = *gkind, es.N(), es.M()
+			break
+		}
 		g := loadOrMakeGraph(*input, gkind, *n, *m, *trees, r)
 		job.Graph = g
 		workload, wn, wm = *gkind, g.N(), g.M()
@@ -212,6 +223,7 @@ type benchLine struct {
 	FreezeMergeMS     float64 `json:"freeze_merge_ms"`
 	FreezeBuildMS     float64 `json:"freeze_build_ms"`
 	PublishMS         float64 `json:"publish_ms"`
+	RSSPeakMB         float64 `json:"rss_peak_mb"`
 	Check             string  `json:"check"`
 }
 
@@ -241,6 +253,7 @@ func printBenchLine(res *ampc.Result, backend, workload string, n, m int, eps fl
 		FreezeMergeMS:     float64(t.FreezeMergeTime.Microseconds()) / 1000,
 		FreezeBuildMS:     float64(t.FreezeBuildTime.Microseconds()) / 1000,
 		PublishMS:         float64(t.PublishTime.Microseconds()) / 1000,
+		RSSPeakMB:         math.Round(sysmem.PeakRSSMB()*10) / 10,
 		Check:             check.String(),
 	}
 	out, err := json.Marshal(line)

@@ -16,6 +16,7 @@
 //	benchgate -baseline BENCH_PR4.json -out BENCH_PR5.json -backends mem,file
 //	benchgate -baseline BENCH_PR6.json -backends mem,file,rpc
 //	benchgate -baseline BENCH_PR5.json -gobench=false    # workload lines only
+//	benchgate -baseline BENCH_PR10.json -outofcore       # streamed-ingest RSS/publish gate
 //
 // Every measured backend gates against the baseline line recorded for the
 // same (algorithm, backend) pair, so a file-path regression fails CI just
@@ -76,6 +77,7 @@ import (
 
 	"ampc"
 	"ampc/internal/rpc"
+	"ampc/internal/sysmem"
 )
 
 // benchLine mirrors the JSON schema of ampcrun -bench lines. Meta records
@@ -104,7 +106,15 @@ type benchLine struct {
 	FreezeMergeMS     float64 `json:"freeze_merge_ms,omitempty"`
 	FreezeBuildMS     float64 `json:"freeze_build_ms,omitempty"`
 	PublishMS         float64 `json:"publish_ms"`
+	RSSPeakMB         float64 `json:"rss_peak_mb,omitempty"`
 	Check             string  `json:"check"`
+
+	// Out-of-core records ({"record":"outofcore", ...}) carry the marker
+	// and the residency mode they ran under; the normal workload gate skips
+	// them (they can be far too large to replay per-backend) and the
+	// -outofcore mode gates them through ampcrun subprocesses instead.
+	Record    string `json:"record,omitempty"`
+	Residency string `json:"residency,omitempty"`
 
 	// Scenario cells (emitted by the chaos orchestrator) carry four extra
 	// fields: which named scenario produced the line, the chaos actions
@@ -182,6 +192,13 @@ func main() {
 		svFactor   = flag.Float64("serving-factor", 2.0, "fail when the serving p50 exceeds factor*baseline+floor")
 		svFloorUS  = flag.Float64("serving-floor-us", 200, "absolute slack in µs added to every serving bound (shared-runner jitter)")
 
+		outofcore    = flag.Bool("outofcore", false, "run the out-of-core gate instead of the perf gate: replay the baseline's outofcore records (streamed mgnm ingest) through ampcrun subprocesses and gate rss_peak_mb and publish_ms")
+		oocMaxM      = flag.Int("outofcore-max-m", 20_000_000, "replay only outofcore records with m at or below this; larger lines are committed evidence and report-only")
+		oocRSSFactor = flag.Float64("outofcore-rss-factor", 1.5, "fail when an out-of-core run's rss_peak_mb exceeds factor*baseline+floor")
+		oocRSSFloor  = flag.Float64("outofcore-rss-floor-mb", 256, "absolute slack in MiB added to every out-of-core RSS bound")
+		oocPubFactor = flag.Float64("outofcore-pub-factor", 2.0, "fail when an out-of-core run's publish_ms exceeds factor*baseline+floor (multi-second disk- and GC-bound phases under a memory ceiling are noisy; rss is the tight bound)")
+		oocPubFloor  = flag.Float64("outofcore-pub-floor-ms", 500, "absolute slack in ms added to every out-of-core publish bound")
+
 		scenarioName  = flag.String("scenario", "", "run one named chaos scenario instead of the perf gate (baseline, degraded, partition, restart, straggler, blackout, highload)")
 		scenarioList  = flag.String("scenarios", "", `comma-separated scenario names, or "all", to run several`)
 		scenarioScale = flag.Float64("scenario-scale", 1.0, "multiply scenario workload sizes (CI runs the grid at 0.25)")
@@ -208,6 +225,14 @@ func main() {
 	}
 	if *baseline == "" {
 		log.Fatal("benchgate: -baseline is required")
+	}
+	if *outofcore {
+		os.Exit(outOfCoreMain(outOfCoreConfig{
+			baseline: *baseline, root: *gbPkgRoot, reps: *reps, maxM: *oocMaxM,
+			pubFactor: *oocPubFactor, pubFloorMS: *oocPubFloor,
+			rssFactor: *oocRSSFactor, rssFloorMB: *oocRSSFloor,
+			out: *out, summary: *summary,
+		}))
 	}
 
 	memLines, byBackend, gobenchBase, servingBase, err := readBaseline(*baseline)
@@ -715,6 +740,10 @@ func measure(base benchLine, backend string, reps int, rpcOpts rpcOptions) (benc
 		}
 		job.Next = next
 	case ampc.InputGraph:
+		if base.Workload == "mgnm" {
+			job.Stream = ampc.StreamGNM(base.N, base.M, base.Seed)
+			break
+		}
 		g, err := makeGraph(base.Workload, base.N, base.M, r)
 		if err != nil {
 			return benchLine{}, err
@@ -763,6 +792,9 @@ func measure(base benchLine, backend string, reps int, rpcOpts rpcOptions) (benc
 		got.MaxShardLoad, got.P, got.S = t.MaxShardLoad, t.P, t.S
 		got.CacheHits, got.RPCFrames = t.CacheHits, t.RPCFrames
 	}
+	// Process-wide high-water mark: monotone across a gate run, so the
+	// value attributes growth to the first workload that caused it.
+	got.RSSPeakMB = math.Round(sysmem.PeakRSSMB()*10) / 10
 	got.Check = ampc.CheckSkipped.String()
 	if spec.Check != nil {
 		if err := spec.Check(job, last); err != nil {

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// outOfCoreConfig carries the -outofcore* flag values into outOfCoreMain.
+type outOfCoreConfig struct {
+	baseline   string
+	root       string
+	reps       int
+	maxM       int
+	pubFactor  float64
+	pubFloorMS float64
+	rssFactor  float64
+	rssFloorMB float64
+	out        string
+	summary    string
+}
+
+// outOfCoreRow is one out-of-core comparison for the summary table.
+type outOfCoreRow struct {
+	base, got benchLine
+	gated     bool
+	verdict   string
+}
+
+// outOfCoreMain is the -outofcore gate: it replays every baseline record
+// marked {"record":"outofcore"} — streamed mgnm connectivity under the file
+// backend with drop residency — and fails when rss_peak_mb or publish_ms
+// regresses beyond its bound. RSS is the tight bound (1.5x + 256MB);
+// publish gets 2x + 500ms because multi-second disk- and GC-bound phases
+// under a memory ceiling swing with scheduler and collector timing. Each measurement is a fresh ampcrun
+// subprocess, so the kernel's VmHWM is that run's own high-water mark, not
+// this gate's; a GOMEMLIMIT in the environment is inherited, which is how
+// CI additionally bounds the heap outright. Records above -outofcore-max-m
+// (the committed 1e8-edge evidence lines) are reported without re-running.
+func outOfCoreMain(cfg outOfCoreConfig) int {
+	recs, err := readOutOfCore(cfg.baseline)
+	if err != nil {
+		log.Printf("benchgate: %v", err)
+		return 1
+	}
+	if len(recs) == 0 {
+		log.Printf("benchgate: %s holds no outofcore records", cfg.baseline)
+		return 1
+	}
+	var outF *os.File
+	if cfg.out != "" {
+		outF, err = os.OpenFile(cfg.out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Printf("benchgate: %v", err)
+			return 1
+		}
+		defer outF.Close()
+	}
+	failed := 0
+	var rows []outOfCoreRow
+	for _, base := range recs {
+		if base.M > cfg.maxM {
+			fmt.Printf("%-14s %-5s n=%-7d m=%-10d rss %8.1fMB publish %8.1fms  report-only (m above -outofcore-max-m)\n",
+				base.Algo, "ooc", base.N, base.M, base.RSSPeakMB, base.PublishMS)
+			rows = append(rows, outOfCoreRow{base: base, got: base, verdict: "report-only"})
+			continue
+		}
+		got, err := measureOutOfCore(base, cfg.root, cfg.reps)
+		if err != nil {
+			log.Printf("benchgate: outofcore %s n=%d m=%d: %v", base.Algo, base.N, base.M, err)
+			return 1
+		}
+		rssBound := cfg.rssFactor*base.RSSPeakMB + cfg.rssFloorMB
+		pubBound := cfg.pubFactor*base.PublishMS + cfg.pubFloorMS
+		verdict := "ok"
+		switch {
+		case base.RSSPeakMB > 0 && got.RSSPeakMB > rssBound:
+			verdict = fmt.Sprintf("FAIL rss %.1fMB > %.1fMB", got.RSSPeakMB, rssBound)
+			failed++
+		case got.PublishMS > pubBound:
+			verdict = fmt.Sprintf("FAIL publish %.1fms > %.1fms", got.PublishMS, pubBound)
+			failed++
+		}
+		fmt.Printf("%-14s %-5s n=%-7d m=%-10d rss %8.1fMB (base %8.1f)  publish %8.1fms (base %8.1f)  %s\n",
+			base.Algo, "ooc", base.N, base.M, got.RSSPeakMB, base.RSSPeakMB, got.PublishMS, base.PublishMS, verdict)
+		rows = append(rows, outOfCoreRow{base: base, got: got, gated: true, verdict: verdict})
+		if outF != nil {
+			enc, err := json.Marshal(got)
+			if err != nil {
+				log.Printf("benchgate: %v", err)
+				return 1
+			}
+			if _, err := outF.Write(append(enc, '\n')); err != nil {
+				log.Printf("benchgate: %v", err)
+				return 1
+			}
+		}
+	}
+	if cfg.summary != "" {
+		if err := writeOutOfCoreSummary(cfg.summary, rows); err != nil {
+			log.Printf("benchgate: step summary: %v", err)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d out-of-core record(s) regressed beyond bounds (rss %.0f%%+%.0fMB, publish %.0f%%+%.0fms)\n",
+			failed, (cfg.rssFactor-1)*100, cfg.rssFloorMB, (cfg.pubFactor-1)*100, cfg.pubFloorMS)
+		return 1
+	}
+	fmt.Println("benchgate: all out-of-core records within bounds")
+	return 0
+}
+
+// measureOutOfCore re-runs one out-of-core record through a fresh ampcrun
+// process reps times, keeping the minimum rss/publish/wall observed. The
+// oracle check (union-find replay of the stream) runs inside ampcrun,
+// outside its timed window, so a passing measurement is also a correctness
+// check of the streamed path.
+func measureOutOfCore(base benchLine, root string, reps int) (benchLine, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	backend := baseBackend(base)
+	residency := base.Residency
+	if residency == "" && backend == "file" {
+		residency = "drop"
+	}
+	got := base
+	got.Backend, got.Residency = backend, residency
+	got.RSSPeakMB = math.Inf(1)
+	got.PublishMS, got.WallMS, got.ExecMS, got.FreezeMS = math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)
+	for rep := 0; rep < reps; rep++ {
+		cmd := exec.Command("go", "run", "./cmd/ampcrun",
+			"-algo", base.Algo, "-graph", base.Workload,
+			"-n", fmt.Sprint(base.N), "-m", fmt.Sprint(base.M),
+			"-eps", fmt.Sprint(base.Epsilon), "-seed", fmt.Sprint(base.Seed),
+			"-backend", backend, "-residency", residency, "-bench")
+		cmd.Dir = root
+		out, err := cmd.Output()
+		if err != nil {
+			var ee *exec.ExitError
+			if errors.As(err, &ee) {
+				return benchLine{}, fmt.Errorf("ampcrun: %v\n%s%s", err, out, ee.Stderr)
+			}
+			return benchLine{}, fmt.Errorf("ampcrun: %v", err)
+		}
+		line := lastJSONLine(string(out))
+		if line == "" {
+			return benchLine{}, fmt.Errorf("ampcrun emitted no JSON line:\n%s", out)
+		}
+		var rec benchLine
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return benchLine{}, fmt.Errorf("parsing ampcrun output %q: %w", line, err)
+		}
+		got.RSSPeakMB = math.Min(got.RSSPeakMB, rec.RSSPeakMB)
+		got.PublishMS = math.Min(got.PublishMS, rec.PublishMS)
+		got.WallMS = math.Min(got.WallMS, rec.WallMS)
+		got.ExecMS = math.Min(got.ExecMS, rec.ExecMS)
+		got.FreezeMS = math.Min(got.FreezeMS, rec.FreezeMS)
+		got.Rounds, got.Phases = rec.Rounds, rec.Phases
+		got.TotalQueries, got.TotalWrites = rec.TotalQueries, rec.TotalWrites
+		got.P, got.S = rec.P, rec.S
+		got.Check = rec.Check
+	}
+	return got, nil
+}
+
+// readOutOfCore extracts the {"record":"outofcore"} lines of a trajectory.
+func readOutOfCore(path string) ([]benchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []benchLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var l benchLine
+		if err := json.Unmarshal([]byte(text), &l); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if l.Record == "outofcore" && l.Algo != "" && l.N > 0 {
+			recs = append(recs, l)
+		}
+	}
+	return recs, sc.Err()
+}
+
+// writeOutOfCoreSummary appends the out-of-core delta table to the job
+// summary file.
+func writeOutOfCoreSummary(path string, rows []outOfCoreRow) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	delta := func(base, got float64) string {
+		if base <= 0 || math.IsInf(got, 1) {
+			return "–"
+		}
+		return fmt.Sprintf("%+.0f%%", (got/base-1)*100)
+	}
+	fmt.Fprintf(f, "### benchgate out-of-core\n\n")
+	fmt.Fprintf(f, "| algo | n | m | rss base (MB) | rss now (MB) | Δ | publish base (ms) | now (ms) | Δ | verdict |\n")
+	fmt.Fprintf(f, "|---|--:|--:|--:|--:|--:|--:|--:|--:|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(f, "| %s | %d | %d | %.1f | %.1f | %s | %.1f | %.1f | %s | %s |\n",
+			r.got.Algo, r.got.N, r.got.M,
+			r.base.RSSPeakMB, r.got.RSSPeakMB, delta(r.base.RSSPeakMB, r.got.RSSPeakMB),
+			r.base.PublishMS, r.got.PublishMS, delta(r.base.PublishMS, r.got.PublishMS),
+			r.verdict)
+	}
+	fmt.Fprintln(f)
+	return nil
+}

@@ -39,6 +39,11 @@ type Job struct {
 	// Next is the linked-list successor vector for InputList algorithms:
 	// Next[v] is v's successor, -1 at a tail.
 	Next []int
+	// Stream is the streamed-edge input for InputGraph algorithms that
+	// declare AcceptsStream (currently connectivity): a replayable edge
+	// producer consumed without ever materializing the edge list, the
+	// out-of-core ingest path. Mutually exclusive with Graph.
+	Stream EdgeStream
 	// Opts, when non-nil, replaces the Engine's default Options for this
 	// job only.
 	Opts *Options
@@ -218,9 +223,16 @@ func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
 // checkInput rejects jobs whose input field does not match the
 // algorithm's declared InputKind.
 func checkInput(spec AlgorithmSpec, job Job) error {
+	if job.Stream != nil && !(spec.Input == InputGraph && spec.AcceptsStream) {
+		return fmt.Errorf("%w: %q does not accept Job.Stream", ErrInvalidJob, spec.Name)
+	}
 	switch spec.Input {
 	case InputGraph:
-		if job.Graph == nil {
+		if spec.AcceptsStream {
+			if (job.Graph == nil) == (job.Stream == nil) {
+				return fmt.Errorf("%w: %q needs exactly one of Job.Graph and Job.Stream", ErrInvalidJob, spec.Name)
+			}
+		} else if job.Graph == nil {
 			return fmt.Errorf("%w: %q needs Job.Graph", ErrInvalidJob, spec.Name)
 		}
 	case InputWeightedGraph:

@@ -273,3 +273,50 @@ func TestPerJobOptionOverride(t *testing.T) {
 		t.Fatalf("override ignored: S = %d", res.Telemetry.S)
 	}
 }
+
+// TestEngineStreamJobs covers the Job.Stream wiring: a streamed connectivity
+// job runs end to end with the oracle on, the streamed and materialized forms
+// of the same graph agree, and the exactly-one-input and accepts-stream rules
+// are enforced at validation time.
+func TestEngineStreamJobs(t *testing.T) {
+	eng := ampc.NewEngine(ampc.EngineOptions{Defaults: ampc.Options{Seed: 4}})
+	ctx := context.Background()
+
+	res, err := eng.Run(ctx, ampc.Job{Algo: "connectivity", Stream: ampc.StreamGNM(1200, 3000, 17), Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check != ampc.CheckPassed {
+		t.Fatalf("streamed run check = %v", res.Check)
+	}
+	if len(res.Labels) != 1200 {
+		t.Fatalf("streamed run produced %d labels, want 1200", len(res.Labels))
+	}
+
+	// Streaming a materialized graph must find the same components as
+	// handing the graph over directly.
+	g := ampc.GNM(600, 1500, ampc.NewRNG(9, 0))
+	direct, err := eng.Run(ctx, ampc.Job{Algo: "connectivity", Graph: g, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := eng.Run(ctx, ampc.Job{Algo: "connectivity", Stream: ampc.StreamOf(g), Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ampc.SameLabeling(direct.Labels, streamed.Labels) {
+		t.Fatal("streamed and direct inputs disagree on components")
+	}
+
+	es := ampc.StreamGNM(10, 5, 1)
+	if _, err := eng.Run(ctx, ampc.Job{Algo: "connectivity", Graph: g, Stream: es}); !errors.Is(err, ampc.ErrInvalidJob) {
+		t.Errorf("graph and stream together: err = %v", err)
+	} else if !strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("both-inputs error does not explain the rule: %v", err)
+	}
+	if _, err := eng.Run(ctx, ampc.Job{Algo: "mis", Stream: es}); !errors.Is(err, ampc.ErrInvalidJob) {
+		t.Errorf("stream to non-streaming algo: err = %v", err)
+	} else if !strings.Contains(err.Error(), "does not accept Job.Stream") {
+		t.Errorf("accepts-stream error does not name the rule: %v", err)
+	}
+}

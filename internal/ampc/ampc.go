@@ -478,6 +478,21 @@ func (r *Runtime) SetInput(pairs []dds.KV) {
 	r.publish(dds.NewStoreArena(pairs, r.cfg.Shards, r.nextSalt, r.arena))
 }
 
+// SetInputStream installs D0 from a streaming producer instead of a
+// materialized pair slice: fill receives the primed builder's writer
+// accessor and emits records machine by machine, so no O(input) []dds.KV
+// ever exists — the writers pre-hash and route each record as it arrives
+// and the freeze below assembles shards from those buffers directly.
+// Fetch each machine's writer exactly once: like Round-time machines, a
+// refetch models a restarted machine and discards the earlier writes.
+// Like SetInput this does not count as a round, and with a file backend a
+// publish failure surfaces from the next Round.
+func (r *Runtime) SetInputStream(fill func(writer func(machine int) *dds.Writer)) {
+	r.builder.Prime(r.cfg.Shards, r.nextSalt)
+	fill(r.builder.Writer)
+	r.publish(r.builder.FreezeArena(r.arena, r.cfg.Shards, r.nextSalt))
+}
+
 // Store returns the current store D_{i-1} (the output of the last round).
 // Callers must treat it as read-only; driver-side reads through this method
 // model the master machine and are not counted against any budget. The

@@ -9,6 +9,7 @@ import (
 	"ampc/internal/ampc"
 	"ampc/internal/dds"
 	"ampc/internal/graph"
+	"ampc/internal/rng"
 )
 
 // DDS tags private to the connectivity and MSF algorithms.
@@ -99,85 +100,9 @@ func Connectivity(ctx context.Context, g *graph.Graph, opts Options) (Connectivi
 		m2[v] = v
 	}
 
-	totalSpace := float64(opts.TotalSpaceFactor * (n + g.M() + 1))
-	dCap := math.Pow(float64(n), opts.Epsilon/2)
-	phases := 0
-	maxPhases := 4*int(math.Log2(float64(n+4))) + 16
-
-	for len(gc.verts) > 0 && gc.edges() > 0 {
-		if err := ctx.Err(); err != nil {
-			return ConnectivityResult{}, err
-		}
-		if phases++; phases > maxPhases {
-			return ConnectivityResult{}, fmt.Errorf("core: connectivity failed to converge after %d phases", maxPhases)
-		}
-
-		// Small remainder: publish and solve on a single machine, the
-		// paper's final step.
-		if 1+len(gc.verts)+2*gc.edges() <= rt.Budget()/2 {
-			if err := solveLocally(rt, gc, phases); err != nil {
-				return ConnectivityResult{}, err
-			}
-			applyLocalLabels(rt, gc, m2)
-			gc = &contracted{adj: map[int][]wedge{}}
-			break
-		}
-
-		nPrime := len(gc.verts)
-		d := int(math.Sqrt(totalSpace / float64(nPrime)))
-		if fd := float64(d); fd > dCap {
-			d = int(dCap)
-		}
-		if d < 2 {
-			d = 2
-		}
-
-		if err := publishContracted(rt, gc, phases); err != nil {
-			return ConnectivityResult{}, err
-		}
-		if err := increaseDegrees(rt, gc, d, driver, phases); err != nil {
-			return ConnectivityResult{}, err
-		}
-
-		// Leader sampling and contraction (MPC bookkeeping, master side).
-		pLead := math.Log(float64(nPrime) + 3)
-		pLead /= float64(d)
-		if pLead > 0.5 {
-			pLead = 0.5
-		}
-		leader := make(map[int]bool, nPrime)
-		for _, v := range gc.verts {
-			if driver.Bernoulli(pLead) {
-				leader[v] = true
-			}
-		}
-
-		target := make(map[int]int, nPrime)
-		for _, v := range gc.verts {
-			fv, whole := readFound(rt, v)
-			switch {
-			case leader[v]:
-				target[v] = v
-			case whole:
-				// Entire component explored: collapse it to its minimum id.
-				min := v
-				for _, x := range fv {
-					if x < min {
-						min = x
-					}
-				}
-				target[v] = min
-			default:
-				target[v] = v
-				for _, x := range fv {
-					if leader[x] {
-						target[v] = x
-						break
-					}
-				}
-			}
-		}
-		gc = contractInto(gc, target, m2, nil)
+	phases, err := connectivityPhases(ctx, rt, gc, m2, driver, opts, n, g.M(), 0)
+	if err != nil {
+		return ConnectivityResult{}, err
 	}
 
 	comp := make([]int, n)
@@ -192,6 +117,115 @@ func Connectivity(ctx context.Context, g *graph.Graph, opts Options) (Connectivi
 	}
 	res.Telemetry = telemetryFrom(rt, phases)
 	return res, nil
+}
+
+// connectivityPhases drives the contraction loop of §6 from the given
+// contracted state until the graph is exhausted, mutating m2 in place, and
+// returns the total phase count. Connectivity enters it at phase 0 with the
+// materialized input; ConnectivityStream enters at phase 1, having run the
+// first phase against the streamed ingest without ever materializing Gc.
+func connectivityPhases(ctx context.Context, rt *ampc.Runtime, gc *contracted, m2 []int, driver *rng.RNG, opts Options, n, m, phases int) (int, error) {
+	totalSpace := float64(opts.TotalSpaceFactor * (n + m + 1))
+	dCap := math.Pow(float64(n), opts.Epsilon/2)
+	maxPhases := 4*int(math.Log2(float64(n+4))) + 16
+
+	for len(gc.verts) > 0 && gc.edges() > 0 {
+		if err := ctx.Err(); err != nil {
+			return phases, err
+		}
+		if phases++; phases > maxPhases {
+			return phases, fmt.Errorf("core: connectivity failed to converge after %d phases", maxPhases)
+		}
+
+		// Small remainder: publish and solve on a single machine, the
+		// paper's final step.
+		if 1+len(gc.verts)+2*gc.edges() <= rt.Budget()/2 {
+			if err := solveLocally(rt, gc, phases); err != nil {
+				return phases, err
+			}
+			applyLocalLabels(rt, gc, m2)
+			break
+		}
+
+		nPrime := len(gc.verts)
+		d := connExploreBudget(totalSpace, nPrime, dCap)
+
+		if err := publishContracted(rt, gc, phases); err != nil {
+			return phases, err
+		}
+		if err := increaseDegrees(rt, gc, d, driver, phases); err != nil {
+			return phases, err
+		}
+
+		// Leader sampling and contraction (MPC bookkeeping, master side).
+		leader := sampleLeaders(gc.verts, nPrime, d, driver)
+		target := contractionTargets(rt, gc.verts, leader)
+		gc = contractInto(gc, target, m2, nil)
+	}
+	return phases, nil
+}
+
+// connExploreBudget returns the per-vertex exploration budget d for a phase
+// with n' live vertices: sqrt(T/n') capped at n^{ε/2}, at least 2 —
+// maintaining n'·d² = O(T) as the paper's Lemma 6.1 requires.
+func connExploreBudget(totalSpace float64, nPrime int, dCap float64) int {
+	d := int(math.Sqrt(totalSpace / float64(nPrime)))
+	if fd := float64(d); fd > dCap {
+		d = int(dCap)
+	}
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// sampleLeaders draws each live vertex as a leader with probability
+// ~min(1/2, ln n'/d), the §6 sampling rate.
+func sampleLeaders(verts []int, nPrime, d int, driver rngShuffler) map[int]bool {
+	pLead := math.Log(float64(nPrime) + 3)
+	pLead /= float64(d)
+	if pLead > 0.5 {
+		pLead = 0.5
+	}
+	leader := make(map[int]bool, nPrime)
+	for _, v := range verts {
+		if driver.Bernoulli(pLead) {
+			leader[v] = true
+		}
+	}
+	return leader
+}
+
+// contractionTargets reads back every vertex's explored set and picks its
+// contraction target: itself if a leader, the minimum id of a fully
+// explored component, or the first leader it visited.
+func contractionTargets(rt *ampc.Runtime, verts []int, leader map[int]bool) map[int]int {
+	target := make(map[int]int, len(verts))
+	for _, v := range verts {
+		fv, whole := readFound(rt, v)
+		switch {
+		case leader[v]:
+			target[v] = v
+		case whole:
+			// Entire component explored: collapse it to its minimum id.
+			min := v
+			for _, x := range fv {
+				if x < min {
+					min = x
+				}
+			}
+			target[v] = min
+		default:
+			target[v] = v
+			for _, x := range fv {
+				if leader[x] {
+					target[v] = x
+					break
+				}
+			}
+		}
+	}
+	return target
 }
 
 // publishContracted writes the current contracted graph to the DDS: the

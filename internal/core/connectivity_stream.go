@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"ampc/internal/ampc"
+	"ampc/internal/dds"
+	"ampc/internal/graph"
+)
+
+// ConnectivityStream computes connected components over a streamed edge
+// producer: the out-of-core entry point. The input graph is never
+// materialized as an edge list — ingest streams each edge's two adjacency
+// records straight into the primed store builder, and the first contraction
+// phase replays the stream against the contraction map — so driver memory
+// is O(n + contracted graph), not O(m). From the second phase on the
+// contracted graph fits the materialized loop and the run proceeds exactly
+// as Connectivity. The stream must be replayable (graph.EdgeStream); with
+// the file backend and Options.Residency set to ResidencyDrop, total
+// resident memory for the ingest generation is bounded by one store
+// generation plus the driver state.
+//
+// Duplicate edges are accepted (connectivity is multigraph-insensitive);
+// the budgeted BFS of Algorithm 6 dedups through its visited set.
+func ConnectivityStream(ctx context.Context, es graph.EdgeStream, opts Options) (ConnectivityResult, error) {
+	ctx = orBackground(ctx)
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return ConnectivityResult{}, err
+	}
+	n, m := es.N(), es.M()
+	rt := opts.newRuntime(ctx, n, m)
+	defer rt.Close()
+	driver := opts.driverRNG(5)
+
+	// Pass 1: degrees. O(n) driver state, one stream replay.
+	deg := make([]int32, n)
+	es.Each(func(u, v int) {
+		deg[u]++
+		deg[v]++
+	})
+	verts := make([]int, 0, n)
+	for v, d := range deg {
+		if d > 0 {
+			verts = append(verts, v)
+		}
+	}
+
+	m2 := make([]int, n) // M: original vertex -> current representative
+	for v := range m2 {
+		m2[v] = v
+	}
+
+	var gc *contracted
+	phases := 0
+	switch {
+	case m == 0:
+		// Every vertex is isolated; the phase loop exits immediately.
+		gc = &contracted{adj: map[int][]wedge{}}
+	case 1+len(verts)+2*m <= rt.Budget()/2:
+		// The whole input fits one machine's budget: materialize it as the
+		// contracted form (deduping the multigraph) and let the phase loop
+		// solve it locally, exactly as Connectivity would.
+		gc = materializeStream(es, deg)
+	default:
+		if err := streamIngest(rt, es, deg, verts); err != nil {
+			return ConnectivityResult{}, err
+		}
+		phases = 1
+		totalSpace := float64(opts.TotalSpaceFactor * (n + m + 1))
+		d := connExploreBudget(totalSpace, len(verts), math.Pow(float64(n), opts.Epsilon/2))
+		if err := increaseDegrees(rt, &contracted{verts: verts}, d, driver, phases); err != nil {
+			return ConnectivityResult{}, err
+		}
+		leader := sampleLeaders(verts, len(verts), d, driver)
+		target := contractionTargets(rt, verts, leader)
+		// m2 is still the identity, so one hop applies the contraction.
+		for v := range m2 {
+			if t, ok := target[v]; ok {
+				m2[v] = t
+			}
+		}
+		gc = contractStream(es, target)
+	}
+
+	phases, err := connectivityPhases(ctx, rt, gc, m2, driver, opts, n, m, phases)
+	if err != nil {
+		return ConnectivityResult{}, err
+	}
+
+	comp := make([]int, n)
+	copy(comp, m2)
+	res := ConnectivityResult{Components: comp}
+	if opts.RetainStore {
+		store, err := retainServeStore(rt, comp)
+		if err != nil {
+			return ConnectivityResult{}, err
+		}
+		res.Store = store
+	}
+	res.Telemetry = telemetryFrom(rt, phases)
+	return res, nil
+}
+
+// streamIngest publishes the streamed graph as D0 without materializing any
+// record list: the deg records for all live vertices, then both adjacency
+// records of every streamed edge, are written to the builder in emission
+// order and block-partitioned over the P machines by record ordinal —
+// the same balanced layout publishContracted produces for materialized
+// graphs, so a high-degree vertex cannot overload one writer. The per-edge
+// adjacency index is tracked with O(n) cursors; nothing here is O(m).
+func streamIngest(rt *ampc.Runtime, es graph.EdgeStream, deg []int32, verts []int) error {
+	p := rt.Config().P
+	total := len(verts) + 2*es.M()
+	block := (total + p - 1) / p
+	if block < 1 {
+		block = 1
+	}
+	rt.SetInputStream(func(writer func(machine int) *dds.Writer) {
+		var w *dds.Writer
+		cur := -1
+		ord := 0
+		put := func(k dds.Key, v dds.Value) {
+			mach := ord / block
+			if mach >= p {
+				mach = p - 1
+			}
+			if mach != cur {
+				// Strictly ascending: each machine's writer is fetched
+				// exactly once (a refetch would discard its records).
+				cur = mach
+				w = writer(mach)
+			}
+			w.Write(k, v)
+			ord++
+		}
+		for _, v := range verts {
+			put(dds.Key{Tag: tagConnDeg, A: int64(v)}, dds.Value{A: int64(deg[v])})
+		}
+		cursor := make([]int32, len(deg))
+		es.Each(func(u, v int) {
+			put(dds.Key{Tag: tagConnAdj, A: int64(u), B: int64(cursor[u])}, dds.Value{A: int64(v)})
+			cursor[u]++
+			put(dds.Key{Tag: tagConnAdj, A: int64(v), B: int64(cursor[v])}, dds.Value{A: int64(u)})
+			cursor[v]++
+		})
+	})
+	return nil
+}
+
+// contractStream applies the phase-1 contraction map by replaying the edge
+// stream: each streamed edge maps to a contracted pair, deduped both ways.
+// The result is the same contracted graph contractInto would build from the
+// materialized adjacency (weights are all zero on the plain-connectivity
+// path, adjacency id-sorted), but the memory high-water mark is the deduped
+// contracted graph, never the input.
+func contractStream(es graph.EdgeStream, target map[int]int) *contracted {
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool)
+	next := &contracted{adj: make(map[int][]wedge)}
+	add := func(a, b int) {
+		p := pair{a, b}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		if _, ok := next.adj[a]; !ok {
+			next.verts = append(next.verts, a)
+		}
+		next.adj[a] = append(next.adj[a], wedge{to: b})
+	}
+	es.Each(func(u, v int) {
+		tu, tv := target[u], target[v]
+		if tu == tv {
+			return
+		}
+		add(tu, tv)
+		add(tv, tu)
+	})
+	sort.Ints(next.verts)
+	for v := range next.adj {
+		adj := next.adj[v]
+		sort.Slice(adj, func(i, j int) bool { return adj[i].to < adj[j].to })
+	}
+	return next
+}
+
+// materializeStream builds the contracted form of a small streamed graph
+// directly, deduping multigraph edges, for the local-solve shortcut.
+func materializeStream(es graph.EdgeStream, deg []int32) *contracted {
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool)
+	gc := &contracted{adj: make(map[int][]wedge)}
+	for v, d := range deg {
+		if d > 0 {
+			gc.verts = append(gc.verts, v)
+		}
+	}
+	es.Each(func(u, v int) {
+		if u == v || seen[pair{u, v}] {
+			return
+		}
+		seen[pair{u, v}] = true
+		seen[pair{v, u}] = true
+		gc.adj[u] = append(gc.adj[u], wedge{to: v})
+		gc.adj[v] = append(gc.adj[v], wedge{to: u})
+	})
+	for v := range gc.adj {
+		adj := gc.adj[v]
+		sort.Slice(adj, func(i, j int) bool { return adj[i].to < adj[j].to })
+	}
+	return gc
+}
+
+// ConnectivityStreamCheck verifies a streamed connectivity labeling against
+// a sequential union-find replay of the stream: same-component vertices
+// must share labels, distinct components must not, and every label must be
+// a member of its component. It is the oracle the engine's check hook and
+// the differential tests use for workloads too large to materialize.
+func ConnectivityStreamCheck(es graph.EdgeStream, comp []int) bool {
+	n := es.N()
+	if len(comp) != n {
+		return false
+	}
+	dsu := graph.NewDSU(n)
+	es.Each(func(u, v int) { dsu.Union(u, v) })
+	// Labels must be constant on components and distinct across them:
+	// map each root to the label of its first-seen member.
+	lab := make(map[int]int, 64)
+	for v := 0; v < n; v++ {
+		r := dsu.Find(v)
+		if l, ok := lab[r]; ok {
+			if comp[v] != l {
+				return false
+			}
+		} else {
+			lab[r] = comp[v]
+		}
+		// The label itself must sit in the same component.
+		if comp[v] < 0 || comp[v] >= n || dsu.Find(comp[v]) != r {
+			return false
+		}
+	}
+	// Distinctness across roots follows from the membership check: a label
+	// shared by two roots would have to sit in both components.
+	return true
+}

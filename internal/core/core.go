@@ -71,6 +71,15 @@ type Options struct {
 	// run-* subdirectory (concurrent runs never collide) and leaves its
 	// final store's segment file there. Ignored by the in-memory backend.
 	StoreDir string
+	// Residency selects the file backend's memory policy for retired
+	// stores: ResidencyRetain (or empty) keeps each generation's in-memory
+	// store as the read path and uses the segment files as durability
+	// only, while ResidencyDrop frees the retiring generation's memory as
+	// soon as its segment is durable and serves the next round's reads
+	// from the mmap'd file — resident memory stays O(one generation), the
+	// out-of-core mode. Outputs are byte-identical either way. Only the
+	// file backend accepts a non-empty value.
+	Residency string
 	// Servers lists the shard server addresses ("host:port") the rpc
 	// backend publishes stores to and reads them back from. Required when
 	// Backend is BackendRPC; ignored otherwise.
@@ -128,6 +137,15 @@ const (
 	// reads from them — the actually-distributed backend. Requires
 	// Options.Servers.
 	BackendRPC = "rpc"
+)
+
+// Residency policies accepted by Options.Residency (file backend only).
+const (
+	// ResidencyRetain keeps retired stores in memory (the default).
+	ResidencyRetain = "retain"
+	// ResidencyDrop frees each retired store once its segment is durable
+	// and reads the previous generation through mmap instead.
+	ResidencyDrop = "drop"
 )
 
 // Defaults for Options fields.
@@ -198,6 +216,17 @@ func (o Options) validate() error {
 		return fmt.Errorf("%w: Backend must be %q, %q or %q (empty selects %q), got %q",
 			ErrInvalidOptions, BackendMem, BackendFile, BackendRPC, BackendMem, o.Backend)
 	}
+	switch o.Residency {
+	case "":
+	case ResidencyRetain, ResidencyDrop:
+		if o.Backend != BackendFile {
+			return fmt.Errorf("%w: Residency %q requires Backend %q (only file-backed stores have a disk copy to fall back on)",
+				ErrInvalidOptions, o.Residency, BackendFile)
+		}
+	default:
+		return fmt.Errorf("%w: Residency must be %q or %q (empty selects %q), got %q",
+			ErrInvalidOptions, ResidencyRetain, ResidencyDrop, ResidencyRetain, o.Residency)
+	}
 	if o.Replication < 0 {
 		return fmt.Errorf("%w: Replication must be non-negative, got %d", ErrInvalidOptions, o.Replication)
 	}
@@ -249,6 +278,11 @@ func (o Options) newRuntime(ctx context.Context, n, m int) *ampc.Runtime {
 	switch o.Backend {
 	case BackendFile:
 		fp := dds.NewFilePublisher(o.StoreDir)
+		if o.Residency == ResidencyDrop {
+			// Must precede ampc.New: the runtime latches the backend's
+			// barrier-before-execute capability once, at construction.
+			fp.SetDropRetired(true)
+		}
 		if ctx != nil {
 			// A cancelled run must also kill its in-flight write-behind
 			// publish, so no half-written segment outlives the abort.

@@ -171,10 +171,11 @@ func segPath(pub *FilePublisher, seq int) string {
 
 // TestFilePublisherLifecycle exercises the Publisher contract the runtime
 // relies on under write-behind: a published backend answers reads before its
-// segment is durable, Barrier makes the segment durable and swaps reads onto
-// the mmap'd file, retired backends delete their segments once superseded,
-// the latest segment survives its own Close, and a publisher-owned temp
-// directory disappears on publisher Close.
+// segment is durable, Barrier makes the segment durable (under retained
+// residency a compressed segment skips the read swap — the frozen store
+// keeps serving and the file is the durable artifact), retired backends
+// delete their segments once superseded, the latest segment survives its own
+// Close, and a publisher-owned temp directory disappears on publisher Close.
 func TestFilePublisherLifecycle(t *testing.T) {
 	pub := NewFilePublisher("")
 	a, err := pub.Publish(0, NewStore([]KV{kv(1, 1, 0, 10, 0)}, 2, 5))
@@ -195,14 +196,20 @@ func TestFilePublisherLifecycle(t *testing.T) {
 	if _, err := os.Stat(aPath); err != nil {
 		t.Fatalf("segment not durable after barrier: %v", err)
 	}
-	if _, ok := a.(*pendingStore).backend().(*FileStore); !ok {
-		t.Fatal("barrier did not swap reads onto the mmap'd segment")
+	// This tiny store packs, so under retained residency the barrier must
+	// NOT swap reads onto the segment: opening it would decode every packed
+	// section onto the heap just to replace the equivalent in-memory store.
+	if _, ok := a.(*pendingStore).backend().(*Store); !ok {
+		t.Fatal("retained-residency barrier swapped a compressed segment onto the heap")
 	}
 	if v, ok := a.Get(Key{1, 1, 0}); !ok || v.A != 10 {
 		t.Fatalf("post-barrier Get = %v ok=%v", v, ok)
 	}
 
-	b, err := pub.Publish(1, NewStore([]KV{kv(1, 2, 0, 20, 0)}, 2, 5))
+	// Salts rotate per generation, as the runtime draws them: with equal
+	// salts the second publish would delta-encode against the first and pin
+	// it on disk, which the delta-specific tests cover.
+	b, err := pub.Publish(1, NewStore([]KV{kv(1, 2, 0, 20, 0)}, 2, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +225,7 @@ func TestFilePublisherLifecycle(t *testing.T) {
 	// Retired-segment deletion is deferred to the next publish's background
 	// goroutine (unlink cost must not extend the synchronous publish phase),
 	// so the retired file disappears once a third publish runs.
-	c, err := pub.Publish(2, NewStore([]KV{kv(1, 5, 0, 50, 0)}, 2, 5))
+	c, err := pub.Publish(2, NewStore([]KV{kv(1, 5, 0, 50, 0)}, 2, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +252,46 @@ func TestFilePublisherLifecycle(t *testing.T) {
 	}
 	if _, err := os.Stat(cPath); err == nil {
 		t.Fatal("publisher-owned temp dir survived Close")
+	}
+}
+
+// TestBarrierSwapResidency pins when the barrier moves reads onto the
+// segment: always under drop-retired residency (the in-memory store is about
+// to be retired, the file must serve), and under retained residency only
+// when every section is raw — an mmap-served open costs nothing and frees
+// the arrays — while a compressed segment keeps the frozen store serving.
+func TestBarrierSwapResidency(t *testing.T) {
+	kvs := []KV{kv(1, 1, 0, 10, 0), kv(1, 2, 0, 20, 0)}
+	for _, tc := range []struct {
+		name           string
+		drop, compress bool
+		wantFile       bool
+	}{
+		{"drop-compressed", true, true, true},
+		{"retain-compressed", false, true, false},
+		{"retain-raw", false, false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pub := NewFilePublisher(t.TempDir())
+			defer pub.Close()
+			pub.SetDropRetired(tc.drop)
+			pub.SetCompression(tc.compress)
+			b, err := pub.Publish(0, NewStore(kvs, 2, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			if err := pub.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+			_, isFile := b.(*pendingStore).backend().(*FileStore)
+			if isFile != tc.wantFile {
+				t.Fatalf("serving from FileStore = %v, want %v", isFile, tc.wantFile)
+			}
+			if v, ok := b.Get(Key{1, 2, 0}); !ok || v.A != 20 {
+				t.Fatalf("post-barrier Get = %v ok=%v", v, ok)
+			}
+		})
 	}
 }
 
@@ -335,7 +382,10 @@ func TestFilePublisherCancelledPublish(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() {
+		// Liveness lock files are infrastructure, not publish artifacts:
+		// they mark run directories as owned so a later run's startup
+		// sweep can tell crashed leftovers from live publishers.
+		if !d.IsDir() && filepath.Base(path) != runLockName && filepath.Base(path) != ".ampc-dir.lock" {
 			leftover = append(leftover, path)
 		}
 		return nil

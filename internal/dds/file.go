@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -237,12 +239,17 @@ func (sh *fileShard) value(off, i int) Value {
 // files. All read methods are safe for concurrent use and account per-shard
 // load exactly like the in-memory store.
 type FileStore struct {
-	shards  []fileShard
-	salt    uint64
-	pairs   int
-	dir     string
-	unmaps  []func() error
-	cleanup func() error // optional, run after unmapping (e.g. remove dir)
+	shards []fileShard
+	salt   uint64
+	pairs  int
+	dir    string
+	// sections holds each shard's raw block bytes in shard order when the
+	// store came from a segment file — views into the mapping for raw
+	// sections, decode buffers for packed and delta ones. They are what a
+	// later generation's delta sections encode against.
+	sections [][]byte
+	unmaps   []func() error
+	cleanup  func() error // optional, run after unmapping (e.g. remove dir)
 }
 
 // OpenFileStore maps the serialized store in dir. Every shard file's
@@ -329,6 +336,17 @@ func openShardFile(s *FileStore, path string, index int) (shardHeader, error) {
 // serialized itself moments ago, where validation would re-read the whole
 // payload the write-behind publisher just wrote.
 func parseShardBlock(data []byte, path string, index int, verify bool) (shardHeader, error) {
+	return parseShardBlockOpts(data, path, index, verify, verify)
+}
+
+// parseShardBlockOpts splits verification in two: verifySum re-folds the raw
+// block checksum; verifyScan runs the structural slot-table scan that makes
+// probing safe. They separate for packed segment sections, whose integrity
+// was already checked against the packed bytes on disk — a verifying open
+// still needs the scan (a checksum anyone can recompute proves nothing about
+// slab windows), but the decoded block's checksum word holds the packed sum,
+// not a raw sum.
+func parseShardBlockOpts(data []byte, path string, index int, verifySum, verifyScan bool) (shardHeader, error) {
 	var hdr shardHeader
 	size := int64(len(data))
 	if size < headerBytes {
@@ -363,7 +381,7 @@ func parseShardBlock(data []byte, path string, index int, verify bool) (shardHea
 	if size > want {
 		return hdr, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadGeometry, path, size-want)
 	}
-	if verify {
+	if verifySum {
 		if sum := checksum(h[0:56], data[headerBytes:]); sum != le.Uint64(h[56:]) {
 			return hdr, fmt.Errorf("%w: %s", ErrChecksum, path)
 		}
@@ -373,7 +391,7 @@ func parseShardBlock(data []byte, path string, index int, verify bool) (shardHea
 		hdr.mask = slotCount - 1
 	}
 	hdr.slab = data[headerBytes+int(slotCount)*slotBytes:]
-	if !verify {
+	if !verifyScan {
 		return hdr, nil
 	}
 
@@ -559,24 +577,48 @@ func (s *FileStore) ResetLoads() {
 //
 // Retired stores are deleted when the runtime closes their backend, so disk
 // usage stays bounded by the newest durable segment plus the one being
-// written; the latest segment is kept until the publisher itself is closed,
-// and survives it when the caller supplied the directory.
+// written (plus the base a delta-encoded latest still reads from); the
+// latest segment is kept until the publisher itself is closed, and survives
+// it when the caller supplied the directory.
+//
+// Segments compress on the way down by default (packed sections, plus delta
+// sections against the previous generation when the placement salts match —
+// see segcodec.go); SetCompression(false) restores raw v3 segments.
+// SetDropRetired(true) selects the bounded-residency mode for out-of-core
+// runs: the runtime barriers before each execute, so adaptive reads serve
+// from the mmap'd segment (page cache, reclaimable under memory pressure)
+// and the retired in-memory store returns to the arena a round earlier —
+// resident memory is O(the generation being written), not O(two).
 type FilePublisher struct {
-	mu            sync.Mutex
-	dir           string // base directory; lazily created on first Publish
-	owned         bool   // dir was auto-created (temp) and is removed on Close
-	ready         bool
-	sync          bool            // publish in the foreground; reads go straight to mmap
-	ctx           context.Context // optional; cancels in-flight write-behind publishes
-	arena         *Arena          // optional; receives swapped-out in-memory stores
-	run           Parallel        // optional; schedules sync-mode section fills
-	buf           []byte          // reused segment serialization buffer
-	inflight      *pendingStore   // the write-behind publish not yet joined
-	latest        string          // newest durable segment
-	latestRetired bool            // latest's backend closed; delete when superseded
-	garbage       []string        // retired segments awaiting off-thread deletion
-	closed        chan struct{}   // closed by Close; aborts in-flight writes
-	closeOnce     sync.Once
+	mu          sync.Mutex
+	dir         string // base directory; lazily created on first Publish
+	owned       bool   // dir was auto-created (temp) and is removed on Close
+	ready       bool
+	sync        bool            // publish in the foreground; reads go straight to mmap
+	compress    bool            // encode packed/delta sections where they win
+	drop        bool            // barrier before execute; mem store dropped after publish
+	ctx         context.Context // optional; cancels in-flight write-behind publishes
+	arena       *Arena          // optional; receives swapped-out in-memory stores
+	run         Parallel        // optional; schedules sync-mode section fills
+	buf         []byte          // reused segment serialization buffer
+	inflight    *pendingStore   // the write-behind publish not yet joined
+	segs        map[string]*segState
+	latest      string        // newest durable segment
+	latestSeq   uint64        // its sequence number (base naming for delta sections)
+	latestSalt  uint64        // its placement salt (delta engages only on a match)
+	latestDelta bool          // it holds delta sections (cannot serve as a base)
+	garbage     []string      // retired segments awaiting off-thread deletion
+	lock        *fileLock     // liveness lock inside the run directory
+	closed      chan struct{} // closed by Close; aborts in-flight writes
+	closeOnce   sync.Once
+}
+
+// segState tracks one durable segment's lifetime: it stays on disk while a
+// backend still reads it, while it is the latest generation, or while a
+// newer delta-encoded segment decodes against it.
+type segState struct {
+	open bool   // a published backend still serves this segment
+	base string // segment whose sections this file's delta sections copy from
 }
 
 // NewFilePublisher returns a publisher writing segment files under dir. An
@@ -584,16 +626,43 @@ type FilePublisher struct {
 // publisher is closed; a caller-supplied dir receives a unique run-*
 // subdirectory per publisher, so concurrent or repeated runs sharing a
 // store directory never write over each other's live segments, and each
-// run's final segment survives in its own run directory. The filesystem is
-// not touched until the first Publish, so construction never fails.
+// run's final segment survives in its own run directory. Orphaned run
+// directories left by crashed prior runs are swept on the first Publish
+// (liveness decided by a file lock each live publisher holds). The
+// filesystem is not touched until the first Publish, so construction never
+// fails.
 func NewFilePublisher(dir string) *FilePublisher {
-	return &FilePublisher{dir: dir, closed: make(chan struct{})}
+	return &FilePublisher{
+		dir:      dir,
+		compress: true,
+		segs:     make(map[string]*segState),
+		closed:   make(chan struct{}),
+	}
 }
 
 // SetSync selects synchronous publishing: Publish serializes, fsyncs and
 // mmaps the segment before returning, instead of write-behind. Call before
 // the first Publish.
 func (p *FilePublisher) SetSync(sync bool) { p.sync = sync }
+
+// SetCompression toggles packed/delta section encoding (on by default).
+// Compression never changes read results — packed and delta sections decode
+// to the exact raw block bytes at open — only write bandwidth and decode
+// cost at the barrier. Call before the first Publish.
+func (p *FilePublisher) SetCompression(on bool) { p.compress = on }
+
+// SetDropRetired selects the bounded-residency mode: the runtime barriers
+// before each execute (see BarrierBeforeExecute), so reads come from the
+// mmap'd segment and each round's in-memory store is recycled as soon as its
+// segment is durable instead of serving one more round from the heap. Call
+// before the runtime is constructed.
+func (p *FilePublisher) SetDropRetired(drop bool) { p.drop = drop }
+
+// BarrierBeforeExecute makes the runtime join the previous publish before
+// executing a round when the drop-retired residency mode is on — the same
+// contract a networked publisher declares, here so adaptive reads genuinely
+// leave the round's address space and hit the file mapping.
+func (p *FilePublisher) BarrierBeforeExecute() bool { return p.drop }
 
 // SetContext attaches a cancellation context: an in-flight write-behind
 // publish aborts between write chunks once ctx is done, removing its temp
@@ -647,7 +716,15 @@ func (p *FilePublisher) cancelled() error {
 	return nil
 }
 
-// ensureDir lazily creates the base (or run-*) directory; p.mu held.
+// runLockName is the liveness lock file each live publisher holds (flock)
+// inside its run directory. A run directory whose lock can be acquired has
+// no live owner — a crashed prior run — and is swept, temp files and all.
+const runLockName = ".lock"
+
+// ensureDir lazily creates the base (or run-*) directory; p.mu held. In a
+// caller-supplied directory, creation and sweeping serialize on a
+// parent-level lock so a sweeper can never catch a sibling publisher between
+// creating its run directory and locking it.
 func (p *FilePublisher) ensureDir() error {
 	if p.ready {
 		return nil
@@ -658,44 +735,193 @@ func (p *FilePublisher) ensureDir() error {
 			return err
 		}
 		p.dir, p.owned = tmp, true
-	} else {
-		if err := os.MkdirAll(p.dir, 0o755); err != nil {
-			return err
-		}
-		run, err := os.MkdirTemp(p.dir, "run-")
-		if err != nil {
-			return err
-		}
-		p.dir = run
+		p.ready = true
+		return nil
 	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return err
+	}
+	gate, gateErr := acquireFileLock(filepath.Join(p.dir, ".ampc-dir.lock"), true)
+	if gateErr == nil {
+		sweepStaleRuns(p.dir)
+	}
+	run, err := os.MkdirTemp(p.dir, "run-")
+	if err != nil {
+		if gateErr == nil {
+			gate.release()
+		}
+		return err
+	}
+	if lk, err := acquireFileLock(filepath.Join(run, runLockName), false); err == nil {
+		p.lock = lk
+	}
+	if gateErr == nil {
+		gate.release()
+	}
+	p.dir = run
 	p.ready = true
 	return nil
 }
 
-// release retires one published segment. The newest durable store is kept
-// (and queued for deletion only when a newer segment lands, so disk always
-// holds the latest complete store); anything older joins the garbage queue,
-// drained off the driver thread — unlinking a retired segment can cost real
-// time (block discard on some filesystems) and must not extend the round's
-// synchronous publish phase.
+// sweepStaleRuns cleans up after crashed prior runs sharing parent: any run
+// directory whose liveness lock is acquirable has no live owner, so its
+// leftover temp files and superseded segments — files the run would have
+// deleted itself had it kept going — are removed. The newest durable
+// segment (and the base segment its delta sections may read from) is kept,
+// preserving the contract that a run's latest complete store survives; a
+// stale run directory holding no durable segment at all is removed
+// entirely. Held locks (live runs) and platforms without file locking leave
+// entries alone.
+func sweepStaleRuns(parent string) {
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() {
+			if strings.HasSuffix(name, ".tmp") {
+				os.Remove(filepath.Join(parent, name))
+			}
+			continue
+		}
+		if !strings.HasPrefix(name, "run-") {
+			continue
+		}
+		dir := filepath.Join(parent, name)
+		lk, err := acquireFileLock(filepath.Join(dir, runLockName), false)
+		if err != nil {
+			continue // held by a live run, or locking unsupported
+		}
+		sweepStaleRun(dir)
+		lk.release()
+	}
+}
+
+// sweepStaleRun prunes one ownerless run directory; the caller holds its
+// liveness lock.
+func sweepStaleRun(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	segs := map[uint64]string{}
+	newest, haveSeg := uint64(0), false
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var seq uint64
+		if n, err := fmt.Sscanf(name, segFileFmt, &seq); n == 1 && err == nil {
+			segs[seq] = name
+			if !haveSeg || seq > newest {
+				newest, haveSeg = seq, true
+			}
+		}
+	}
+	if !haveSeg {
+		os.RemoveAll(dir)
+		return
+	}
+	keep := map[uint64]bool{newest: true}
+	if base, ok := segmentBaseSeq(filepath.Join(dir, segs[newest])); ok {
+		keep[base] = true
+	}
+	for seq, name := range segs {
+		if !keep[seq] {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// segmentBaseSeq reads the delta base sequence out of a segment file's
+// super-header, reporting false when the file is not a readable segment of
+// this version or is self-contained.
+func segmentBaseSeq(path string) (uint64, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	h := make([]byte, headerBytes)
+	if _, err := io.ReadFull(f, h); err != nil {
+		return 0, false
+	}
+	if string(h[0:8]) != segmentMagic || le.Uint32(h[8:]) != segmentVersion {
+		return 0, false
+	}
+	base := le.Uint64(h[40:])
+	return base, base != noBaseSeq
+}
+
+// release retires one published segment: its backend closed, so it may be
+// deleted once nothing else needs it. Deletion is deferred to the garbage
+// queue, drained off the driver thread — unlinking a retired segment can
+// cost real time (block discard on some filesystems) and must not extend the
+// round's synchronous publish phase.
 func (p *FilePublisher) release(path string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if path == p.latest {
-		p.latestRetired = true
-		return nil
+	if st := p.segs[path]; st != nil {
+		st.open = false
+		p.tryRetire(path)
 	}
-	p.garbage = append(p.garbage, path)
 	return nil
 }
 
-// recordDurable marks path as the newest durable segment, queueing the
-// previous latest for deletion if its backend already retired; p.mu held.
-func (p *FilePublisher) recordDurable(path string) {
-	if p.latestRetired && p.latest != "" && p.latest != path {
-		p.garbage = append(p.garbage, p.latest)
+// tryRetire queues path for deletion unless it is still needed: the newest
+// durable generation always stays (disk always holds the latest complete
+// store), as does any segment a backend still reads or a durable delta
+// segment decodes against. Retiring a delta segment unpins its base, which
+// is then retried in turn; p.mu held.
+func (p *FilePublisher) tryRetire(path string) {
+	st := p.segs[path]
+	if st == nil || st.open || path == p.latest {
+		return
 	}
-	p.latest, p.latestRetired = path, false
+	for _, other := range p.segs {
+		if other.base == path {
+			return
+		}
+	}
+	delete(p.segs, path)
+	p.garbage = append(p.garbage, path)
+	if st.base != "" {
+		p.tryRetire(st.base)
+	}
+}
+
+// recordDurable marks path as the newest durable segment — with the
+// sequence, salt and delta-dependency facts the next publish's encoding
+// decision needs — and retires the generation it supersedes; p.mu held.
+func (p *FilePublisher) recordDurable(path string, seq uint64, salt uint64, base string) {
+	p.segs[path] = &segState{open: true, base: base}
+	old := p.latest
+	p.latest, p.latestSeq, p.latestSalt, p.latestDelta = path, seq, salt, base != ""
+	if old != "" && old != path {
+		p.tryRetire(old)
+	}
+}
+
+// deltaBase decides the delta-encoding options for publishing store s as
+// sequence seq: the newest durable segment serves as base iff compression is
+// on, it is itself self-contained (chains are one level), and its placement
+// salt matches — without a salt match no slot lands at the same offset and a
+// delta could never win. The base reopens trusted (this process wrote and
+// verified it); the caller owns closing opts.base. p.mu held.
+func (p *FilePublisher) deltaBase(s *Store) (o segOpts, basePath string) {
+	o.compress = p.compress
+	if !p.compress || p.latest == "" || p.latestDelta || p.latestSalt != s.salt {
+		return o, ""
+	}
+	base, err := openSegmentDepth(p.latest, false, false)
+	if err != nil {
+		return o, ""
+	}
+	o.base, o.baseSeq = base, p.latestSeq
+	return o, p.latest
 }
 
 // drainGarbage deletes retired segments queued by release. Called from the
@@ -733,9 +959,13 @@ func (p *FilePublisher) Publish(seq int, s *Store) (StoreBackend, error) {
 		return nil, err
 	}
 	path := filepath.Join(p.dir, fmt.Sprintf(segFileFmt, seq))
+	o, basePath := p.deltaBase(s)
 	if p.sync {
-		buf, err := writeSegment(s, path, p.buf, p.cancelled, p.run)
+		buf, st, err := writeSegment(s, path, p.buf, o, p.cancelled, p.run)
 		p.buf = buf
+		if o.base != nil {
+			o.base.Close()
+		}
 		if err != nil {
 			p.mu.Unlock()
 			return nil, err
@@ -745,14 +975,21 @@ func (p *FilePublisher) Publish(seq int, s *Store) (StoreBackend, error) {
 			p.mu.Unlock()
 			return nil, err
 		}
-		p.recordDurable(path)
+		if !st.usedDelta {
+			basePath = ""
+		}
+		p.recordDurable(path, uint64(seq), s.salt, basePath)
 		p.mu.Unlock()
 		p.drainGarbage()
 		fs.cleanup = func() error { return p.release(path) }
 		p.arena.Recycle(s)
 		return fs, nil
 	}
-	ps := &pendingStore{pub: p, path: path, mem: s, done: make(chan struct{})}
+	// Mid-run generations skip fsync (segOpts.nosync): they are read
+	// through the page cache and superseded within rounds; the surviving
+	// segment is made durable once, at Close.
+	o.nosync = true
+	ps := &pendingStore{pub: p, path: path, mem: s, seq: uint64(seq), opts: o, basePath: basePath, done: make(chan struct{})}
 	ps.store(s)
 	buf := p.buf
 	p.buf, p.inflight = nil, ps
@@ -762,11 +999,18 @@ func (p *FilePublisher) Publish(seq int, s *Store) (StoreBackend, error) {
 }
 
 // Barrier joins the in-flight write-behind publish: it blocks until the
-// segment is durable (file and directory fsynced), swaps the published
-// backend's reads from the in-memory store to the mmap'd segment, and
-// recycles the in-memory arrays. A write failure or cancellation is
-// returned once, and the backend keeps serving from memory so reads stay
-// correct while the error surfaces.
+// segment is complete (written and atomically renamed into place; the fsync
+// is deferred to Close — see segOpts.nosync). When the swap onto the segment
+// pays — drop-retired residency needs the file to serve reads after the
+// in-memory store is dropped, and an all-raw segment serves straight from
+// the mapping so the arrays recycle for free — reads move to the mmap'd
+// segment and the in-memory store returns to the arena. A compressed
+// segment under retained residency skips the swap: opening it would decode
+// every packed section onto the heap just to replace the equivalent store
+// already in memory, so the frozen store keeps serving and the segment is
+// purely the durable artifact. A write failure or cancellation is returned
+// once, and the backend keeps serving from memory so reads stay correct
+// while the error surfaces.
 func (p *FilePublisher) Barrier() error {
 	p.mu.Lock()
 	ps := p.inflight
@@ -778,6 +1022,9 @@ func (p *FilePublisher) Barrier() error {
 	<-ps.done
 	if ps.err != nil {
 		return ps.err
+	}
+	if !p.drop && !ps.mapped {
+		return nil
 	}
 	fs, err := openSegment(ps.path, false)
 	if err != nil {
@@ -804,12 +1051,35 @@ func (p *FilePublisher) Close() error {
 	p.drainGarbage()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.lock != nil {
+		p.lock.release()
+		p.lock = nil
+	}
 	if p.owned && p.dir != "" {
 		err := os.RemoveAll(p.dir)
 		p.dir, p.ready, p.owned = "", false, false
 		return err
 	}
-	return nil
+	// Write-behind publishes skipped their per-segment fsync; in a
+	// caller-supplied directory the surviving store is the run's product,
+	// so make it (and the base a delta-encoded survivor decodes against)
+	// durable now.
+	var err error
+	if p.latest != "" {
+		paths := []string{p.latest}
+		if st := p.segs[p.latest]; st != nil && st.base != "" {
+			paths = append(paths, st.base)
+		}
+		for _, path := range paths {
+			if serr := syncPath(path); serr != nil && !os.IsNotExist(serr) && err == nil {
+				err = serr
+			}
+		}
+		if serr := syncDir(filepath.Dir(p.latest)); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // pendingStore is the backend returned by a write-behind Publish. Reads are
@@ -817,25 +1087,38 @@ func (p *FilePublisher) Close() error {
 // the background; once Barrier observes the write durable, reads swap
 // atomically to the mmap'd segment and the in-memory arrays are recycled.
 type pendingStore struct {
-	inner atomic.Pointer[StoreBackend]
-	mem   *Store // retained until the swap
-	path  string
-	pub   *FilePublisher
-	done  chan struct{} // closed when the background write finishes
-	err   error         // write outcome; read only after done
+	inner    atomic.Pointer[StoreBackend]
+	mem      *Store // retained until the swap
+	path     string
+	seq      uint64
+	opts     segOpts // encoding decision made at Publish; opts.base owned here
+	basePath string  // opts.base's path, recorded as a pin iff delta engaged
+	pub      *FilePublisher
+	done     chan struct{} // closed when the background write finishes
+	err      error         // write outcome; read only after done
+	mapped   bool          // all sections raw: an open serves from the mmap; after done
 }
 
 // run is the background writer: one publish, one goroutine, joined by
 // Barrier (or Publish/Close) through ps.done.
 func (ps *pendingStore) run(buf []byte) {
 	ps.pub.drainGarbage()
-	buf, err := writeSegment(ps.mem, ps.path, buf, ps.pub.cancelled, nil)
+	buf, st, err := writeSegment(ps.mem, ps.path, buf, ps.opts, ps.pub.cancelled, nil)
+	if ps.opts.base != nil {
+		ps.opts.base.Close()
+		ps.opts.base = nil
+	}
 	ps.err = err
+	ps.mapped = st.allRaw
 	p := ps.pub
 	p.mu.Lock()
 	p.buf = buf // return the serialization buffer for the next publish
 	if err == nil {
-		p.recordDurable(ps.path)
+		base := ps.basePath
+		if !st.usedDelta {
+			base = ""
+		}
+		p.recordDurable(ps.path, ps.seq, ps.mem.salt, base)
 	}
 	p.mu.Unlock()
 	close(ps.done)

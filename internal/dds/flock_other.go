@@ -1,0 +1,16 @@
+//go:build !unix
+
+package dds
+
+import "errors"
+
+// fileLock is unavailable without flock: every acquisition fails, so the
+// stale-run sweep conservatively removes nothing and run directories are
+// created without a liveness lock — the pre-sweep behavior.
+type fileLock struct{}
+
+func acquireFileLock(path string, wait bool) (*fileLock, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func (l *fileLock) release() error { return nil }

@@ -1,0 +1,38 @@
+//go:build unix
+
+package dds
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileLock is an advisory flock held for a publisher's lifetime. flock locks
+// belong to the open file description, so two publishers in one process
+// still conflict (separate opens), and the kernel releases the lock when the
+// owning process dies — exactly the liveness signal the stale-run sweep
+// needs.
+type fileLock struct{ f *os.File }
+
+// acquireFileLock creates path if needed and takes an exclusive lock on it.
+// wait=false returns an error immediately when the lock is held elsewhere
+// (the sweep's "is this run alive?" probe); wait=true blocks (the
+// parent-directory gate serializing run creation against sweeping).
+func acquireFileLock(path string, wait bool) (*fileLock, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	how := syscall.LOCK_EX
+	if !wait {
+		how |= syscall.LOCK_NB
+	}
+	if err := syscall.Flock(int(f.Fd()), how); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileLock{f: f}, nil
+}
+
+// release drops the lock (closing the descriptor releases a flock).
+func (l *fileLock) release() error { return l.f.Close() }

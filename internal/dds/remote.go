@@ -42,9 +42,12 @@ func ShardOf(k Key, salt uint64, p int) int {
 // SegmentSections slices a serialized segment (AppendSegment's output) into
 // its per-shard section byte ranges, in shard order, without copying.
 // Section i is bit-for-bit a v1 shard block, the unit a shard server stores
-// and validates independently. The super-header and section tiling are
-// checked so the returned slices are in bounds; section contents are not
-// re-validated here — the receiver does that when it opens each block.
+// and validates independently — AppendSegment writes every section raw, and
+// a compressed section (the on-disk publisher's form) is rejected here, so a
+// slice handed to the wire is always a self-contained block. The
+// super-header and section tiling are checked so the returned slices are in
+// bounds; section contents are not re-validated here — the receiver does
+// that when it opens each block.
 func SegmentSections(seg []byte) ([][]byte, error) {
 	if len(seg) < headerBytes {
 		return nil, fmt.Errorf("%w: segment of %d bytes, super-header needs %d", ErrTruncated, len(seg), headerBytes)
@@ -70,6 +73,10 @@ func SegmentSections(seg []byte) ([][]byte, error) {
 	for i := 0; i < count; i++ {
 		off := le.Uint64(table[i*segTableEntry:])
 		length := le.Uint64(table[i*segTableEntry+8:])
+		if enc := table[i*segTableEntry+16]; enc != encRaw {
+			return nil, fmt.Errorf("%w: section %d has encoding %d; only raw sections can be sliced for the wire",
+				ErrBadGeometry, i, enc)
+		}
 		if off != next {
 			return nil, fmt.Errorf("%w: section %d starts at %d, want %d", ErrBadGeometry, i, off, next)
 		}

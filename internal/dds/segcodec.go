@@ -1,0 +1,450 @@
+package dds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Section encodings of the v3 segment format. A section table entry carries
+// one of these in its encoding byte; readers reject values they do not
+// implement. encRaw is bit-for-bit a v1 shard block. encPacked is the same
+// block with empty slots elided and every field varint-packed; its header
+// checksum word covers the packed bytes on disk (not the decoded raw form),
+// so integrity is verified against what was actually written before any
+// decoding runs. encDelta is a copy/literal diff of the raw block against the
+// same shard's section in a base segment named by the super-header; it
+// decodes back to the exact raw bytes, raw checksum included.
+const (
+	encRaw    byte = 0
+	encPacked byte = 1
+	encDelta  byte = 2
+)
+
+const (
+	// packThreshold is the largest raw section the writer will pack.
+	// Beyond it a section stays raw so the out-of-core read path serves
+	// giant shards straight from the mapping instead of decoding them
+	// onto the heap at open.
+	packThreshold = 4 << 20
+
+	// maxPackedRaw bounds the raw size a packed section may declare —
+	// 2x the write threshold, so the reader keeps accepting files if
+	// packThreshold ever grows, while a corrupt header cannot demand an
+	// unbounded allocation.
+	maxPackedRaw = 8 << 20
+
+	// deltaMinCopy is the shortest run of bytes matching the base worth
+	// switching out of a literal for. Below it the two varint op lengths
+	// cost more than the bytes they save.
+	deltaMinCopy = 32
+)
+
+// zigzag maps signed to unsigned so small-magnitude values of either sign
+// stay short under varint encoding.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// varReader decodes the varint streams of packed and delta sections with a
+// sticky error, so decode loops stay straight-line and every malformed input
+// surfaces as a typed error instead of a panic.
+type varReader struct {
+	data []byte
+	pos  int
+	path string
+	err  error
+}
+
+func (r *varReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n == 0 {
+		r.err = fmt.Errorf("%w: %s: varint cut short", ErrTruncated, r.path)
+		return 0
+	}
+	if n < 0 {
+		r.err = fmt.Errorf("%w: %s: varint overflows 64 bits", ErrBadGeometry, r.path)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *varReader) svarint() int64 { return unzigzag(r.uvarint()) }
+
+func (r *varReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.err = fmt.Errorf("%w: %s: byte cut short", ErrTruncated, r.path)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *varReader) remaining() int { return len(r.data) - r.pos }
+
+// checksumPacked folds a packed section through the store's SplitMix64
+// chain: the 56 header bytes word by word, then the varint payload with its
+// final partial word zero-padded, so every payload byte is covered (raw
+// blocks are word-aligned; varint streams are not).
+func checksumPacked(header, payload []byte) uint64 {
+	h := uint64(checksumSeed)
+	for i := 0; i+8 <= len(header); i += 8 {
+		h = mix(h ^ le.Uint64(header[i:]))
+	}
+	i := 0
+	for ; i+8 <= len(payload); i += 8 {
+		h = mix(h ^ le.Uint64(payload[i:]))
+	}
+	if i < len(payload) {
+		var tail [8]byte
+		copy(tail[:], payload[i:])
+		h = mix(h ^ le.Uint64(tail[:]))
+	}
+	return h
+}
+
+// packRawBlock appends the packed form of a raw v1 shard block to dst.
+//
+//	[0:64)  the raw block header, with the checksum word [56:64) replaced
+//	        by a sum over header[0:56) plus the packed payload — integrity
+//	        covers the bytes on disk, and the writer never has to fold the
+//	        checksum chain over the raw form's zero padding
+//	uvarint occupied slot count
+//	per occupied slot, ascending slot index:
+//	  uvarint gap from the previous occupied slot (first: the index itself)
+//	  svarint key.A, svarint key.B, key tag byte
+//	  svarint first.A, svarint first.B
+//	  uvarint count, uvarint slab offset
+//	per slab record (slab count from the header): svarint A, svarint B
+//
+// Empty slots are elided entirely — the decoder re-zeroes them — which is
+// where the win comes from: slot tables run at most half full by
+// construction, and graph workloads keep keys and values near zero where
+// varints are one or two bytes instead of eight.
+func packRawBlock(dst, raw []byte) []byte {
+	base := len(dst)
+	dst = append(dst, raw[:headerBytes]...)
+	slotCount := int(le.Uint64(raw[40:48]))
+	slots := raw[headerBytes : headerBytes+slotCount*slotBytes]
+	occ := 0
+	for i := 0; i < slotCount; i++ {
+		if le.Uint32(slots[i*slotBytes+32:]) != 0 {
+			occ++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(occ))
+	prev := -1
+	for i := 0; i < slotCount; i++ {
+		rec := slots[i*slotBytes : i*slotBytes+slotBytes]
+		if le.Uint32(rec[32:]) == 0 {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(i-prev-1))
+		prev = i
+		dst = binary.AppendUvarint(dst, zigzag(int64(le.Uint64(rec[0:]))))
+		dst = binary.AppendUvarint(dst, zigzag(int64(le.Uint64(rec[8:]))))
+		dst = append(dst, rec[40])
+		dst = binary.AppendUvarint(dst, zigzag(int64(le.Uint64(rec[16:]))))
+		dst = binary.AppendUvarint(dst, zigzag(int64(le.Uint64(rec[24:]))))
+		dst = binary.AppendUvarint(dst, uint64(le.Uint32(rec[32:])))
+		dst = binary.AppendUvarint(dst, uint64(le.Uint32(rec[36:])))
+	}
+	for off := headerBytes + slotCount*slotBytes; off < len(raw); off += valueBytes {
+		dst = binary.AppendUvarint(dst, zigzag(int64(le.Uint64(raw[off:]))))
+		dst = binary.AppendUvarint(dst, zigzag(int64(le.Uint64(raw[off+8:]))))
+	}
+	le.PutUint64(dst[base+56:], checksumPacked(dst[base:base+56], dst[base+headerBytes:]))
+	return dst
+}
+
+// packShard appends the packed form of one in-memory shard to dst —
+// byte-identical to packRawBlock over that shard's raw block, without ever
+// materializing the block. The raw form of a half-full slot table is mostly
+// zero padding; building it just to elide it again cost more publish CPU
+// than the varint encoding itself, so the hot write-behind path emits
+// varints straight from the slot index and folds the checksum over the
+// packed bytes it just wrote — the chain never visits a byte that does not
+// reach the disk. packRawBlock stays as the reference implementation the
+// tests diff against.
+func packShard(dst []byte, sh *shard, index, count int, salt uint64) []byte {
+	base := len(dst)
+	dst = growBytes(dst, headerBytes)
+	h := dst[base : base+headerBytes]
+	clear(h)
+	copy(h[0:8], shardMagic)
+	le.PutUint32(h[8:], shardVersion)
+	le.PutUint32(h[12:], uint32(index))
+	le.PutUint32(h[16:], uint32(count))
+	le.PutUint64(h[24:], salt)
+	le.PutUint64(h[32:], uint64(sh.size))
+	le.PutUint64(h[40:], uint64(len(sh.slots)))
+	le.PutUint64(h[48:], uint64(len(sh.slab)))
+	occ := 0
+	for _, w := range sh.bits {
+		occ += bits.OnesCount64(w)
+	}
+	dst = binary.AppendUvarint(dst, uint64(occ))
+	prev := -1
+	for i := range sh.slots {
+		if !sh.occupied(uint64(i)) {
+			continue
+		}
+		sl := &sh.slots[i]
+		dst = binary.AppendUvarint(dst, uint64(i-prev-1))
+		prev = i
+		dst = binary.AppendUvarint(dst, zigzag(int64(sl.key.A)))
+		dst = binary.AppendUvarint(dst, zigzag(int64(sl.key.B)))
+		dst = append(dst, sl.key.Tag)
+		dst = binary.AppendUvarint(dst, zigzag(int64(sl.first.A)))
+		dst = binary.AppendUvarint(dst, zigzag(int64(sl.first.B)))
+		dst = binary.AppendUvarint(dst, uint64(uint32(sl.count)))
+		dst = binary.AppendUvarint(dst, uint64(uint32(sl.off)))
+	}
+	for _, v := range sh.slab {
+		dst = binary.AppendUvarint(dst, zigzag(int64(v.A)))
+		dst = binary.AppendUvarint(dst, zigzag(int64(v.B)))
+	}
+	le.PutUint64(dst[base+56:], checksumPacked(dst[base:base+56], dst[base+headerBytes:]))
+	return dst
+}
+
+// unpackBlock decodes a packed section back into the raw v1 shard block it
+// was packed from. With verify on, the packed checksum is checked against
+// the on-disk bytes before any decoding — corruption surfaces as ErrChecksum
+// over a few packed megabytes rather than a re-fold of the raw form. Only
+// enough of the copied header is trusted to size the allocation; the decoded
+// bytes then run through parseShardBlock (verify off — the raw checksum word
+// holds the packed sum) so a forged header still fails with the same typed
+// geometry errors as a raw section.
+func unpackBlock(data []byte, path string, verify bool) ([]byte, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("%w: %s: packed section of %d bytes, header needs %d",
+			ErrTruncated, path, len(data), headerBytes)
+	}
+	h := data[:headerBytes]
+	if string(h[0:8]) != shardMagic {
+		return nil, fmt.Errorf("%w: %s: packed section", ErrBadMagic, path)
+	}
+	if verify {
+		if sum := checksumPacked(h[:56], data[headerBytes:]); sum != le.Uint64(h[56:]) {
+			return nil, fmt.Errorf("%w: %s: packed section", ErrChecksum, path)
+		}
+	}
+	slotCount := le.Uint64(h[40:48])
+	slabCount := le.Uint64(h[48:56])
+	if slotCount > maxPackedRaw/slotBytes || slabCount > maxPackedRaw/valueBytes {
+		return nil, fmt.Errorf("%w: %s: packed section declares %d slots, %d slab records; reader caps raw size at %d bytes",
+			ErrBadGeometry, path, slotCount, slabCount, maxPackedRaw)
+	}
+	rawSize := headerBytes + int(slotCount)*slotBytes + int(slabCount)*valueBytes
+	if rawSize > maxPackedRaw {
+		return nil, fmt.Errorf("%w: %s: packed section declares %d raw bytes, reader caps at %d",
+			ErrBadGeometry, path, rawSize, maxPackedRaw)
+	}
+	raw := make([]byte, rawSize)
+	copy(raw, h)
+	r := &varReader{data: data[headerBytes:], path: path}
+	occ := r.uvarint()
+	if r.err == nil && occ > slotCount {
+		return nil, fmt.Errorf("%w: %s: packed section declares %d occupied of %d slots",
+			ErrBadGeometry, path, occ, slotCount)
+	}
+	slot := int64(-1)
+	for j := uint64(0); j < occ && r.err == nil; j++ {
+		gap := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		slot += int64(gap) + 1
+		if uint64(slot) >= slotCount {
+			return nil, fmt.Errorf("%w: %s: packed slot index %d of %d slots",
+				ErrBadGeometry, path, slot, slotCount)
+		}
+		rec := raw[headerBytes+int(slot)*slotBytes:]
+		le.PutUint64(rec[0:], uint64(r.svarint()))
+		le.PutUint64(rec[8:], uint64(r.svarint()))
+		tag := r.byte()
+		le.PutUint64(rec[16:], uint64(r.svarint()))
+		le.PutUint64(rec[24:], uint64(r.svarint()))
+		le.PutUint32(rec[32:], uint32(r.uvarint()))
+		le.PutUint32(rec[36:], uint32(r.uvarint()))
+		rec[40] = tag
+	}
+	for off := headerBytes + int(slotCount)*slotBytes; off < rawSize && r.err == nil; off += valueBytes {
+		le.PutUint64(raw[off:], uint64(r.svarint()))
+		le.PutUint64(raw[off+8:], uint64(r.svarint()))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes in packed section",
+			ErrBadGeometry, path, r.remaining())
+	}
+	return raw, nil
+}
+
+// appendDeltaBlock appends a delta of raw against base to dst: a uvarint raw
+// size, then alternating copy/literal ops — uvarint copy length (bytes taken
+// from base at the same offset) and uvarint literal length plus the literal
+// bytes — with both cursors advancing in lockstep. Offsets never appear in
+// the stream: a round that rewrites few keys leaves most slots byte-equal in
+// place, which is exactly what aligned copies capture.
+func appendDeltaBlock(dst, raw, base []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(raw)))
+	limit := len(raw)
+	if len(base) < limit {
+		limit = len(base)
+	}
+	i := 0
+	for i < len(raw) {
+		j := i
+		for j < limit && raw[j] == base[j] {
+			j++
+		}
+		if j-i < deltaMinCopy && j < len(raw) {
+			j = i
+		}
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		i = j
+		if i == len(raw) {
+			break
+		}
+		// Literal run: until the next base match long enough to pay for
+		// its op, or the end of the block.
+		k := i
+		for k < len(raw) {
+			if k < limit && raw[k] == base[k] {
+				e := k
+				for e < limit && raw[e] == base[e] && e-k < deltaMinCopy {
+					e++
+				}
+				if e-k >= deltaMinCopy {
+					break
+				}
+				k = e
+				continue
+			}
+			k++
+		}
+		dst = binary.AppendUvarint(dst, uint64(k-i))
+		dst = append(dst, raw[i:k]...)
+		i = k
+	}
+	return dst
+}
+
+// undeltaBlock reconstructs the raw shard block a delta section encodes,
+// reading copy ops out of base. The declared raw size is bounded by what
+// base plus the literal bytes present could possibly cover, so a corrupt
+// size cannot demand an unbounded allocation; the decoded bytes still run
+// through parseShardBlock, whose checksum verifies the reconstruction
+// against the base actually on disk.
+func undeltaBlock(data, base []byte, path string) ([]byte, error) {
+	r := &varReader{data: data, path: path}
+	rawSize := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if rawSize > uint64(len(base))+uint64(len(data)) {
+		return nil, fmt.Errorf("%w: %s: delta section declares %d raw bytes over a %d-byte base",
+			ErrBadGeometry, path, rawSize, len(base))
+	}
+	raw := make([]byte, rawSize)
+	pos := uint64(0)
+	for pos < rawSize {
+		copyLen := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if copyLen > rawSize-pos || pos+copyLen > uint64(len(base)) {
+			return nil, fmt.Errorf("%w: %s: delta copy of %d bytes at %d outside block or base",
+				ErrBadGeometry, path, copyLen, pos)
+		}
+		copy(raw[pos:], base[pos:pos+copyLen])
+		pos += copyLen
+		if pos == rawSize {
+			break
+		}
+		litLen := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if litLen > rawSize-pos {
+			return nil, fmt.Errorf("%w: %s: delta literal of %d bytes at %d outside block",
+				ErrBadGeometry, path, litLen, pos)
+		}
+		if copyLen == 0 && litLen == 0 {
+			return nil, fmt.Errorf("%w: %s: empty delta op at %d", ErrBadGeometry, path, pos)
+		}
+		if uint64(r.remaining()) < litLen {
+			return nil, fmt.Errorf("%w: %s: delta literal cut short", ErrTruncated, path)
+		}
+		copy(raw[pos:], r.data[r.pos:r.pos+int(litLen)])
+		r.pos += int(litLen)
+		pos += litLen
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes in delta section",
+			ErrBadGeometry, path, r.remaining())
+	}
+	return raw, nil
+}
+
+// sectionScratch holds the reusable buffers of one encodeSection caller. The
+// returned section aliases the scratch, so a caller reusing scratch across
+// sections must consume each result before encoding the next.
+type sectionScratch struct {
+	raw []byte
+	enc []byte
+	del []byte
+}
+
+// encodeSection serializes shard i of s under the segment options: the raw
+// block always, a packed candidate when compression is on and the section is
+// small enough to decode at open, and a delta candidate when a base segment
+// with the same placement salt is available. The smallest wins; ties keep
+// the cheaper decode (raw over packed over delta). The choice is a pure
+// function of the store and options, never of scheduling.
+func encodeSection(s *Store, i int, o segOpts, sc *sectionScratch) ([]byte, byte) {
+	if sc == nil {
+		sc = &sectionScratch{}
+	}
+	sh := &s.shards[i]
+	n := shardBlockBytes(sh)
+	packable := o.compress && n <= packThreshold
+	var deltaBase []byte
+	if o.compress && o.base != nil && o.base.salt == s.salt && i < len(o.base.sections) {
+		deltaBase = o.base.sections[i]
+	}
+	if packable {
+		// Pack straight from the shard index; the raw size is known from
+		// geometry alone, so when packing wins (the common case — slot
+		// tables run at most half full) the raw block is never built.
+		sc.enc = packShard(sc.enc[:0], sh, i, len(s.shards), s.salt)
+		if len(sc.enc) < n && deltaBase == nil {
+			return sc.enc, encPacked
+		}
+	}
+	sc.raw = growBytes(sc.raw[:0], n)
+	fillShardBlock(sc.raw, sh, i, len(s.shards), s.salt)
+	best, enc := sc.raw, encRaw
+	if packable && len(sc.enc) < len(best) {
+		best, enc = sc.enc, encPacked
+	}
+	if deltaBase != nil {
+		sc.del = appendDeltaBlock(sc.del[:0], sc.raw, deltaBase)
+		if len(sc.del) < len(best) {
+			best, enc = sc.del, encDelta
+		}
+	}
+	return best, enc
+}

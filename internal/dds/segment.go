@@ -3,12 +3,13 @@ package dds
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"syscall"
 )
 
-// On-disk segment format (version 2).
+// On-disk segment format (version 3).
 //
 // A frozen store serializes as ONE file — store-NNNNNN.seg — instead of the
 // v1 layout's one file per shard. Writing P shard files per round made the
@@ -19,39 +20,68 @@ import (
 //
 //	super-header  64 bytes
 //	  [0:8)    magic "AMPCSEGM"
-//	  [8:12)   format version, uint32 (currently 2)
+//	  [8:12)   format version, uint32 (currently 3)
 //	  [12:16)  shard count, uint32
 //	  [16:24)  placement salt, uint64
 //	  [24:32)  total pairs, uint64
 //	  [32:40)  total file size in bytes, uint64
-//	  [40:56)  reserved, zero
+//	  [40:48)  delta base sequence, uint64 (all-ones when no section is
+//	           delta-encoded): the store-NNNNNN.seg in the same directory
+//	           that delta sections decode against
+//	  [48:56)  reserved, zero
 //	  [56:64)  checksum, uint64 over header[0:56] ++ section table
-//	section table  shard count * 16-byte entries
+//	section table  shard count * 24-byte entries
 //	  [0:8)    section offset from the start of the file, uint64
 //	  [8:16)   section length in bytes, uint64
+//	  [16]     section encoding (encRaw, encPacked, encDelta)
+//	  [17:24)  reserved, zero
 //	sections  one per shard, contiguous and in shard order
 //
-// Each section is bit-for-bit a v1 shard block (64-byte shard header, slot
+// A raw section is bit-for-bit a v1 shard block (64-byte shard header, slot
 // records, slab records) keeping its own checksum and slot/slab geometry, so
-// a section validates independently and the mmap'd read path probes the same
-// bytes as a standalone shard file. Sections must start immediately after
-// the table and tile the file exactly; a table whose offsets are swapped,
-// overlapping or gapped is rejected as ErrBadGeometry before any section is
-// read.
+// it validates independently and the mmap'd read path probes the same bytes
+// as a standalone shard file. Packed and delta sections (segcodec.go) decode
+// back to raw blocks before the same structural validation runs. A delta
+// section reconstructs the raw bytes exactly, raw checksum included; a
+// packed section instead carries a checksum over its own packed bytes, so a
+// verifying open checks integrity against what is on disk before decoding
+// and the decoded block parses with its checksum skipped. Sections must start
+// immediately after the table and tile the file exactly; a table whose
+// offsets are swapped, overlapping or gapped is rejected as ErrBadGeometry
+// before any section is read.
+//
+// Delta chains are one level deep: a base segment must itself contain no
+// delta sections, so opening any segment touches at most two files.
 //
 // Versioning rules match the shard format: the magic never changes, layout
 // changes bump the version, readers reject versions they do not implement.
 const (
 	segmentMagic   = "AMPCSEGM"
-	segmentVersion = 2
-	segTableEntry  = 16
+	segmentVersion = 3
+	segTableEntry  = 24
 	segFileFmt     = "store-%06d.seg"
+
+	// noBaseSeq in the super-header's base field marks a segment with no
+	// delta sections — self-contained, usable as a delta base.
+	noBaseSeq = ^uint64(0)
+
+	// segStreamThreshold is the estimated raw size beyond which
+	// writeSegment streams sections to the file one at a time through a
+	// reused scratch instead of assembling the whole segment in memory,
+	// keeping the publish-path allocation O(largest section) for
+	// out-of-core stores.
+	segStreamThreshold = 64 << 20
 )
+
+// ErrMissingBase reports a delta-encoded section whose base segment is
+// absent, unreadable, or unusable (for example, itself delta-encoded). The
+// segment is not self-contained; reads cannot be answered without the base.
+var ErrMissingBase = errors.New("dds: delta base segment missing")
 
 // SectionError locates a validation failure inside one section of a segment
 // file. It wraps the section's underlying typed error — ErrChecksum,
-// ErrTruncated, ErrBadGeometry, ... — so errors.Is sees through it, and
-// errors.As recovers which shard's section is damaged.
+// ErrTruncated, ErrBadGeometry, ErrMissingBase, ... — so errors.Is sees
+// through it, and errors.As recovers which shard's section is damaged.
 type SectionError struct {
 	Section int
 	Err     error
@@ -63,78 +93,154 @@ func (e *SectionError) Error() string {
 
 func (e *SectionError) Unwrap() error { return e.Err }
 
-// AppendSegment serializes s as a segment into buf and returns the extended
-// slice. Serialization is deterministic — the same store produces identical
-// bytes into a fresh or recycled buffer — and the per-shard sections fill in
-// parallel for large stores, since the section table is computed up front.
-func AppendSegment(buf []byte, s *Store) []byte {
-	return appendSegment(buf, s, nil)
+// segOpts selects how appendSegment encodes sections. The zero value writes
+// every section raw — the form SegmentSections can slice and ship to shard
+// servers. compress enables packed sections; a non-nil base additionally
+// offers delta encoding against it (the publisher's previous durable
+// generation, reopened trusted). baseSeq is the base's segment sequence,
+// recorded in the super-header iff a section actually chose delta.
+type segOpts struct {
+	compress bool
+	base     *FileStore
+	baseSeq  uint64
+
+	// nosync skips the file and directory fsyncs after the atomic rename.
+	// Write-behind publishes set it: a mid-run generation is superseded and
+	// deleted seconds later, and every reader in this process sees the page
+	// cache, so per-segment fsync latency bought nothing but a longer
+	// barrier join. The publisher fsyncs the run's surviving segment once,
+	// at Close — power loss mid-run can tear at most scratch files that
+	// crash recovery (sweepStaleRuns) or a verifying OpenSegment rejects.
+	nosync bool
 }
 
-// appendSegment is AppendSegment with a scheduling hook: a non-nil run
-// schedules the per-shard section fills (a synchronous publisher passes the
-// runtime's pinned worker scheduler, so the worker that built a shard's
-// index serializes its section). The bytes never depend on the schedule.
-func appendSegment(buf []byte, s *Store, run Parallel) []byte {
-	p := len(s.shards)
-	base := len(buf)
-	offs := make([]int, p+1)
-	offs[0] = headerBytes + p*segTableEntry
-	for i := range s.shards {
-		offs[i+1] = offs[i] + shardBlockBytes(&s.shards[i])
-	}
-	buf = growBytes(buf, offs[p])
-	seg := buf[base:]
-	dispatch(p, buildWorkers(s.pairs), run, func(i int) {
-		fillShardBlock(seg[offs[i]:offs[i+1]], &s.shards[i], i, p, s.salt)
-	})
-	table := seg[headerBytes : headerBytes+p*segTableEntry]
-	for i := 0; i < p; i++ {
-		le.PutUint64(table[i*segTableEntry:], uint64(offs[i]))
-		le.PutUint64(table[i*segTableEntry+8:], uint64(offs[i+1]-offs[i]))
-	}
-	h := seg[:headerBytes]
-	clear(h)
-	copy(h[0:8], segmentMagic)
-	le.PutUint32(h[8:], segmentVersion)
-	le.PutUint32(h[12:], uint32(p))
-	le.PutUint64(h[16:], s.salt)
-	le.PutUint64(h[24:], uint64(s.pairs))
-	le.PutUint64(h[32:], uint64(offs[p]))
-	le.PutUint64(h[56:], checksum(h[0:56], table))
+// segStats reports what the section encoder chose for one segment.
+type segStats struct {
+	// usedDelta: some section delta-encoded against o.base, which must
+	// then stay alive on disk for readers.
+	usedDelta bool
+	// allRaw: every section is raw, so an open serves reads straight from
+	// the mapping with no decode. The publisher's barrier uses this to
+	// decide whether swapping reads onto the segment buys anything.
+	allRaw bool
+}
+
+// AppendSegment serializes s as a segment into buf and returns the extended
+// slice. Every section is raw — this is the wire form a networked publisher
+// slices with SegmentSections — and serialization is deterministic: the same
+// store produces identical bytes into a fresh or recycled buffer, with
+// per-shard sections filling in parallel for large stores.
+func AppendSegment(buf []byte, s *Store) []byte {
+	buf, _ = appendSegment(buf, s, segOpts{}, nil)
 	return buf
 }
 
+// appendSegment is AppendSegment with encoding options and a scheduling
+// hook: a non-nil run schedules the per-shard section encodes (a synchronous
+// publisher passes the runtime's pinned worker scheduler, so the worker that
+// built a shard's index serializes its section). The bytes never depend on
+// the schedule.
+func appendSegment(buf []byte, s *Store, o segOpts, run Parallel) ([]byte, segStats) {
+	p := len(s.shards)
+	parts := make([][]byte, p)
+	encs := make([]byte, p)
+	dispatch(p, buildWorkers(s.pairs), run, func(i int) {
+		parts[i], encs[i] = encodeSection(s, i, o, nil)
+	})
+	base := len(buf)
+	total := headerBytes + p*segTableEntry
+	for i := range parts {
+		total += len(parts[i])
+	}
+	buf = growBytes(buf, total)
+	seg := buf[base:]
+	table := seg[headerBytes : headerBytes+p*segTableEntry]
+	clear(table)
+	off := headerBytes + p*segTableEntry
+	st := segStats{allRaw: true}
+	for i := 0; i < p; i++ {
+		e := table[i*segTableEntry:]
+		le.PutUint64(e[0:], uint64(off))
+		le.PutUint64(e[8:], uint64(len(parts[i])))
+		e[16] = encs[i]
+		copy(seg[off:], parts[i])
+		off += len(parts[i])
+		if encs[i] != encRaw {
+			st.allRaw = false
+		}
+		if encs[i] == encDelta {
+			st.usedDelta = true
+		}
+	}
+	fillSegmentHeader(seg[:headerBytes], s, o, table, uint64(off), st.usedDelta)
+	return buf, st
+}
+
+func fillSegmentHeader(h []byte, s *Store, o segOpts, table []byte, size uint64, usedDelta bool) {
+	clear(h)
+	copy(h[0:8], segmentMagic)
+	le.PutUint32(h[8:], segmentVersion)
+	le.PutUint32(h[12:], uint32(len(s.shards)))
+	le.PutUint64(h[16:], s.salt)
+	le.PutUint64(h[24:], uint64(s.pairs))
+	le.PutUint64(h[32:], size)
+	baseSeq := uint64(noBaseSeq)
+	if usedDelta {
+		baseSeq = o.baseSeq
+	}
+	le.PutUint64(h[40:], baseSeq)
+	le.PutUint64(h[56:], checksum(h[0:56], table))
+}
+
+// segmentRawBytes estimates the serialized size of s before compression —
+// the buffer the in-memory path would need — to pick the write strategy.
+func segmentRawBytes(s *Store) int {
+	total := headerBytes + len(s.shards)*segTableEntry
+	for i := range s.shards {
+		total += shardBlockBytes(&s.shards[i])
+	}
+	return total
+}
+
 // WriteSegment serializes s into path through buf (reused when large
-// enough) and returns the possibly-grown buffer. The write is atomic and
-// durable: bytes go to a hidden temp file in path's directory, the file is
-// fsynced, renamed over path, and the directory is fsynced — a crash leaves
-// either no segment or a complete one, never a torn file, and a rename that
-// returned means the segment survives power loss.
+// enough) and returns the possibly-grown buffer. Sections are compressed
+// where that wins (no delta — the caller offered no base). The write is
+// atomic and durable: bytes go to a hidden temp file in path's directory,
+// the file is fsynced, renamed over path, and the directory is fsynced — a
+// crash leaves either no segment or a complete one, never a torn file, and
+// a rename that returned means the segment survives power loss.
 func WriteSegment(s *Store, path string, buf []byte) ([]byte, error) {
-	return writeSegment(s, path, buf, nil, nil)
+	buf, _, err := writeSegment(s, path, buf, segOpts{compress: true}, nil, nil)
+	return buf, err
 }
 
 // errPublishCancelled reports a write-behind publish aborted before the
 // segment was durable (context cancellation or publisher Close).
 var errPublishCancelled = errors.New("dds: segment publish cancelled")
 
-// writeSegment is WriteSegment with a cancellation hook — when cancelled
-// returns a non-nil error between write chunks, the temp file is removed
-// and the error returned, so no partial segment survives — and the
-// section-fill scheduling hook of appendSegment.
-func writeSegment(s *Store, path string, buf []byte, cancelled func() error, run Parallel) ([]byte, error) {
-	buf = appendSegment(buf[:0], s, run)
+// writeSegment is WriteSegment with encoding options, a cancellation hook —
+// when cancelled returns a non-nil error between write chunks, the temp file
+// is removed and the error returned, so no partial segment survives — and
+// the section-encode scheduling hook of appendSegment. Stores whose raw size
+// exceeds segStreamThreshold stream section by section instead of buffering
+// the whole segment; the bytes on disk are identical either way.
+func writeSegment(s *Store, path string, buf []byte, o segOpts, cancelled func() error, run Parallel) ([]byte, segStats, error) {
+	if segmentRawBytes(s) > segStreamThreshold {
+		st, err := streamSegment(s, path, o, cancelled)
+		return buf, st, err
+	}
+	var st segStats
+	buf, st = appendSegment(buf[:0], s, o, run)
 	dir := filepath.Dir(path)
 	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return buf, err
+		return buf, segStats{}, err
 	}
-	fail := func(err error) ([]byte, error) {
+	fail := func(err error) ([]byte, segStats, error) {
 		f.Close()
 		os.Remove(tmp)
-		return buf, err
+		return buf, segStats{}, err
 	}
 	const chunk = 4 << 20
 	for off := 0; off < len(buf); off += chunk {
@@ -151,24 +257,136 @@ func writeSegment(s *Store, path string, buf []byte, cancelled func() error, run
 			return fail(err)
 		}
 	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
+	if !o.nosync {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return buf, err
+		return buf, segStats{}, err
 	}
 	if cancelled != nil {
 		if err := cancelled(); err != nil {
 			os.Remove(tmp)
-			return buf, err
+			return buf, segStats{}, err
 		}
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return buf, err
+		return buf, segStats{}, err
 	}
-	return buf, syncDir(dir)
+	if o.nosync {
+		return buf, st, nil
+	}
+	return buf, st, syncDir(dir)
+}
+
+// streamSegment writes s to path one section at a time: a zeroed
+// header+table placeholder first, each encoded section through one reused
+// scratch in cancellable chunks, then a seek back to patch the real header
+// and table (whose checksum needs the final offsets) before fsync and
+// rename. Out-of-core stores publish without ever holding more than one
+// encoded section in memory.
+func streamSegment(s *Store, path string, o segOpts, cancelled func() error) (segStats, error) {
+	p := len(s.shards)
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return segStats{}, err
+	}
+	fail := func(err error) (segStats, error) {
+		f.Close()
+		os.Remove(tmp)
+		return segStats{}, err
+	}
+	ht := make([]byte, headerBytes+p*segTableEntry)
+	if _, err := f.Write(ht); err != nil {
+		return fail(err)
+	}
+	const chunk = 4 << 20
+	off := uint64(len(ht))
+	st := segStats{allRaw: true}
+	sc := &sectionScratch{}
+	for i := 0; i < p; i++ {
+		if cancelled != nil {
+			if err := cancelled(); err != nil {
+				return fail(err)
+			}
+		}
+		part, enc := encodeSection(s, i, o, sc)
+		for w := 0; w < len(part); w += chunk {
+			end := w + chunk
+			if end > len(part) {
+				end = len(part)
+			}
+			if _, err := f.Write(part[w:end]); err != nil {
+				return fail(err)
+			}
+			if cancelled != nil {
+				if err := cancelled(); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		e := ht[headerBytes+i*segTableEntry:]
+		le.PutUint64(e[0:], off)
+		le.PutUint64(e[8:], uint64(len(part)))
+		e[16] = enc
+		if enc != encRaw {
+			st.allRaw = false
+		}
+		if enc == encDelta {
+			st.usedDelta = true
+		}
+		off += uint64(len(part))
+	}
+	fillSegmentHeader(ht[:headerBytes], s, o, ht[headerBytes:], off, st.usedDelta)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Write(ht); err != nil {
+		return fail(err)
+	}
+	if !o.nosync {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return segStats{}, err
+	}
+	if cancelled != nil {
+		if err := cancelled(); err != nil {
+			os.Remove(tmp)
+			return segStats{}, err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return segStats{}, err
+	}
+	if o.nosync {
+		return st, nil
+	}
+	return st, syncDir(dir)
+}
+
+// syncPath fsyncs one file by path — the close-time durability pass over a
+// run's surviving segments, whose write-behind publishes skipped the
+// per-segment fsync.
+func syncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives power loss.
@@ -195,6 +413,9 @@ func syncDir(dir string) error {
 // section's own checksum and slot-table structure are verified before any
 // read is answered; damage fails with the same typed errors as v1 shard
 // files, wrapped in a SectionError when it is confined to one section.
+// Packed and delta sections decode onto the heap here; delta sections open
+// the base segment named in the super-header, and fail with ErrMissingBase
+// when it is gone or unusable.
 func OpenSegment(path string) (*FileStore, error) {
 	return openSegment(path, true)
 }
@@ -202,9 +423,17 @@ func OpenSegment(path string) (*FileStore, error) {
 // openSegment is OpenSegment with the verification toggle. verify=false is
 // the publisher's trusted path for a segment this process serialized and
 // fsynced moments ago: structural bounds are still enforced (slices must
-// stay inside the mapping) but checksums and the slot-table scan — a full
-// re-read of bytes that were just written — are skipped.
+// stay inside the mapping, packed and delta sections must decode) but
+// checksums and the slot-table scan — a full re-read of bytes that were
+// just written — are skipped.
 func openSegment(path string, verify bool) (*FileStore, error) {
+	return openSegmentDepth(path, verify, true)
+}
+
+// openSegmentDepth carries the delta-chain guard: a base segment opens with
+// allowDelta=false, so a chain deeper than one level is rejected instead of
+// recursing across files.
+func openSegmentDepth(path string, verify, allowDelta bool) (*FileStore, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -243,6 +472,7 @@ func openSegment(path string, verify bool) (*FileStore, error) {
 	s.salt = le.Uint64(h[16:])
 	declaredPairs := le.Uint64(h[24:])
 	declaredSize := le.Uint64(h[32:])
+	baseSeq := le.Uint64(h[40:])
 	tableEnd := int64(headerBytes) + int64(count)*segTableEntry
 	if info.Size() < tableEnd {
 		return nil, fmt.Errorf("%w: %s: %d bytes, section table needs %d", ErrTruncated, path, info.Size(), tableEnd)
@@ -263,12 +493,23 @@ func openSegment(path string, verify bool) (*FileStore, error) {
 	// The section table must tile [tableEnd, size) exactly in shard order: a
 	// swapped, overlapping or gapped pair of entries is a geometry error, and
 	// catching it here means section offsets can be trusted as slice bounds.
+	// The base segment of any delta section opens lazily, once, trusted (the
+	// decoded block's own checksum verifies the reconstruction when verify
+	// is on) and closes before return — decoded sections own their bytes.
+	var deltaBase *FileStore
+	defer func() {
+		if deltaBase != nil {
+			deltaBase.Close()
+		}
+	}()
 	next := uint64(tableEnd)
 	s.shards = make([]fileShard, 0, count)
+	s.sections = make([][]byte, 0, count)
 	pairs := uint64(0)
 	for i := 0; i < count; i++ {
 		off := le.Uint64(table[i*segTableEntry:])
 		length := le.Uint64(table[i*segTableEntry+8:])
+		enc := table[i*segTableEntry+16]
 		if off != next {
 			return nil, fmt.Errorf("%w: %s: section %d starts at %d, want %d (sections must be contiguous and in shard order)",
 				ErrBadGeometry, path, i, off, next)
@@ -276,12 +517,57 @@ func openSegment(path string, verify bool) (*FileStore, error) {
 		// Bound length by subtraction, never `off+length > size`: a crafted
 		// length near 2^64 would wrap the addition past the check and panic
 		// the section slicing below.
-		if length < headerBytes || length > uint64(info.Size())-off {
+		if length == 0 || length > uint64(info.Size())-off {
 			return nil, fmt.Errorf("%w: %s: section %d of %d bytes at offset %d outside the file",
 				ErrBadGeometry, path, i, length, off)
 		}
 		next = off + length
-		hdr, err := parseShardBlock(data[off:off+length], path, i, verify)
+		var raw []byte
+		switch enc {
+		case encRaw:
+			raw = data[off : off+length : off+length]
+		case encPacked:
+			raw, err = unpackBlock(data[off:off+length], path, verify)
+			if err != nil {
+				return nil, &SectionError{Section: i, Err: err}
+			}
+		case encDelta:
+			if !allowDelta {
+				return nil, &SectionError{Section: i, Err: fmt.Errorf(
+					"%w: %s: delta section in a base segment (chains are one level deep)", ErrMissingBase, path)}
+			}
+			if deltaBase == nil {
+				if baseSeq == noBaseSeq {
+					return nil, &SectionError{Section: i, Err: fmt.Errorf(
+						"%w: %s: delta section but super-header names no base", ErrMissingBase, path)}
+				}
+				basePath := filepath.Join(filepath.Dir(path), fmt.Sprintf(segFileFmt, baseSeq))
+				if basePath == path {
+					return nil, &SectionError{Section: i, Err: fmt.Errorf(
+						"%w: %s: segment names itself as base", ErrMissingBase, path)}
+				}
+				deltaBase, err = openSegmentDepth(basePath, false, false)
+				if err != nil {
+					return nil, &SectionError{Section: i, Err: fmt.Errorf(
+						"%w: %s: base %s: %v", ErrMissingBase, path, filepath.Base(basePath), err)}
+				}
+			}
+			var baseRaw []byte
+			if i < len(deltaBase.sections) {
+				baseRaw = deltaBase.sections[i]
+			}
+			raw, err = undeltaBlock(data[off:off+length], baseRaw, path)
+			if err != nil {
+				return nil, &SectionError{Section: i, Err: err}
+			}
+		default:
+			return nil, &SectionError{Section: i, Err: fmt.Errorf(
+				"%w: %s: section encoding %d, reader implements raw/packed/delta", ErrBadVersion, path, enc)}
+		}
+		// Packed sections were verified against the on-disk bytes inside
+		// unpackBlock; their checksum word holds the packed sum, so the
+		// parse skips the raw checksum but keeps the slot-table scan.
+		hdr, err := parseShardBlockOpts(raw, path, i, verify && enc != encPacked, verify)
 		if err != nil {
 			return nil, &SectionError{Section: i, Err: err}
 		}
@@ -296,6 +582,7 @@ func openSegment(path string, verify bool) (*FileStore, error) {
 			slab:  hdr.slab,
 			size:  hdr.size,
 		})
+		s.sections = append(s.sections, raw)
 	}
 	if next != uint64(info.Size()) {
 		return nil, fmt.Errorf("%w: %s: sections end at %d of %d bytes", ErrBadGeometry, path, next, info.Size())

@@ -10,12 +10,17 @@ import (
 	"testing"
 )
 
-const goldenSegment = goldenDir + "/store.seg"
+const (
+	goldenSegment    = goldenDir + "/store.seg"     // WriteSegment's compressed form
+	goldenSegmentRaw = goldenDir + "/store-raw.seg" // AppendSegment's raw wire form
+)
 
-// TestGoldenSegmentFile pins the segment format: serializing the golden
-// store must reproduce the committed segment byte-for-byte, and opening the
-// committed file must answer every read exactly. Deliberate format changes
-// must bump segmentVersion and regenerate with -update.
+// TestGoldenSegmentFile pins the segment format in both of its forms: the
+// compressed segment WriteSegment puts on disk (packed sections where they
+// win) and the raw segment AppendSegment produces for the wire must each
+// reproduce their committed file byte-for-byte, and opening either file must
+// answer every read exactly. Deliberate format changes must bump
+// segmentVersion and regenerate with -update.
 func TestGoldenSegmentFile(t *testing.T) {
 	s := goldenStore()
 	if *updateGolden {
@@ -25,27 +30,40 @@ func TestGoldenSegmentFile(t *testing.T) {
 		if _, err := WriteSegment(s, goldenSegment, nil); err != nil {
 			t.Fatal(err)
 		}
+		if err := os.WriteFile(goldenSegmentRaw, AppendSegment(nil, goldenStore()), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
-	want, err := os.ReadFile(goldenSegment)
-	if err != nil {
-		t.Fatalf("missing golden segment (regenerate with -update): %v", err)
+	for _, g := range []struct {
+		name string
+		path string
+		got  []byte
+	}{
+		{"compressed", goldenSegment, func() []byte {
+			b, _ := appendSegment(nil, goldenStore(), segOpts{compress: true}, nil)
+			return b
+		}()},
+		{"raw", goldenSegmentRaw, AppendSegment(nil, goldenStore())},
+	} {
+		want, err := os.ReadFile(g.path)
+		if err != nil {
+			t.Fatalf("missing golden segment (regenerate with -update): %v", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s segment serialization no longer bit-identical to the committed format (%d vs %d bytes); "+
+				"a deliberate format change must bump segmentVersion and regenerate with -update",
+				g.name, len(g.got), len(want))
+		}
+		fs, err := OpenSegment(g.path)
+		if err != nil {
+			t.Fatalf("open %s golden segment: %v", g.name, err)
+		}
+		if fs.Salt() != goldenSalt || fs.Shards() != goldenShards || fs.Len() != len(goldenPairs) {
+			t.Fatalf("%s golden metadata: salt=%#x shards=%d len=%d", g.name, fs.Salt(), fs.Shards(), fs.Len())
+		}
+		checkAgainstReference(t, fs, reference(goldenPairs), []Key{{9, 9, 9}, {1, 3, 0}})
+		fs.Close()
 	}
-	got := AppendSegment(nil, s)
-	if !bytes.Equal(got, want) {
-		t.Errorf("segment serialization no longer bit-identical to the committed format (%d vs %d bytes); "+
-			"a deliberate format change must bump segmentVersion and regenerate with -update",
-			len(got), len(want))
-	}
-
-	fs, err := OpenSegment(goldenSegment)
-	if err != nil {
-		t.Fatalf("open golden segment: %v", err)
-	}
-	defer fs.Close()
-	if fs.Salt() != goldenSalt || fs.Shards() != goldenShards || fs.Len() != len(goldenPairs) {
-		t.Fatalf("golden metadata: salt=%#x shards=%d len=%d", fs.Salt(), fs.Shards(), fs.Len())
-	}
-	checkAgainstReference(t, fs, reference(goldenPairs), []Key{{9, 9, 9}, {1, 3, 0}})
 }
 
 // fixSegChecksum recomputes a mutated segment's super-header checksum so the

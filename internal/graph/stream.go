@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"fmt"
+
+	"ampc/internal/rng"
+)
+
+// EdgeStream is a replayable edge producer for out-of-core ingest: a graph
+// too large to materialize as an edge list is described by (N, M, a
+// generator), and consumers re-run Each as many passes as they need. Each
+// must be deterministic — every call emits the same M edges in the same
+// order — which synthetic generators get by reseeding their rng per call.
+// Endpoints are in [0, N) with u != v; duplicate edges are allowed
+// (connectivity is multigraph-insensitive), which is what lets the uniform
+// generator run without a dedup set.
+type EdgeStream interface {
+	N() int
+	M() int
+	Each(emit func(u, v int))
+}
+
+// gnmStream samples m i.i.d. uniform non-loop edges per pass.
+type gnmStream struct {
+	n, m int
+	seed uint64
+}
+
+// streamGNMStream is the rng stream id for StreamGNM draws, disjoint from
+// the driver and placement streams so workload identity is (n, m, seed)
+// alone.
+const streamGNMStream = 0x6E
+
+// StreamGNM returns a replayable uniform multigraph stream with n vertices
+// and m edges (the "mgnm" workload kind): each edge draws u uniformly and v
+// uniformly among the other n-1 vertices. Unlike GNM it never materializes
+// or dedups edges, so m is bounded by memory for the *algorithm's* state,
+// not the edge list — this is the 10^8-edge ingest path.
+func StreamGNM(n, m int, seed uint64) EdgeStream {
+	if n < 2 || m < 0 {
+		panic(fmt.Sprintf("graph: StreamGNM needs n >= 2 and m >= 0, got n=%d m=%d", n, m))
+	}
+	return &gnmStream{n: n, m: m, seed: seed}
+}
+
+func (s *gnmStream) N() int { return s.n }
+func (s *gnmStream) M() int { return s.m }
+
+func (s *gnmStream) Each(emit func(u, v int)) {
+	r := rng.New(s.seed, streamGNMStream)
+	for i := 0; i < s.m; i++ {
+		u := r.Intn(s.n)
+		v := r.Intn(s.n - 1)
+		if v >= u {
+			v++
+		}
+		emit(u, v)
+	}
+}
+
+// graphStream adapts a materialized Graph to the stream interface, so the
+// streaming drivers accept every existing workload kind.
+type graphStream struct{ g *Graph }
+
+// StreamOf returns an EdgeStream over a materialized graph's canonical edge
+// list.
+func StreamOf(g *Graph) EdgeStream { return graphStream{g} }
+
+func (s graphStream) N() int { return s.g.N() }
+func (s graphStream) M() int { return s.g.M() }
+
+func (s graphStream) Each(emit func(u, v int)) {
+	for _, e := range s.g.Edges() {
+		emit(e.U, e.V)
+	}
+}

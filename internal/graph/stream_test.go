@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"testing"
+
+	"ampc/internal/rng"
+)
+
+// collect drains one full pass of a stream into a pair list.
+func collect(es EdgeStream) []Edge {
+	edges := make([]Edge, 0, es.M())
+	es.Each(func(u, v int) { edges = append(edges, Edge{U: u, V: v}) })
+	return edges
+}
+
+// TestStreamGNMReplayDeterministic pins the EdgeStream contract the
+// streaming drivers depend on: every Each pass emits exactly M edges, in the
+// same order each time, with endpoints in [0, N) and no self-loops. The
+// degree pass and the ingest pass of a streamed run see the same graph only
+// because of this.
+func TestStreamGNMReplayDeterministic(t *testing.T) {
+	es := StreamGNM(500, 3000, 77)
+	if es.N() != 500 || es.M() != 3000 {
+		t.Fatalf("N=%d M=%d", es.N(), es.M())
+	}
+	first := collect(es)
+	if len(first) != 3000 {
+		t.Fatalf("pass emitted %d edges, want 3000", len(first))
+	}
+	for i, e := range first {
+		if e.U < 0 || e.U >= 500 || e.V < 0 || e.V >= 500 || e.U == e.V {
+			t.Fatalf("edge %d = (%d,%d) out of range or a loop", i, e.U, e.V)
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		again := collect(es)
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("pass %d edge %d = %v, first pass %v — stream is not replayable", pass, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// TestStreamGNMSeedIsolation asserts the workload identity is (n, m, seed):
+// a different seed draws a different edge sequence, and the stream's rng is
+// independent of the driver streams (same seed, different stream id).
+func TestStreamGNMSeedIsolation(t *testing.T) {
+	a := collect(StreamGNM(100, 400, 1))
+	b := collect(StreamGNM(100, 400, 2))
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 drew identical streams")
+	}
+	r := rng.New(1, 0)
+	_ = r.Intn(100) // consuming a driver stream must not perturb the workload
+	c := collect(StreamGNM(100, 400, 1))
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("stream depends on unrelated rng state")
+		}
+	}
+}
+
+// TestStreamGNMRejectsDegenerate pins the argument contract.
+func TestStreamGNMRejectsDegenerate(t *testing.T) {
+	for _, bad := range []struct{ n, m int }{{1, 5}, {0, 0}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StreamGNM(%d, %d) did not panic", bad.n, bad.m)
+				}
+			}()
+			StreamGNM(bad.n, bad.m, 0)
+		}()
+	}
+}
+
+// TestStreamOfMatchesEdges asserts the materialized-graph adapter replays
+// the canonical edge list verbatim, so every existing workload kind can feed
+// the streaming drivers.
+func TestStreamOfMatchesEdges(t *testing.T) {
+	g := GNM(200, 600, rng.New(9, 0))
+	es := StreamOf(g)
+	if es.N() != g.N() || es.M() != g.M() {
+		t.Fatalf("adapter metadata N=%d M=%d, graph %d %d", es.N(), es.M(), g.N(), g.M())
+	}
+	got := collect(es)
+	want := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("%d edges streamed, graph has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d streamed as %v, canonical %v", i, got[i], want[i])
+		}
+	}
+}

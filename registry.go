@@ -53,6 +53,10 @@ type AlgorithmSpec struct {
 	// Input declares which Job field the algorithm consumes; Engine.Run
 	// rejects jobs whose corresponding field is unset.
 	Input InputKind
+	// AcceptsStream marks an InputGraph algorithm that can also consume
+	// Job.Stream, the out-of-core replayable edge producer. For such
+	// algorithms exactly one of Job.Graph and Job.Stream must be set.
+	AcceptsStream bool
 	// Run executes the algorithm. It must honour ctx cancellation and
 	// return a Result whose Telemetry reflects the full run.
 	Run func(ctx context.Context, job Job, opts Options) (*Result, error)
